@@ -1,0 +1,255 @@
+// Ablations over the design choices DESIGN.md calls out:
+//
+//  (a) multi-broker merged summaries vs per-broker-only knowledge:
+//      how many brokers an event must visit (the point of §4.1);
+//  (b) AACS insertion mode: the paper's coarse row absorption vs our exact
+//      partition — rows/bytes vs arithmetic false positives;
+//  (c) SACS generalization policy: rows/bytes vs string false positives;
+//  (d) BROCLI forwarding: highest-degree-first vs capped virtual degrees
+//      (the paper's §6 load-balancing extension) — walk length vs how
+//      heavily the walk concentrates on the busiest broker.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "core/matcher.h"
+#include "routing/event_router.h"
+#include "routing/propagation.h"
+#include "stats/stats.h"
+#include "util/rng.h"
+#include "workload/event_gen.h"
+
+using namespace subsum;
+using model::SubId;
+using overlay::BrokerId;
+
+namespace {
+
+void ablation_merged_summaries() {
+  std::cout << "(a) merged summaries vs per-broker-only knowledge "
+               "(mean brokers visited per event)\n\n";
+  const auto schema = workload::stock_schema();
+  const auto g = overlay::cable_wireless_24();
+  const auto wire = bench::paper_wire(schema, g.size());
+  const auto own = bench::delta_summaries(schema, g.size(), 50, 0.5, 3);
+
+  const auto merged = routing::propagate(g, own, wire);
+  // "Unmerged": every broker knows only itself (skip Algorithm 2).
+  routing::PropagationResult unmerged;
+  unmerged.held = own;
+  unmerged.merged_brokers.resize(g.size());
+  for (BrokerId b = 0; b < g.size(); ++b) unmerged.merged_brokers[b] = {b};
+
+  workload::SubGenParams sp;
+  workload::SubscriptionGenerator gen(schema, sp, 3);
+  workload::EventGenerator egen(schema, gen.pools(), {}, 4);
+  stats::Series with, without;
+  for (int i = 0; i < 500; ++i) {
+    const auto e = egen.next();
+    const auto origin = static_cast<BrokerId>(i % g.size());
+    with.add(static_cast<double>(routing::route_event(g, merged, origin, e).visited.size()));
+    without.add(
+        static_cast<double>(routing::route_event(g, unmerged, origin, e).visited.size()));
+  }
+  stats::Table t({"configuration", "mean visits", "max visits"});
+  t.row({"with Algorithm 2 (merged)", stats::fmt(with.mean()), stats::fmt(with.max())});
+  t.row({"without (per-broker only)", stats::fmt(without.mean()), stats::fmt(without.max())});
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_aacs_mode() {
+  // Workload shaped to separate the modes: the canonical wide range is
+  // registered first (one early subscriber per range), then 2000 tight
+  // windows inside it. Coarse absorbs every window into the wide row
+  // (rows stay ~constant, lookups over-approximate); exact splits the
+  // partition (rows grow, lookups stay precise).
+  std::cout << "(b) AACS mode: paper's coarse absorption vs exact partition "
+               "(wide range first, then 2000 tight windows)\n\n";
+  const auto schema = workload::stock_schema();
+  const auto wire = bench::paper_wire(schema, 24, /*max_subs=*/4096);
+  const auto price = schema.id_of("price");
+
+  stats::Table t({"mode", "nsr+ne rows", "wire bytes", "false-positive ids/event"});
+  for (auto mode : {core::AacsMode::kCoarse, core::AacsMode::kExact}) {
+    util::Rng rng(21);
+    core::BrokerSummary summary(schema, core::GeneralizePolicy::kSafe, mode);
+    core::NaiveMatcher naive;
+    uint32_t next = 0;
+    auto install = [&](double lo, double hi) {
+      auto sub = model::SubscriptionBuilder(schema)
+                     .where(price, model::Op::kGe, lo)
+                     .where(price, model::Op::kLe, hi)
+                     .build();
+      const SubId id{0, next++, sub.mask()};
+      summary.add(sub, id);
+      naive.add({id, std::move(sub)});
+    };
+    install(0.0, 100.0);  // the wide canonical range
+    for (int i = 0; i < 2000; ++i) {
+      const double a = rng.range_f64(0.0, 95.0);
+      install(a, a + 5.0);  // tight windows inside it
+    }
+    stats::Series fp;
+    for (int i = 0; i < 500; ++i) {
+      const auto e = model::EventBuilder(schema)
+                         .set(price, rng.range_f64(0.0, 100.0))
+                         .build();
+      fp.add(static_cast<double>(core::match(summary, e).size() - naive.match(e).size()));
+    }
+    const auto st = summary.stats();
+    t.row({mode == core::AacsMode::kCoarse ? "coarse (paper)" : "exact (ours)",
+           stats::fmt(static_cast<double>(st.nsr + st.ne)),
+           stats::fmt(static_cast<double>(core::wire_size(summary, wire))),
+           stats::fmt(fp.mean())});
+  }
+  t.print(std::cout);
+  std::cout << "(false positives are pruned by the owner's exact re-filter; "
+               "they cost delivery bandwidth, not correctness)\n\n";
+}
+
+void ablation_sacs_policy() {
+  std::cout << "(c) SACS generalization policy (rows/bytes vs string false "
+               "positives)\n\n";
+  const auto schema = workload::stock_schema();
+  const auto wire = bench::paper_wire(schema, 24, /*max_subs=*/4096);
+
+  const auto symbol = schema.id_of("symbol");
+  stats::Table t({"policy", "nr rows", "wire bytes", "false-positive ids/event"});
+  for (auto policy : {core::GeneralizePolicy::kNone, core::GeneralizePolicy::kSafe,
+                      core::GeneralizePolicy::kAggressive}) {
+    util::Rng rng(31);
+    core::BrokerSummary summary(schema, policy, core::AacsMode::kCoarse);
+    core::NaiveMatcher naive;
+    uint32_t next = 0;
+    // Single-constraint subscriptions over a skewed symbol universe:
+    // equalities "s<k>-<j>", covering prefixes "s<k>", and occasional ≠.
+    auto install = [&](model::Op op, const std::string& operand) {
+      auto sub = model::SubscriptionBuilder(schema).where(symbol, op, operand).build();
+      const SubId id{0, next++, sub.mask()};
+      summary.add(sub, id);
+      naive.add({id, std::move(sub)});
+    };
+    for (int i = 0; i < 2000; ++i) {
+      const auto k = rng.below(16);
+      const double roll = rng.uniform01();
+      if (roll < 0.6) {
+        install(model::Op::kEq, "s" + std::to_string(k) + "-" + std::to_string(rng.below(40)));
+      } else if (roll < 0.9) {
+        install(model::Op::kPrefix, "s" + std::to_string(k));
+      } else {
+        install(model::Op::kNe, "s" + std::to_string(k) + "-0");
+      }
+    }
+    stats::Series fp;
+    for (int i = 0; i < 500; ++i) {
+      const auto e = model::EventBuilder(schema)
+                         .set(symbol, "s" + std::to_string(rng.below(16)) + "-" +
+                                          std::to_string(rng.below(40)))
+                         .build();
+      fp.add(static_cast<double>(core::match(summary, e).size() - naive.match(e).size()));
+    }
+    const char* name = policy == core::GeneralizePolicy::kNone     ? "none"
+                       : policy == core::GeneralizePolicy::kSafe   ? "safe (default)"
+                                                                   : "aggressive";
+    t.row({name, stats::fmt(static_cast<double>(summary.stats().nr)),
+           stats::fmt(static_cast<double>(core::wire_size(summary, wire))),
+           stats::fmt(fp.mean())});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_forwarding_policy() {
+  std::cout << "(d) BROCLI forwarding policy (paper §6 virtual degrees): walk "
+               "length vs load concentration\n\n";
+  const auto schema = workload::stock_schema();
+  const auto g = overlay::cable_wireless_24();
+  const auto wire = bench::paper_wire(schema, g.size());
+  const auto own = bench::delta_summaries(schema, g.size(), 50, 0.5, 41);
+  const auto state = routing::propagate(g, own, wire);
+
+  workload::SubGenParams sp;
+  workload::SubscriptionGenerator gen(schema, sp, 41);
+  workload::EventGenerator egen(schema, gen.pools(), {}, 42);
+  std::vector<model::Event> events;
+  for (int i = 0; i < 500; ++i) events.push_back(egen.next());
+
+  stats::Table t({"policy", "mean visits", "hottest broker visits", "stddev of load"});
+  auto run = [&](const char* name, const routing::RouterOptions& base_opts, bool salt) {
+    std::vector<size_t> load(g.size(), 0);
+    stats::Series visits;
+    for (size_t i = 0; i < events.size(); ++i) {
+      routing::RouterOptions opts = base_opts;
+      if (salt) opts.tie_salt = i + 1;
+      const auto r = routing::route_event(g, state, static_cast<BrokerId>(i % g.size()),
+                                          events[i], opts);
+      visits.add(static_cast<double>(r.visited.size()));
+      for (BrokerId b : r.visited) ++load[b];
+    }
+    stats::Series load_series;
+    for (size_t l : load) load_series.add(static_cast<double>(l));
+    t.row({name, stats::fmt(visits.mean()), stats::fmt(load_series.max()),
+           stats::fmt(load_series.stddev())});
+  };
+
+  run("highest-degree (paper)", {}, false);
+  routing::RouterOptions coverage;
+  coverage.strategy = routing::ForwardStrategy::kLargestCoverage;
+  run("largest-coverage (gossiped sets)", coverage, false);
+  routing::RouterOptions cap3;
+  cap3.virtual_degrees = routing::capped_virtual_degrees(g, 3);
+  run("virtual degrees (cap 3)", cap3, false);
+  routing::RouterOptions cap3salt = cap3;
+  run("virtual degrees (cap 3) + tie rotation", cap3salt, true);
+  routing::RouterOptions cap1;
+  cap1.virtual_degrees = routing::capped_virtual_degrees(g, 1);
+  run("flat degrees (cap 1) + tie rotation", cap1, true);
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void ablation_propagation_variant() {
+  std::cout << "(e) Algorithm-2 ambiguity: neighbor preference x delivery "
+               "timing (walk length the BROCLI phase inherits)\n\n";
+  const auto schema = workload::stock_schema();
+  const auto g = overlay::cable_wireless_24();
+  const auto wire = bench::paper_wire(schema, g.size());
+  const auto own = bench::delta_summaries(schema, g.size(), 50, 0.5, 55);
+  const auto e = model::EventBuilder(schema).set("price", -1.0).build();
+
+  stats::Table t({"preference", "delivery", "prop hops", "mean walk visits"});
+  for (auto pref : {routing::NeighborPreference::kSmallestDegree,
+                    routing::NeighborPreference::kLargestDegree}) {
+    for (bool immediate : {false, true}) {
+      routing::PropagationOptions opts;
+      opts.preference = pref;
+      opts.immediate_delivery = immediate;
+      const auto state = routing::propagate(g, own, wire, opts);
+      stats::Series visits;
+      for (BrokerId o = 0; o < g.size(); ++o) {
+        visits.add(static_cast<double>(routing::route_event(g, state, o, e).visited.size()));
+      }
+      t.row({pref == routing::NeighborPreference::kSmallestDegree ? "smallest (paper text)"
+                                                                  : "largest",
+             immediate ? "immediate (sequential)" : "deferred (strict)",
+             stats::fmt(static_cast<double>(state.hops())), stats::fmt(visits.mean())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation benches over DESIGN.md design choices\n"
+               "==============================================\n\n";
+  ablation_merged_summaries();
+  ablation_aacs_mode();
+  ablation_sacs_policy();
+  ablation_forwarding_policy();
+  ablation_propagation_variant();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared setup for the evaluation benches: the paper's table-2 parameters
+// on the 24-node backbone topology, plus helpers to build per-broker delta
+// summaries from the workload generators.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "core/summary.h"
+#include "model/sub_id.h"
+#include "overlay/topologies.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum::bench {
+
+/// Table 2 of the paper.
+struct PaperParams {
+  size_t brokers = 24;           // C&W backbone scale
+  size_t outstanding = 1000;     // S
+  size_t avg_sub_bytes = 50;     // average subscription/event size
+  size_t sst = 4, sid = 4, ssv = 10;
+};
+
+/// Environment-tunable scale factor so `bench_*` binaries stay quick by
+/// default but can reproduce the paper's full volumes
+/// (SUBSUM_BENCH_SCALE=10 multiplies event/subscription counts).
+inline size_t bench_scale() {
+  if (const char* s = std::getenv("SUBSUM_BENCH_SCALE")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
+/// The wire configuration matching the paper's sid = 4 bytes at 24 brokers
+/// (5 + 10 + 10 = 25 bits) and sst = 4 bytes.
+inline core::WireConfig paper_wire(const model::Schema& schema, size_t brokers,
+                                   uint64_t max_subs = 1000) {
+  return {model::SubIdCodec(static_cast<uint32_t>(brokers), max_subs, schema.attr_count()),
+          4};
+}
+
+/// Per-broker delta summaries: sigma subscriptions each, drawn with the
+/// given subsumption probability (paper §5.2 workload; AacsMode::kCoarse is
+/// the paper's structure).
+inline std::vector<core::BrokerSummary> delta_summaries(
+    const model::Schema& schema, size_t brokers, size_t sigma, double subsumption,
+    uint64_t seed, core::AacsMode mode = core::AacsMode::kCoarse) {
+  workload::SubGenParams sp;
+  sp.subsumption = subsumption;
+  workload::SubscriptionGenerator gen(schema, sp, seed);
+  std::vector<core::BrokerSummary> out;
+  out.reserve(brokers);
+  for (size_t b = 0; b < brokers; ++b) {
+    core::BrokerSummary summary(schema, core::GeneralizePolicy::kSafe, mode);
+    for (size_t i = 0; i < sigma; ++i) {
+      const auto sub = gen.next();
+      summary.add(sub, model::SubId{static_cast<model::BrokerId>(b),
+                                    static_cast<uint32_t>(i), sub.mask()});
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace subsum::bench

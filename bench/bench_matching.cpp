@@ -1,0 +1,109 @@
+// §5.2.4 computational demands: matching cost per event as the number of
+// outstanding subscriptions N grows. The paper argues T1 + T2 is O(N) with
+// small constants thanks to the summarized, generalized attributes; the
+// comparison point is a per-subscription scan (the classic approach).
+//
+// google-benchmark binary; also reports the step-1 diagnostics (ids
+// collected = the paper's P) as counters.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/matcher.h"
+#include "workload/event_gen.h"
+
+namespace {
+
+using namespace subsum;
+
+struct Fixture {
+  model::Schema schema = workload::stock_schema();
+  core::BrokerSummary summary;
+  core::NaiveMatcher naive;
+  std::vector<model::Event> events;
+
+  explicit Fixture(size_t n, double subsumption) {
+    workload::SubGenParams sp;
+    sp.subsumption = subsumption;
+    workload::SubscriptionGenerator gen(schema, sp, n * 7 + 1);
+    summary = core::BrokerSummary(schema, core::GeneralizePolicy::kSafe,
+                                  core::AacsMode::kCoarse);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto sub = gen.next();
+      const model::SubId id{0, i, sub.mask()};
+      summary.add(sub, id);
+      naive.add({id, std::move(sub)});
+    }
+    workload::EventGenerator egen(schema, gen.pools(), {}, n * 7 + 2);
+    for (int i = 0; i < 64; ++i) events.push_back(egen.next());
+  }
+};
+
+Fixture& fixture_for(size_t n, double subsumption) {
+  // One fixture per (n, subsumption); benchmarks run single-threaded.
+  static std::map<std::pair<size_t, int>, std::unique_ptr<Fixture>> cache;
+  auto key = std::make_pair(n, static_cast<int>(subsumption * 100));
+  auto& slot = cache[key];
+  if (!slot) slot = std::make_unique<Fixture>(n, subsumption);
+  return *slot;
+}
+
+void BM_SummaryMatch(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  size_t i = 0;
+  size_t collected = 0, matched = 0, events_run = 0;
+  for (auto _ : state) {
+    core::MatchDiag diag;
+    auto m = core::match(f.summary, f.events[i++ % f.events.size()], &diag);
+    benchmark::DoNotOptimize(m);
+    collected += diag.ids_collected;
+    matched += m.size();
+    ++events_run;
+  }
+  state.counters["P_ids_collected"] =
+      benchmark::Counter(static_cast<double>(collected) / events_run);
+  state.counters["matched"] = benchmark::Counter(static_cast<double>(matched) / events_run);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_NaiveMatch(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = f.naive.match(f.events[i++ % f.events.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_SummaryInsert(benchmark::State& state) {
+  const auto schema = workload::stock_schema();
+  workload::SubGenParams sp;
+  sp.subsumption = static_cast<double>(state.range(0)) / 100.0;
+  workload::SubscriptionGenerator gen(schema, sp, 11);
+  core::BrokerSummary summary(schema, core::GeneralizePolicy::kSafe,
+                              core::AacsMode::kCoarse);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const auto sub = gen.next();
+    summary.add(sub, model::SubId{0, i++, sub.mask()});
+    if (i % 200000 == 0) summary.clear();  // bound structure growth
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SummaryMatch)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveMatch)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryInsert)->Arg(10)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

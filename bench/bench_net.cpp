@@ -1,0 +1,80 @@
+// End-to-end throughput of the real TCP broker network (not a paper
+// figure; the deployment-sanity numbers a production repo ships with):
+// subscribe ops/s, propagation period latency, and publish->deliver
+// round-trips/s on the figure-7 and 24-node overlays.
+#include <chrono>
+#include <iostream>
+
+#include "net/cluster.h"
+#include "overlay/topologies.h"
+#include "stats/stats.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+using namespace subsum;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void run(const char* name, const overlay::Graph& g) {
+  const auto schema = workload::stock_schema();
+  net::Cluster cluster(schema, g);
+
+  workload::SubGenParams sp;
+  sp.subsumption = 0.5;
+  workload::SubscriptionGenerator gen(schema, sp, 7);
+
+  // Subscribe throughput (single client, synchronous acks).
+  auto client = cluster.connect(0);
+  const int n_subs = 400;
+  auto t0 = Clock::now();
+  for (int i = 0; i < n_subs; ++i) client->subscribe(gen.next());
+  const double sub_rate = n_subs / seconds_since(t0);
+
+  // Propagation period latency (all Algorithm-2 rounds, clocked).
+  t0 = Clock::now();
+  cluster.run_propagation_period();
+  const double prop_ms = seconds_since(t0) * 1e3;
+
+  // Publish->fully-delivered round trips (the ack returns after the whole
+  // BROCLI walk and all owner deliveries).
+  auto subscriber = cluster.connect(static_cast<overlay::BrokerId>(g.size() - 1));
+  subscriber->subscribe(model::SubscriptionBuilder(schema)
+                            .where("symbol", model::Op::kEq, "bench")
+                            .build());
+  cluster.run_propagation_period();
+  const int n_events = 300;
+  t0 = Clock::now();
+  for (int i = 0; i < n_events; ++i) {
+    client->publish(model::EventBuilder(schema)
+                        .set("symbol", "bench")
+                        .set("volume", int64_t{i})
+                        .build());
+  }
+  const double pub_rate = n_events / seconds_since(t0);
+  size_t notes = 0;
+  while (subscriber->next_notification(std::chrono::milliseconds(200))) ++notes;
+
+  stats::Table t({"metric", "value"});
+  t.row({"subscribe ops/s", stats::fmt(sub_rate)});
+  t.row({"propagation period (ms)", stats::fmt(prop_ms)});
+  t.row({"publish round-trips/s", stats::fmt(pub_rate)});
+  t.row({"notifications delivered", std::to_string(notes) + " / " + std::to_string(n_events)});
+  std::cout << name << " (" << g.size() << " live TCP brokers)\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Real-network throughput (loopback TCP, synchronous end-to-end "
+               "publishes)\n\n";
+  run("fig-7 tree", overlay::fig7_tree());
+  run("cw-24 backbone", overlay::cable_wireless_24());
+  return 0;
+}

@@ -1,0 +1,134 @@
+// §5.2 "Tested Topologies": the paper reports results on "a number of real
+// and artificial topologies" and states the findings are similar in all
+// cases, showing only the 24-node backbone. This bench repeats the core
+// comparisons (fig-8-style propagation bandwidth, fig-9-style propagation
+// hops, fig-10-style event hops at 25% popularity) across artificial
+// topologies, to verify the orderings are topology-robust.
+#include <iostream>
+#include <set>
+
+#include "baseline/broadcast.h"
+#include "bench_common.h"
+#include "overlay/spanning_tree.h"
+#include "routing/event_router.h"
+#include "routing/propagation.h"
+#include "siena/siena_network.h"
+#include "stats/stats.h"
+#include "util/rng.h"
+
+using namespace subsum;
+using overlay::BrokerId;
+using overlay::Graph;
+
+namespace {
+
+struct Row {
+  double broadcast_bytes, siena_bytes, summary_bytes;
+  double siena_prop_hops, summary_prop_hops;
+  double siena_event_hops, summary_event_hops;
+};
+
+Row evaluate(const Graph& g, uint64_t seed) {
+  const auto schema = workload::stock_schema();
+  const auto wire = bench::paper_wire(schema, g.size(), uint64_t{1} << 20);
+  const bench::PaperParams pp;
+  const size_t sigma = 100;
+  const double subsumption = 0.5;
+  Row row{};
+
+  // Propagation bandwidth and hops.
+  row.broadcast_bytes = baseline::broadcast_bandwidth_formula(g, {sigma, pp.avg_sub_bytes});
+  util::Rng rng(seed);
+  const auto siena_prop = siena::propagate_model(g, sigma, {subsumption, pp.avg_sub_bytes}, rng);
+  row.siena_bytes = static_cast<double>(siena_prop.bytes);
+  row.siena_prop_hops = static_cast<double>(siena_prop.messages) / static_cast<double>(sigma);
+
+  const auto own = bench::delta_summaries(schema, g.size(), sigma, subsumption, seed);
+  routing::PropagationOptions popts;
+  popts.immediate_delivery = true;
+  const auto state = routing::propagate(g, own, wire, popts);
+  row.summary_bytes = static_cast<double>(state.total_bytes());
+  row.summary_prop_hops = static_cast<double>(state.hops());
+
+  // Event hops at 25% popularity (fig-10 midpoint), via the real pipeline.
+  const size_t events = 20 * g.size();
+  const auto volume = schema.id_of("volume");
+  std::vector<core::BrokerSummary> evt_own(
+      g.size(), core::BrokerSummary(schema, core::GeneralizePolicy::kSafe));
+  std::vector<uint32_t> next_local(g.size(), 0);
+  std::vector<std::vector<BrokerId>> matched(events);
+  const size_t m = std::max<size_t>(1, g.size() / 4);
+  for (size_t idx = 0; idx < events; ++idx) {
+    std::set<BrokerId> set;
+    while (set.size() < m) set.insert(static_cast<BrokerId>(rng.below(g.size())));
+    matched[idx].assign(set.begin(), set.end());
+    for (BrokerId b : set) {
+      const auto sub = model::SubscriptionBuilder(schema)
+                           .where(volume, model::Op::kEq, static_cast<int64_t>(idx))
+                           .build();
+      evt_own[b].add(sub, model::SubId{b, next_local[b]++, sub.mask()});
+    }
+  }
+  const auto evt_state = routing::propagate(g, evt_own, wire, popts);
+  std::vector<overlay::SpanningTree> trees;
+  for (BrokerId b = 0; b < g.size(); ++b) trees.push_back(overlay::bfs_tree(g, b));
+  stats::Series ours, siena_hops;
+  for (size_t idx = 0; idx < events; ++idx) {
+    const auto origin = static_cast<BrokerId>(idx % g.size());
+    const auto e = model::EventBuilder(schema)
+                       .set(volume, static_cast<int64_t>(idx))
+                       .build();
+    ours.add(static_cast<double>(
+        routing::route_event(g, evt_state, origin, e).total_hops()));
+    siena_hops.add(
+        static_cast<double>(siena::event_hops_model(trees[origin], matched[idx])));
+  }
+  row.summary_event_hops = ours.mean();
+  row.siena_event_hops = siena_hops.mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng topo_rng(1);
+  // bool = backbone-like (the class the paper evaluates: 20-33 node
+  // single-ISP networks and trees). The ring is included as an honest
+  // degenerate extreme: there the probabilistic Siena model drops nearly
+  // everything within two hops (every broker has maximal relative degree)
+  // while our merged-summary chain wraps the entire cycle, so the byte
+  // ordering flips — a regime outside the paper's topology class.
+  std::vector<std::tuple<std::string, Graph, bool>> topologies;
+  topologies.emplace_back("cw24 backbone", overlay::cable_wireless_24(), true);
+  topologies.emplace_back("fig7 tree (13)", overlay::fig7_tree(), true);
+  topologies.emplace_back("random tree (24)", overlay::random_tree(24, topo_rng), true);
+  topologies.emplace_back("random tree (33)", overlay::random_tree(33, topo_rng), true);
+  topologies.emplace_back("pref. attach (24)",
+                          overlay::preferential_attachment(24, 2, topo_rng), true);
+  topologies.emplace_back("star (24)", overlay::star(24), true);
+  topologies.emplace_back("ring (20) [degenerate]", overlay::ring(20), false);
+
+  std::cout << "Topology robustness (σ = 100, subsumption 50%, popularity 25%)\n"
+               "paper §5.2: results \"similar in all cases\" across topologies\n\n";
+  stats::Table t({"topology", "bytes: bcast", "siena", "summary", "prop hops: siena",
+                  "summary", "event hops: siena", "summary"});
+  bool orderings_hold = true;
+  for (const auto& [name, g, backbone_like] : topologies) {
+    const Row r = evaluate(g, 11);
+    t.row({name, stats::fmt(r.broadcast_bytes), stats::fmt(r.siena_bytes),
+           stats::fmt(r.summary_bytes), stats::fmt(r.siena_prop_hops),
+           stats::fmt(r.summary_prop_hops), stats::fmt(r.siena_event_hops),
+           stats::fmt(r.summary_event_hops)});
+    if (backbone_like) {
+      orderings_hold &= r.broadcast_bytes > r.siena_bytes;
+      orderings_hold &= r.siena_bytes > r.summary_bytes;
+      orderings_hold &= r.siena_prop_hops > r.summary_prop_hops;
+    }
+  }
+  t.print(std::cout);
+  std::cout << (orderings_hold
+                    ? "\nbandwidth and propagation-hop orderings hold on every "
+                      "backbone-like topology (the paper's claim)\n"
+                    : "\nWARNING: an ordering flipped on a backbone-like topology\n");
+  return orderings_hold ? 0 : 1;
+}

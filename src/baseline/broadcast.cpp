@@ -1,0 +1,29 @@
+#include "baseline/broadcast.h"
+
+namespace subsum::baseline {
+
+double broadcast_bandwidth_formula(const overlay::Graph& g, const BroadcastParams& p) {
+  const double brokers = static_cast<double>(g.size());
+  return (brokers - 1) * g.mean_pairwise_distance() * brokers *
+         static_cast<double>(p.sigma_per_broker) * static_cast<double>(p.avg_sub_bytes);
+}
+
+BroadcastCost broadcast_cost(const overlay::Graph& g, const BroadcastParams& p) {
+  BroadcastCost c;
+  for (overlay::BrokerId home = 0; home < g.size(); ++home) {
+    size_t hops = 0;
+    for (int d : g.distances_from(home)) {
+      if (d > 0) hops += static_cast<size_t>(d);
+    }
+    c.messages += hops * p.sigma_per_broker;
+  }
+  c.bytes = c.messages * p.avg_sub_bytes;
+  return c;
+}
+
+size_t broadcast_storage_bytes(size_t brokers, size_t outstanding_per_broker,
+                               size_t avg_sub_bytes) {
+  return brokers * brokers * outstanding_per_broker * avg_sub_bytes;
+}
+
+}  // namespace subsum::baseline

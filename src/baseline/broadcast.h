@@ -1,0 +1,37 @@
+// The baseline of §5.2: every broker broadcasts every subscription to every
+// other broker. The paper measures its bandwidth as
+//
+//   (brokers - 1) × avg hops between brokers × brokers × σ × avg sub size
+//
+// and its storage as every broker holding every subscription. Both the
+// closed-form accounting and a real flooding count over shortest paths are
+// provided.
+#pragma once
+
+#include <cstddef>
+
+#include "overlay/graph.h"
+
+namespace subsum::baseline {
+
+struct BroadcastParams {
+  size_t sigma_per_broker = 10;  // σ: new subscriptions per broker per period
+  size_t avg_sub_bytes = 50;     // table 2 average subscription size
+};
+
+/// The paper's closed-form bandwidth for one propagation period.
+double broadcast_bandwidth_formula(const overlay::Graph& g, const BroadcastParams& p);
+
+/// Message-accurate count: each subscription travels from its home to every
+/// other broker along shortest paths (one message per edge traversed).
+struct BroadcastCost {
+  size_t messages = 0;
+  size_t bytes = 0;
+};
+BroadcastCost broadcast_cost(const overlay::Graph& g, const BroadcastParams& p);
+
+/// Storage when every broker stores all S-per-broker subscriptions.
+size_t broadcast_storage_bytes(size_t brokers, size_t outstanding_per_broker,
+                               size_t avg_sub_bytes);
+
+}  // namespace subsum::baseline

@@ -1,0 +1,135 @@
+#include "config/config.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "overlay/topologies.h"
+
+namespace subsum::config {
+
+namespace {
+
+[[noreturn]] void fail(size_t line, const std::string& what) {
+  throw ConfigError("line " + std::to_string(line) + ": " + what);
+}
+
+std::optional<model::AttrType> type_from(const std::string& word) {
+  if (word == "int") return model::AttrType::kInt;
+  if (word == "float") return model::AttrType::kFloat;
+  if (word == "string") return model::AttrType::kString;
+  return std::nullopt;
+}
+
+}  // namespace
+
+SystemSpec parse_system_spec(std::string_view text) {
+  std::vector<model::AttributeSpec> attrs;
+  std::optional<overlay::Graph> graph;
+  std::vector<std::pair<overlay::BrokerId, overlay::BrokerId>> edges;
+  std::optional<size_t> brokers;
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd)) continue;
+
+    if (cmd == "attribute") {
+      std::string name, type_word;
+      if (!(ls >> name >> type_word)) fail(lineno, "attribute needs <name> <type>");
+      const auto type = type_from(type_word);
+      if (!type) fail(lineno, "unknown attribute type '" + type_word + "'");
+      attrs.push_back({name, *type});
+    } else if (cmd == "brokers") {
+      size_t n = 0;
+      if (!(ls >> n) || n == 0) fail(lineno, "brokers needs a positive count");
+      brokers = n;
+    } else if (cmd == "edge") {
+      overlay::BrokerId a = 0, b = 0;
+      if (!(ls >> a >> b)) fail(lineno, "edge needs two broker ids");
+      edges.emplace_back(a, b);
+    } else if (cmd == "topology") {
+      std::string kind;
+      if (!(ls >> kind)) fail(lineno, "topology needs a name");
+      if (kind == "cw24") {
+        graph = overlay::cable_wireless_24();
+      } else if (kind == "fig7") {
+        graph = overlay::fig7_tree();
+      } else {
+        size_t n = 0;
+        if (!(ls >> n)) fail(lineno, "topology " + kind + " needs a size");
+        try {
+          if (kind == "line") {
+            graph = overlay::line(n);
+          } else if (kind == "ring") {
+            graph = overlay::ring(n);
+          } else if (kind == "star") {
+            graph = overlay::star(n);
+          } else {
+            fail(lineno, "unknown topology '" + kind + "'");
+          }
+        } catch (const std::invalid_argument& e) {
+          fail(lineno, e.what());
+        }
+      }
+    } else {
+      fail(lineno, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  if (attrs.empty()) throw ConfigError("config declares no attributes");
+  SystemSpec spec;
+  try {
+    spec.schema = model::Schema(std::move(attrs));
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(e.what());
+  }
+
+  if (graph) {
+    if (brokers || !edges.empty()) {
+      throw ConfigError("use either 'topology' or 'brokers'/'edge', not both");
+    }
+    spec.graph = std::move(*graph);
+  } else {
+    if (!brokers) throw ConfigError("config declares no topology");
+    spec.graph = overlay::Graph(*brokers);
+    for (auto [a, b] : edges) {
+      try {
+        spec.graph.add_edge(a, b);
+      } catch (const std::invalid_argument& e) {
+        throw ConfigError(std::string("edge ") + std::to_string(a) + " " +
+                          std::to_string(b) + ": " + e.what());
+      }
+    }
+  }
+  if (!spec.graph.connected()) throw ConfigError("broker overlay is not connected");
+  return spec;
+}
+
+SystemSpec load_system_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_system_spec(buf.str());
+}
+
+std::string to_text(const SystemSpec& spec) {
+  std::ostringstream out;
+  for (const auto& a : spec.schema.specs()) {
+    out << "attribute " << a.name << " " << model::to_string(a.type) << "\n";
+  }
+  out << "brokers " << spec.graph.size() << "\n";
+  for (auto [a, b] : spec.graph.edges()) out << "edge " << a << " " << b << "\n";
+  return out.str();
+}
+
+}  // namespace subsum::config

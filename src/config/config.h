@@ -1,0 +1,50 @@
+// Deployment configuration: the attribute schema plus the broker overlay,
+// in a line-oriented text format shared by every CLI tool so all brokers
+// agree on the attribute ordering (the paper's assumption iii).
+//
+//   # stock feed deployment
+//   attribute exchange string
+//   attribute price    float
+//   attribute volume   int
+//   brokers 13
+//   edge 0 1
+//   edge 1 4
+//   ...
+//
+// Alternatively a built-in topology:
+//
+//   topology cw24          # the 24-node backbone
+//   topology fig7          # the paper's figure-7 tree
+//   topology line 5 | ring 6 | star 8
+//
+// Comments start with '#'; blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "model/schema.h"
+#include "overlay/graph.h"
+
+namespace subsum::config {
+
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct SystemSpec {
+  model::Schema schema;
+  overlay::Graph graph;
+};
+
+/// Parses the text form; throws ConfigError with a line number on errors.
+SystemSpec parse_system_spec(std::string_view text);
+
+/// Reads and parses a config file.
+SystemSpec load_system_spec(const std::string& path);
+
+/// Renders a spec back to the text form (round-trips through parse).
+std::string to_text(const SystemSpec& spec);
+
+}  // namespace subsum::config

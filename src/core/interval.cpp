@@ -1,0 +1,107 @@
+#include "core/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace subsum::core {
+
+namespace {
+
+std::string pos_to_string(const Pos& p, bool is_lo) {
+  if (std::isinf(p.v)) return p.v < 0 ? "-inf" : "+inf";
+  std::string s = util::format_number(p.v);
+  if (is_lo) return (p.o == +1 ? "(" : "[") + s;
+  return s + (p.o == -1 ? ")" : "]");
+}
+
+}  // namespace
+
+bool Interval::touches(const Interval& o) const noexcept {
+  if (overlaps(o)) return true;
+  // End offsets are in {-1,0}, so succ() always exists.
+  if (hi < o.lo) return hi.succ() == o.lo;
+  return o.hi.succ() == lo;
+}
+
+std::string Interval::to_string() const {
+  if (is_point()) return "{" + util::format_number(lo.v) + "}";
+  std::string s = std::isinf(lo.v) ? "(-inf" : pos_to_string(lo, true);
+  s += ", ";
+  s += std::isinf(hi.v) ? "+inf)" : pos_to_string(hi, false);
+  return s;
+}
+
+IntervalSet IntervalSet::from_constraint(model::Op op, double operand) {
+  using model::Op;
+  switch (op) {
+    case Op::kEq:
+      return of({Interval::point(operand)});
+    case Op::kNe: {
+      return of({Interval::less_than(operand), Interval::greater_than(operand)});
+    }
+    case Op::kLt:
+      return of({Interval::less_than(operand)});
+    case Op::kLe:
+      return of({Interval::at_most(operand)});
+    case Op::kGt:
+      return of({Interval::greater_than(operand)});
+    case Op::kGe:
+      return of({Interval::at_least(operand)});
+    default:
+      throw std::invalid_argument("string operator has no interval form");
+  }
+}
+
+IntervalSet IntervalSet::of(std::vector<Interval> ivs) {
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  IntervalSet out;
+  for (auto& iv : ivs) {
+    if (iv.hi < iv.lo) continue;  // empty; skip defensively
+    if (!out.ivs_.empty() && out.ivs_.back().touches(iv)) {
+      out.ivs_.back().hi = std::max(out.ivs_.back().hi, iv.hi);
+    } else {
+      out.ivs_.push_back(iv);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& o) const {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < ivs_.size() && j < o.ivs_.size()) {
+    const Interval& a = ivs_[i];
+    const Interval& b = o.ivs_[j];
+    const Pos lo = std::max(a.lo, b.lo);
+    const Pos hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return of(std::move(out));
+}
+
+bool IntervalSet::contains(double x) const noexcept {
+  const Pos p = Pos::at(x);
+  // First interval whose hi >= p; it is the only candidate.
+  auto it = std::lower_bound(ivs_.begin(), ivs_.end(), p,
+                             [](const Interval& iv, const Pos& q) { return iv.hi < q; });
+  return it != ivs_.end() && it->lo <= p;
+}
+
+std::string IntervalSet::to_string() const {
+  if (ivs_.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(ivs_.size());
+  for (const auto& iv : ivs_) parts.push_back(iv.to_string());
+  return util::join(parts, " U ");
+}
+
+}  // namespace subsum::core

@@ -1,0 +1,118 @@
+// Interval algebra underlying the Arithmetic Attribute Constraint Summary
+// (AACS, paper §3.1). The paper stores "non-overlapping sub-ranges of values
+// specified in subscriptions". To keep that partition *exact* for every
+// operator (including strict < > and ≠), we work over positions
+//
+//     Pos = (value, offset)   with offset in {-1, 0, +1}
+//
+// denoting "just below value", "at value" and "just above value". Every
+// interval is a closed pair of positions [lo, hi]; an open endpoint is simply
+// the neighbouring position. This turns splitting, adjacency and merging
+// into integer-like arithmetic:
+//
+//   (8.30, 8.70]  ==  [ (8.30,+1), (8.70,0) ]
+//   x != 5        ==  [-inf,(5,-1)] ∪ [(5,+1),+inf]
+//
+// Two intervals are mergeable iff the successor of one's hi equals the
+// other's lo.
+#pragma once
+
+#include <compare>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/constraint.h"
+
+namespace subsum::core {
+
+/// A point on the extended real line with an infinitesimal offset.
+struct Pos {
+  double v = 0;
+  int8_t o = 0;  // -1: just below v, 0: at v, +1: just above v
+
+  friend std::strong_ordering operator<=>(const Pos& a, const Pos& b) noexcept {
+    if (a.v < b.v) return std::strong_ordering::less;
+    if (a.v > b.v) return std::strong_ordering::greater;
+    return a.o <=> b.o;
+  }
+  friend bool operator==(const Pos& a, const Pos& b) noexcept {
+    return a.v == b.v && a.o == b.o;
+  }
+
+  /// Position immediately above/below. Precondition: o != +1 / o != -1.
+  [[nodiscard]] Pos succ() const noexcept { return {v, static_cast<int8_t>(o + 1)}; }
+  [[nodiscard]] Pos pred() const noexcept { return {v, static_cast<int8_t>(o - 1)}; }
+
+  static Pos at(double x) noexcept { return {x, 0}; }
+  static Pos neg_inf() noexcept { return {-std::numeric_limits<double>::infinity(), 0}; }
+  static Pos pos_inf() noexcept { return {std::numeric_limits<double>::infinity(), 0}; }
+};
+
+/// A non-empty closed position interval [lo, hi] (lo <= hi). Start offsets
+/// are in {0,+1}, end offsets in {-1,0}, so pred/succ at split points always
+/// exist. The empty set is represented by the absence of an interval (see
+/// IntervalSet), never by an Interval object.
+struct Interval {
+  Pos lo = Pos::at(0);
+  Pos hi = Pos::at(0);
+
+  [[nodiscard]] bool contains(double x) const noexcept {
+    const Pos p = Pos::at(x);
+    return lo <= p && p <= hi;
+  }
+
+  /// A single value with both endpoints closed (an AACS_E row).
+  [[nodiscard]] bool is_point() const noexcept { return lo == hi && lo.o == 0; }
+
+  [[nodiscard]] bool overlaps(const Interval& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+
+  /// True if `this ∪ o` is a contiguous interval.
+  [[nodiscard]] bool touches(const Interval& o) const noexcept;
+
+  static Interval all() noexcept { return {Pos::neg_inf(), Pos::pos_inf()}; }
+  static Interval point(double x) noexcept { return {Pos::at(x), Pos::at(x)}; }
+  static Interval less_than(double x) noexcept { return {Pos::neg_inf(), Pos::at(x).pred()}; }
+  static Interval at_most(double x) noexcept { return {Pos::neg_inf(), Pos::at(x)}; }
+  static Interval greater_than(double x) noexcept { return {Pos::at(x).succ(), Pos::pos_inf()}; }
+  static Interval at_least(double x) noexcept { return {Pos::at(x), Pos::pos_inf()}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// An ordered set of pairwise disjoint, non-touching, non-empty intervals —
+/// the canonical representation of any finite union of intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// The satisfying set of one arithmetic constraint. `≠ v` produces two
+  /// intervals; everything else produces one.
+  static IntervalSet from_constraint(model::Op op, double operand);
+
+  static IntervalSet all() { return of({Interval::all()}); }
+
+  /// Builds from arbitrary intervals, normalizing (sort + merge).
+  static IntervalSet of(std::vector<Interval> ivs);
+
+  /// Set intersection (used to combine conjunctive constraints on the same
+  /// attribute before insertion into the AACS).
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& o) const;
+
+  [[nodiscard]] bool contains(double x) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return ivs_.empty(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept { return ivs_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const IntervalSet&) const = default;
+
+ private:
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace subsum::core

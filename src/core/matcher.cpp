@@ -1,0 +1,78 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+
+namespace subsum::core {
+
+using model::SubId;
+
+std::vector<SubId> match(const BrokerSummary& summary, const model::Event& event,
+                         MatchDiag* diag) {
+  const model::Schema& schema = summary.schema();
+  // Step 1: per event attribute, collect the satisfied id lists. Each
+  // attribute contributes an id at most once (AACS pieces are disjoint;
+  // Sacs::find deduplicates) and every list is already sorted, so step 2
+  // can count per-id occurrences with a k-way merge (k <= event
+  // attributes) instead of a hash-map counter or a global sort.
+  std::vector<std::vector<SubId>> owned;  // keeps Sacs results alive
+  owned.reserve(event.attrs().size());    // lists holds pointers: no realloc
+  std::vector<std::pair<const SubId*, const SubId*>> lists;
+  size_t collected = 0;
+  for (const auto& ea : event.attrs()) {
+    if (is_arithmetic(schema.type_of(ea.attr))) {
+      const auto* ids = summary.aacs(ea.attr).find(ea.value.as_number());
+      if (!ids || ids->empty()) continue;
+      lists.emplace_back(ids->data(), ids->data() + ids->size());
+      collected += ids->size();
+    } else {
+      auto ids = summary.sacs(ea.attr).find(ea.value.as_string());
+      if (ids.empty()) continue;
+      collected += ids.size();
+      owned.push_back(std::move(ids));
+      lists.emplace_back(owned.back().data(), owned.back().data() + owned.back().size());
+    }
+  }
+  if (diag) {
+    diag->attrs_satisfied = lists.size();
+    diag->ids_collected = collected;
+  }
+
+  // Step 2: a subscription matches iff every attribute its c3 declares was
+  // satisfied, i.e. it occurs in popcount(c3) of the collected lists.
+  std::vector<SubId> out;
+  size_t unique = 0;
+  while (true) {
+    const SubId* min = nullptr;
+    for (const auto& [cur, end] : lists) {
+      if (cur != end && (!min || *cur < *min)) min = cur;
+    }
+    if (!min) break;
+    const SubId id = *min;
+    int count = 0;
+    for (auto& [cur, end] : lists) {
+      if (cur != end && *cur == id) {
+        ++count;
+        ++cur;
+      }
+    }
+    ++unique;
+    if (count == id.attr_count()) out.push_back(id);
+  }
+  if (diag) diag->unique_ids = unique;
+  return out;  // merge order is sorted order
+}
+
+void NaiveMatcher::remove(model::SubId id) {
+  std::erase_if(subs_, [&](const model::OwnedSubscription& os) { return os.id == id; });
+}
+
+std::vector<SubId> NaiveMatcher::match(const model::Event& event) const {
+  std::vector<SubId> out;
+  for (const auto& os : subs_) {
+    if (os.sub.matches(event)) out.push_back(os.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace subsum::core

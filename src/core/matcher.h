@@ -1,0 +1,47 @@
+// The matching algorithm (paper §3.3, Algorithm 1) plus a per-subscription
+// naive matcher used as the exactness oracle in tests and as the comparison
+// point for the §5.2.4 computational-cost benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/summary.h"
+#include "model/event.h"
+#include "model/subscription.h"
+
+namespace subsum::core {
+
+/// Diagnostics from one match() call (step-1 work, for the cost analysis).
+struct MatchDiag {
+  size_t ids_collected = 0;   // Σ lengths of collected id lists (P in §5.2.4)
+  size_t unique_ids = 0;      // distinct subscription ids seen in step 1
+  size_t attrs_satisfied = 0;  // event attributes with at least one hit
+};
+
+/// Algorithm 1. Step 1 scans the summary structures per event attribute and
+/// counts, per subscription id, in how many per-attribute id lists it
+/// appears; step 2 keeps the ids whose counter equals popcount(c3).
+/// Returned ids are sorted.
+std::vector<model::SubId> match(const BrokerSummary& summary, const model::Event& event,
+                                MatchDiag* diag = nullptr);
+
+/// Oracle/baseline: stores whole subscriptions and scans them per event.
+class NaiveMatcher {
+ public:
+  void add(model::OwnedSubscription sub) { subs_.push_back(std::move(sub)); }
+  void remove(model::SubId id);
+
+  /// Exact matches, sorted by id.
+  [[nodiscard]] std::vector<model::SubId> match(const model::Event& event) const;
+
+  [[nodiscard]] const std::vector<model::OwnedSubscription>& subs() const noexcept {
+    return subs_;
+  }
+  [[nodiscard]] size_t size() const noexcept { return subs_.size(); }
+
+ private:
+  std::vector<model::OwnedSubscription> subs_;
+};
+
+}  // namespace subsum::core

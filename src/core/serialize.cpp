@@ -1,0 +1,190 @@
+#include "core/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace subsum::core {
+
+namespace {
+
+constexpr uint8_t kVersion = 1;
+
+constexpr uint8_t kLoInf = 1 << 4;
+constexpr uint8_t kHiInf = 1 << 5;
+constexpr uint8_t kPoint = 1 << 6;
+
+void put_numeric(util::BufWriter& w, double v, uint8_t width) {
+  if (width == 8) {
+    w.put_f64(v);
+    return;
+  }
+  // Narrow to float32; reject integral values that do not survive the trip
+  // (the paper's sst = 4 assumes 32-bit values).
+  const auto f = static_cast<float>(v);
+  if (std::isfinite(v) && std::nearbyint(v) == v &&
+      std::abs(v) > static_cast<double>(std::numeric_limits<int32_t>::max()) ) {
+    throw std::range_error("numeric value does not fit the 4-byte wire width");
+  }
+  uint32_t bits;
+  static_assert(sizeof bits == sizeof f);
+  std::memcpy(&bits, &f, sizeof bits);
+  w.put_u32(bits);
+}
+
+double get_numeric(util::BufReader& r, uint8_t width) {
+  if (width == 8) return r.get_f64();
+  const uint32_t bits = r.get_u32();
+  float f;
+  std::memcpy(&f, &bits, sizeof f);
+  return static_cast<double>(f);
+}
+
+void put_id(util::BufWriter& w, const model::SubIdCodec& codec, const model::SubId& id) {
+  __uint128_t bits = codec.pack(id);
+  for (size_t i = 0; i < codec.encoded_size(); ++i) {
+    w.put_u8(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+model::SubId get_id(util::BufReader& r, const model::SubIdCodec& codec) {
+  __uint128_t bits = 0;
+  for (size_t i = 0; i < codec.encoded_size(); ++i) {
+    bits |= static_cast<__uint128_t>(r.get_u8()) << (8 * i);
+  }
+  return codec.unpack(bits);
+}
+
+void put_ids(util::BufWriter& w, const model::SubIdCodec& codec,
+             const std::vector<model::SubId>& ids) {
+  w.put_varint(ids.size());
+  for (const auto& id : ids) put_id(w, codec, id);
+}
+
+std::vector<model::SubId> get_ids(util::BufReader& r, const model::SubIdCodec& codec) {
+  const uint64_t n = r.get_varint();
+  if (n > r.remaining()) throw util::DecodeError("id list longer than payload");
+  std::vector<model::SubId> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) ids.push_back(get_id(r, codec));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg) {
+  if (cfg.numeric_width != 4 && cfg.numeric_width != 8) {
+    throw std::invalid_argument("numeric_width must be 4 or 8");
+  }
+  const model::Schema& schema = summary.schema();
+  util::BufWriter w(1024);
+  w.put_u8(kVersion);
+  w.put_u8(cfg.numeric_width);
+  w.put_u8(static_cast<uint8_t>(cfg.codec.c1_bits()));
+  w.put_u8(static_cast<uint8_t>(cfg.codec.c2_bits()));
+  w.put_u8(static_cast<uint8_t>(cfg.codec.c3_bits()));
+  w.put_varint(schema.attr_count());
+
+  for (model::AttrId a = 0; a < schema.attr_count(); ++a) {
+    if (is_arithmetic(schema.type_of(a))) {
+      const Aacs& aacs = summary.aacs(a);
+      w.put_varint(aacs.pieces().size());
+      for (const auto& p : aacs.pieces()) {
+        uint8_t flags = static_cast<uint8_t>((p.iv.lo.o + 1) | ((p.iv.hi.o + 1) << 2));
+        const bool lo_inf = std::isinf(p.iv.lo.v);
+        const bool hi_inf = std::isinf(p.iv.hi.v);
+        const bool point = p.iv.is_point();
+        if (lo_inf) flags |= kLoInf;
+        if (hi_inf) flags |= kHiInf;
+        if (point) flags |= kPoint;
+        w.put_u8(flags);
+        if (!lo_inf) put_numeric(w, p.iv.lo.v, cfg.numeric_width);
+        if (!hi_inf && !point) put_numeric(w, p.iv.hi.v, cfg.numeric_width);
+        put_ids(w, cfg.codec, p.ids);
+      }
+    } else {
+      const Sacs& sacs = summary.sacs(a);
+      w.put_varint(sacs.rows().size());
+      for (const auto& row : sacs.rows()) {
+        w.put_u8(static_cast<uint8_t>(row.pattern.op));
+        w.put_string(row.pattern.operand);
+        put_ids(w, cfg.codec, row.ids);
+      }
+    }
+  }
+  return std::move(w).take();
+}
+
+BrokerSummary decode_summary(std::span<const std::byte> data, const model::Schema& schema,
+                             GeneralizePolicy policy, AacsMode arith_mode) {
+  util::BufReader r(data);
+  if (r.get_u8() != kVersion) throw util::DecodeError("unknown summary version");
+  const uint8_t width = r.get_u8();
+  if (width != 4 && width != 8) throw util::DecodeError("bad numeric width");
+  const uint8_t c1 = r.get_u8();
+  const uint8_t c2 = r.get_u8();
+  const uint8_t c3 = r.get_u8();
+  const model::SubIdCodec codec(
+      c1 >= 64 ? ~uint32_t{0} : (uint32_t{1} << c1),
+      c2 >= 64 ? ~uint64_t{0} : (uint64_t{1} << c2), c3);
+  if (codec.c1_bits() != c1 || codec.c2_bits() != c2) {
+    throw util::DecodeError("inconsistent codec parameters");
+  }
+  if (r.get_varint() != schema.attr_count()) {
+    throw util::DecodeError("summary schema attribute count mismatch");
+  }
+
+  BrokerSummary out(schema, policy, arith_mode);
+  for (model::AttrId a = 0; a < schema.attr_count(); ++a) {
+    const uint64_t rows = r.get_varint();
+    if (is_arithmetic(schema.type_of(a))) {
+      for (uint64_t i = 0; i < rows; ++i) {
+        const uint8_t flags = r.get_u8();
+        Pos lo{-std::numeric_limits<double>::infinity(), 0};
+        Pos hi{std::numeric_limits<double>::infinity(), 0};
+        lo.o = static_cast<int8_t>((flags & 0x3) - 1);
+        hi.o = static_cast<int8_t>(((flags >> 2) & 0x3) - 1);
+        if (!(flags & kLoInf)) lo.v = get_numeric(r, width);
+        if (flags & kPoint) {
+          hi = lo;
+        } else if (!(flags & kHiInf)) {
+          hi.v = get_numeric(r, width);
+        }
+        if (hi < lo) throw util::DecodeError("empty AACS piece on the wire");
+        const auto ids = get_ids(r, codec);
+        out.insert_arith(a, Interval{lo, hi}, ids);
+      }
+    } else {
+      for (uint64_t i = 0; i < rows; ++i) {
+        const auto op = static_cast<model::Op>(r.get_u8());
+        if (!model::op_valid_for(op, model::AttrType::kString)) {
+          throw util::DecodeError("bad SACS operator on the wire");
+        }
+        StringPattern p{op, r.get_string()};
+        const auto ids = get_ids(r, codec);
+        out.insert_string(a, p, ids);
+      }
+    }
+  }
+  if (!r.done()) throw util::DecodeError("trailing bytes after summary");
+  return out;
+}
+
+size_t wire_size(const BrokerSummary& summary, const WireConfig& cfg) {
+  return encode_summary(summary, cfg).size();
+}
+
+PaperSize paper_size(const SummaryStats& stats, const PaperSizeParams& params,
+                     bool measured_ssv) {
+  PaperSize out;
+  out.aacs_bytes = (2 * stats.nsr + stats.ne) * params.sst + stats.la_entries * params.sid;
+  const size_t sv = measured_ssv ? stats.value_bytes : stats.nr * params.ssv;
+  out.sacs_bytes = sv + stats.ls_entries * params.sid;
+  return out;
+}
+
+}  // namespace subsum::core

@@ -1,0 +1,74 @@
+// Wire format for broker summaries, plus the paper's analytic size
+// equations (1) and (2) (§5.1). Propagation benches use the actual encoded
+// byte count as the bandwidth measure; bench_summary_size compares the two.
+//
+// Layout (all multi-byte integers little-endian):
+//
+//   u8  version
+//   u8  numeric_width (4 or 8)
+//   u8  c1_bits, u8 c2_bits, u8 c3_bits      -- SubIdCodec parameters
+//   varint attr_count                         -- must equal the schema's
+//   for each attribute, in schema order:
+//     arithmetic:  varint n_pieces
+//                  per piece: u8 flags, [lo], [hi], varint n_ids, ids
+//     string:      varint n_rows
+//                  per row:   u8 op, varint len, operand bytes,
+//                             varint n_ids, ids
+//
+// Piece flags: bits 0-1 = lo offset + 1, bits 2-3 = hi offset + 1,
+// bit 4 = lo is -inf (lo omitted), bit 5 = hi is +inf (hi omitted),
+// bit 6 = point row (hi omitted; an AACS_E row).
+//
+// Subscription ids are packed c1|c2|c3 (SubIdCodec) in
+// codec.encoded_size() bytes each — the paper's `sid`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/summary.h"
+#include "model/sub_id.h"
+#include "util/bytes.h"
+
+namespace subsum::core {
+
+struct WireConfig {
+  model::SubIdCodec codec;
+  uint8_t numeric_width = 8;  // 8 = exact doubles/int64; 4 = paper's sst
+};
+
+/// Encodes a summary. With numeric_width 4, float values are narrowed to
+/// float32 and integral values must fit in int32 (throws std::range_error
+/// otherwise).
+std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg);
+
+/// Decodes a summary previously produced by encode_summary over the same
+/// schema. Throws util::DecodeError on malformed input.
+BrokerSummary decode_summary(std::span<const std::byte> data, const model::Schema& schema,
+                             GeneralizePolicy policy = GeneralizePolicy::kSafe,
+                             AacsMode arith_mode = AacsMode::kExact);
+
+/// Encoded size in bytes (== encode_summary(...).size()).
+size_t wire_size(const BrokerSummary& summary, const WireConfig& cfg);
+
+/// The paper's size model, equations (1) and (2).
+struct PaperSizeParams {
+  size_t sst = 4;  // storage size of an arithmetic value
+  size_t sid = 4;  // storage size of a subscription id
+  size_t ssv = 10;  // average storage size of a string value
+};
+
+struct PaperSize {
+  size_t aacs_bytes = 0;  // equation (1): (2·nsr + ne)·sst + La·sid
+  size_t sacs_bytes = 0;  // equation (2): nr·ssv + Ls·sid
+  [[nodiscard]] size_t total() const noexcept { return aacs_bytes + sacs_bytes; }
+};
+
+/// Evaluates equations (1)-(2) on a summary's actual row counts. When
+/// `measured_ssv` is true the real string-operand bytes are used instead of
+/// the ssv estimate.
+PaperSize paper_size(const SummaryStats& stats, const PaperSizeParams& params,
+                     bool measured_ssv = false);
+
+}  // namespace subsum::core

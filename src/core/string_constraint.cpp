@@ -1,0 +1,104 @@
+#include "core/string_constraint.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace subsum::core {
+
+using model::Op;
+
+bool StringPattern::matches(const std::string& value) const {
+  switch (op) {
+    case Op::kEq:
+      return value == operand;
+    case Op::kNe:
+      return value != operand;
+    case Op::kPrefix:
+      return util::starts_with(value, operand);
+    case Op::kSuffix:
+      return util::ends_with(value, operand);
+    case Op::kContains:
+      return util::contains(value, operand);
+    default:
+      throw std::invalid_argument("not a string operator");
+  }
+}
+
+std::string StringPattern::to_string() const {
+  return std::string(model::to_string(op)) + " \"" + operand + "\"";
+}
+
+bool covers(const StringPattern& a, const StringPattern& b) {
+  switch (a.op) {
+    case Op::kEq:
+      // Only the identical equality constraint.
+      return b.op == Op::kEq && b.operand == a.operand;
+    case Op::kNe:
+      // a = (s != x) covers b iff x is not in sat(b).
+      switch (b.op) {
+        case Op::kEq:
+          return b.operand != a.operand;
+        case Op::kNe:
+          return b.operand == a.operand;
+        case Op::kPrefix:
+          return !util::starts_with(a.operand, b.operand);
+        case Op::kSuffix:
+          return !util::ends_with(a.operand, b.operand);
+        case Op::kContains:
+          return !util::contains(a.operand, b.operand);
+        default:
+          return false;
+      }
+    case Op::kPrefix:
+      switch (b.op) {
+        case Op::kEq:
+          return util::starts_with(b.operand, a.operand);
+        case Op::kPrefix:
+          return util::starts_with(b.operand, a.operand);
+        default:
+          return false;
+      }
+    case Op::kSuffix:
+      switch (b.op) {
+        case Op::kEq:
+          return util::ends_with(b.operand, a.operand);
+        case Op::kSuffix:
+          return util::ends_with(b.operand, a.operand);
+        default:
+          return false;
+      }
+    case Op::kContains:
+      // Anything satisfying b contains b.operand as substring (except ≠,
+      // which we cannot bound); a covers b if b.operand contains a.operand.
+      switch (b.op) {
+        case Op::kEq:
+        case Op::kPrefix:
+        case Op::kSuffix:
+        case Op::kContains:
+          return util::contains(b.operand, a.operand);
+        case Op::kNe:
+          // contains("") is satisfied by every string, so it covers ≠ too.
+          return a.operand.empty();
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool covers(const StringPattern& a, const StringPattern& b, GeneralizePolicy policy) {
+  switch (policy) {
+    case GeneralizePolicy::kNone:
+      return a == b;
+    case GeneralizePolicy::kSafe:
+      if (a.op == Op::kNe && b.op != Op::kNe) return false;
+      return covers(a, b);
+    case GeneralizePolicy::kAggressive:
+      return covers(a, b);
+  }
+  return false;
+}
+
+}  // namespace subsum::core

@@ -1,0 +1,43 @@
+// String constraint patterns and the covering (subsumption) relation used
+// by the String Attribute Constraint Summary (SACS, paper §3.1, fig 5).
+//
+// `covers(a, b)` is true only when we can PROVE that every string satisfying
+// b also satisfies a; it is deliberately incomplete (returns false when a
+// proof is not cheap), which is always safe for SACS: an uncovered
+// constraint simply gets its own row.
+#pragma once
+
+#include <string>
+
+#include "model/constraint.h"
+
+namespace subsum::core {
+
+/// A string attribute pattern: one of = ≠ >*(prefix) *<(suffix) *(contains).
+struct StringPattern {
+  model::Op op = model::Op::kEq;
+  std::string operand;
+
+  [[nodiscard]] bool matches(const std::string& value) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const StringPattern&) const = default;
+  auto operator<=>(const StringPattern&) const = default;
+};
+
+/// Provable subsumption: sat(b) ⊆ sat(a).
+bool covers(const StringPattern& a, const StringPattern& b);
+
+/// How aggressively SACS substitutes covered rows by a more general one.
+enum class GeneralizePolicy : uint8_t {
+  kNone = 0,        // never generalize: one row per distinct pattern
+  kSafe = 1,        // generalize, but never under a ≠ pattern (default);
+                    // ≠ covers nearly everything and would destroy precision
+  kAggressive = 2,  // full covering relation, including ≠ as a coverer
+};
+
+/// covers(a, b) restricted by the policy (a is the prospective coverer).
+bool covers(const StringPattern& a, const StringPattern& b, GeneralizePolicy policy);
+
+}  // namespace subsum::core

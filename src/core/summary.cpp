@@ -1,0 +1,155 @@
+#include "core/summary.h"
+
+#include <stdexcept>
+
+namespace subsum::core {
+
+using model::AttrId;
+using model::AttrType;
+
+BrokerSummary::BrokerSummary(const model::Schema& schema, GeneralizePolicy policy,
+                             AacsMode arith_mode)
+    : schema_(&schema), policy_(policy), arith_mode_(arith_mode) {
+  aacs_.assign(schema.attr_count(), Aacs(arith_mode));
+  sacs_.assign(schema.attr_count(), Sacs(policy));
+}
+
+void BrokerSummary::add(const model::Subscription& sub, model::SubId id) {
+  if (sub.mask() != id.attrs) {
+    throw std::invalid_argument("subscription id c3 mask does not match the subscription");
+  }
+  // Group the constraints by attribute; arithmetic ones are intersected.
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    if (!(sub.mask() & model::attr_bit(a))) continue;
+    if (is_arithmetic(schema_->type_of(a))) {
+      IntervalSet region = IntervalSet::all();
+      for (const auto& c : sub.constraints()) {
+        if (c.attr != a) continue;
+        region = region.intersect(IntervalSet::from_constraint(c.op, c.operand.as_number()));
+      }
+      aacs_[a].insert(region, id);
+    } else {
+      for (const auto& c : sub.constraints()) {
+        if (c.attr != a) continue;
+        sacs_[a].insert(StringPattern{c.op, c.operand.as_string()}, id);
+      }
+    }
+  }
+}
+
+void BrokerSummary::remove(model::SubId id) {
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    if (!(id.attrs & model::attr_bit(a))) continue;
+    if (is_arithmetic(schema_->type_of(a))) {
+      aacs_[a].remove(id);
+    } else {
+      sacs_[a].remove(id);
+    }
+  }
+}
+
+void BrokerSummary::merge(const BrokerSummary& other) {
+  if (!schema_ || !other.schema_ || !(*schema_ == *other.schema_)) {
+    throw std::invalid_argument("cannot merge summaries over different schemata");
+  }
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    if (is_arithmetic(schema_->type_of(a))) {
+      aacs_[a].merge(other.aacs_[a]);
+    } else {
+      sacs_[a].merge(other.sacs_[a]);
+    }
+  }
+}
+
+void BrokerSummary::insert_arith(model::AttrId id, const Interval& iv,
+                                 std::span<const model::SubId> ids) {
+  if (!is_arithmetic(schema_->type_of(id))) throw model::TypeError("attribute is not arithmetic");
+  aacs_.at(id).insert(iv, ids);
+}
+
+void BrokerSummary::insert_string(model::AttrId id, const StringPattern& p,
+                                  std::span<const model::SubId> ids) {
+  if (schema_->type_of(id) != AttrType::kString) throw model::TypeError("attribute is not a string");
+  sacs_.at(id).insert(p, ids);
+}
+
+void BrokerSummary::clear() {
+  for (auto& a : aacs_) a = Aacs(arith_mode_);
+  for (auto& s : sacs_) s = Sacs(policy_);
+}
+
+BrokerSummary BrokerSummary::rebuild(const model::Schema& schema, GeneralizePolicy policy,
+                                     const std::vector<model::OwnedSubscription>& subs,
+                                     AacsMode arith_mode) {
+  BrokerSummary out(schema, policy, arith_mode);
+  for (const auto& os : subs) out.add(os.sub, os.id);
+  return out;
+}
+
+BrokerSummary BrokerSummary::with_schema(const model::Schema& wider) const {
+  if (!schema_ || !model::is_extension_of(wider, *schema_)) {
+    throw std::invalid_argument("schema is not an extension of this summary's schema");
+  }
+  BrokerSummary out(wider, policy_, arith_mode_);
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    out.aacs_[a] = aacs_[a];
+    out.sacs_[a] = sacs_[a];
+  }
+  return out;
+}
+
+const Aacs& BrokerSummary::aacs(AttrId id) const {
+  if (!is_arithmetic(schema_->type_of(id))) {
+    throw model::TypeError("attribute is not arithmetic");
+  }
+  return aacs_.at(id);
+}
+
+const Sacs& BrokerSummary::sacs(AttrId id) const {
+  if (schema_->type_of(id) != AttrType::kString) {
+    throw model::TypeError("attribute is not a string");
+  }
+  return sacs_.at(id);
+}
+
+bool BrokerSummary::empty() const noexcept {
+  for (const auto& a : aacs_) {
+    if (!a.empty()) return false;
+  }
+  for (const auto& s : sacs_) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+SummaryStats BrokerSummary::stats() const noexcept {
+  SummaryStats st;
+  for (const auto& a : aacs_) {
+    st.nsr += a.nsr();
+    st.ne += a.ne();
+    st.la_entries += a.id_entries();
+  }
+  for (const auto& s : sacs_) {
+    st.nr += s.nr();
+    st.ls_entries += s.id_entries();
+    st.value_bytes += s.value_bytes();
+  }
+  return st;
+}
+
+std::string BrokerSummary::to_string() const {
+  std::string out;
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    const auto& spec = schema_->spec(a);
+    if (is_arithmetic(spec.type)) {
+      if (aacs_[a].empty()) continue;
+      out += "AACS[" + spec.name + "]\n" + aacs_[a].to_string();
+    } else {
+      if (sacs_[a].empty()) continue;
+      out += "SACS[" + spec.name + "]\n" + sacs_[a].to_string();
+    }
+  }
+  return out;
+}
+
+}  // namespace subsum::core

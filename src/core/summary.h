@@ -1,0 +1,111 @@
+// Per-broker subscription summaries (paper §3) and multi-broker summaries
+// (paper §4.1).
+//
+// A BrokerSummary is the paradigm's central object: incoming subscriptions
+// are DISSOLVED into their attribute constraints, which are merged into the
+// per-attribute AACS/SACS structures; the subscription itself is not stored
+// here ("there are no subscription entities, only subscription summaries").
+//
+// Conjunctive arithmetic constraints on one attribute are intersected into
+// a single IntervalSet before insertion, so AACS lookups are exact.
+// String constraints go through SACS generalization and are conservatively
+// over-approximated. End-to-end exactness is restored at the subscription's
+// home broker (which keeps the OwnedSubscription anyway, to know the
+// consumer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aacs.h"
+#include "core/sacs.h"
+#include "model/event.h"
+#include "model/schema.h"
+#include "model/subscription.h"
+
+namespace subsum::core {
+
+/// Row/size statistics in the paper's symbols (table 1).
+struct SummaryStats {
+  size_t nsr = 0;         // Σ over arithmetic attributes of sub-range rows
+  size_t ne = 0;          // Σ of equality rows
+  size_t nr = 0;          // Σ over string attributes of SACS rows
+  size_t la_entries = 0;  // Σ La: id entries across AACS rows
+  size_t ls_entries = 0;  // Σ Ls: id entries across SACS rows
+  size_t value_bytes = 0;  // Σ ssv: bytes of SACS string operands
+};
+
+class BrokerSummary {
+ public:
+  BrokerSummary() = default;
+  /// The summary keeps a pointer to `schema`, which must outlive it;
+  /// binding a temporary is rejected at compile time.
+  explicit BrokerSummary(const model::Schema& schema,
+                         GeneralizePolicy policy = GeneralizePolicy::kSafe,
+                         AacsMode arith_mode = AacsMode::kExact);
+  explicit BrokerSummary(model::Schema&&, GeneralizePolicy = GeneralizePolicy::kSafe,
+                         AacsMode = AacsMode::kExact) = delete;
+
+  /// Dissolves a subscription into the summary. The id's c3 mask must equal
+  /// the subscription's attribute mask (checked, throws std::invalid_argument).
+  void add(const model::Subscription& sub, model::SubId id);
+
+  /// Removes one subscription id from every structure its c3 mask touches.
+  void remove(model::SubId id);
+
+  /// Folds another broker's summary into this one (multi-broker merge).
+  /// Schemata must agree.
+  void merge(const BrokerSummary& other);
+
+  /// Low-level row insertion, used by the wire decoder. `ids` must be
+  /// sorted and unique; the attribute's type must fit the structure.
+  void insert_arith(model::AttrId id, const Interval& iv, std::span<const model::SubId> ids);
+  void insert_string(model::AttrId id, const StringPattern& p,
+                     std::span<const model::SubId> ids);
+
+  /// Drops all rows.
+  void clear();
+
+  /// Exact-rebuild maintenance path: reconstructs the summary from a home
+  /// broker's subscription table, shedding any accumulated SACS
+  /// generalization slack after heavy unsubscription churn.
+  static BrokerSummary rebuild(const model::Schema& schema, GeneralizePolicy policy,
+                               const std::vector<model::OwnedSubscription>& subs,
+                               AacsMode arith_mode = AacsMode::kExact);
+
+  /// Dynamic schema extension (paper §6 future work): migrates the summary
+  /// to a schema that appends attributes to the current one. Existing
+  /// attribute ids — and the bit positions in every issued c3 — are
+  /// preserved, so all rows and subscription ids carry over verbatim.
+  /// `wider` must outlive the returned summary. Throws
+  /// std::invalid_argument if it is not an extension of this schema.
+  [[nodiscard]] BrokerSummary with_schema(const model::Schema& wider) const;
+
+  [[nodiscard]] const model::Schema& schema() const noexcept { return *schema_; }
+  [[nodiscard]] GeneralizePolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] AacsMode arith_mode() const noexcept { return arith_mode_; }
+
+  /// Per-attribute structure access (type-checked).
+  [[nodiscard]] const Aacs& aacs(model::AttrId id) const;
+  [[nodiscard]] const Sacs& sacs(model::AttrId id) const;
+
+  /// True when no rows exist at all.
+  [[nodiscard]] bool empty() const noexcept;
+
+  [[nodiscard]] SummaryStats stats() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const BrokerSummary& o) const {
+    return aacs_ == o.aacs_ && sacs_ == o.sacs_;
+  }
+
+ private:
+  const model::Schema* schema_ = nullptr;
+  GeneralizePolicy policy_ = GeneralizePolicy::kSafe;
+  AacsMode arith_mode_ = AacsMode::kExact;
+  std::vector<Aacs> aacs_;  // indexed by AttrId; unused slots for string attrs
+  std::vector<Sacs> sacs_;  // indexed by AttrId; unused slots for arithmetic attrs
+};
+
+}  // namespace subsum::core

@@ -1,0 +1,114 @@
+#include "model/constraint.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace subsum::model {
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kPrefix:
+      return ">*";
+    case Op::kSuffix:
+      return "*<";
+    case Op::kContains:
+      return "*";
+  }
+  return "?";
+}
+
+bool op_valid_for(Op op, AttrType t) noexcept {
+  switch (op) {
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return is_arithmetic(t);
+    case Op::kPrefix:
+    case Op::kSuffix:
+    case Op::kContains:
+      return t == AttrType::kString;
+  }
+  return false;
+}
+
+bool Constraint::matches(const Value& v) const {
+  if (v.type() == AttrType::kString) {
+    const std::string& s = v.as_string();
+    const std::string& o = operand.as_string();
+    switch (op) {
+      case Op::kEq:
+        return s == o;
+      case Op::kNe:
+        return s != o;
+      case Op::kPrefix:
+        return util::starts_with(s, o);
+      case Op::kSuffix:
+        return util::ends_with(s, o);
+      case Op::kContains:
+        return util::contains(s, o);
+      default:
+        throw TypeError("ordering operator applied to string value");
+    }
+  }
+  const double a = v.as_number();
+  const double b = operand.as_number();
+  switch (op) {
+    case Op::kEq:
+      return a == b;
+    case Op::kNe:
+      return a != b;
+    case Op::kLt:
+      return a < b;
+    case Op::kLe:
+      return a <= b;
+    case Op::kGt:
+      return a > b;
+    case Op::kGe:
+      return a >= b;
+    default:
+      throw TypeError("string operator applied to arithmetic value");
+  }
+}
+
+std::string Constraint::to_string(const Schema& schema) const {
+  return schema.spec(attr).name + " " + model::to_string(op) + " " + operand.to_string();
+}
+
+void validate(const Constraint& c, const Schema& schema) {
+  if (c.attr >= schema.attr_count()) {
+    throw std::invalid_argument("constraint attribute id out of range");
+  }
+  const AttrType t = schema.type_of(c.attr);
+  if (!op_valid_for(c.op, t)) {
+    throw std::invalid_argument(std::string("operator ") + to_string(c.op) +
+                                " not valid for attribute type " + model::to_string(t));
+  }
+  // String operators take string operands; arithmetic comparisons take
+  // arithmetic operands of the attribute's exact type.
+  if (t == AttrType::kString) {
+    if (c.operand.type() != AttrType::kString) {
+      throw TypeError("string attribute requires string operand");
+    }
+  } else if (c.operand.type() != t) {
+    throw TypeError("operand type mismatch for arithmetic attribute");
+  }
+}
+
+}  // namespace subsum::model

@@ -1,0 +1,52 @@
+// Subscription attribute constraints with the paper's operator set
+// (§2.1): =, ≠, <, >, (plus ≤, ≥), prefix ">*", suffix "*<",
+// containment "*". Prefix/suffix/containment apply to strings only;
+// ordering comparisons apply to arithmetic attributes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/schema.h"
+#include "model/value.h"
+
+namespace subsum::model {
+
+enum class Op : uint8_t {
+  kEq = 0,        // =
+  kNe = 1,        // ≠
+  kLt = 2,        // <
+  kLe = 3,        // <=
+  kGt = 4,        // >
+  kGe = 5,        // >=
+  kPrefix = 6,    // >*  (value starts with operand)
+  kSuffix = 7,    // *<  (value ends with operand)
+  kContains = 8,  // *   (value contains operand)
+};
+
+const char* to_string(Op op) noexcept;
+
+/// True if `op` is meaningful for values of type `t`.
+bool op_valid_for(Op op, AttrType t) noexcept;
+
+/// One attribute-value constraint of a subscription.
+struct Constraint {
+  AttrId attr = 0;
+  Op op = Op::kEq;
+  Value operand;
+
+  /// Does a concrete event value satisfy this constraint?
+  /// The value must have the constrained attribute's type.
+  [[nodiscard]] bool matches(const Value& v) const;
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+  bool operator==(const Constraint&) const = default;
+};
+
+/// Validates a constraint against a schema; throws TypeError /
+/// std::invalid_argument if the attribute id, operand type, or operator
+/// is inconsistent.
+void validate(const Constraint& c, const Schema& schema);
+
+}  // namespace subsum::model

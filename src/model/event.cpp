@@ -1,0 +1,54 @@
+#include "model/event.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subsum::model {
+
+Event::Event(const Schema& schema, std::vector<EventAttr> attrs) : attrs_(std::move(attrs)) {
+  std::sort(attrs_.begin(), attrs_.end(),
+            [](const EventAttr& a, const EventAttr& b) { return a.attr < b.attr; });
+  for (const auto& a : attrs_) {
+    if (a.attr >= schema.attr_count()) {
+      throw std::invalid_argument("event attribute id out of range");
+    }
+    if (a.value.type() != schema.type_of(a.attr)) {
+      throw TypeError("event value type mismatch for attribute " + schema.spec(a.attr).name);
+    }
+    const AttrMask bit = attr_bit(a.attr);
+    if (mask_ & bit) {
+      throw std::invalid_argument("duplicate event attribute: " + schema.spec(a.attr).name);
+    }
+    mask_ |= bit;
+  }
+}
+
+const Value* Event::find(AttrId id) const noexcept {
+  if (!(mask_ & attr_bit(id))) return nullptr;
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), id,
+                             [](const EventAttr& a, AttrId v) { return a.attr < v; });
+  return &it->value;
+}
+
+std::string Event::to_string(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += ", ";
+    out += schema.spec(attrs_[i].attr).name + "=" + attrs_[i].value.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+EventBuilder& EventBuilder::set(std::string_view name, Value v) {
+  return set(schema_->id_of(name), std::move(v));
+}
+
+EventBuilder& EventBuilder::set(AttrId id, Value v) {
+  attrs_.push_back(EventAttr{id, std::move(v)});
+  return *this;
+}
+
+Event EventBuilder::build() { return Event(*schema_, std::move(attrs_)); }
+
+}  // namespace subsum::model

@@ -1,0 +1,72 @@
+// Events. An event is a set of (attribute, value) pairs conforming to the
+// schema (fig 2). An event may mention any subset of the schema's
+// attributes; a subscription may constrain fewer attributes than the event
+// carries (§2.1, "an event can have more attributes than those mentioned in
+// the subscription attributes").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/schema.h"
+#include "model/value.h"
+
+namespace subsum::model {
+
+/// One attribute of an event.
+struct EventAttr {
+  AttrId attr = 0;
+  Value value;
+
+  bool operator==(const EventAttr&) const = default;
+};
+
+/// An immutable published event. Attributes are stored sorted by AttrId
+/// (the schema order the paper assumes), at most one value per attribute.
+class Event {
+ public:
+  Event() = default;
+
+  /// Builds an event, validating ids/types against the schema and sorting
+  /// attributes by id. Throws TypeError / std::invalid_argument on
+  /// type mismatch, unknown id, or duplicate attribute.
+  Event(const Schema& schema, std::vector<EventAttr> attrs);
+
+  [[nodiscard]] const std::vector<EventAttr>& attrs() const noexcept { return attrs_; }
+  [[nodiscard]] size_t size() const noexcept { return attrs_.size(); }
+
+  /// Value of an attribute, or nullptr if the event does not carry it.
+  [[nodiscard]] const Value* find(AttrId id) const noexcept;
+
+  /// Bitmask of the attributes present in this event.
+  [[nodiscard]] AttrMask mask() const noexcept { return mask_; }
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+  bool operator==(const Event&) const = default;
+
+ private:
+  std::vector<EventAttr> attrs_;
+  AttrMask mask_ = 0;
+};
+
+/// Fluent builder: EventBuilder(schema).set("price", 8.40).set(...).build().
+class EventBuilder {
+ public:
+  /// Keeps a pointer to `schema` until build(); temporaries are rejected.
+  explicit EventBuilder(const Schema& schema) : schema_(&schema) {}
+  explicit EventBuilder(Schema&&) = delete;
+
+  EventBuilder& set(std::string_view name, Value v);
+  EventBuilder& set(AttrId id, Value v);
+
+  /// Consumes the builder's accumulated attributes (single use).
+  [[nodiscard]] Event build();
+
+ private:
+  const Schema* schema_;
+  std::vector<EventAttr> attrs_;
+};
+
+}  // namespace subsum::model

@@ -1,0 +1,160 @@
+#include "model/parse.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace subsum::model {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits on a separator, respecting double quotes.
+std::vector<std::string_view> split_outside_quotes(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  bool quoted = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') quoted = !quoted;
+    if (s[i] == sep && !quoted) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+/// Longest-match operator table; two-character operators first.
+struct OpToken {
+  std::string_view token;
+  Op op;
+};
+constexpr OpToken kOps[] = {
+    {"!=", Op::kNe},     {"<=", Op::kLe},  {">=", Op::kGe},   {">*", Op::kPrefix},
+    {"*<", Op::kSuffix}, {"<", Op::kLt},   {">", Op::kGt},    {"=", Op::kEq},
+    {"*", Op::kContains},
+};
+
+Value parse_value(const Schema& schema, AttrId attr, std::string_view text) {
+  text = trim(text);
+  if (text.empty()) throw ParseError("missing value");
+  const AttrType type = schema.type_of(attr);
+  if (type == AttrType::kString) {
+    if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+      return Value(std::string(text.substr(1, text.size() - 2)));
+    }
+    return Value(std::string(text));
+  }
+  if (text.front() == '"') throw ParseError("quoted value for arithmetic attribute");
+  if (type == AttrType::kInt) {
+    int64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      throw ParseError("bad integer literal: '" + std::string(text) + "'");
+    }
+    return Value(v);
+  }
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ParseError("bad number literal: '" + std::string(text) + "'");
+  }
+  return Value(v);
+}
+
+}  // namespace
+
+Constraint parse_constraint(const Schema& schema, std::string_view text) {
+  text = trim(text);
+  // Attribute name: leading identifier characters.
+  size_t n = 0;
+  while (n < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[n])) || text[n] == '_')) {
+    ++n;
+  }
+  if (n == 0) throw ParseError("expected attribute name in '" + std::string(text) + "'");
+  const std::string_view name = text.substr(0, n);
+  const auto attr = schema.find(name);
+  if (!attr) throw ParseError("unknown attribute '" + std::string(name) + "'");
+
+  std::string_view rest = trim(text.substr(n));
+  for (const auto& [token, op] : kOps) {
+    if (rest.substr(0, token.size()) == token) {
+      Constraint c{*attr, op, parse_value(schema, *attr, rest.substr(token.size()))};
+      validate(c, schema);
+      return c;
+    }
+  }
+  throw ParseError("expected operator in '" + std::string(text) + "'");
+}
+
+Subscription parse_subscription(const Schema& schema, std::string_view text) {
+  std::vector<Constraint> cs;
+  std::string_view rest = text;
+  while (true) {
+    // Find the next AND outside quotes.
+    bool quoted = false;
+    size_t cut = std::string_view::npos;
+    for (size_t i = 0; i + 3 <= rest.size(); ++i) {
+      if (rest[i] == '"') quoted = !quoted;
+      if (quoted) continue;
+      const bool is_and = (rest[i] == 'A' || rest[i] == 'a') &&
+                          (rest[i + 1] == 'N' || rest[i + 1] == 'n') &&
+                          (rest[i + 2] == 'D' || rest[i + 2] == 'd');
+      const bool boundary_before =
+          i == 0 || std::isspace(static_cast<unsigned char>(rest[i - 1]));
+      const bool boundary_after =
+          i + 3 == rest.size() || std::isspace(static_cast<unsigned char>(rest[i + 3]));
+      if (is_and && boundary_before && boundary_after && i > 0) {
+        cut = i;
+        break;
+      }
+    }
+    if (cut == std::string_view::npos) {
+      cs.push_back(parse_constraint(schema, rest));
+      break;
+    }
+    cs.push_back(parse_constraint(schema, rest.substr(0, cut)));
+    rest = rest.substr(cut + 3);
+  }
+  return Subscription(schema, std::move(cs));
+}
+
+Event parse_event(const Schema& schema, std::string_view text) {
+  std::vector<EventAttr> attrs;
+  for (std::string_view part : split_outside_quotes(text, ',')) {
+    part = trim(part);
+    if (part.empty()) continue;
+    bool quoted = false;
+    size_t eq = std::string_view::npos;
+    for (size_t i = 0; i < part.size(); ++i) {
+      if (part[i] == '"') quoted = !quoted;
+      if (part[i] == '=' && !quoted) {
+        eq = i;
+        break;
+      }
+    }
+    if (eq == std::string_view::npos) {
+      throw ParseError("expected '=' in event attribute '" + std::string(part) + "'");
+    }
+    const std::string_view name = trim(part.substr(0, eq));
+    const auto attr = schema.find(name);
+    if (!attr) throw ParseError("unknown attribute '" + std::string(name) + "'");
+    attrs.push_back({*attr, parse_value(schema, *attr, part.substr(eq + 1))});
+  }
+  if (attrs.empty()) throw ParseError("event has no attributes");
+  return Event(schema, std::move(attrs));
+}
+
+}  // namespace subsum::model

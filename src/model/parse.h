@@ -1,0 +1,37 @@
+// Text forms for constraints, subscriptions and events, used by the CLI
+// tools and handy in tests:
+//
+//   constraint:    price > 8.30        symbol >* OT      exchange = "NYSE"
+//   subscription:  price > 8.30 AND price < 8.70 AND symbol = OTE
+//   event:         price = 8.40, symbol = OTE, volume = 132700
+//
+// Operators: = != < <= > >= (arithmetic), = != >* *< * (strings; >* prefix,
+// *< suffix, * containment). String values may be double-quoted (required
+// when they contain spaces, commas or the word AND). Numeric literals are
+// typed by the attribute's schema type.
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "model/event.h"
+#include "model/subscription.h"
+
+namespace subsum::model {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one attribute constraint, e.g. "price > 8.30".
+Constraint parse_constraint(const Schema& schema, std::string_view text);
+
+/// Parses a conjunction of constraints joined by AND (case-insensitive).
+Subscription parse_subscription(const Schema& schema, std::string_view text);
+
+/// Parses a comma-separated attribute assignment list, e.g.
+/// "price = 8.40, symbol = OTE".
+Event parse_event(const Schema& schema, std::string_view text);
+
+}  // namespace subsum::model

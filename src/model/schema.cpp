@@ -1,0 +1,53 @@
+#include "model/schema.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace subsum::model {
+
+int popcount(AttrMask m) noexcept { return std::popcount(m); }
+
+Schema::Schema(std::vector<AttributeSpec> attrs) : attrs_(std::move(attrs)) {
+  if (attrs_.size() > kMaxAttrs) {
+    throw std::invalid_argument("schema exceeds " + std::to_string(kMaxAttrs) + " attributes");
+  }
+  for (AttrId id = 0; id < attrs_.size(); ++id) {
+    if (attrs_[id].name.empty()) {
+      throw std::invalid_argument("attribute name must be non-empty");
+    }
+    auto [it, inserted] = by_name_.emplace(attrs_[id].name, id);
+    (void)it;
+    if (!inserted) {
+      throw std::invalid_argument("duplicate attribute name: " + attrs_[id].name);
+    }
+    if (is_arithmetic(attrs_[id].type)) ++arithmetic_count_;
+  }
+}
+
+std::optional<AttrId> Schema::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+AttrId Schema::id_of(std::string_view name) const {
+  if (auto id = find(name)) return *id;
+  throw std::out_of_range("unknown attribute: " + std::string(name));
+}
+
+Schema extend_schema(const Schema& base, std::vector<AttributeSpec> extra) {
+  std::vector<AttributeSpec> all = base.specs();
+  all.insert(all.end(), std::make_move_iterator(extra.begin()),
+             std::make_move_iterator(extra.end()));
+  return Schema(std::move(all));
+}
+
+bool is_extension_of(const Schema& wider, const Schema& base) {
+  if (wider.attr_count() < base.attr_count()) return false;
+  for (AttrId a = 0; a < base.attr_count(); ++a) {
+    if (!(wider.spec(a) == base.spec(a))) return false;
+  }
+  return true;
+}
+
+}  // namespace subsum::model

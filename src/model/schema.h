@@ -1,0 +1,84 @@
+// Attribute schema. The paper assumes (§3): (i) a named attribute cannot
+// have two different data types, (ii) the number of attributes in the system
+// is predefined, together with their (name, type) specification, and
+// (iii) the set of supported attributes is ordered and known to every broker.
+//
+// A Schema is therefore an immutable, ordered list of AttributeSpec; the
+// attribute id is the position in that list and doubles as the bit index in
+// the c3 field of subscription ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/value.h"
+
+namespace subsum::model {
+
+using AttrId = uint32_t;
+
+/// Bitmask over attribute ids; bit i set means attribute i participates.
+/// Limits the schema to 64 attributes, which covers the paper's nt = 10 with
+/// ample headroom (the paper's own c3 is a plain per-attribute bit vector).
+using AttrMask = uint64_t;
+
+constexpr AttrMask attr_bit(AttrId id) noexcept { return AttrMask{1} << id; }
+int popcount(AttrMask m) noexcept;
+
+struct AttributeSpec {
+  std::string name;
+  AttrType type = AttrType::kInt;
+
+  bool operator==(const AttributeSpec&) const = default;
+};
+
+/// Immutable ordered attribute specification shared by all brokers.
+class Schema {
+ public:
+  static constexpr size_t kMaxAttrs = 64;
+
+  Schema() = default;
+
+  /// Throws std::invalid_argument on duplicate names or > kMaxAttrs entries.
+  explicit Schema(std::vector<AttributeSpec> attrs);
+
+  [[nodiscard]] size_t attr_count() const noexcept { return attrs_.size(); }
+  [[nodiscard]] const AttributeSpec& spec(AttrId id) const { return attrs_.at(id); }
+  [[nodiscard]] const std::vector<AttributeSpec>& specs() const noexcept { return attrs_; }
+
+  /// Id for a name, or nullopt if the attribute is unknown.
+  [[nodiscard]] std::optional<AttrId> find(std::string_view name) const;
+
+  /// Id for a name; throws std::out_of_range if unknown.
+  [[nodiscard]] AttrId id_of(std::string_view name) const;
+
+  [[nodiscard]] AttrType type_of(AttrId id) const { return spec(id).type; }
+
+  /// Number of arithmetic / string attributes in the schema.
+  [[nodiscard]] size_t arithmetic_count() const noexcept { return arithmetic_count_; }
+  [[nodiscard]] size_t string_count() const noexcept {
+    return attrs_.size() - arithmetic_count_;
+  }
+
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+  std::unordered_map<std::string, AttrId, std::hash<std::string>, std::equal_to<>> by_name_;
+  size_t arithmetic_count_ = 0;
+};
+
+/// Appends attributes to an existing schema (paper §6 future work,
+/// "dynamically-changing attribute schemata"): existing attribute ids —
+/// and therefore the bit positions inside every issued c3 mask — are
+/// preserved, so outstanding subscription ids stay valid.
+Schema extend_schema(const Schema& base, std::vector<AttributeSpec> extra);
+
+/// True if `wider` extends `base` (same leading attributes, in order).
+bool is_extension_of(const Schema& wider, const Schema& base);
+
+}  // namespace subsum::model

@@ -1,0 +1,58 @@
+#include "model/subscription.h"
+
+#include <stdexcept>
+
+namespace subsum::model {
+
+Subscription::Subscription(const Schema& schema, std::vector<Constraint> constraints)
+    : constraints_(std::move(constraints)) {
+  if (constraints_.empty()) {
+    throw std::invalid_argument("subscription must have at least one constraint");
+  }
+  for (const auto& c : constraints_) {
+    validate(c, schema);
+    mask_ |= attr_bit(c.attr);
+  }
+}
+
+bool Subscription::matches(const Event& e) const {
+  if ((e.mask() & mask_) != mask_) return false;  // event lacks a constrained attribute
+  for (const auto& c : constraints_) {
+    const Value* v = e.find(c.attr);
+    if (!c.matches(*v)) return false;
+  }
+  return true;
+}
+
+std::vector<Constraint> Subscription::constraints_on(AttrId id) const {
+  std::vector<Constraint> out;
+  for (const auto& c : constraints_) {
+    if (c.attr == id) out.push_back(c);
+  }
+  return out;
+}
+
+std::string Subscription::to_string(const Schema& schema) const {
+  std::string out = "[";
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (i) out += " AND ";
+    out += constraints_[i].to_string(schema);
+  }
+  out += "]";
+  return out;
+}
+
+SubscriptionBuilder& SubscriptionBuilder::where(std::string_view name, Op op, Value operand) {
+  return where(schema_->id_of(name), op, std::move(operand));
+}
+
+SubscriptionBuilder& SubscriptionBuilder::where(AttrId id, Op op, Value operand) {
+  constraints_.push_back(Constraint{id, op, std::move(operand)});
+  return *this;
+}
+
+Subscription SubscriptionBuilder::build() {
+  return Subscription(*schema_, std::move(constraints_));
+}
+
+}  // namespace subsum::model

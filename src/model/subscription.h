@@ -1,0 +1,77 @@
+// Subscriptions. A subscription is a conjunction of attribute constraints
+// (fig 3): an event matches iff every constraint is satisfied. A
+// subscription may carry two or more constraints on the same attribute
+// (e.g. 8.30 < price < 8.70), and an event may carry attributes the
+// subscription does not mention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/constraint.h"
+#include "model/event.h"
+#include "model/schema.h"
+#include "model/sub_id.h"
+
+namespace subsum::model {
+
+class Subscription {
+ public:
+  Subscription() = default;
+
+  /// Validates all constraints against the schema; throws on invalid
+  /// constraints or an empty constraint list.
+  Subscription(const Schema& schema, std::vector<Constraint> constraints);
+
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Bitmask of constrained attributes (the c3 field of this
+  /// subscription's id).
+  [[nodiscard]] AttrMask mask() const noexcept { return mask_; }
+
+  /// Exact match: every constraint satisfied by the event's values.
+  /// An event lacking a constrained attribute does not match.
+  [[nodiscard]] bool matches(const Event& e) const;
+
+  /// Constraints on one attribute, in insertion order.
+  [[nodiscard]] std::vector<Constraint> constraints_on(AttrId id) const;
+
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+  bool operator==(const Subscription&) const = default;
+
+ private:
+  std::vector<Constraint> constraints_;
+  AttrMask mask_ = 0;
+};
+
+/// Fluent builder mirroring EventBuilder.
+class SubscriptionBuilder {
+ public:
+  /// Keeps a pointer to `schema` until build(); temporaries are rejected.
+  explicit SubscriptionBuilder(const Schema& schema) : schema_(&schema) {}
+  explicit SubscriptionBuilder(Schema&&) = delete;
+
+  SubscriptionBuilder& where(std::string_view name, Op op, Value operand);
+  SubscriptionBuilder& where(AttrId id, Op op, Value operand);
+
+  /// Consumes the builder's accumulated constraints (single use).
+  [[nodiscard]] Subscription build();
+
+ private:
+  const Schema* schema_;
+  std::vector<Constraint> constraints_;
+};
+
+/// A subscription stored at its home broker together with its id.
+/// The home broker keeps these to (a) deliver matched events to the right
+/// consumer and (b) re-filter exactly, since SACS summarization is
+/// deliberately lossy (see DESIGN.md).
+struct OwnedSubscription {
+  SubId id;
+  Subscription sub;
+};
+
+}  // namespace subsum::model

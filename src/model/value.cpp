@@ -1,0 +1,79 @@
+#include "model/value.h"
+
+#include "util/strings.h"
+
+namespace subsum::model {
+
+const char* to_string(AttrType t) noexcept {
+  switch (t) {
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kFloat:
+      return "float";
+    case AttrType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+AttrType Value::type() const noexcept {
+  switch (v_.index()) {
+    case 0:
+      return AttrType::kInt;
+    case 1:
+      return AttrType::kFloat;
+    default:
+      return AttrType::kString;
+  }
+}
+
+int64_t Value::as_int() const {
+  if (const auto* p = std::get_if<int64_t>(&v_)) return *p;
+  throw TypeError("value is not an int");
+}
+
+double Value::as_float() const {
+  if (const auto* p = std::get_if<double>(&v_)) return *p;
+  throw TypeError("value is not a float");
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* p = std::get_if<std::string>(&v_)) return *p;
+  throw TypeError("value is not a string");
+}
+
+double Value::as_number() const {
+  if (const auto* p = std::get_if<int64_t>(&v_)) return static_cast<double>(*p);
+  if (const auto* p = std::get_if<double>(&v_)) return *p;
+  throw TypeError("value is not arithmetic");
+}
+
+std::strong_ordering Value::operator<=>(const Value& o) const noexcept {
+  if (v_.index() != o.v_.index()) return v_.index() <=> o.v_.index();
+  switch (v_.index()) {
+    case 0:
+      return std::get<int64_t>(v_) <=> std::get<int64_t>(o.v_);
+    case 1: {
+      const double a = std::get<double>(v_);
+      const double b = std::get<double>(o.v_);
+      if (a < b) return std::strong_ordering::less;
+      if (a > b) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    default:
+      return std::get<std::string>(v_) <=> std::get<std::string>(o.v_);
+  }
+}
+
+std::string Value::to_string() const {
+  switch (v_.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v_));
+    case 1:
+      return util::format_number(std::get<double>(v_));
+    default:
+      return "\"" + std::get<std::string>(v_) + "\"";
+  }
+}
+
+}  // namespace subsum::model

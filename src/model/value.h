@@ -1,0 +1,75 @@
+// Attribute values. The paper's event schema is an untyped set of typed
+// attributes whose types are "primitive data types commonly found in most
+// programming languages" (fig 2 shows string, date, float, integer). We
+// model three physical types:
+//
+//   Int    -- 64-bit signed integer (also carries dates as epoch seconds)
+//   Float  -- IEEE double
+//   String -- byte string
+//
+// Int and Float are both "arithmetic" in the paper's sense and are summarized
+// by AACS structures; String attributes are summarized by SACS structures.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace subsum::model {
+
+enum class AttrType : uint8_t {
+  kInt = 0,
+  kFloat = 1,
+  kString = 2,
+};
+
+/// True for types summarized by AACS (numeric order semantics).
+constexpr bool is_arithmetic(AttrType t) noexcept { return t != AttrType::kString; }
+
+const char* to_string(AttrType t) noexcept;
+
+/// Thrown on type mismatches (e.g. string constraint on an int attribute).
+class TypeError : public std::runtime_error {
+ public:
+  explicit TypeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A typed attribute value.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                 // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(int64_t{v}) {}            // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}                  // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] AttrType type() const noexcept;
+
+  [[nodiscard]] bool is_arithmetic() const noexcept { return model::is_arithmetic(type()); }
+
+  /// Typed accessors; throw TypeError on mismatch.
+  [[nodiscard]] int64_t as_int() const;
+  [[nodiscard]] double as_float() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Numeric view of an arithmetic value (Int widened to double).
+  /// Throws TypeError for strings.
+  [[nodiscard]] double as_number() const;
+
+  /// Exact equality (no numeric cross-type coercion: 1 != 1.0).
+  bool operator==(const Value& o) const noexcept { return v_ == o.v_; }
+
+  /// Ordering within a type; comparing different types orders by type tag
+  /// (needed only for use as map keys, never for constraint evaluation).
+  std::strong_ordering operator<=>(const Value& o) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace subsum::model

@@ -1,0 +1,355 @@
+#include "net/broker_node.h"
+
+#include <algorithm>
+
+namespace subsum::net {
+
+using model::SubId;
+using overlay::BrokerId;
+
+BrokerNode::BrokerNode(BrokerConfig cfg)
+    : cfg_(std::move(cfg)),
+      wire_{model::SubIdCodec(static_cast<uint32_t>(cfg_.graph.size()),
+                              cfg_.max_subs_per_broker, cfg_.schema.attr_count()),
+            cfg_.numeric_width},
+      listener_(cfg_.port),
+      held_(cfg_.schema, cfg_.policy) {
+  if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
+  merged_brokers_ = {cfg_.id};
+  communicated_.assign(cfg_.graph.size(), 0);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+BrokerNode::~BrokerNode() { stop(); }
+
+void BrokerNode::set_peer_ports(std::vector<uint16_t> ports) {
+  std::lock_guard lk(mu_);
+  if (ports.size() != cfg_.graph.size()) {
+    throw std::invalid_argument("one port per broker required");
+  }
+  peer_ports_ = std::move(ports);
+}
+
+void BrokerNode::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lk(threads_mu_);
+    handlers.swap(handlers_);
+    // Unblock handler threads parked in recv_frame on live connections.
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) {
+        std::lock_guard wl(conn->write_mu);
+        if (conn->sock) conn->sock->shutdown_both();
+      }
+    }
+    conns_.clear();
+  }
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+BrokerNode::Snapshot BrokerNode::snapshot() const {
+  std::lock_guard lk(mu_);
+  Snapshot s;
+  s.local_subs = home_.size();
+  s.merged_brokers = merged_brokers_.size();
+  s.held_wire_bytes = core::wire_size(held_, wire_);
+  return s;
+}
+
+void BrokerNode::accept_loop() {
+  while (!stopping_) {
+    auto sock = listener_.accept();
+    if (!sock) break;
+    std::lock_guard lk(threads_mu_);
+    if (stopping_) break;
+    handlers_.emplace_back(
+        [this, s = std::move(*sock)]() mutable { handle_connection(std::move(s)); });
+  }
+}
+
+void BrokerNode::handle_connection(Socket sock) {
+  auto conn = std::make_shared<ClientConn>();
+  conn->sock = &sock;
+  {
+    std::lock_guard lk(threads_mu_);
+    std::erase_if(conns_, [](const std::weak_ptr<ClientConn>& w) { return w.expired(); });
+    conns_.push_back(conn);
+  }
+  std::vector<uint32_t> owned_locals;  // subscriptions registered on this conn
+  try {
+    while (true) {
+      auto frame = recv_frame(sock);
+      if (!frame) break;
+      switch (frame->kind) {
+        case MsgKind::kSubscribe:
+          on_subscribe(sock, conn, *frame, owned_locals);
+          break;
+        case MsgKind::kUnsubscribe:
+          on_unsubscribe(sock, *conn, *frame);
+          break;
+        case MsgKind::kPublish:
+          on_publish(sock, *conn, *frame);
+          break;
+        case MsgKind::kSummary:
+          on_summary(sock, *conn, *frame);
+          break;
+        case MsgKind::kEvent:
+          on_event(sock, *conn, *frame);
+          break;
+        case MsgKind::kDeliver:
+          on_deliver(sock, *conn, *frame);
+          break;
+        case MsgKind::kTrigger:
+          on_trigger(sock, *conn, *frame);
+          break;
+        case MsgKind::kStats:
+          on_stats(sock, *conn, *frame);
+          break;
+        default:
+          send_frame(sock, MsgKind::kError, {});
+          break;
+      }
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: drop the connection; broker state stays
+    // consistent because every handler completes its mutation under mu_
+    // before touching the network.
+  }
+  {
+    std::lock_guard lk(mu_);
+    for (uint32_t local : owned_locals) subscribers_.erase(local);
+  }
+  {
+    // write_mu orders this against stop()'s shutdown_both on conn->sock.
+    std::lock_guard wl(conn->write_mu);
+    conn->sock = nullptr;
+  }
+}
+
+void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn,
+                              const Frame& f, std::vector<uint32_t>& owned_locals) {
+  util::BufReader r(f.payload);
+  auto sub = get_subscription(r, cfg_.schema);
+  SubId id;
+  {
+    std::lock_guard lk(mu_);
+    if (next_local_ >= cfg_.max_subs_per_broker) {
+      throw NetError("broker exceeded max outstanding subscriptions");
+    }
+    id = SubId{cfg_.id, next_local_++, sub.mask()};
+    held_.add(sub, id);
+    home_.add({id, std::move(sub)});
+    subscribers_[id.local] = conn;
+  }
+  owned_locals.push_back(id.local);
+  std::lock_guard wl(conn->write_mu);
+  send_frame(s, MsgKind::kSubscribeAck, encode(SubscribeAckMsg{id}));
+}
+
+void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
+  util::BufReader r(f.payload);
+  const SubId id = get_sub_id(r);
+  {
+    std::lock_guard lk(mu_);
+    home_.remove(id);
+    held_.remove(id);
+    subscribers_.erase(id.local);
+    pending_removals_.push_back(id);
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kUnsubscribeAck, {});
+}
+
+void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
+  util::BufReader r(f.payload);
+  EventMsg msg;
+  msg.origin = cfg_.id;
+  msg.event = get_event(r, cfg_.schema);
+  msg.brocli = make_bitmap(cfg_.graph.size());
+  {
+    std::lock_guard lk(mu_);
+    msg.seq = publish_seq_++;
+  }
+  walk_step(std::move(msg));
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kPublishAck, {});
+}
+
+void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
+  auto msg = decode_summary_msg(f.payload);
+  auto incoming = core::decode_summary(msg.summary, cfg_.schema, cfg_.policy);
+  {
+    std::lock_guard lk(mu_);
+    for (const SubId& id : msg.removals) incoming.remove(id);
+    held_.merge(incoming);
+    for (const SubId& id : msg.removals) held_.remove(id);
+    std::vector<BrokerId> merged;
+    std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
+    std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
+                   msg.merged_brokers.end(), std::back_inserter(merged));
+    merged_brokers_ = std::move(merged);
+    if (msg.from < communicated_.size()) communicated_[msg.from] = 1;
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kSummaryAck, {});
+}
+
+std::optional<BrokerNode::PendingSend> BrokerNode::prepare_summary_send(uint32_t iteration) {
+  std::lock_guard lk(mu_);
+  if (iteration == 1) {
+    // A new period starts: reset per-period pairing state.
+    std::fill(communicated_.begin(), communicated_.end(), 0);
+  }
+  const size_t my_degree = cfg_.graph.degree(cfg_.id);
+  if (my_degree != iteration) return std::nullopt;
+
+  std::optional<BrokerId> target;
+  for (BrokerId nb : cfg_.graph.neighbors(cfg_.id)) {
+    if (cfg_.graph.degree(nb) < my_degree) continue;
+    if (communicated_[nb]) continue;
+    if (!target || cfg_.graph.degree(nb) < cfg_.graph.degree(*target)) target = nb;
+  }
+  if (!target) return std::nullopt;
+  communicated_[*target] = 1;
+
+  SummaryMsg msg;
+  msg.from = cfg_.id;
+  msg.merged_brokers = merged_brokers_;
+  msg.removals = pending_removals_;
+  pending_removals_.clear();
+  msg.summary = core::encode_summary(held_, wire_);
+  return PendingSend{*target, encode(msg)};
+}
+
+void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
+  const auto msg = decode_trigger_msg(f.payload);
+  auto send = prepare_summary_send(msg.iteration);
+  if (send) {
+    send_to_peer_sync(send->to, MsgKind::kSummary, send->payload, MsgKind::kSummaryAck);
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kTriggerAck, {});
+}
+
+void BrokerNode::on_event(Socket& s, ClientConn& conn, const Frame& f) {
+  walk_step(decode_event_msg(f.payload, cfg_.schema));
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kEventAck, {});
+}
+
+void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
+  const auto msg = decode_deliver_msg(f.payload, cfg_.schema);
+  // Exact re-filter against the home table, then notify the owning client
+  // connections, grouped per connection.
+  std::map<std::shared_ptr<ClientConn>, std::vector<SubId>> per_conn;
+  {
+    std::lock_guard lk(mu_);
+    for (const SubId& id : msg.ids) {
+      if (id.broker != cfg_.id) continue;
+      for (const auto& os : home_.subs()) {
+        if (os.id == id && os.sub.matches(msg.event)) {
+          auto it = subscribers_.find(id.local);
+          if (it != subscribers_.end()) per_conn[it->second].push_back(id);
+          break;
+        }
+      }
+    }
+  }
+  for (auto& [client, ids] : per_conn) {
+    const auto payload = encode(NotifyMsg{std::move(ids), msg.event}, cfg_.schema);
+    std::lock_guard wl(client->write_mu);
+    if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kDeliverAck, {});
+}
+
+void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
+  const Snapshot snap = snapshot();
+  util::BufWriter w;
+  w.put_varint(snap.local_subs);
+  w.put_varint(snap.merged_brokers);
+  w.put_varint(snap.held_wire_bytes);
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kStatsAck, w.bytes());
+}
+
+void BrokerNode::walk_step(EventMsg msg) {
+  // Snapshot what we need under the lock; all networking happens after.
+  std::vector<SubId> matched;
+  std::vector<BrokerId> merged;
+  {
+    std::lock_guard lk(mu_);
+    matched = core::match(held_, msg.event);
+    merged = merged_brokers_;
+  }
+
+  // Owners already in the incoming BROCLI were handled upstream.
+  std::map<BrokerId, std::vector<SubId>> fresh;
+  for (const SubId& id : matched) {
+    if (!bitmap_get(msg.brocli, id.broker)) fresh[id.broker].push_back(id);
+  }
+  for (BrokerId b : merged) bitmap_set(msg.brocli, b);
+
+  for (auto& [owner, ids] : fresh) {
+    const DeliverMsg dm{cfg_.id, std::move(ids), msg.event};
+    if (owner == cfg_.id) {
+      // Local delivery without a network hop: reuse the deliver path
+      // in-process.
+      std::map<std::shared_ptr<ClientConn>, std::vector<SubId>> per_conn;
+      {
+        std::lock_guard lk(mu_);
+        for (const SubId& id : dm.ids) {
+          for (const auto& os : home_.subs()) {
+            if (os.id == id && os.sub.matches(dm.event)) {
+              auto it = subscribers_.find(id.local);
+              if (it != subscribers_.end()) per_conn[it->second].push_back(id);
+              break;
+            }
+          }
+        }
+      }
+      for (auto& [client, cids] : per_conn) {
+        const auto payload = encode(NotifyMsg{std::move(cids), dm.event}, cfg_.schema);
+        std::lock_guard wl(client->write_mu);
+        if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
+      }
+    } else {
+      send_to_peer_sync(owner, MsgKind::kDeliver, encode(dm, cfg_.schema),
+                        MsgKind::kDeliverAck);
+    }
+  }
+
+  if (bitmap_all(msg.brocli, cfg_.graph.size())) return;
+
+  // Forward to the highest-degree broker not yet in BROCLI.
+  std::optional<BrokerId> next;
+  for (BrokerId b = 0; b < cfg_.graph.size(); ++b) {
+    if (bitmap_get(msg.brocli, b)) continue;
+    if (!next || cfg_.graph.degree(b) > cfg_.graph.degree(*next)) next = b;
+  }
+  send_to_peer_sync(*next, MsgKind::kEvent, encode(msg, cfg_.schema), MsgKind::kEventAck);
+}
+
+void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
+                                   std::span<const std::byte> payload, MsgKind ack_kind) {
+  uint16_t port;
+  {
+    std::lock_guard lk(mu_);
+    if (peer_ports_.size() != cfg_.graph.size()) throw NetError("peer ports not configured");
+    port = peer_ports_.at(peer);
+  }
+  Socket s = connect_local(port);
+  send_frame(s, kind, payload);
+  auto ack = recv_frame(s);
+  if (!ack || ack->kind != ack_kind) {
+    throw NetError("peer did not acknowledge message");
+  }
+}
+
+}  // namespace subsum::net

@@ -1,0 +1,142 @@
+// A real broker daemon speaking the subsum protocol over TCP.
+//
+// Each BrokerNode runs a listener plus one handler thread per connection.
+// It keeps the same state as a SimSystem broker: the home subscription
+// table (exact), the held merged summary, and the Merged_Brokers set.
+//
+// Algorithm 2 runs as externally clocked rounds: a controller (see
+// cluster.h) sends kTrigger(iteration) to every node; a node whose degree
+// equals the iteration performs its single summary send synchronously
+// (connect -> kSummary -> kSummaryAck) before acknowledging the trigger, so
+// a round barrier at the controller yields exactly the paper's iteration
+// semantics. Unlike the bandwidth-measured sim layer, the node sends its
+// full held summary each period (a state-based, self-healing variant;
+// merging is idempotent so this only trades bytes for robustness).
+//
+// Algorithm 3 runs fully in-band: kPublish starts the BROCLI walk at the
+// client's broker; each broker matches, sends kDeliver to fresh owners,
+// and forwards kEvent to the highest-degree broker not in the BROCLI
+// bitmap. Event forwarding is synchronous end-to-end, so a client's
+// publish() returns only after the whole walk (and all deliveries) have
+// completed — which makes the distributed system deterministic to test.
+//
+// Locking: `mu_` guards all broker state and is NEVER held across a
+// network call; peer RPCs therefore cannot deadlock (a blocked walk thread
+// at broker A does not prevent A from serving kDeliver on another
+// connection).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/serialize.h"
+#include "model/schema.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "overlay/graph.h"
+
+namespace subsum::net {
+
+struct BrokerConfig {
+  overlay::BrokerId id = 0;
+  model::Schema schema;
+  overlay::Graph graph;  // the full overlay: ids, adjacency, degrees
+  core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe;
+  uint64_t max_subs_per_broker = uint64_t{1} << 20;
+  uint8_t numeric_width = 8;
+  uint16_t port = 0;  // 0 = ephemeral (in-process clusters); fixed for CLI use
+};
+
+class BrokerNode {
+ public:
+  /// Binds an ephemeral loopback port and starts serving.
+  explicit BrokerNode(BrokerConfig cfg);
+  ~BrokerNode();
+
+  BrokerNode(const BrokerNode&) = delete;
+  BrokerNode& operator=(const BrokerNode&) = delete;
+
+  [[nodiscard]] uint16_t port() const noexcept { return listener_.port(); }
+  [[nodiscard]] overlay::BrokerId id() const noexcept { return cfg_.id; }
+
+  /// Ports of all brokers, indexed by broker id. Must be set (by the
+  /// controller) before any propagation or publish traffic.
+  void set_peer_ports(std::vector<uint16_t> ports);
+
+  /// Stops the listener and joins all handler threads.
+  void stop();
+
+  /// Introspection for tests: current held-summary stats and counts.
+  struct Snapshot {
+    size_t local_subs = 0;
+    size_t merged_brokers = 0;
+    size_t held_wire_bytes = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct ClientConn {
+    Socket* sock = nullptr;  // valid while the handler thread runs
+    std::mutex write_mu;
+  };
+
+  void accept_loop();
+  void handle_connection(Socket sock);
+
+  // Frame handlers; `conn` is this connection's shared write handle.
+  void on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn, const Frame& f,
+                    std::vector<uint32_t>& owned_locals);
+  void on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f);
+  void on_publish(Socket& s, ClientConn& conn, const Frame& f);
+  void on_summary(Socket& s, ClientConn& conn, const Frame& f);
+  void on_event(Socket& s, ClientConn& conn, const Frame& f);
+  void on_deliver(Socket& s, ClientConn& conn, const Frame& f);
+  void on_trigger(Socket& s, ClientConn& conn, const Frame& f);
+  void on_stats(Socket& s, ClientConn& conn, const Frame& f);
+
+  /// One step of the BROCLI walk executed at this broker. Mutates the
+  /// bitmap in `msg`, performs deliveries and the onward forward (both
+  /// synchronous), then returns.
+  void walk_step(EventMsg msg);
+
+  void send_to_peer_sync(overlay::BrokerId peer, MsgKind kind,
+                         std::span<const std::byte> payload, MsgKind ack_kind);
+
+  /// Builds the SummaryMsg for this period under `mu_`, choosing the
+  /// eligible neighbor; returns nullopt when there is nothing to send.
+  struct PendingSend {
+    overlay::BrokerId to = 0;
+    std::vector<std::byte> payload;
+  };
+  std::optional<PendingSend> prepare_summary_send(uint32_t iteration);
+
+  BrokerConfig cfg_;
+  core::WireConfig wire_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> handlers_;
+  std::vector<std::weak_ptr<ClientConn>> conns_;  // for shutdown on stop()
+
+  mutable std::mutex mu_;
+  core::NaiveMatcher home_;                      // exact table, maps ids->subs
+  core::BrokerSummary held_;                     // own + everything received
+  std::vector<overlay::BrokerId> merged_brokers_;
+  std::vector<model::SubId> pending_removals_;
+  std::vector<char> communicated_;               // per neighbor id, this period
+  uint32_t next_local_ = 0;
+  uint64_t publish_seq_ = 0;
+  std::vector<uint16_t> peer_ports_;
+  std::map<uint32_t, std::shared_ptr<ClientConn>> subscribers_;  // local c2 -> conn
+};
+
+}  // namespace subsum::net

@@ -1,0 +1,101 @@
+#include "net/client.h"
+
+namespace subsum::net {
+
+Client::Client(uint16_t port, const model::Schema& schema)
+    : schema_(&schema), sock_(connect_local(port)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  {
+    std::lock_guard lk(mu_);
+    if (close_called_) return;
+    close_called_ = true;
+    closed_ = true;
+  }
+  sock_.shutdown_both();
+  if (reader_.joinable()) reader_.join();
+  cv_.notify_all();
+}
+
+void Client::reader_loop() {
+  try {
+    while (true) {
+      auto frame = recv_frame(sock_);
+      if (!frame) break;
+      std::lock_guard lk(mu_);
+      if (frame->kind == MsgKind::kNotify) {
+        notifications_.push_back(decode_notify_msg(frame->payload, *schema_));
+      } else {
+        reply_ = std::move(*frame);
+      }
+      cv_.notify_all();
+    }
+  } catch (const std::exception&) {
+    // Fall through to mark the connection dead.
+  }
+  std::lock_guard lk(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+Frame Client::rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expected_ack) {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return !rpc_in_flight_ || closed_; });
+  if (closed_) throw NetError("client connection closed");
+  rpc_in_flight_ = true;
+  reply_.reset();
+  lk.unlock();
+
+  send_frame(sock_, kind, payload);
+
+  lk.lock();
+  cv_.wait(lk, [this] { return reply_.has_value() || closed_; });
+  rpc_in_flight_ = false;
+  cv_.notify_all();
+  if (!reply_) throw NetError("connection closed awaiting reply");
+  Frame f = std::move(*reply_);
+  reply_.reset();
+  if (f.kind != expected_ack) throw NetError("unexpected reply kind");
+  return f;
+}
+
+model::SubId Client::subscribe(const model::Subscription& sub) {
+  util::BufWriter w;
+  put_subscription(w, sub);
+  const Frame f = rpc(MsgKind::kSubscribe, w.bytes(), MsgKind::kSubscribeAck);
+  return decode_subscribe_ack(f.payload).id;
+}
+
+void Client::unsubscribe(model::SubId id) {
+  util::BufWriter w;
+  put_sub_id(w, id);
+  rpc(MsgKind::kUnsubscribe, w.bytes(), MsgKind::kUnsubscribeAck);
+}
+
+void Client::publish(const model::Event& event) {
+  util::BufWriter w;
+  put_event(w, event);
+  rpc(MsgKind::kPublish, w.bytes(), MsgKind::kPublishAck);
+}
+
+std::optional<NotifyMsg> Client::next_notification(std::chrono::milliseconds timeout) {
+  std::unique_lock lk(mu_);
+  cv_.wait_for(lk, timeout, [this] { return !notifications_.empty() || closed_; });
+  if (notifications_.empty()) return std::nullopt;
+  NotifyMsg m = std::move(notifications_.front());
+  notifications_.pop_front();
+  return m;
+}
+
+std::vector<NotifyMsg> Client::drain_notifications() {
+  std::lock_guard lk(mu_);
+  std::vector<NotifyMsg> out(notifications_.begin(), notifications_.end());
+  notifications_.clear();
+  return out;
+}
+
+}  // namespace subsum::net

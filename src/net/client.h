@@ -1,0 +1,67 @@
+// Client-side API: connect to a broker, subscribe/publish synchronously,
+// and receive notifications. A background reader thread demultiplexes the
+// connection: RPC replies complete the pending call; kNotify frames are
+// queued for next_notification()/drain_notifications().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "model/event.h"
+#include "model/subscription.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace subsum::net {
+
+class Client {
+ public:
+  /// Connects to a broker on 127.0.0.1:port. The schema must match the
+  /// broker's.
+  Client(uint16_t port, const model::Schema& schema);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Registers a subscription; blocks for the broker's ack.
+  model::SubId subscribe(const model::Subscription& sub);
+
+  /// Removes a subscription; blocks for the ack.
+  void unsubscribe(model::SubId id);
+
+  /// Publishes an event; returns after the full distributed walk (and all
+  /// deliveries) completed.
+  void publish(const model::Event& event);
+
+  /// Next queued notification, waiting up to `timeout`.
+  std::optional<NotifyMsg> next_notification(std::chrono::milliseconds timeout);
+
+  /// All currently queued notifications (non-blocking).
+  std::vector<NotifyMsg> drain_notifications();
+
+  void close();
+
+ private:
+  Frame rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expected_ack);
+  void reader_loop();
+
+  const model::Schema* schema_;
+  Socket sock_;
+  std::thread reader_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;        // connection unusable (EOF, error, or close())
+  bool close_called_ = false;  // close() ran; guards the reader join
+  bool rpc_in_flight_ = false;
+  std::optional<Frame> reply_;
+  std::deque<NotifyMsg> notifications_;
+};
+
+}  // namespace subsum::net

@@ -1,0 +1,48 @@
+#include "net/cluster.h"
+
+namespace subsum::net {
+
+Cluster::Cluster(const model::Schema& schema, const overlay::Graph& graph,
+                 core::GeneralizePolicy policy)
+    : schema_(&schema), graph_(graph) {
+  nodes_.reserve(graph_.size());
+  for (overlay::BrokerId b = 0; b < graph_.size(); ++b) {
+    BrokerConfig cfg;
+    cfg.id = b;
+    cfg.schema = schema;
+    cfg.graph = graph_;
+    cfg.policy = policy;
+    nodes_.push_back(std::make_unique<BrokerNode>(std::move(cfg)));
+  }
+  std::vector<uint16_t> ports;
+  ports.reserve(nodes_.size());
+  for (const auto& n : nodes_) ports.push_back(n->port());
+  for (const auto& n : nodes_) n->set_peer_ports(ports);
+}
+
+std::unique_ptr<Client> Cluster::connect(overlay::BrokerId b) const {
+  return std::make_unique<Client>(nodes_.at(b)->port(), *schema_);
+}
+
+void Cluster::run_propagation_period() {
+  const auto max_degree = static_cast<uint32_t>(graph_.max_degree());
+  for (uint32_t it = 1; it <= max_degree; ++it) {
+    // Trigger every broker; brokers whose degree != it ack immediately.
+    for (const auto& n : nodes_) {
+      Socket s = connect_local(n->port());
+      send_frame(s, MsgKind::kTrigger, encode(TriggerMsg{it}));
+      const auto ack = recv_frame(s);
+      if (!ack || ack->kind != MsgKind::kTriggerAck) {
+        throw NetError("broker failed to complete propagation iteration");
+      }
+    }
+  }
+}
+
+void Cluster::stop() {
+  for (const auto& n : nodes_) {
+    if (n) n->stop();
+  }
+}
+
+}  // namespace subsum::net

@@ -1,0 +1,45 @@
+// Spawns a whole broker network in one process: one BrokerNode per overlay
+// node on ephemeral loopback ports, peer tables wired automatically. Also
+// acts as the propagation controller, clocking Algorithm 2's iterations
+// across the live TCP brokers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/broker_node.h"
+#include "net/client.h"
+
+namespace subsum::net {
+
+class Cluster {
+ public:
+  Cluster(const model::Schema& schema, const overlay::Graph& graph,
+          core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe);
+  ~Cluster() { stop(); }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] uint16_t port_of(overlay::BrokerId b) const { return nodes_.at(b)->port(); }
+  [[nodiscard]] BrokerNode& node(overlay::BrokerId b) { return *nodes_.at(b); }
+
+  /// New client connection to broker b.
+  [[nodiscard]] std::unique_ptr<Client> connect(overlay::BrokerId b) const;
+
+  /// Clocks one full propagation period: for i = 1..max_degree, triggers
+  /// iteration i on every broker and barriers on the acks (each broker's
+  /// summary send is synchronous, so the barrier gives exactly the paper's
+  /// iteration semantics).
+  void run_propagation_period();
+
+  void stop();
+
+ private:
+  const model::Schema* schema_;
+  overlay::Graph graph_;
+  std::vector<std::unique_ptr<BrokerNode>> nodes_;
+};
+
+}  // namespace subsum::net

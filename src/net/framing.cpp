@@ -1,0 +1,32 @@
+#include "net/framing.h"
+
+#include "util/bytes.h"
+
+namespace subsum::net {
+
+void send_frame(Socket& s, MsgKind kind, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFrameBytes) throw NetError("frame too large to send");
+  util::BufWriter w(5 + payload.size());
+  w.put_u32(static_cast<uint32_t>(payload.size()));
+  w.put_u8(static_cast<uint8_t>(kind));
+  w.put_bytes(payload);
+  s.send_all(w.bytes());
+}
+
+std::optional<Frame> recv_frame(Socket& s) {
+  std::byte header[5];
+  if (!s.recv_exact(header)) return std::nullopt;
+  util::BufReader r(header);
+  const uint32_t len = r.get_u32();
+  const auto kind = static_cast<MsgKind>(r.get_u8());
+  if (len > kMaxFrameBytes) throw NetError("frame exceeds size cap");
+  Frame f;
+  f.kind = kind;
+  f.payload.resize(len);
+  if (len > 0 && !s.recv_exact(f.payload)) {
+    throw NetError("connection closed mid-frame");
+  }
+  return f;
+}
+
+}  // namespace subsum::net

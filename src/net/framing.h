@@ -1,0 +1,52 @@
+// Length-prefixed message framing: u32 payload length (LE), u8 kind,
+// payload bytes. The 64 MiB frame cap bounds memory against malformed or
+// hostile peers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace subsum::net {
+
+enum class MsgKind : uint8_t {
+  // client <-> broker
+  kSubscribe = 1,
+  kSubscribeAck = 2,
+  kUnsubscribe = 3,
+  kUnsubscribeAck = 4,
+  kPublish = 5,
+  kPublishAck = 6,
+  kNotify = 7,
+  // broker <-> broker
+  kSummary = 16,
+  kSummaryAck = 17,
+  kEvent = 18,  // BROCLI walk forward
+  kEventAck = 19,
+  kDeliver = 20,  // event + matched ids to the owner broker
+  kDeliverAck = 21,
+  // control plane
+  kTrigger = 32,  // run propagation iteration i
+  kTriggerAck = 33,
+  kStats = 34,
+  kStatsAck = 35,
+  kError = 63,
+};
+
+constexpr size_t kMaxFrameBytes = 64u << 20;
+
+struct Frame {
+  MsgKind kind = MsgKind::kError;
+  std::vector<std::byte> payload;
+};
+
+/// Writes one frame; throws NetError.
+void send_frame(Socket& s, MsgKind kind, std::span<const std::byte> payload);
+
+/// Reads one frame. nullopt on clean EOF; throws NetError on malformed or
+/// oversized frames.
+std::optional<Frame> recv_frame(Socket& s);
+
+}  // namespace subsum::net

@@ -1,0 +1,232 @@
+#include "net/protocol.h"
+
+namespace subsum::net {
+
+using model::AttrType;
+using model::Value;
+
+void put_value(util::BufWriter& w, const Value& v) {
+  switch (v.type()) {
+    case AttrType::kInt:
+      w.put_i64(v.as_int());
+      break;
+    case AttrType::kFloat:
+      w.put_f64(v.as_float());
+      break;
+    case AttrType::kString:
+      w.put_string(v.as_string());
+      break;
+  }
+}
+
+Value get_value(util::BufReader& r, AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return Value(r.get_i64());
+    case AttrType::kFloat:
+      return Value(r.get_f64());
+    case AttrType::kString:
+      return Value(r.get_string());
+  }
+  throw util::DecodeError("bad attribute type");
+}
+
+void put_event(util::BufWriter& w, const model::Event& e) {
+  w.put_varint(e.attrs().size());
+  for (const auto& a : e.attrs()) {
+    w.put_varint(a.attr);
+    put_value(w, a.value);
+  }
+}
+
+model::Event get_event(util::BufReader& r, const model::Schema& schema) {
+  const uint64_t n = r.get_varint();
+  std::vector<model::EventAttr> attrs;
+  attrs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<model::AttrId>(r.get_varint());
+    if (id >= schema.attr_count()) throw util::DecodeError("event attribute id out of range");
+    attrs.push_back({id, get_value(r, schema.type_of(id))});
+  }
+  return model::Event(schema, std::move(attrs));
+}
+
+void put_subscription(util::BufWriter& w, const model::Subscription& s) {
+  w.put_varint(s.constraints().size());
+  for (const auto& c : s.constraints()) {
+    w.put_varint(c.attr);
+    w.put_u8(static_cast<uint8_t>(c.op));
+    put_value(w, c.operand);
+  }
+}
+
+model::Subscription get_subscription(util::BufReader& r, const model::Schema& schema) {
+  const uint64_t n = r.get_varint();
+  std::vector<model::Constraint> cs;
+  cs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<model::AttrId>(r.get_varint());
+    if (id >= schema.attr_count()) throw util::DecodeError("constraint attribute out of range");
+    const auto op = static_cast<model::Op>(r.get_u8());
+    const AttrType t = schema.type_of(id);
+    const AttrType operand_type =
+        model::op_valid_for(op, t) ? t : AttrType::kString;  // validation below rejects
+    cs.push_back({id, op, get_value(r, operand_type)});
+  }
+  return model::Subscription(schema, std::move(cs));  // validates ops/types
+}
+
+void put_sub_id(util::BufWriter& w, const model::SubId& id) {
+  w.put_u32(id.broker);
+  w.put_u32(id.local);
+  w.put_varint(id.attrs);
+}
+
+model::SubId get_sub_id(util::BufReader& r) {
+  model::SubId id;
+  id.broker = r.get_u32();
+  id.local = r.get_u32();
+  id.attrs = r.get_varint();
+  return id;
+}
+
+namespace {
+
+void put_sub_ids(util::BufWriter& w, const std::vector<model::SubId>& ids) {
+  w.put_varint(ids.size());
+  for (const auto& id : ids) put_sub_id(w, id);
+}
+
+std::vector<model::SubId> get_sub_ids(util::BufReader& r) {
+  const uint64_t n = r.get_varint();
+  std::vector<model::SubId> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) ids.push_back(get_sub_id(r));
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const SubscribeAckMsg& m) {
+  util::BufWriter w;
+  put_sub_id(w, m.id);
+  return std::move(w).take();
+}
+
+SubscribeAckMsg decode_subscribe_ack(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {get_sub_id(r)};
+}
+
+std::vector<std::byte> encode(const SummaryMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.from);
+  w.put_varint(m.merged_brokers.size());
+  for (auto id : m.merged_brokers) w.put_u32(id);
+  put_sub_ids(w, m.removals);
+  w.put_varint(m.summary.size());
+  w.put_bytes(m.summary);
+  return std::move(w).take();
+}
+
+SummaryMsg decode_summary_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  SummaryMsg m;
+  m.from = r.get_u32();
+  const uint64_t nb = r.get_varint();
+  for (uint64_t i = 0; i < nb; ++i) m.merged_brokers.push_back(r.get_u32());
+  m.removals = get_sub_ids(r);
+  const uint64_t len = r.get_varint();
+  const auto bytes = r.get_bytes(len);
+  m.summary.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
+std::vector<std::byte> encode(const EventMsg& m, const model::Schema& schema) {
+  (void)schema;
+  util::BufWriter w;
+  w.put_u32(m.origin);
+  w.put_u64(m.seq);
+  w.put_varint(m.brocli.size());
+  w.put_bytes(m.brocli);
+  put_event(w, m.event);
+  return std::move(w).take();
+}
+
+EventMsg decode_event_msg(std::span<const std::byte> b, const model::Schema& schema) {
+  util::BufReader r(b);
+  EventMsg m;
+  m.origin = r.get_u32();
+  m.seq = r.get_u64();
+  const uint64_t len = r.get_varint();
+  const auto bytes = r.get_bytes(len);
+  m.brocli.assign(bytes.begin(), bytes.end());
+  m.event = get_event(r, schema);
+  return m;
+}
+
+std::vector<std::byte> encode(const DeliverMsg& m, const model::Schema& schema) {
+  (void)schema;
+  util::BufWriter w;
+  w.put_u32(m.examined_at);
+  put_sub_ids(w, m.ids);
+  put_event(w, m.event);
+  return std::move(w).take();
+}
+
+DeliverMsg decode_deliver_msg(std::span<const std::byte> b, const model::Schema& schema) {
+  util::BufReader r(b);
+  DeliverMsg m;
+  m.examined_at = r.get_u32();
+  m.ids = get_sub_ids(r);
+  m.event = get_event(r, schema);
+  return m;
+}
+
+std::vector<std::byte> encode(const NotifyMsg& m, const model::Schema& schema) {
+  (void)schema;
+  util::BufWriter w;
+  put_sub_ids(w, m.ids);
+  put_event(w, m.event);
+  return std::move(w).take();
+}
+
+NotifyMsg decode_notify_msg(std::span<const std::byte> b, const model::Schema& schema) {
+  util::BufReader r(b);
+  NotifyMsg m;
+  m.ids = get_sub_ids(r);
+  m.event = get_event(r, schema);
+  return m;
+}
+
+std::vector<std::byte> encode(const TriggerMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.iteration);
+  return std::move(w).take();
+}
+
+TriggerMsg decode_trigger_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {r.get_u32()};
+}
+
+std::vector<std::byte> make_bitmap(size_t bits) {
+  return std::vector<std::byte>((bits + 7) / 8, std::byte{0});
+}
+
+bool bitmap_get(std::span<const std::byte> bm, size_t i) {
+  return (static_cast<uint8_t>(bm[i / 8]) >> (i % 8)) & 1;
+}
+
+void bitmap_set(std::span<std::byte> bm, size_t i) {
+  bm[i / 8] |= std::byte{static_cast<uint8_t>(1u << (i % 8))};
+}
+
+bool bitmap_all(std::span<const std::byte> bm, size_t bits) {
+  for (size_t i = 0; i < bits; ++i) {
+    if (!bitmap_get(bm, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace subsum::net

@@ -1,0 +1,93 @@
+// Wire payloads for the broker protocol. Model objects are encoded with the
+// util::BufWriter primitives; summaries reuse the core wire format
+// (core/serialize.h) embedded as an opaque byte string.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/event.h"
+#include "model/subscription.h"
+#include "overlay/graph.h"
+#include "util/bytes.h"
+
+namespace subsum::net {
+
+// --- model primitives -------------------------------------------------------
+
+void put_value(util::BufWriter& w, const model::Value& v);
+model::Value get_value(util::BufReader& r, model::AttrType type);
+
+void put_event(util::BufWriter& w, const model::Event& e);
+model::Event get_event(util::BufReader& r, const model::Schema& schema);
+
+void put_subscription(util::BufWriter& w, const model::Subscription& s);
+model::Subscription get_subscription(util::BufReader& r, const model::Schema& schema);
+
+/// Uncompressed SubId (12 bytes + varint mask); peer-to-peer messages favor
+/// simplicity over the packed c1|c2|c3 form used inside summaries.
+void put_sub_id(util::BufWriter& w, const model::SubId& id);
+model::SubId get_sub_id(util::BufReader& r);
+
+// --- message payloads --------------------------------------------------------
+
+struct SubscribeAckMsg {
+  model::SubId id;
+};
+
+struct SummaryMsg {
+  overlay::BrokerId from = 0;
+  std::vector<overlay::BrokerId> merged_brokers;
+  std::vector<model::SubId> removals;     // maintenance piggyback
+  std::vector<std::byte> summary;         // core/serialize wire format
+};
+
+struct EventMsg {
+  overlay::BrokerId origin = 0;
+  uint64_t seq = 0;                 // publisher-assigned, for tie rotation
+  std::vector<std::byte> brocli;    // bitmap, one bit per broker
+  model::Event event;
+};
+
+struct DeliverMsg {
+  overlay::BrokerId examined_at = 0;
+  std::vector<model::SubId> ids;
+  model::Event event;
+};
+
+struct NotifyMsg {
+  std::vector<model::SubId> ids;
+  model::Event event;
+};
+
+struct TriggerMsg {
+  uint32_t iteration = 0;
+};
+
+std::vector<std::byte> encode(const SubscribeAckMsg& m);
+SubscribeAckMsg decode_subscribe_ack(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const SummaryMsg& m);
+SummaryMsg decode_summary_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const EventMsg& m, const model::Schema& schema);
+EventMsg decode_event_msg(std::span<const std::byte> b, const model::Schema& schema);
+
+std::vector<std::byte> encode(const DeliverMsg& m, const model::Schema& schema);
+DeliverMsg decode_deliver_msg(std::span<const std::byte> b, const model::Schema& schema);
+
+std::vector<std::byte> encode(const NotifyMsg& m, const model::Schema& schema);
+NotifyMsg decode_notify_msg(std::span<const std::byte> b, const model::Schema& schema);
+
+std::vector<std::byte> encode(const TriggerMsg& m);
+TriggerMsg decode_trigger_msg(std::span<const std::byte> b);
+
+// --- BROCLI bitmap helpers ---------------------------------------------------
+
+std::vector<std::byte> make_bitmap(size_t bits);
+bool bitmap_get(std::span<const std::byte> bm, size_t i);
+void bitmap_set(std::span<std::byte> bm, size_t i);
+bool bitmap_all(std::span<const std::byte> bm, size_t bits);
+
+}  // namespace subsum::net

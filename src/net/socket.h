@@ -1,0 +1,79 @@
+// Minimal RAII TCP sockets over IPv4 loopback. Blocking I/O; every error
+// surfaces as NetError. Enough to run a real multi-broker deployment on one
+// machine (the paper's evaluation scale) without external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace subsum::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A connected TCP socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer; throws NetError on failure.
+  void send_all(std::span<const std::byte> data);
+
+  /// Reads exactly data.size() bytes. Returns false on clean EOF at a
+  /// message boundary (nothing read); throws NetError on partial reads or
+  /// errors.
+  bool recv_exact(std::span<std::byte> data);
+
+  /// Half-closes the write side (wakes a blocked reader on the peer).
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port.
+class Listener {
+ public:
+  explicit Listener(uint16_t port);
+  ~Listener() { close(); }
+
+  Listener(Listener&& o) noexcept : fd_(o.fd_), port_(o.port_) { o.fd_ = -1; }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener& operator=(Listener&&) = delete;
+
+  [[nodiscard]] uint16_t port() const noexcept { return port_; }
+
+  /// Blocks for the next connection; nullopt once the listener was closed.
+  std::optional<Socket> accept();
+
+  /// Unblocks accept() from another thread.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port; throws NetError on failure.
+Socket connect_local(uint16_t port);
+
+}  // namespace subsum::net

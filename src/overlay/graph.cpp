@@ -1,0 +1,101 @@
+#include "overlay/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace subsum::overlay {
+
+void Graph::add_edge(BrokerId a, BrokerId b) {
+  if (a >= adj_.size() || b >= adj_.size()) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (a == b) throw std::invalid_argument("self-loop not allowed");
+  if (has_edge(a, b)) throw std::invalid_argument("duplicate edge");
+  adj_[a].insert(std::lower_bound(adj_[a].begin(), adj_[a].end(), b), b);
+  adj_[b].insert(std::lower_bound(adj_[b].begin(), adj_[b].end(), a), a);
+}
+
+bool Graph::has_edge(BrokerId a, BrokerId b) const noexcept {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  return std::binary_search(adj_[a].begin(), adj_[a].end(), b);
+}
+
+size_t Graph::max_degree() const noexcept {
+  size_t m = 0;
+  for (const auto& n : adj_) m = std::max(m, n.size());
+  return m;
+}
+
+size_t Graph::edge_count() const noexcept {
+  size_t n = 0;
+  for (const auto& a : adj_) n += a.size();
+  return n / 2;
+}
+
+std::vector<std::pair<BrokerId, BrokerId>> Graph::edges() const {
+  std::vector<std::pair<BrokerId, BrokerId>> out;
+  for (BrokerId a = 0; a < adj_.size(); ++a) {
+    for (BrokerId b : adj_[a]) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Graph::distances_from(BrokerId src) const {
+  std::vector<int> dist(adj_.size(), -1);
+  dist.at(src) = 0;
+  std::queue<BrokerId> q;
+  q.push(src);
+  while (!q.empty()) {
+    const BrokerId v = q.front();
+    q.pop();
+    for (BrokerId w : adj_[v]) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (adj_.empty()) return true;
+  const auto d = distances_from(0);
+  return std::none_of(d.begin(), d.end(), [](int x) { return x < 0; });
+}
+
+int Graph::diameter() const {
+  int dia = 0;
+  for (BrokerId v = 0; v < adj_.size(); ++v) {
+    for (int d : distances_from(v)) {
+      if (d < 0) return -1;
+      dia = std::max(dia, d);
+    }
+  }
+  return dia;
+}
+
+double Graph::mean_pairwise_distance() const {
+  double sum = 0;
+  size_t pairs = 0;
+  for (BrokerId v = 0; v < adj_.size(); ++v) {
+    for (int d : distances_from(v)) {
+      if (d > 0) {
+        sum += d;
+        ++pairs;
+      }
+    }
+  }
+  return pairs ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+std::string Graph::to_string() const {
+  std::string out = "graph(" + std::to_string(size()) + " nodes, " +
+                    std::to_string(edge_count()) + " edges)";
+  return out;
+}
+
+}  // namespace subsum::overlay

@@ -1,0 +1,56 @@
+// Undirected broker overlay graphs (paper §4.2 operates on the overlay
+// topology; §5.2 evaluates on a 24-node ISP backbone).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/sub_id.h"
+
+namespace subsum::overlay {
+
+using model::BrokerId;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t n) : adj_(n) {}
+
+  [[nodiscard]] size_t size() const noexcept { return adj_.size(); }
+
+  /// Adds an undirected edge; self-loops and duplicates are rejected
+  /// (std::invalid_argument).
+  void add_edge(BrokerId a, BrokerId b);
+
+  [[nodiscard]] bool has_edge(BrokerId a, BrokerId b) const noexcept;
+
+  /// Neighbors sorted ascending.
+  [[nodiscard]] const std::vector<BrokerId>& neighbors(BrokerId v) const {
+    return adj_.at(v);
+  }
+
+  [[nodiscard]] size_t degree(BrokerId v) const { return adj_.at(v).size(); }
+  [[nodiscard]] size_t max_degree() const noexcept;
+  [[nodiscard]] size_t edge_count() const noexcept;
+  [[nodiscard]] std::vector<std::pair<BrokerId, BrokerId>> edges() const;
+
+  /// BFS hop distances from src; unreachable nodes get -1.
+  [[nodiscard]] std::vector<int> distances_from(BrokerId src) const;
+
+  [[nodiscard]] bool connected() const;
+  [[nodiscard]] int diameter() const;
+
+  /// Mean BFS distance over ordered pairs of distinct reachable nodes
+  /// (the "average number of hops from any broker to any other" used by
+  /// the broadcast-baseline bandwidth formula, §5.2.1).
+  [[nodiscard]] double mean_pairwise_distance() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<BrokerId>> adj_;
+};
+
+}  // namespace subsum::overlay

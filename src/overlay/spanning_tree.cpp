@@ -1,0 +1,55 @@
+#include "overlay/spanning_tree.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace subsum::overlay {
+
+size_t SpanningTree::edge_count() const noexcept {
+  size_t n = 0;
+  for (const auto& c : children) n += c.size();
+  return n;
+}
+
+size_t SpanningTree::steiner_edges(const std::vector<BrokerId>& targets) const {
+  std::vector<char> on_path(parent.size(), 0);
+  size_t edges = 0;
+  for (BrokerId t : targets) {
+    BrokerId v = t;
+    while (v != root && !on_path[v]) {
+      on_path[v] = 1;
+      ++edges;  // edge (v, parent[v])
+      v = parent[v];
+    }
+  }
+  return edges;
+}
+
+SpanningTree bfs_tree(const Graph& g, BrokerId root) {
+  SpanningTree t;
+  t.root = root;
+  t.parent.assign(g.size(), root);
+  t.children.assign(g.size(), {});
+  t.depth.assign(g.size(), -1);
+  t.depth.at(root) = 0;
+  std::queue<BrokerId> q;
+  q.push(root);
+  while (!q.empty()) {
+    const BrokerId v = q.front();
+    q.pop();
+    for (BrokerId w : g.neighbors(v)) {  // sorted => smallest-id tie-break
+      if (t.depth[w] < 0) {
+        t.depth[w] = t.depth[v] + 1;
+        t.parent[w] = v;
+        t.children[v].push_back(w);
+        q.push(w);
+      }
+    }
+  }
+  for (int d : t.depth) {
+    if (d < 0) throw std::invalid_argument("graph not connected from root");
+  }
+  return t;
+}
+
+}  // namespace subsum::overlay

@@ -1,0 +1,38 @@
+// Per-source shortest-path (BFS) spanning trees. Siena's subscription
+// propagation forms, "for every broker B, a minimum spanning tree" over
+// which B's subscriptions travel neighbor-to-neighbor (paper §5.2.1); with
+// unit edge weights the BFS tree is such a tree.
+#pragma once
+
+#include <vector>
+
+#include "overlay/graph.h"
+
+namespace subsum::overlay {
+
+struct SpanningTree {
+  BrokerId root = 0;
+  /// parent[v] for v != root; parent[root] == root.
+  std::vector<BrokerId> parent;
+  /// children lists (sorted), forming the same tree.
+  std::vector<std::vector<BrokerId>> children;
+  /// hop depth from the root.
+  std::vector<int> depth;
+
+  [[nodiscard]] size_t size() const noexcept { return parent.size(); }
+
+  /// Total number of tree edges (== size()-1 for connected graphs).
+  [[nodiscard]] size_t edge_count() const noexcept;
+
+  /// Number of tree edges in the union of root->target paths: the message
+  /// count for delivering one thing from the root to every target along the
+  /// tree (used by Siena reverse-path event routing accounting).
+  [[nodiscard]] size_t steiner_edges(const std::vector<BrokerId>& targets) const;
+};
+
+/// BFS tree rooted at `root`; ties broken towards smaller node ids
+/// (deterministic). Throws std::invalid_argument if the graph is not
+/// connected from root.
+SpanningTree bfs_tree(const Graph& g, BrokerId root);
+
+}  // namespace subsum::overlay

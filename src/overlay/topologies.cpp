@@ -1,0 +1,118 @@
+#include "overlay/topologies.h"
+
+#include <stdexcept>
+
+namespace subsum::overlay {
+
+Graph fig7_tree() {
+  Graph g(13);
+  // Paper numbering in comments (node = paper broker - 1).
+  const std::pair<int, int> edges[] = {
+      {1, 2},    // 1-2
+      {2, 5},    // 2-5
+      {3, 5},    // 3-5
+      {4, 5},    // 4-5
+      {6, 5},    // 6-5
+      {5, 7},    // 5-7
+      {7, 8},    // 7-8
+      {8, 9},    // 8-9
+      {8, 10},   // 8-10
+      {10, 11},  // 10-11
+      {11, 12},  // 11-12
+      {11, 13},  // 11-13
+  };
+  for (auto [a, b] : edges) g.add_edge(static_cast<BrokerId>(a - 1), static_cast<BrokerId>(b - 1));
+  return g;
+}
+
+Graph cable_wireless_24() {
+  Graph g(24);
+  const std::pair<int, int> edges[] = {
+      {0, 1},   {0, 9},   {1, 2},   {2, 3},   {3, 4},   {3, 9},   {4, 5},
+      {5, 6},   {5, 7},   {5, 8},   {5, 11},  {6, 7},   {7, 11},  {8, 9},
+      {9, 10},  {10, 11}, {10, 14}, {10, 15}, {11, 12}, {11, 13}, {11, 14},
+      {12, 13}, {12, 17}, {12, 19}, {14, 15}, {14, 16}, {15, 16}, {15, 20},
+      {15, 22}, {15, 23}, {16, 17}, {17, 18}, {17, 20}, {18, 19}, {20, 21},
+      {21, 22}, {22, 23},
+  };
+  for (auto [a, b] : edges) g.add_edge(static_cast<BrokerId>(a), static_cast<BrokerId>(b));
+  return g;
+}
+
+const std::vector<std::string>& cable_wireless_24_names() {
+  static const std::vector<std::string> names = {
+      "Seattle",     "Portland",  "Sacramento", "SanFrancisco", "SanJose",
+      "LosAngeles",  "SanDiego",  "Phoenix",    "LasVegas",     "SaltLakeCity",
+      "Denver",      "Dallas",    "Houston",    "Austin",       "KansasCity",
+      "Chicago",     "StLouis",   "Atlanta",    "Miami",        "Tampa",
+      "WashingtonDC", "Philadelphia", "NewYork", "Boston",
+  };
+  return names;
+}
+
+Graph random_tree(size_t n, util::Rng& rng) {
+  Graph g(n);
+  for (BrokerId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<BrokerId>(rng.below(v)));
+  }
+  return g;
+}
+
+Graph preferential_attachment(size_t n, size_t m, util::Rng& rng) {
+  if (m < 1) throw std::invalid_argument("m must be >= 1");
+  Graph g(n);
+  std::vector<BrokerId> endpoint_pool;  // node repeated once per degree
+  for (BrokerId v = 1; v < n; ++v) {
+    const size_t links = std::min(m, static_cast<size_t>(v));
+    std::vector<BrokerId> targets;
+    while (targets.size() < links) {
+      BrokerId t;
+      if (endpoint_pool.empty() || rng.chance(0.1)) {
+        t = static_cast<BrokerId>(rng.below(v));  // uniform fallback/mixing
+      } else {
+        t = endpoint_pool[rng.below(endpoint_pool.size())];
+      }
+      if (t < v && !g.has_edge(v, t) &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (BrokerId t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph line(size_t n) {
+  Graph g(n);
+  for (BrokerId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph ring(size_t n) {
+  if (n < 3) throw std::invalid_argument("ring needs >= 3 nodes");
+  Graph g = line(n);
+  g.add_edge(static_cast<BrokerId>(n - 1), 0);
+  return g;
+}
+
+Graph star(size_t n) {
+  if (n < 2) throw std::invalid_argument("star needs >= 2 nodes");
+  Graph g(n);
+  for (BrokerId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph balanced_tree(size_t n, size_t arity) {
+  if (arity < 1) throw std::invalid_argument("arity must be >= 1");
+  Graph g(n);
+  for (BrokerId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<BrokerId>((v - 1) / arity));
+  }
+  return g;
+}
+
+}  // namespace subsum::overlay

@@ -1,0 +1,41 @@
+// Stock topologies used by tests, examples and the evaluation benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "overlay/graph.h"
+#include "util/rng.h"
+
+namespace subsum::overlay {
+
+/// The 13-broker example tree of paper fig 7 (0-indexed: paper broker k is
+/// node k-1). Node 4 (paper broker 5) has the maximum degree, 5; nodes
+/// 0,2,3,5,8,11,12 are leaves; 1,6,9 have degree 2; 7 and 10 degree 3.
+Graph fig7_tree();
+
+/// 24-node US ISP-backbone-like overlay standing in for the Cable & Wireless
+/// plc backbone the paper evaluates on (the cited map is no longer
+/// available). Degree profile: max 6, mean ~3.1, diameter ~7 — in line with
+/// published single-ISP backbones of 20-33 nodes. See DESIGN.md
+/// (substitutions).
+Graph cable_wireless_24();
+
+/// City names for cable_wireless_24 nodes (for example output).
+const std::vector<std::string>& cable_wireless_24_names();
+
+/// Uniform random spanning tree over n nodes (random attachment).
+Graph random_tree(size_t n, util::Rng& rng);
+
+/// Barabási–Albert-style preferential attachment: each new node attaches to
+/// m distinct existing nodes chosen proportionally to degree.
+Graph preferential_attachment(size_t n, size_t m, util::Rng& rng);
+
+Graph line(size_t n);
+Graph ring(size_t n);
+Graph star(size_t n);
+
+/// Complete binary-ish tree with the given arity.
+Graph balanced_tree(size_t n, size_t arity);
+
+}  // namespace subsum::overlay

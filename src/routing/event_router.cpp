@@ -1,0 +1,102 @@
+#include "routing/event_router.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace subsum::routing {
+
+using overlay::BrokerId;
+
+std::vector<model::SubId> RouteResult::matched_ids() const {
+  std::vector<model::SubId> out;
+  for (const auto& d : deliveries) out.insert(out.end(), d.ids.begin(), d.ids.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
+                        BrokerId origin, const model::Event& event,
+                        const RouterOptions& opts) {
+  const size_t n = g.size();
+  if (state.held.size() != n || origin >= n) {
+    throw std::invalid_argument("routing state does not fit the graph");
+  }
+  if (opts.virtual_degrees && opts.virtual_degrees->size() != n) {
+    throw std::invalid_argument("virtual_degrees size mismatch");
+  }
+  const auto degree_of = [&](BrokerId b) -> int {
+    return opts.virtual_degrees ? (*opts.virtual_degrees)[b]
+                                : static_cast<int>(g.degree(b));
+  };
+  // Score of forwarding to b under the configured strategy; brocli is
+  // captured by reference below so kLargestCoverage sees the current walk
+  // state ("how many unexamined brokers would b's knowledge add").
+  std::vector<char> brocli(n, 0);
+  const auto score_of = [&](BrokerId b) -> int {
+    if (opts.strategy == ForwardStrategy::kHighestDegree) return degree_of(b);
+    int fresh = 0;
+    for (BrokerId x : state.merged_brokers[b]) fresh += !brocli[x];
+    return fresh;
+  };
+
+  RouteResult r;
+  size_t brocli_count = 0;
+  const auto add_to_brocli = [&](BrokerId b) {
+    if (!brocli[b]) {
+      brocli[b] = 1;
+      ++brocli_count;
+    }
+  };
+
+  BrokerId current = origin;
+  while (true) {
+    r.visited.push_back(current);
+
+    // Step 1: check the local merged summary for matches.
+    const auto matched = core::match(state.held[current], event);
+
+    // Notify owners of fresh matches: owners already in the incoming BROCLI
+    // were examined (and notified) by an earlier broker.
+    std::map<BrokerId, std::vector<model::SubId>> by_owner;
+    for (const auto& id : matched) {
+      if (!brocli[id.broker]) by_owner[id.broker].push_back(id);
+    }
+    for (auto& [owner, ids] : by_owner) {
+      r.deliveries.push_back({current, owner, std::move(ids)});
+      if (owner != current) ++r.delivery_hops;  // local delivery is free
+    }
+
+    // Step 2: update BROCLI with this broker's Merged_Brokers set.
+    for (BrokerId b : state.merged_brokers[current]) add_to_brocli(b);
+
+    // Step 4: continue while some broker's subscriptions are unexamined.
+    if (brocli_count == n) break;
+    std::optional<BrokerId> next;
+    size_t ties = 0;
+    for (BrokerId b = 0; b < n; ++b) {
+      if (brocli[b]) continue;
+      if (!next || score_of(b) > score_of(*next)) {
+        next = b;
+        ties = 1;
+      } else if (opts.tie_salt != 0 && score_of(b) == score_of(*next)) {
+        // Reservoir-style rotation among equal-degree candidates.
+        ++ties;
+        if ((opts.tie_salt % ties) == 0) next = b;
+      }
+    }
+    ++r.forward_hops;
+    current = *next;
+  }
+  return r;
+}
+
+std::vector<int> capped_virtual_degrees(const overlay::Graph& g, int cap) {
+  std::vector<int> v(g.size());
+  for (BrokerId b = 0; b < g.size(); ++b) {
+    v[b] = std::min(static_cast<int>(g.degree(b)), cap);
+  }
+  return v;
+}
+
+}  // namespace subsum::routing

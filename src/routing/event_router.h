@@ -1,0 +1,90 @@
+// Distributed event processing (paper §4.3, Algorithm 3).
+//
+// Each event carries BROCLI_e, the set of brokers whose subscriptions have
+// already been examined. A visited broker matches the event against its
+// merged summary, notifies the owners (c1 of each matched id) of fresh
+// matches, adds its whole Merged_Brokers set to BROCLI, and — while BROCLI
+// does not contain all brokers — forwards the event to the broker with the
+// highest degree not yet in BROCLI. Any broker may address any other
+// directly; each such message counts as one hop (§5.2, "regardless of
+// whether the two brokers are neighbors in the overlay topology").
+//
+// Duplicate-delivery suppression (see DESIGN.md): a broker notifies an
+// owner only if that owner is NOT in the incoming BROCLI — otherwise some
+// earlier broker already examined (a superset of) the owner's subscriptions
+// and notified it.
+//
+// Load-balancing extension (paper §6 "virtual degrees"): the forwarding
+// rule can use capped virtual degrees so the walk does not always hammer
+// the same maximum-degree brokers; ties are rotated deterministically per
+// event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/matcher.h"
+#include "model/event.h"
+#include "routing/propagation.h"
+
+namespace subsum::routing {
+
+/// One event->owner notification.
+struct Delivery {
+  overlay::BrokerId examined_at = 0;  // broker whose merged summary matched
+  overlay::BrokerId owner = 0;        // c1 of the matched ids
+  std::vector<model::SubId> ids;      // matched subscriptions of that owner
+};
+
+struct RouteResult {
+  std::vector<overlay::BrokerId> visited;  // walk order, starting at origin
+  std::vector<Delivery> deliveries;
+  /// Forwarding messages between examining brokers (= visited.size()-1).
+  size_t forward_hops = 0;
+  /// Notification messages to owners; a broker that examines the event and
+  /// owns a match delivers locally at zero hops.
+  size_t delivery_hops = 0;
+
+  [[nodiscard]] size_t total_hops() const noexcept { return forward_hops + delivery_hops; }
+
+  /// All matched subscription ids across deliveries, sorted.
+  [[nodiscard]] std::vector<model::SubId> matched_ids() const;
+};
+
+/// Which broker the walk forwards to next (§4.3 notes "a number of
+/// alternatives ... trade-off event processing time with load
+/// distribution").
+enum class ForwardStrategy : uint8_t {
+  /// The paper's presented rule: highest (possibly virtual) degree first.
+  kHighestDegree = 0,
+  /// Coverage-aware: the broker whose Merged_Brokers set would add the
+  /// most unexamined brokers to BROCLI. Needs each broker's merged-set
+  /// membership gossiped alongside the summaries (a few bytes per broker —
+  /// the propagation phase already carries the sets); shortens walks on
+  /// topologies whose degrees poorly predict knowledge concentration.
+  kLargestCoverage = 1,
+};
+
+struct RouterOptions {
+  ForwardStrategy strategy = ForwardStrategy::kHighestDegree;
+  /// Optional per-broker virtual degrees replacing real degrees in the
+  /// "highest degree not in BROCLI" choice. Size must equal broker count.
+  std::optional<std::vector<int>> virtual_degrees;
+  /// Rotates tie-breaking among equal-score candidates (e.g. a per-event
+  /// sequence number) to spread load; 0 keeps the smallest-id rule.
+  uint64_t tie_salt = 0;
+};
+
+/// Routes one event published at `origin` through the post-propagation
+/// state. Complexity: at most n broker visits; each visit runs Algorithm 1
+/// on the broker's merged summary.
+RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
+                        overlay::BrokerId origin, const model::Event& event,
+                        const RouterOptions& opts = {});
+
+/// Virtual degrees: real degrees capped at `cap` (paper §6 suggests
+/// reducing the maximum-degree nodes' load).
+std::vector<int> capped_virtual_degrees(const overlay::Graph& g, int cap);
+
+}  // namespace subsum::routing

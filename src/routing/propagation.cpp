@@ -1,0 +1,87 @@
+#include "routing/propagation.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace subsum::routing {
+
+using overlay::BrokerId;
+
+size_t PropagationResult::total_bytes() const noexcept {
+  size_t n = 0;
+  for (const auto& s : sends) n += s.bytes;
+  return n;
+}
+
+PropagationResult propagate(const overlay::Graph& g, const std::vector<core::BrokerSummary>& own,
+                            const core::WireConfig& wire, const PropagationOptions& opts) {
+  const size_t n = g.size();
+  if (own.size() != n) {
+    throw std::invalid_argument("one summary per broker required");
+  }
+
+  PropagationResult r;
+  r.held = own;  // copies: held state starts as each broker's own summary
+  r.merged_brokers.resize(n);
+  for (BrokerId b = 0; b < n; ++b) r.merged_brokers[b] = {b};
+
+  // communicated[b] = neighbors b has exchanged a summary with (either
+  // direction), per "a neighbor with which it has not communicated in any
+  // of the previous iterations".
+  std::vector<std::set<BrokerId>> communicated(n);
+
+  struct Pending {
+    BrokerId from, to;
+    core::BrokerSummary summary;
+    std::vector<BrokerId> merged;
+  };
+
+  const auto deliver = [&](const Pending& p) {
+    communicated[p.from].insert(p.to);
+    communicated[p.to].insert(p.from);
+    r.held[p.to].merge(p.summary);
+    std::vector<BrokerId> merged;
+    std::set_union(r.merged_brokers[p.to].begin(), r.merged_brokers[p.to].end(),
+                   p.merged.begin(), p.merged.end(), std::back_inserter(merged));
+    r.merged_brokers[p.to] = std::move(merged);
+  };
+
+  const size_t max_degree = g.max_degree();
+  for (size_t it = 1; it <= max_degree; ++it) {
+    std::vector<Pending> pending;
+    for (BrokerId b = 0; b < n; ++b) {
+      if (g.degree(b) != it) continue;
+      // Select an eligible neighbor (degree >= own, not yet communicated
+      // with), by the configured degree preference; ties break toward the
+      // smaller id (neighbors are sorted).
+      std::optional<BrokerId> target;
+      for (BrokerId nb : g.neighbors(b)) {
+        if (g.degree(nb) < it) continue;
+        if (communicated[b].contains(nb)) continue;
+        const bool better =
+            !target ||
+            (opts.preference == NeighborPreference::kSmallestDegree
+                 ? g.degree(nb) < g.degree(*target)
+                 : g.degree(nb) > g.degree(*target));
+        if (better) target = nb;
+      }
+      if (!target) continue;  // knowledge sink: nothing to send
+      Pending p{b, *target, r.held[b], r.merged_brokers[b]};
+      r.sends.push_back({static_cast<int>(it), b, *target,
+                         core::wire_size(r.held[b], wire) +
+                             opts.broker_id_bytes * r.merged_brokers[b].size()});
+      if (opts.immediate_delivery) {
+        deliver(p);  // sequential semantics: same-iteration chains compose
+      } else {
+        pending.push_back(std::move(p));
+      }
+    }
+    // Deferred semantics: deliveries land after all sends of the
+    // iteration, so a broker acting now sends its pre-iteration state.
+    for (auto& p : pending) deliver(p);
+  }
+  return r;
+}
+
+}  // namespace subsum::routing

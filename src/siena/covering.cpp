@@ -1,0 +1,58 @@
+#include "siena/covering.h"
+
+namespace subsum::siena {
+
+using core::IntervalSet;
+using core::StringPattern;
+using model::AttrId;
+
+bool interval_subset(const IntervalSet& b, const IntervalSet& a) {
+  return b.intersect(a) == b;
+}
+
+namespace {
+
+IntervalSet arith_region(const model::Subscription& s, AttrId attr) {
+  IntervalSet region = IntervalSet::all();
+  for (const auto& c : s.constraints()) {
+    if (c.attr != attr) continue;
+    region = region.intersect(IntervalSet::from_constraint(c.op, c.operand.as_number()));
+  }
+  return region;
+}
+
+}  // namespace
+
+bool covers(const model::Subscription& a, const model::Subscription& b,
+            const model::Schema& schema) {
+  // Every attribute a constrains must be constrained by b at least as
+  // tightly; b may constrain extra attributes (making it narrower).
+  if ((b.mask() & a.mask()) != a.mask()) return false;
+
+  for (AttrId attr = 0; attr < schema.attr_count(); ++attr) {
+    if (!(a.mask() & model::attr_bit(attr))) continue;
+    if (is_arithmetic(schema.type_of(attr))) {
+      if (!interval_subset(arith_region(b, attr), arith_region(a, attr))) return false;
+    } else {
+      // For each pattern of a there must be a pattern of b that it provably
+      // covers: sat(b on attr) ⊆ sat(pb) ⊆ sat(pa).
+      for (const auto& ca : a.constraints()) {
+        if (ca.attr != attr) continue;
+        const StringPattern pa{ca.op, ca.operand.as_string()};
+        bool proven = false;
+        for (const auto& cb : b.constraints()) {
+          if (cb.attr != attr) continue;
+          const StringPattern pb{cb.op, cb.operand.as_string()};
+          if (core::covers(pa, pb)) {
+            proven = true;
+            break;
+          }
+        }
+        if (!proven) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace subsum::siena

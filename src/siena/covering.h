@@ -1,0 +1,23 @@
+// Subscription-level covering (subsumption), the fundamental notion of the
+// Siena comparator (paper §2.2): subscription A covers B iff every event
+// matching B also matches A. The test is sound but deliberately incomplete
+// (returns false when a cheap proof is unavailable), which only makes the
+// comparator forward/store more — i.e. it never cheats in Siena's favour is
+// false; it errs AGAINST subsumption savings, matching how the paper models
+// Siena probabilistically anyway.
+#pragma once
+
+#include "core/interval.h"
+#include "core/string_constraint.h"
+#include "model/subscription.h"
+
+namespace subsum::siena {
+
+/// sat(b) ⊆ sat(a), provably.
+bool covers(const model::Subscription& a, const model::Subscription& b,
+            const model::Schema& schema);
+
+/// Interval-set inclusion helper: b ⊆ a.
+bool interval_subset(const core::IntervalSet& b, const core::IntervalSet& a);
+
+}  // namespace subsum::siena

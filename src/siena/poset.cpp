@@ -1,0 +1,31 @@
+#include "siena/poset.h"
+
+#include <algorithm>
+
+namespace subsum::siena {
+
+bool CoverTable::add(const model::OwnedSubscription& sub) {
+  if (is_covered(sub.sub)) return false;
+  std::erase_if(entries_, [&](const model::OwnedSubscription& e) {
+    return covers(sub.sub, e.sub, *schema_);
+  });
+  entries_.push_back(sub);
+  return true;
+}
+
+bool CoverTable::is_covered(const model::Subscription& sub) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const model::OwnedSubscription& e) {
+    return covers(e.sub, sub, *schema_);
+  });
+}
+
+std::vector<model::SubId> CoverTable::match(const model::Event& e) const {
+  std::vector<model::SubId> out;
+  for (const auto& entry : entries_) {
+    if (entry.sub.matches(e)) out.push_back(entry.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace subsum::siena

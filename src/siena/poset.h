@@ -1,0 +1,40 @@
+// A broker-local table of subscriptions ordered by covering, as used by
+// Siena-style brokers: a newly arriving subscription is dropped (not
+// stored, not forwarded further on an interface) when an already-known
+// subscription covers it.
+#pragma once
+
+#include <vector>
+
+#include "model/subscription.h"
+#include "siena/covering.h"
+
+namespace subsum::siena {
+
+class CoverTable {
+ public:
+  explicit CoverTable(const model::Schema& schema) : schema_(&schema) {}
+
+  /// Inserts unless an existing entry covers `sub`. Returns true if the
+  /// subscription was inserted (i.e. it must be processed further).
+  /// Entries that the new subscription covers are pruned.
+  bool add(const model::OwnedSubscription& sub);
+
+  /// True if some stored subscription covers `sub`.
+  [[nodiscard]] bool is_covered(const model::Subscription& sub) const;
+
+  /// Stored (maximal) subscriptions.
+  [[nodiscard]] const std::vector<model::OwnedSubscription>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] size_t size() const noexcept { return entries_.size(); }
+
+  /// Ids of stored subscriptions matching the event, sorted.
+  [[nodiscard]] std::vector<model::SubId> match(const model::Event& e) const;
+
+ private:
+  const model::Schema* schema_;
+  std::vector<model::OwnedSubscription> entries_;
+};
+
+}  // namespace subsum::siena

@@ -1,0 +1,161 @@
+#include "siena/siena_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subsum::siena {
+
+using model::OwnedSubscription;
+using overlay::BrokerId;
+
+size_t subscription_wire_bytes(const model::Subscription& sub, size_t sid_bytes) {
+  size_t n = sid_bytes;
+  for (const auto& c : sub.constraints()) {
+    n += 2;  // attribute id + operator
+    if (c.operand.type() == model::AttrType::kString) {
+      n += 1 + c.operand.as_string().size();
+    } else {
+      n += 8;
+    }
+  }
+  return n;
+}
+
+SienaNetwork::SienaNetwork(const model::Schema& schema, const overlay::Graph& g)
+    : schema_(&schema), graph_(&g) {
+  brokers_.reserve(g.size());
+  for (size_t i = 0; i < g.size(); ++i) brokers_.emplace_back(schema);
+}
+
+SienaNetwork::SubscribeStats SienaNetwork::subscribe(BrokerId home,
+                                                     const OwnedSubscription& sub) {
+  if (sub.id.broker != home) {
+    throw std::invalid_argument("subscription id c1 must equal the home broker");
+  }
+  SubscribeStats stats;
+  brokers_.at(home).own.add(sub);
+  forward_subscription(home, home, sub, stats);
+  return stats;
+}
+
+void SienaNetwork::forward_subscription(BrokerId at, BrokerId via,
+                                        const OwnedSubscription& sub,
+                                        SubscribeStats& stats) {
+  Broker& b = brokers_[at];
+  for (BrokerId nb : graph_->neighbors(at)) {
+    if (nb == via && at != via) continue;  // never send back where it came from
+    auto [it, inserted] = b.sent_to.try_emplace(nb, *schema_);
+    CoverTable& sent = it->second;
+    (void)inserted;
+    if (!sent.add(sub)) continue;  // a covering subscription already went this way
+    ++stats.messages;
+    stats.bytes += subscription_wire_bytes(sub.sub);
+    // Receive at nb: record the arrival interface; keep flooding only if the
+    // subscription is not covered there either.
+    Broker& r = brokers_[nb];
+    auto [jt, created] = r.from.try_emplace(at, *schema_);
+    (void)created;
+    if (jt->second.add(sub)) {
+      forward_subscription(nb, at, sub, stats);
+    }
+  }
+}
+
+SienaNetwork::PublishResult SienaNetwork::publish(BrokerId origin, const model::Event& event) {
+  PublishResult out;
+  // Depth-first reverse-path flood. Sentinel `via == at` at the origin.
+  struct Frame {
+    BrokerId at, via;
+  };
+  std::vector<Frame> stack{{origin, origin}};
+  std::vector<char> seen(graph_->size(), 0);  // guards against cyclic tables
+  seen[origin] = 1;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Broker& b = brokers_[f.at];
+    const auto local = b.own.match(event);
+    out.delivered.insert(out.delivered.end(), local.begin(), local.end());
+    for (const auto& [nb, table] : b.from) {
+      if (nb == f.via && f.at != f.via) continue;
+      if (seen[nb]) continue;
+      if (table.match(event).empty()) continue;
+      seen[nb] = 1;
+      ++out.forward_hops;
+      stack.push_back({nb, f.at});
+    }
+  }
+  std::sort(out.delivered.begin(), out.delivered.end());
+  out.delivered.erase(std::unique(out.delivered.begin(), out.delivered.end()),
+                      out.delivered.end());
+  return out;
+}
+
+size_t SienaNetwork::stored_entries() const noexcept {
+  size_t n = 0;
+  for (const auto& b : brokers_) {
+    n += b.own.size();
+    for (const auto& [nb, t] : b.from) {
+      (void)nb;
+      n += t.size();
+    }
+  }
+  return n;
+}
+
+size_t SienaNetwork::stored_bytes(size_t sid_bytes) const noexcept {
+  size_t n = 0;
+  for (const auto& b : brokers_) {
+    for (const auto& e : b.own.entries()) n += subscription_wire_bytes(e.sub, sid_bytes);
+    for (const auto& [nb, t] : b.from) {
+      (void)nb;
+      for (const auto& e : t.entries()) n += subscription_wire_bytes(e.sub, sid_bytes);
+    }
+  }
+  return n;
+}
+
+size_t PropModelResult::stored_total() const noexcept {
+  size_t n = 0;
+  for (size_t s : stored_per_broker) n += s;
+  return n;
+}
+
+PropModelResult propagate_model(const overlay::Graph& g, size_t sigma_per_broker,
+                                const ModelParams& params, util::Rng& rng) {
+  const size_t n = g.size();
+  const double max_deg = static_cast<double>(g.max_degree());
+  PropModelResult r;
+  r.stored_per_broker.assign(n, 0);
+
+  for (BrokerId home = 0; home < n; ++home) {
+    const auto tree = overlay::bfs_tree(g, home);
+    for (size_t s = 0; s < sigma_per_broker; ++s) {
+      r.stored_per_broker[home] += 1;  // the home copy
+      // Walk the tree; each broker drops the subscription toward each child
+      // with its own subsumption probability.
+      std::vector<BrokerId> frontier{home};
+      while (!frontier.empty()) {
+        const BrokerId at = frontier.back();
+        frontier.pop_back();
+        const double p = params.max_subsumption *
+                         (static_cast<double>(g.degree(at)) / max_deg);
+        for (BrokerId child : tree.children[at]) {
+          if (rng.chance(p)) continue;  // subsumed: not forwarded
+          ++r.messages;
+          r.stored_per_broker[child] += 1;
+          frontier.push_back(child);
+        }
+      }
+    }
+  }
+  r.bytes = r.messages * params.avg_sub_bytes;
+  return r;
+}
+
+size_t event_hops_model(const overlay::SpanningTree& tree,
+                        const std::vector<BrokerId>& matched) {
+  return tree.steiner_edges(matched);
+}
+
+}  // namespace subsum::siena

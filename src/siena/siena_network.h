@@ -1,0 +1,110 @@
+// The Siena-style comparator (paper §2.2, §5.2).
+//
+// Two layers:
+//
+//  1. SienaNetwork — a REAL implementation of subsumption-based subscription
+//     propagation and reverse-path event routing: subscriptions flood from
+//     their home broker neighbor-to-neighbor, cut off wherever a previously
+//     forwarded subscription covers them; each broker keeps per-interface
+//     tables, and events follow the reverse subscription paths. Used by
+//     tests, examples and ablations.
+//
+//  2. The PROBABILISTIC model of §5.2 used for the paper's figures: each
+//     broker drops (as "subsumed") each subscription it would forward with
+//     probability  p_B = p_max * degree(B) / max_degree.  The paper states
+//     only p_max; propagate_model reproduces its accounting of messages,
+//     bytes and per-broker storage, and event_hops_model reproduces Siena's
+//     reverse-path hop count as the union of tree paths from the publisher
+//     to the matched brokers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "model/event.h"
+#include "model/subscription.h"
+#include "overlay/graph.h"
+#include "overlay/spanning_tree.h"
+#include "siena/poset.h"
+#include "util/rng.h"
+
+namespace subsum::siena {
+
+/// Approximate wire size of one subscription (1-byte attr + 1-byte op +
+/// value bytes per constraint, plus the id). The paper uses a flat average
+/// of 50 bytes; this lets the real layer charge actual sizes.
+size_t subscription_wire_bytes(const model::Subscription& sub, size_t sid_bytes = 4);
+
+// ---------------------------------------------------------------------------
+// Layer 1: real mechanism
+// ---------------------------------------------------------------------------
+
+class SienaNetwork {
+ public:
+  SienaNetwork(const model::Schema& schema, const overlay::Graph& g);
+
+  struct SubscribeStats {
+    size_t messages = 0;  // subscription-forward hops
+    size_t bytes = 0;     // Σ message sizes
+  };
+
+  /// Installs a subscription at its home broker and propagates it with
+  /// covering cut-offs. sub.id.broker must equal `home`.
+  SubscribeStats subscribe(overlay::BrokerId home, const model::OwnedSubscription& sub);
+
+  struct PublishResult {
+    std::vector<model::SubId> delivered;  // sorted ids of all matched subs
+    size_t forward_hops = 0;              // event messages between brokers
+    [[nodiscard]] size_t total_hops() const noexcept { return forward_hops; }
+  };
+
+  /// Publishes an event; it follows the reverse subscription paths.
+  PublishResult publish(overlay::BrokerId origin, const model::Event& event);
+
+  /// Total subscriptions stored across all brokers (own + interface tables).
+  [[nodiscard]] size_t stored_entries() const noexcept;
+  [[nodiscard]] size_t stored_bytes(size_t sid_bytes = 4) const noexcept;
+
+ private:
+  struct Broker {
+    CoverTable own;                                   // local clients' subs
+    std::map<overlay::BrokerId, CoverTable> from;     // per-interface tables
+    std::map<overlay::BrokerId, CoverTable> sent_to;  // covering cut-off state
+    explicit Broker(const model::Schema& s) : own(s) {}
+  };
+
+  void forward_subscription(overlay::BrokerId at, overlay::BrokerId via,
+                            const model::OwnedSubscription& sub, SubscribeStats& stats);
+
+  const model::Schema* schema_;
+  const overlay::Graph* graph_;
+  std::vector<Broker> brokers_;
+};
+
+// ---------------------------------------------------------------------------
+// Layer 2: the paper's probabilistic model
+// ---------------------------------------------------------------------------
+
+struct ModelParams {
+  double max_subsumption = 0.1;  // the figure legends' "Subsumption = x%"
+  size_t avg_sub_bytes = 50;     // table 2: average subscription size
+};
+
+struct PropModelResult {
+  size_t messages = 0;                   // subscription-forward hops
+  size_t bytes = 0;                      // messages * avg_sub_bytes
+  std::vector<size_t> stored_per_broker;  // subscription copies at each broker
+  [[nodiscard]] size_t stored_total() const noexcept;
+};
+
+/// σ subscriptions per broker propagate over each home broker's BFS tree
+/// with per-broker probabilistic subsumption cut-off.
+PropModelResult propagate_model(const overlay::Graph& g, size_t sigma_per_broker,
+                                const ModelParams& params, util::Rng& rng);
+
+/// Siena's event hop count to reach `matched` from `origin`: tree edges in
+/// the union of reverse paths.
+size_t event_hops_model(const overlay::SpanningTree& tree,
+                        const std::vector<overlay::BrokerId>& matched);
+
+}  // namespace subsum::siena

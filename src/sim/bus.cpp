@@ -1,0 +1,41 @@
+#include "sim/bus.h"
+
+namespace subsum::sim {
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kSummary:
+      return "summary";
+    case MsgType::kSubForward:
+      return "sub-forward";
+    case MsgType::kEventForward:
+      return "event-forward";
+    case MsgType::kEventDelivery:
+      return "event-delivery";
+  }
+  return "?";
+}
+
+size_t Accounting::total_messages() const noexcept {
+  size_t n = 0;
+  for (const auto& c : cells_) n += c.messages;
+  return n;
+}
+
+size_t Accounting::total_bytes() const noexcept {
+  size_t n = 0;
+  for (const auto& c : cells_) n += c.bytes;
+  return n;
+}
+
+std::string Accounting::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < kMsgTypeCount; ++i) {
+    const auto t = static_cast<MsgType>(i);
+    out += std::string(sim::to_string(t)) + ": " + std::to_string(messages(t)) + " msgs, " +
+           std::to_string(bytes(t)) + " bytes\n";
+  }
+  return out;
+}
+
+}  // namespace subsum::sim

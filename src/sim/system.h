@@ -1,0 +1,126 @@
+// SimSystem: the full summary-centric pub/sub system, in process.
+//
+// It wires together everything the paper describes: per-broker summaries
+// (core), the degree-iteration propagation (routing, Algorithm 2), the
+// BROCLI event walk (routing, Algorithm 3), and exact re-filtering at each
+// subscription's home broker. Subscriptions become visible to the rest of
+// the network at the next propagation period (the paper's σ batching);
+// the home broker always matches its own subscriptions immediately.
+//
+// This class is the recommended public entry point for in-process use and
+// is what the examples and most integration tests drive. For real sockets,
+// see net/cluster.h, which speaks the same protocol over TCP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/serialize.h"
+#include "model/event.h"
+#include "model/subscription.h"
+#include "overlay/graph.h"
+#include "routing/event_router.h"
+#include "routing/propagation.h"
+#include "sim/bus.h"
+
+namespace subsum::sim {
+
+/// Approximate wire size of an event (1-byte attr tag + value bytes per
+/// attribute), used to account event-forward bandwidth.
+size_t event_wire_bytes(const model::Event& e);
+
+struct SystemConfig {
+  model::Schema schema;
+  overlay::Graph graph;
+  uint64_t max_subs_per_broker = uint64_t{1} << 20;  // sizes the id codec's c2
+  core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe;
+  core::AacsMode arith_mode = core::AacsMode::kExact;  // kCoarse mirrors the paper
+  uint8_t numeric_width = 8;  // wire width for AACS values (4 mirrors the paper)
+  routing::RouterOptions router;
+  routing::PropagationOptions propagation;
+  /// The paper's §6 "combining summarization and subsumption": a new
+  /// subscription covered by an already-propagated subscription of the same
+  /// broker is NOT dissolved into the summaries (saving rows, ids and
+  /// propagation bytes). Events reaching the broker are matched against the
+  /// full home table, so covered subscriptions still receive exactly what
+  /// they should: cov ⊆ root implies every event matching a covered
+  /// subscription also matches its propagated coverer and therefore reaches
+  /// the broker. Unsubscribing a coverer promotes its covered
+  /// subscriptions into the summaries.
+  bool combine_subsumption = false;
+};
+
+class SimSystem {
+ public:
+  explicit SimSystem(SystemConfig cfg);
+
+  [[nodiscard]] const model::Schema& schema() const noexcept { return cfg_.schema; }
+  [[nodiscard]] const overlay::Graph& graph() const noexcept { return cfg_.graph; }
+  [[nodiscard]] size_t broker_count() const noexcept { return cfg_.graph.size(); }
+
+  /// Registers a subscription at `broker`; returns its system-wide id.
+  /// Local matching is immediate; remote brokers learn about it at the next
+  /// run_propagation_period().
+  model::SubId subscribe(overlay::BrokerId broker, model::Subscription sub);
+
+  /// Removes a subscription. Remote summary copies are cleaned up at the
+  /// next propagation period (the paper leaves maintenance scheduling open;
+  /// see DESIGN.md).
+  void unsubscribe(model::SubId id);
+
+  /// Runs one propagation period over the subscriptions added since the
+  /// previous period (the paper's σ batch), merging the results into each
+  /// broker's steady-state summary, and applies pending removals globally.
+  /// Returns the period's propagation trace.
+  routing::PropagationResult run_propagation_period();
+
+  struct PublishOutcome {
+    /// Exact matches, confirmed by the owners' home subscription tables.
+    std::vector<model::SubId> delivered;
+    /// Summary-level matches before home-broker re-filtering (may contain
+    /// SACS false positives; always a superset of `delivered`).
+    std::vector<model::SubId> candidates;
+    routing::RouteResult route;
+  };
+
+  /// Publishes an event at `origin` and routes it per Algorithm 3.
+  PublishOutcome publish(overlay::BrokerId origin, const model::Event& event);
+
+  [[nodiscard]] const Accounting& accounting() const noexcept { return acct_; }
+  Accounting& accounting() noexcept { return acct_; }
+
+  /// Post-propagation routing state (held summaries + Merged_Brokers).
+  [[nodiscard]] const routing::PropagationResult& state() const noexcept { return state_; }
+
+  /// The home subscription table of one broker.
+  [[nodiscard]] const core::NaiveMatcher& home_subs(overlay::BrokerId b) const {
+    return home_.at(b);
+  }
+
+  /// Total bytes of summary structures held across all brokers (fig 11's
+  /// storage metric for our approach).
+  [[nodiscard]] size_t summary_storage_bytes() const;
+
+  [[nodiscard]] const core::WireConfig& wire() const noexcept { return wire_; }
+
+ private:
+  /// Registers `id` in the summaries (delta + local held).
+  void dissolve(overlay::BrokerId broker, const model::Subscription& sub, model::SubId id);
+
+  SystemConfig cfg_;
+  core::WireConfig wire_;
+  Accounting acct_;
+
+  std::vector<core::NaiveMatcher> home_;          // exact tables per broker
+  std::vector<core::BrokerSummary> delta_;        // this period's new subs
+  std::vector<model::SubId> pending_removals_;
+  std::vector<uint32_t> next_local_;              // per-broker c2 allocator
+  routing::PropagationResult state_;              // cumulative held summaries
+  /// combine_subsumption bookkeeping: propagated root -> covered local subs.
+  std::map<model::SubId, std::vector<model::SubId>> covered_by_;
+};
+
+}  // namespace subsum::sim

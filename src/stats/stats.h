@@ -1,0 +1,54 @@
+// Tiny statistics and table-printing helpers used by bench/ to emit the
+// paper's rows and series.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace subsum::stats {
+
+/// Online accumulator: count / mean / min / max / stddev.
+class Series {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0; }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0;
+  double sumsq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-width text table: add a header once, then rows; print aligns
+/// columns. Values are formatted with %.4g unless added as strings.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles.
+  Table& rowf(const std::vector<double>& cells);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// %.4g formatting shared with Table::rowf.
+std::string fmt(double v);
+
+}  // namespace subsum::stats

@@ -1,0 +1,14 @@
+#include "util/bytes.h"
+
+namespace subsum::util {
+
+size_t varint_size(uint64_t v) noexcept {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace subsum::util

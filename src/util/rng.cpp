@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace subsum::util {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& state) noexcept {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) noexcept {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next() noexcept {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::range_i64(int64_t lo, int64_t hi) noexcept {
+  return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::range_f64(double lo, double hi) noexcept {
+  return lo + uniform01() * (hi - lo);
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+std::string Rng::ascii_lower(size_t len) {
+  std::string s(len, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + below(26));
+  return s;
+}
+
+Rng Rng::split() noexcept { return Rng(next()); }
+
+Zipf::Zipf(size_t n, double s) {
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+size_t Zipf::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  size_t lo = 0, hi = cdf_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid - 1] <= u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace subsum::util

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random generation for workloads, benches and
+// property tests. xoshiro256** seeded via splitmix64: fast, reproducible
+// across platforms (unlike std::default_random_engine), and good enough
+// statistically for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subsum::util {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  uint64_t next() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t below(uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t range_i64(int64_t lo, int64_t hi) noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform in [lo, hi).
+  double range_f64(double lo, double hi) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Random lowercase ASCII string of the given length.
+  std::string ascii_lower(size_t len);
+
+  /// Split off an independent stream (for parallel deterministic workloads).
+  Rng split() noexcept;
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, .., n-1}; rank 0 is most popular.
+/// Uses the inverse-CDF over a precomputed table (n is small in our
+/// workloads, so O(log n) per sample via binary search).
+class Zipf {
+ public:
+  Zipf(size_t n, double s);
+  size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace subsum::util

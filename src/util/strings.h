@@ -1,0 +1,20 @@
+// Small string helpers used by SACS covering checks and pretty-printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subsum::util {
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+bool contains(std::string_view s, std::string_view needle) noexcept;
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Format a double the way values appear in events (trim trailing zeros).
+std::string format_number(double v);
+
+}  // namespace subsum::util

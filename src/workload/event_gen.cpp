@@ -1,0 +1,195 @@
+#include "workload/event_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <cmath>
+
+#include "core/interval.h"
+#include "util/strings.h"
+
+namespace subsum::workload {
+
+using model::AttrId;
+
+namespace {
+
+/// A concrete point inside a non-empty interval set, preferring integral
+/// values when `integral` is set; nullopt when no integral point exists.
+std::optional<double> point_in(const core::IntervalSet& region, bool integral) {
+  for (const auto& iv : region.intervals()) {
+    const bool lo_inf = std::isinf(iv.lo.v);
+    const bool hi_inf = std::isinf(iv.hi.v);
+    double candidate;
+    if (!integral) {
+      if (lo_inf && hi_inf) {
+        candidate = 0.0;
+      } else if (lo_inf) {
+        candidate = iv.hi.v - 1.0;
+      } else if (hi_inf) {
+        candidate = iv.lo.v + 1.0;
+      } else if (iv.lo.v == iv.hi.v) {
+        candidate = iv.lo.v;
+      } else {
+        candidate = (iv.lo.v + iv.hi.v) / 2.0;
+      }
+    } else {
+      if (lo_inf && hi_inf) {
+        candidate = 0.0;
+      } else if (lo_inf) {
+        candidate = std::floor(iv.hi.v) ;
+        if (!iv.contains(candidate)) candidate -= 1.0;
+      } else if (hi_inf) {
+        candidate = std::ceil(iv.lo.v);
+        if (!iv.contains(candidate)) candidate += 1.0;
+      } else {
+        candidate = std::ceil(iv.lo.v);
+        if (!iv.contains(candidate)) candidate += 1.0;
+      }
+    }
+    if (iv.contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+/// A string satisfying the conjunction of patterns, or nullopt.
+std::optional<std::string> string_satisfying(const std::vector<model::Constraint>& cs) {
+  // Prefer an equality operand if one exists.
+  std::string candidate;
+  bool have_eq = false;
+  for (const auto& c : cs) {
+    if (c.op == model::Op::kEq) {
+      candidate = c.operand.as_string();
+      have_eq = true;
+      break;
+    }
+  }
+  const auto satisfies_all = [&](const std::string& v) {
+    return std::all_of(cs.begin(), cs.end(), [&](const model::Constraint& c) {
+      return c.matches(model::Value(v));
+    });
+  };
+  if (have_eq) {
+    if (satisfies_all(candidate)) return candidate;
+    return std::nullopt;  // the fixed equality value contradicts another op
+  }
+  // prefix + contains... [+ padding to dodge ≠ collisions] + suffix.
+  std::string prefix, suffix, middle;
+  for (const auto& c : cs) {
+    switch (c.op) {
+      case model::Op::kPrefix:
+        if (c.operand.as_string().size() > prefix.size()) prefix = c.operand.as_string();
+        break;
+      case model::Op::kSuffix:
+        if (c.operand.as_string().size() > suffix.size()) suffix = c.operand.as_string();
+        break;
+      case model::Op::kContains:
+        middle += c.operand.as_string();
+        break;
+      default:
+        break;  // ≠ handled by the padding retries
+    }
+  }
+  std::string pad;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    candidate = prefix + middle + pad + suffix;
+    if (satisfies_all(candidate)) return candidate;
+    pad += "~";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<model::Event> matching_event(const model::Schema& schema,
+                                           const model::Subscription& sub) {
+  std::vector<model::EventAttr> attrs;
+  for (AttrId a = 0; a < schema.attr_count(); ++a) {
+    if (!(sub.mask() & model::attr_bit(a))) continue;
+    const auto cs = sub.constraints_on(a);
+    if (is_arithmetic(schema.type_of(a))) {
+      core::IntervalSet region = core::IntervalSet::all();
+      for (const auto& c : cs) {
+        region = region.intersect(
+            core::IntervalSet::from_constraint(c.op, c.operand.as_number()));
+      }
+      const bool integral = schema.type_of(a) == model::AttrType::kInt;
+      const auto v = point_in(region, integral);
+      if (!v) return std::nullopt;
+      if (integral) {
+        attrs.push_back({a, static_cast<int64_t>(*v)});
+      } else {
+        attrs.push_back({a, *v});
+      }
+    } else {
+      const auto v = string_satisfying(cs);
+      if (!v) return std::nullopt;
+      attrs.push_back({a, *v});
+    }
+  }
+  model::Event e(schema, std::move(attrs));
+  if (!sub.matches(e)) return std::nullopt;  // defensive: never emit a liar
+  return e;
+}
+
+EventGenerator::EventGenerator(const model::Schema& schema, const ValuePools& pools,
+                               EventGenParams params, uint64_t seed)
+    : schema_(&schema), pools_(&pools), params_(params), rng_(seed) {
+  for (AttrId a = 0; a < schema.attr_count(); ++a) {
+    if (is_arithmetic(schema.type_of(a))) {
+      arith_ids_.push_back(a);
+    } else {
+      string_ids_.push_back(a);
+    }
+  }
+  if (params_.arith_attrs > arith_ids_.size() || params_.string_attrs > string_ids_.size()) {
+    throw std::invalid_argument("schema has too few attributes for the requested mix");
+  }
+  if (params_.zipf_exponent > 0 && !string_ids_.empty()) {
+    const size_t pool = pools.strings[string_ids_.front()].size();
+    if (pool > 0) zipf_.emplace(pool, params_.zipf_exponent);
+  }
+}
+
+model::Event EventGenerator::next() {
+  std::vector<model::EventAttr> attrs;
+
+  auto pick = [&](const std::vector<AttrId>& ids, size_t k) {
+    std::vector<AttrId> pool = ids;
+    for (size_t i = 0; i < k; ++i) {
+      std::swap(pool[i], pool[i + rng_.below(pool.size() - i)]);
+    }
+    pool.resize(k);
+    return pool;
+  };
+
+  for (AttrId a : pick(arith_ids_, params_.arith_attrs)) {
+    double v;
+    if (rng_.chance(params_.hit_rate) && !pools_->arith[a].ranges.empty()) {
+      const auto& [lo, hi] = pools_->arith[a].ranges[rng_.below(pools_->arith[a].ranges.size())];
+      v = rng_.range_f64(lo, hi);
+    } else {
+      // A value in the attribute's band but outside the canonical ranges.
+      v = static_cast<double>(a) * 1000.0 + 700.0 +
+          static_cast<double>(miss_counter_++ % 97);
+    }
+    if (schema_->type_of(a) == model::AttrType::kInt) {
+      attrs.push_back({a, static_cast<int64_t>(v)});
+    } else {
+      attrs.push_back({a, v});
+    }
+  }
+  for (AttrId a : pick(string_ids_, params_.string_attrs)) {
+    if (rng_.chance(params_.hit_rate) && !pools_->strings[a].empty()) {
+      const auto& pool = pools_->strings[a];
+      const size_t rank = zipf_ && zipf_->size() <= pool.size() ? zipf_->sample(rng_)
+                                                                : rng_.below(pool.size());
+      attrs.push_back({a, pool[rank]});
+    } else {
+      attrs.push_back({a, "miss-" + rng_.ascii_lower(6)});
+    }
+  }
+  return model::Event(*schema_, std::move(attrs));
+}
+
+}  // namespace subsum::workload

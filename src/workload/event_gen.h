@@ -1,0 +1,50 @@
+// Event workload generator. Draws values from the same ValuePools as the
+// subscription generator so published events actually hit subscribed
+// ranges/strings at a controllable rate.
+#pragma once
+
+#include "model/event.h"
+#include "workload/sub_gen.h"
+
+namespace subsum::workload {
+
+/// Builds an event that provably satisfies `sub` (one value per constrained
+/// attribute, derived from the constraints). Returns nullopt when the
+/// subscription is unsatisfiable or needs a value this constructor cannot
+/// synthesize (e.g. an open integer interval with no integral point).
+/// Drives workloads that must hit an exact target match set (paper fig 10).
+std::optional<model::Event> matching_event(const model::Schema& schema,
+                                           const model::Subscription& sub);
+
+struct EventGenParams {
+  size_t arith_attrs = 2;
+  size_t string_attrs = 3;
+  /// Probability an arithmetic value falls inside a canonical sub-range /
+  /// a string value comes from the pooled values (a potential match).
+  double hit_rate = 0.7;
+  /// Skew of pooled string-value popularity: 0 = uniform; > 0 draws pooled
+  /// values Zipf(s)-distributed by pool rank, mimicking the hot-symbol
+  /// skew of real feeds (a few tickers dominate the event stream).
+  double zipf_exponent = 0.0;
+};
+
+class EventGenerator {
+ public:
+  /// `pools` must outlive the generator.
+  EventGenerator(const model::Schema& schema, const ValuePools& pools, EventGenParams params,
+                 uint64_t seed);
+
+  [[nodiscard]] model::Event next();
+
+ private:
+  const model::Schema* schema_;
+  const ValuePools* pools_;
+  EventGenParams params_;
+  util::Rng rng_;
+  std::vector<model::AttrId> arith_ids_;
+  std::vector<model::AttrId> string_ids_;
+  std::optional<util::Zipf> zipf_;  // shared across attrs; pools are equal-sized
+  uint64_t miss_counter_ = 0;
+};
+
+}  // namespace subsum::workload

@@ -1,0 +1,21 @@
+#include "workload/stock_schema.h"
+
+namespace subsum::workload {
+
+model::Schema stock_schema() {
+  using model::AttrType;
+  return model::Schema({
+      {"exchange", AttrType::kString},
+      {"symbol", AttrType::kString},
+      {"sector", AttrType::kString},
+      {"currency", AttrType::kString},
+      {"when", AttrType::kInt},
+      {"price", AttrType::kFloat},
+      {"volume", AttrType::kInt},
+      {"high", AttrType::kFloat},
+      {"low", AttrType::kFloat},
+      {"open", AttrType::kFloat},
+  });
+}
+
+}  // namespace subsum::workload

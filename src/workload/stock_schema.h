@@ -1,0 +1,17 @@
+// The evaluation schema: nt = 10 attributes in the spirit of fig 2's stock
+// event (exchange/symbol/when/price/volume/high/low), padded to the paper's
+// nt = 10 with open/sector/currency. Six arithmetic + four string
+// attributes, so the paper's "average subscription" (nt/2 = 5 attributes,
+// 40 % arithmetic / 60 % string => 2 arithmetic + 3 string) is expressible
+// with attribute variety.
+#pragma once
+
+#include "model/schema.h"
+
+namespace subsum::workload {
+
+/// 0 exchange:s  1 symbol:s  2 sector:s  3 currency:s  4 when:i
+/// 5 price:f     6 volume:i  7 high:f    8 low:f       9 open:f
+model::Schema stock_schema();
+
+}  // namespace subsum::workload

@@ -1,0 +1,132 @@
+#include "workload/sub_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subsum::workload {
+
+using model::AttrId;
+using model::Constraint;
+using model::Op;
+
+ValuePools ValuePools::make(const model::Schema& schema, size_t nsr_ranges, size_t pool_size) {
+  ValuePools p;
+  p.arith.resize(schema.attr_count());
+  p.strings.resize(schema.attr_count());
+  p.prefixes.resize(schema.attr_count());
+  for (AttrId a = 0; a < schema.attr_count(); ++a) {
+    if (is_arithmetic(schema.type_of(a))) {
+      // Disjoint canonical sub-ranges: attribute a owns the band
+      // [a*1000, a*1000 + 100*nsr).
+      for (size_t j = 0; j < nsr_ranges; ++j) {
+        const double lo = static_cast<double>(a) * 1000.0 + 100.0 * static_cast<double>(j);
+        p.arith[a].ranges.emplace_back(lo, lo + 50.0);
+      }
+    } else {
+      const std::string& name = schema.spec(a).name;
+      for (size_t j = 0; j < pool_size; ++j) {
+        p.strings[a].push_back(name + "-" + std::to_string(j));
+      }
+      // A handful of canonical prefixes, each covering many pooled values.
+      for (size_t j = 0; j < std::max<size_t>(1, pool_size / 8); ++j) {
+        p.prefixes[a].push_back(name + "-" + std::to_string(j));
+      }
+    }
+  }
+  return p;
+}
+
+SubscriptionGenerator::SubscriptionGenerator(const model::Schema& schema, SubGenParams params,
+                                             uint64_t seed)
+    : schema_(&schema),
+      params_(params),
+      rng_(seed),
+      pools_(ValuePools::make(schema, params.nsr_ranges, params.pool_size)) {
+  for (AttrId a = 0; a < schema.attr_count(); ++a) {
+    if (is_arithmetic(schema.type_of(a))) {
+      arith_ids_.push_back(a);
+    } else {
+      string_ids_.push_back(a);
+    }
+  }
+  if (params_.arith_attrs > arith_ids_.size() || params_.string_attrs > string_ids_.size()) {
+    throw std::invalid_argument("schema has too few attributes for the requested mix");
+  }
+}
+
+namespace {
+
+/// k distinct elements sampled from ids (partial Fisher-Yates).
+std::vector<AttrId> sample(const std::vector<AttrId>& ids, size_t k, subsum::util::Rng& rng) {
+  std::vector<AttrId> pool = ids;
+  for (size_t i = 0; i < k; ++i) {
+    std::swap(pool[i], pool[i + rng.below(pool.size() - i)]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+void SubscriptionGenerator::add_arith_constraints(std::vector<Constraint>& out, AttrId attr) {
+  const auto& ranges = pools_.arith[attr].ranges;
+  if (rng_.chance(params_.subsumption)) {
+    // Subsumed: the canonical range itself (the paper's model), or a
+    // random window inside it when range_tightness > 0.
+    const auto& [lo, hi] = ranges[rng_.below(ranges.size())];
+    double a = lo;
+    double b = hi;
+    if (params_.range_tightness > 0) {
+      const double width = (hi - lo) * (1.0 - params_.range_tightness);
+      a = rng_.range_f64(lo, hi - width);
+      b = a + width;
+    }
+    if (schema_->type_of(attr) == model::AttrType::kInt) {
+      out.push_back({attr, Op::kGe, static_cast<int64_t>(a)});
+      out.push_back({attr, Op::kLe, static_cast<int64_t>(b)});
+    } else {
+      out.push_back({attr, Op::kGe, a});
+      out.push_back({attr, Op::kLe, b});
+    }
+  } else {
+    // Fresh: an equality on a value no canonical range contains. Values
+    // land in the attribute's band above the ranges, stepping by 0.25 so
+    // repeats are rare but possible.
+    const double v = static_cast<double>(attr) * 1000.0 + 900.0 +
+                     static_cast<double>(fresh_counter_++ % 257) * 0.25;
+    if (schema_->type_of(attr) == model::AttrType::kInt) {
+      out.push_back({attr, Op::kEq, static_cast<int64_t>(v * 4)});
+    } else {
+      out.push_back({attr, Op::kEq, v});
+    }
+  }
+}
+
+void SubscriptionGenerator::add_string_constraint(std::vector<Constraint>& out, AttrId attr) {
+  if (rng_.chance(params_.subsumption)) {
+    if (rng_.chance(params_.prefix_fraction)) {
+      const auto& pre = pools_.prefixes[attr];
+      out.push_back({attr, Op::kPrefix, pre[rng_.below(pre.size())]});
+    } else {
+      const auto& pool = pools_.strings[attr];
+      out.push_back({attr, Op::kEq, pool[rng_.below(pool.size())]});
+    }
+  } else {
+    out.push_back({attr, Op::kEq,
+                   schema_->spec(attr).name + "-x" + std::to_string(fresh_counter_++) + "-" +
+                       rng_.ascii_lower(4)});
+  }
+}
+
+model::Subscription SubscriptionGenerator::next() {
+  std::vector<Constraint> cs;
+  for (AttrId a : sample(arith_ids_, params_.arith_attrs, rng_)) {
+    add_arith_constraints(cs, a);
+  }
+  for (AttrId a : sample(string_ids_, params_.string_attrs, rng_)) {
+    add_string_constraint(cs, a);
+  }
+  return model::Subscription(*schema_, std::move(cs));
+}
+
+}  // namespace subsum::workload

@@ -1,0 +1,77 @@
+// Subscription workload generator with the paper's subsumption knob
+// (§5.2): with probability `subsumption` a generated constraint is VALUE-
+// SUBSUMED — arithmetic constraints fall inside one of the attribute's nsr
+// canonical sub-ranges and string constraints reuse pooled values/patterns
+// already covered by an existing summary row — otherwise the constraint
+// introduces a fresh value ("represented as different values, specified
+// with equality operators outside the ranges").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/subscription.h"
+#include "util/rng.h"
+
+namespace subsum::workload {
+
+/// Shared value pools coordinating subscription and event generation.
+struct ValuePools {
+  struct ArithPool {
+    /// nsr canonical disjoint [lo, hi] ranges (the paper's nsr = 2).
+    std::vector<std::pair<double, double>> ranges;
+  };
+  /// Indexed by attribute id; entries for string attributes are unused.
+  std::vector<ArithPool> arith;
+  /// Pooled string values per attribute id; arithmetic entries unused.
+  std::vector<std::vector<std::string>> strings;
+  /// Pooled string prefixes (canonical SACS patterns).
+  std::vector<std::vector<std::string>> prefixes;
+
+  static ValuePools make(const model::Schema& schema, size_t nsr_ranges, size_t pool_size);
+};
+
+struct SubGenParams {
+  double subsumption = 0.1;  // probability a constraint reuses covered values
+  size_t arith_attrs = 2;    // arithmetic attributes per subscription
+  size_t string_attrs = 3;   // string attributes per subscription
+  size_t nsr_ranges = 2;     // canonical sub-ranges per arithmetic attribute
+  size_t pool_size = 64;     // pooled string values per attribute
+  /// Fraction of subsumed string constraints that use a prefix pattern from
+  /// the pool instead of a pooled equality value.
+  double prefix_fraction = 0.3;
+  /// How much narrower than the canonical sub-range a subsumed arithmetic
+  /// constraint is. 0 (default, the paper's model) reuses the canonical
+  /// range verbatim, so AACS rows stay at nsr per attribute and only id
+  /// lists grow; > 0 carves a random window of width
+  /// (1 - range_tightness) * |range|, exercising AACS splitting
+  /// (AacsMode::kExact) or row absorption (AacsMode::kCoarse).
+  double range_tightness = 0.0;
+};
+
+class SubscriptionGenerator {
+ public:
+  SubscriptionGenerator(const model::Schema& schema, SubGenParams params, uint64_t seed);
+
+  /// One random subscription per the parameters.
+  model::Subscription next();
+
+  [[nodiscard]] const ValuePools& pools() const noexcept { return pools_; }
+  [[nodiscard]] const model::Schema& schema() const noexcept { return *schema_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  void add_arith_constraints(std::vector<model::Constraint>& out, model::AttrId attr);
+  void add_string_constraint(std::vector<model::Constraint>& out, model::AttrId attr);
+
+  const model::Schema* schema_;
+  SubGenParams params_;
+  util::Rng rng_;
+  ValuePools pools_;
+  std::vector<model::AttrId> arith_ids_;
+  std::vector<model::AttrId> string_ids_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace subsum::workload

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the CLI tools: 13 broker daemons on the fig-7
+# overlay, one subscriber, one publisher, exact delivery asserted.
+# Usage: cli_smoke.sh <build_dir>
+set -u
+
+BUILD=${1:?usage: cli_smoke.sh <build_dir>}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/deploy.conf" <<EOF
+attribute exchange string
+attribute symbol string
+attribute sector string
+attribute currency string
+attribute when int
+attribute price float
+attribute volume int
+attribute high float
+attribute low float
+attribute open float
+topology fig7
+EOF
+
+# Start the deployment on a random base port below the kernel's ephemeral
+# range; retry with a fresh base if any port is already taken.
+started=0
+for attempt in 1 2 3 4 5; do
+  BASE=$(( 10000 + (RANDOM % 20000) ))
+  PORTS=$BASE
+  for i in $(seq 1 12); do PORTS="$PORTS,$((BASE+i))"; done
+
+  for i in $(seq 0 12); do
+    EXTRA=""
+    [ "$i" = 0 ] && EXTRA="--propagate-every 1"
+    "$BUILD/tools/subsum_broker" --config "$WORK/deploy.conf" --id "$i" \
+        --port $((BASE+i)) --peers "$PORTS" $EXTRA > "$WORK/broker$i.log" 2>&1 &
+  done
+
+  started=1
+  for i in $(seq 0 12); do
+    ok=0
+    for _ in $(seq 1 50); do
+      if grep -q "listening" "$WORK/broker$i.log" 2>/dev/null; then ok=1; break; fi
+      if grep -q "broker failed" "$WORK/broker$i.log" 2>/dev/null; then break; fi
+      sleep 0.1
+    done
+    [ "$ok" = 1 ] || { started=0; break; }
+  done
+  [ "$started" = 1 ] && break
+  echo "attempt $attempt: port clash at base $BASE, retrying"
+  kill $(jobs -p) 2>/dev/null
+  wait 2>/dev/null
+done
+[ "$started" = 1 ] || { echo "brokers failed to start"; cat "$WORK"/broker*.log; exit 1; }
+
+"$BUILD/tools/subsum_sub" --config "$WORK/deploy.conf" --port $((BASE+3)) --count 1 \
+    'price > 8.30 AND price < 8.70 AND symbol = OTE' > "$WORK/sub.log" 2>&1 &
+SUB=$!
+
+# Wait for at least one propagation period after the subscription landed.
+sleep 2.5
+
+"$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+    'price = 8.40, symbol = OTE, volume = 132700' > "$WORK/pub.log" 2>&1 \
+    || { echo "publish failed"; cat "$WORK/pub.log"; exit 1; }
+
+# The subscriber exits after one notification (--count 1).
+for _ in $(seq 1 40); do
+  kill -0 "$SUB" 2>/dev/null || break
+  sleep 0.25
+done
+if kill -0 "$SUB" 2>/dev/null; then
+  echo "subscriber never got the notification"; cat "$WORK/sub.log"; exit 1
+fi
+
+grep -q 'event .*OTE.* -> S(3.0)' "$WORK/sub.log" || {
+  echo "unexpected subscriber output:"; cat "$WORK/sub.log"; exit 1; }
+
+# A non-matching publish must not notify anyone (run sub with a timeout).
+"$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+    'price = 9.99, symbol = OTE' > /dev/null 2>&1 || exit 1
+
+echo "cli smoke test passed"
+exit 0

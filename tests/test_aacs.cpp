@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/aacs.h"
+#include "util/rng.h"
+
+namespace subsum::core {
+namespace {
+
+using model::Op;
+using model::SubId;
+
+SubId sid(uint32_t n) { return SubId{0, n, 0}; }
+
+std::vector<SubId> ids_at(const Aacs& a, double x) {
+  const auto* p = a.find(x);
+  return p ? *p : std::vector<SubId>{};
+}
+
+TEST(Aacs, PaperFigure4) {
+  // S1: 8.30 < price < 8.70 (stored as the sub-range row 8.30..8.70);
+  // S2: price = 8.20 (outside the ranges -> equality row).
+  Aacs a;
+  a.insert(IntervalSet::from_constraint(Op::kGt, 8.30)
+               .intersect(IntervalSet::from_constraint(Op::kLt, 8.70)),
+           sid(1));
+  a.insert(IntervalSet::from_constraint(Op::kEq, 8.20), sid(2));
+
+  EXPECT_EQ(a.nsr(), 1u);
+  EXPECT_EQ(a.ne(), 1u);
+  EXPECT_EQ(ids_at(a, 8.40), std::vector<SubId>{sid(1)});
+  EXPECT_EQ(ids_at(a, 8.20), std::vector<SubId>{sid(2)});
+  EXPECT_TRUE(ids_at(a, 8.00).empty());
+  EXPECT_TRUE(ids_at(a, 8.30).empty());  // strict bound
+  EXPECT_TRUE(ids_at(a, 9.0).empty());
+}
+
+TEST(Aacs, OverlappingInsertSplitsPieces) {
+  Aacs a;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.insert(Interval{Pos::at(5), Pos::at(15)}, std::vector<SubId>{sid(2)});
+  // Partition: [0,5) {1}, [5,10] {1,2}, (10,15] {2}.
+  EXPECT_EQ(a.pieces().size(), 3u);
+  EXPECT_EQ(ids_at(a, 2), std::vector<SubId>{sid(1)});
+  EXPECT_EQ(ids_at(a, 5), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_EQ(ids_at(a, 10), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_EQ(ids_at(a, 12), std::vector<SubId>{sid(2)});
+}
+
+TEST(Aacs, ContainedInsertSplitsInThree) {
+  Aacs a;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.insert(Interval{Pos::at(3), Pos::at(4)}, std::vector<SubId>{sid(2)});
+  EXPECT_EQ(a.pieces().size(), 3u);
+  EXPECT_EQ(ids_at(a, 3.5), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_EQ(ids_at(a, 1), std::vector<SubId>{sid(1)});
+  EXPECT_EQ(ids_at(a, 9), std::vector<SubId>{sid(1)});
+}
+
+TEST(Aacs, IdenticalRegionSharesRow) {
+  Aacs a;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(2)});
+  EXPECT_EQ(a.pieces().size(), 1u);
+  EXPECT_EQ(ids_at(a, 5), (std::vector<SubId>{sid(1), sid(2)}));
+}
+
+TEST(Aacs, PointInsideRangeSplits) {
+  Aacs a;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.insert(Interval::point(5), std::vector<SubId>{sid(2)});
+  // [0,5) {1}, [5,5] {1,2}, (5,10] {1}
+  EXPECT_EQ(a.pieces().size(), 3u);
+  EXPECT_EQ(a.ne(), 1u);
+  EXPECT_EQ(a.nsr(), 2u);
+  EXPECT_EQ(ids_at(a, 5), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_EQ(ids_at(a, 4.999), std::vector<SubId>{sid(1)});
+}
+
+TEST(Aacs, UnboundedConstraints) {
+  Aacs a;
+  a.insert(IntervalSet::from_constraint(Op::kGt, 100.0), sid(1));
+  a.insert(IntervalSet::from_constraint(Op::kLe, 0.0), sid(2));
+  EXPECT_EQ(ids_at(a, 1e12), std::vector<SubId>{sid(1)});
+  EXPECT_EQ(ids_at(a, -1e12), std::vector<SubId>{sid(2)});
+  EXPECT_EQ(ids_at(a, 0), std::vector<SubId>{sid(2)});
+  EXPECT_TRUE(ids_at(a, 50).empty());
+}
+
+TEST(Aacs, NeProducesTwoPiecesCountedOnce) {
+  Aacs a;
+  a.insert(IntervalSet::from_constraint(Op::kNe, 5.0), sid(1));
+  EXPECT_EQ(a.pieces().size(), 2u);
+  EXPECT_EQ(ids_at(a, 4), std::vector<SubId>{sid(1)});
+  EXPECT_EQ(ids_at(a, 6), std::vector<SubId>{sid(1)});
+  EXPECT_TRUE(ids_at(a, 5).empty());
+}
+
+TEST(Aacs, RemoveDropsEmptyPiecesAndCoalesces) {
+  Aacs a;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.insert(Interval{Pos::at(3), Pos::at(4)}, std::vector<SubId>{sid(2)});
+  ASSERT_EQ(a.pieces().size(), 3u);
+  a.remove(sid(2));
+  // The split heals back into one canonical piece.
+  EXPECT_EQ(a.pieces().size(), 1u);
+  EXPECT_EQ(a.pieces()[0].iv, (Interval{Pos::at(0), Pos::at(10)}));
+  a.remove(sid(1));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Aacs, RemoveMissingIdIsNoop) {
+  Aacs a;
+  a.insert(Interval::point(1), std::vector<SubId>{sid(1)});
+  a.remove(sid(99));
+  EXPECT_EQ(a.pieces().size(), 1u);
+}
+
+TEST(Aacs, EmptyRegionInsertsNothing) {
+  Aacs a;
+  a.insert(IntervalSet::from_constraint(Op::kGt, 10.0)
+               .intersect(IntervalSet::from_constraint(Op::kLt, 5.0)),
+           sid(1));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Aacs, MergeIsUnion) {
+  Aacs a, b;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  b.insert(Interval{Pos::at(5), Pos::at(15)}, std::vector<SubId>{sid(2)});
+  b.insert(Interval::point(100), std::vector<SubId>{sid(3)});
+  a.merge(b);
+  EXPECT_EQ(ids_at(a, 7), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_EQ(ids_at(a, 100), std::vector<SubId>{sid(3)});
+  EXPECT_EQ(ids_at(a, 1), std::vector<SubId>{sid(1)});
+}
+
+TEST(Aacs, MergeIdempotent) {
+  Aacs a, b;
+  a.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  b.insert(Interval{Pos::at(0), Pos::at(10)}, std::vector<SubId>{sid(1)});
+  a.merge(b);
+  a.merge(b);
+  EXPECT_EQ(a.pieces().size(), 1u);
+  EXPECT_EQ(a.id_entries(), 1u);
+}
+
+// Property: after arbitrary inserts/removes, (a) pieces are sorted,
+// disjoint and canonical; (b) find() agrees with re-evaluating every live
+// constraint region directly.
+class AacsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AacsProperty, PartitionInvariantsAndOracle) {
+  util::Rng rng(GetParam());
+  const Op ops[] = {Op::kEq, Op::kNe, Op::kLt, Op::kLe, Op::kGt, Op::kGe};
+
+  Aacs a;
+  std::map<uint32_t, IntervalSet> live;  // id -> its region
+  uint32_t next_id = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    if (!live.empty() && rng.chance(0.3)) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      a.remove(sid(it->first));
+      live.erase(it);
+    } else {
+      IntervalSet region = IntervalSet::all();
+      const size_t k = 1 + rng.below(2);
+      for (size_t i = 0; i < k; ++i) {
+        region = region.intersect(IntervalSet::from_constraint(
+            ops[rng.below(6)], static_cast<double>(rng.range_i64(-5, 5))));
+      }
+      const uint32_t id = next_id++;
+      a.insert(region, sid(id));
+      if (!region.empty()) live.emplace(id, std::move(region));
+    }
+
+    // (a) structural invariants.
+    const auto& pieces = a.pieces();
+    for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+      EXPECT_LT(pieces[i].iv.hi, pieces[i + 1].iv.lo);
+      if (pieces[i].iv.touches(pieces[i + 1].iv)) {
+        EXPECT_NE(pieces[i].ids, pieces[i + 1].ids) << "non-canonical partition";
+      }
+    }
+    for (const auto& p : pieces) {
+      EXPECT_FALSE(p.ids.empty());
+      EXPECT_TRUE(std::is_sorted(p.ids.begin(), p.ids.end()));
+      EXPECT_EQ(std::adjacent_find(p.ids.begin(), p.ids.end()), p.ids.end());
+    }
+
+    // (b) lookup oracle at integer and half-integer sample points.
+    for (double x = -6.0; x <= 6.0; x += 0.5) {
+      std::vector<SubId> expected;
+      for (const auto& [id, region] : live) {
+        if (region.contains(x)) expected.push_back(sid(id));
+      }
+      EXPECT_EQ(ids_at(a, x), expected) << "x=" << x << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AacsProperty, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace subsum::core

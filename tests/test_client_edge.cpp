@@ -1,0 +1,124 @@
+// Client/Cluster lifecycle edges: close semantics, double stop, EOF
+// mid-frame, and notification queues surviving connection shutdown.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/cluster.h"
+#include "overlay/topologies.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::Op;
+using model::Schema;
+using model::SubscriptionBuilder;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+TEST(ClientEdge, RpcAfterCloseThrows) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto client = cluster.connect(0);
+  client->close();
+  EXPECT_THROW(
+      client->subscribe(SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build()),
+      NetError);
+  EXPECT_THROW(client->publish(model::EventBuilder(s).set("price", 1.0).build()),
+               NetError);
+}
+
+TEST(ClientEdge, CloseIsIdempotent) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto client = cluster.connect(0);
+  client->close();
+  EXPECT_NO_THROW(client->close());
+}
+
+TEST(ClientEdge, QueuedNotificationsSurviveUntilDrained) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto subscriber = cluster.connect(0);
+  subscriber->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "q").build());
+  auto publisher = cluster.connect(0);
+  for (int i = 0; i < 5; ++i) {
+    publisher->publish(
+        model::EventBuilder(s).set("symbol", "q").set("volume", int64_t{i}).build());
+  }
+  // All five are queued (publish is synchronous); drain without waiting.
+  int got = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (got < 5 && std::chrono::steady_clock::now() < deadline) {
+    got += static_cast<int>(subscriber->drain_notifications().size());
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(got, 5);
+}
+
+TEST(ClientEdge, NextNotificationTimesOutCleanly) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto client = cluster.connect(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client->next_notification(50ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 40ms);
+}
+
+TEST(ClusterEdge, StopIsIdempotentAndKillsRpcs) {
+  const Schema s = schema_v();
+  auto cluster = std::make_unique<Cluster>(s, overlay::line(2));
+  auto client = cluster->connect(0);
+  client->subscribe(SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build());
+  cluster->stop();
+  cluster->stop();  // no-op
+  // RPCs now fail rather than hang.
+  EXPECT_THROW(
+      {
+        client->subscribe(SubscriptionBuilder(s).where("price", Op::kGt, 2.0).build());
+        client->subscribe(SubscriptionBuilder(s).where("price", Op::kGt, 3.0).build());
+      },
+      NetError);
+}
+
+TEST(FramingEdge, PeerClosingMidFrameRaises) {
+  Listener listener(0);
+  std::thread server([&] {
+    auto sock = listener.accept();
+    ASSERT_TRUE(sock.has_value());
+    // Announce a 100-byte payload but send only 3 bytes, then close.
+    util::BufWriter w;
+    w.put_u32(100);
+    w.put_u8(static_cast<uint8_t>(MsgKind::kPublish));
+    w.put_u8(1);
+    w.put_u8(2);
+    w.put_u8(3);
+    sock->send_all(w.bytes());
+  });
+  Socket c = connect_local(listener.port());
+  EXPECT_THROW((void)recv_frame(c), NetError);
+  server.join();
+}
+
+TEST(FramingEdge, DeclaredOversizePayloadRejectedBeforeAllocation) {
+  Listener listener(0);
+  std::thread server([&] {
+    auto sock = listener.accept();
+    ASSERT_TRUE(sock.has_value());
+    util::BufWriter w;
+    w.put_u32(0xFFFFFFFF);  // 4 GiB claim
+    w.put_u8(static_cast<uint8_t>(MsgKind::kPublish));
+    sock->send_all(w.bytes());
+    // Keep the socket open so the reader sees the header, not EOF.
+    std::this_thread::sleep_for(100ms);
+  });
+  Socket c = connect_local(listener.port());
+  EXPECT_THROW((void)recv_frame(c), NetError);
+  server.join();
+}
+
+}  // namespace
+}  // namespace subsum::net

@@ -1,0 +1,200 @@
+// Tests for the paper's §6 "on-going work" features implemented here:
+// combined summarization + subsumption (SimSystem::combine_subsumption)
+// and dynamic attribute-schema extension (extend_schema / with_schema).
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "overlay/topologies.h"
+#include "sim/system.h"
+#include "util/rng.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum {
+namespace {
+
+using model::Event;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::Subscription;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+
+sim::SystemConfig combined_config() {
+  sim::SystemConfig cfg;
+  cfg.schema = workload::stock_schema();
+  cfg.graph = overlay::fig7_tree();
+  cfg.combine_subsumption = true;
+  return cfg;
+}
+
+TEST(CombineSubsumption, CoveredSubscriptionSkipsSummaries) {
+  sim::SimSystem sys(combined_config());
+  const auto wide =
+      SubscriptionBuilder(sys.schema()).where("price", Op::kGt, 1.0).build();
+  const auto narrow = SubscriptionBuilder(sys.schema())
+                          .where("price", Op::kGt, 2.0)
+                          .where("price", Op::kLt, 5.0)
+                          .build();
+  sys.subscribe(3, wide);
+  const size_t rows_after_root = sys.state().held[3].stats().nsr;
+  const SubId narrow_id = sys.subscribe(3, narrow);
+  // The covered subscription added nothing to the summaries.
+  EXPECT_EQ(sys.state().held[3].stats().nsr, rows_after_root);
+  sys.run_propagation_period();
+
+  // But it still receives exactly its matches, from anywhere.
+  const auto hit = sys.publish(0, model::EventBuilder(sys.schema()).set("price", 3.0).build());
+  EXPECT_EQ(hit.delivered.size(), 2u);  // both wide and narrow
+  const auto miss_narrow =
+      sys.publish(0, model::EventBuilder(sys.schema()).set("price", 7.0).build());
+  ASSERT_EQ(miss_narrow.delivered.size(), 1u);  // wide only
+  EXPECT_NE(miss_narrow.delivered[0], narrow_id);
+}
+
+TEST(CombineSubsumption, UnsubscribingRootPromotesCovered) {
+  sim::SimSystem sys(combined_config());
+  const auto wide =
+      SubscriptionBuilder(sys.schema()).where("price", Op::kGt, 1.0).build();
+  const auto narrow = SubscriptionBuilder(sys.schema())
+                          .where("price", Op::kGt, 2.0)
+                          .where("price", Op::kLt, 5.0)
+                          .build();
+  const SubId wide_id = sys.subscribe(3, wide);
+  const SubId narrow_id = sys.subscribe(3, narrow);
+  sys.run_propagation_period();
+
+  sys.unsubscribe(wide_id);
+  sys.run_propagation_period();
+
+  const auto hit = sys.publish(0, model::EventBuilder(sys.schema()).set("price", 3.0).build());
+  EXPECT_EQ(hit.delivered, std::vector<SubId>{narrow_id});
+  const auto miss = sys.publish(0, model::EventBuilder(sys.schema()).set("price", 9.0).build());
+  EXPECT_TRUE(miss.delivered.empty());
+}
+
+TEST(CombineSubsumption, OracleEqualityOnRandomWorkload) {
+  sim::SimSystem sys(combined_config());
+  workload::SubGenParams sp;
+  sp.subsumption = 0.8;  // high value reuse: coverage is frequent
+  sp.arith_attrs = 1;
+  sp.string_attrs = 1;
+  sp.pool_size = 6;
+  workload::SubscriptionGenerator gen(sys.schema(), sp, 901);
+  workload::EventGenerator events(sys.schema(), gen.pools(), {}, 902);
+  util::Rng rng(903);
+
+  core::NaiveMatcher oracle;
+  std::vector<SubId> live;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      const auto home = static_cast<BrokerId>(rng.below(sys.broker_count()));
+      Subscription sub = gen.next();
+      const SubId id = sys.subscribe(home, sub);
+      oracle.add({id, std::move(sub)});
+      live.push_back(id);
+    }
+    for (int i = 0; i < 15 && !live.empty(); ++i) {
+      const size_t at = rng.below(live.size());
+      sys.unsubscribe(live[at]);
+      oracle.remove(live[at]);
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+    sys.run_propagation_period();
+    size_t matched = 0;
+    for (int i = 0; i < 40; ++i) {
+      Event e = events.next();
+      if (i % 2 == 1 && oracle.size() > 0) {
+        const auto& os = oracle.subs()[rng.below(oracle.size())];
+        if (auto derived = workload::matching_event(sys.schema(), os.sub)) {
+          e = *std::move(derived);
+        }
+      }
+      const auto out = sys.publish(static_cast<BrokerId>(rng.below(sys.broker_count())), e);
+      EXPECT_EQ(out.delivered, oracle.match(e));
+      matched += out.delivered.size();
+    }
+    EXPECT_GT(matched, 0u);
+  }
+}
+
+TEST(CombineSubsumption, ReducesPropagatedBytes) {
+  // Identical workload, with and without the extension: high-subsumption
+  // traffic should propagate measurably fewer bytes when covered
+  // subscriptions are pruned.
+  auto run = [&](bool combine) {
+    sim::SystemConfig cfg = combined_config();
+    cfg.combine_subsumption = combine;
+    sim::SimSystem sys(std::move(cfg));
+    workload::SubGenParams sp;
+    sp.subsumption = 0.9;
+    sp.arith_attrs = 1;
+    sp.string_attrs = 1;
+    sp.pool_size = 4;
+    workload::SubscriptionGenerator gen(sys.schema(), sp, 41);
+    for (BrokerId b = 0; b < sys.broker_count(); ++b) {
+      for (int i = 0; i < 40; ++i) sys.subscribe(b, gen.next());
+    }
+    sys.run_propagation_period();
+    return sys.accounting().bytes(sim::MsgType::kSummary);
+  };
+  const size_t with = run(true);
+  const size_t without = run(false);
+  EXPECT_LT(with, without);
+}
+
+TEST(SchemaExtension, ExtendPreservesIdsAndTypes) {
+  const Schema base = workload::stock_schema();
+  const Schema wider =
+      model::extend_schema(base, {{"bid", model::AttrType::kFloat},
+                                  {"venue", model::AttrType::kString}});
+  EXPECT_EQ(wider.attr_count(), base.attr_count() + 2);
+  for (model::AttrId a = 0; a < base.attr_count(); ++a) {
+    EXPECT_EQ(wider.spec(a), base.spec(a));
+  }
+  EXPECT_TRUE(model::is_extension_of(wider, base));
+  EXPECT_FALSE(model::is_extension_of(base, wider));
+  EXPECT_THROW(model::extend_schema(base, {{"price", model::AttrType::kFloat}}),
+               std::invalid_argument);  // duplicate name
+}
+
+TEST(SchemaExtension, SummaryMigratesAndKeepsMatching) {
+  const Schema base = workload::stock_schema();
+  core::BrokerSummary summary(base);
+  const auto sub = SubscriptionBuilder(base)
+                       .where("price", Op::kGt, 8.30)
+                       .where("symbol", Op::kEq, "OTE")
+                       .build();
+  const SubId id{0, 1, sub.mask()};
+  summary.add(sub, id);
+
+  const Schema wider = model::extend_schema(base, {{"bid", model::AttrType::kFloat}});
+  const core::BrokerSummary migrated = summary.with_schema(wider);
+
+  // Old subscriptions still match, with or without the new attribute.
+  const auto e = model::EventBuilder(wider)
+                     .set("price", 8.4)
+                     .set("symbol", "OTE")
+                     .set("bid", 8.39)
+                     .build();
+  EXPECT_EQ(core::match(migrated, e), std::vector<SubId>{id});
+
+  // New subscriptions can constrain the new attribute.
+  core::BrokerSummary grown = migrated;
+  const auto new_sub = SubscriptionBuilder(wider).where("bid", Op::kGt, 8.0).build();
+  const SubId new_id{0, 2, new_sub.mask()};
+  grown.add(new_sub, new_id);
+  EXPECT_EQ(core::match(grown, e), (std::vector<SubId>{id, new_id}));
+}
+
+TEST(SchemaExtension, RejectsIncompatibleSchema) {
+  const Schema base = workload::stock_schema();
+  core::BrokerSummary summary(base);
+  const Schema other({{"x", model::AttrType::kInt}});
+  EXPECT_THROW((void)summary.with_schema(other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subsum

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/interval.h"
+#include "util/rng.h"
+
+namespace subsum::core {
+namespace {
+
+using model::Op;
+
+TEST(Pos, Ordering) {
+  EXPECT_LT(Pos::at(1.0), Pos::at(2.0));
+  EXPECT_LT((Pos{1.0, -1}), (Pos{1.0, 0}));
+  EXPECT_LT((Pos{1.0, 0}), (Pos{1.0, +1}));
+  EXPECT_LT((Pos{1.0, +1}), (Pos{2.0, -1}));
+  EXPECT_LT(Pos::neg_inf(), Pos::at(-1e300));
+  EXPECT_LT(Pos::at(1e300), Pos::pos_inf());
+}
+
+TEST(Pos, SuccPred) {
+  EXPECT_EQ(Pos::at(5.0).succ(), (Pos{5.0, +1}));
+  EXPECT_EQ(Pos::at(5.0).pred(), (Pos{5.0, -1}));
+  EXPECT_EQ((Pos{5.0, -1}).succ(), Pos::at(5.0));
+}
+
+TEST(Interval, Contains) {
+  const Interval closed{Pos::at(1), Pos::at(2)};  // [1, 2]
+  EXPECT_TRUE(closed.contains(1));
+  EXPECT_TRUE(closed.contains(1.5));
+  EXPECT_TRUE(closed.contains(2));
+  EXPECT_FALSE(closed.contains(0.999));
+  EXPECT_FALSE(closed.contains(2.001));
+
+  const Interval open{Pos::at(1).succ(), Pos::at(2).pred()};  // (1, 2)
+  EXPECT_FALSE(open.contains(1));
+  EXPECT_FALSE(open.contains(2));
+  EXPECT_TRUE(open.contains(1.5));
+}
+
+TEST(Interval, Factories) {
+  EXPECT_TRUE(Interval::all().contains(0));
+  EXPECT_TRUE(Interval::all().contains(-1e308));
+  EXPECT_TRUE(Interval::point(3).contains(3));
+  EXPECT_FALSE(Interval::point(3).contains(3.0001));
+  EXPECT_TRUE(Interval::point(3).is_point());
+  EXPECT_TRUE(Interval::less_than(5).contains(4.999));
+  EXPECT_FALSE(Interval::less_than(5).contains(5));
+  EXPECT_TRUE(Interval::at_most(5).contains(5));
+  EXPECT_TRUE(Interval::greater_than(5).contains(5.001));
+  EXPECT_FALSE(Interval::greater_than(5).contains(5));
+  EXPECT_TRUE(Interval::at_least(5).contains(5));
+}
+
+TEST(Interval, OverlapsAndTouches) {
+  const Interval a{Pos::at(1), Pos::at(2)};
+  const Interval b{Pos::at(2), Pos::at(3)};
+  EXPECT_TRUE(a.overlaps(b));  // share point 2
+  const Interval c{Pos::at(2).succ(), Pos::at(3)};  // (2, 3]
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.touches(c));  // [1,2] U (2,3] = [1,3]
+  const Interval d{Pos::at(3), Pos::at(4)};
+  EXPECT_FALSE(a.touches(d));
+  // (-inf, 2) and (2, inf) do NOT touch: 2 itself is missing.
+  EXPECT_FALSE(Interval::less_than(2).touches(Interval::greater_than(2)));
+  // (-inf, 2) and [2, inf) touch.
+  EXPECT_TRUE(Interval::less_than(2).touches(Interval::at_least(2)));
+}
+
+TEST(IntervalSet, FromConstraint) {
+  EXPECT_TRUE(IntervalSet::from_constraint(Op::kEq, 5).contains(5));
+  EXPECT_FALSE(IntervalSet::from_constraint(Op::kEq, 5).contains(5.1));
+
+  const auto ne = IntervalSet::from_constraint(Op::kNe, 5);
+  EXPECT_EQ(ne.intervals().size(), 2u);
+  EXPECT_TRUE(ne.contains(4.999));
+  EXPECT_FALSE(ne.contains(5));
+  EXPECT_TRUE(ne.contains(5.001));
+
+  EXPECT_TRUE(IntervalSet::from_constraint(Op::kLt, 5).contains(-1e308));
+  EXPECT_FALSE(IntervalSet::from_constraint(Op::kLt, 5).contains(5));
+  EXPECT_TRUE(IntervalSet::from_constraint(Op::kLe, 5).contains(5));
+  EXPECT_TRUE(IntervalSet::from_constraint(Op::kGt, 5).contains(1e308));
+  EXPECT_FALSE(IntervalSet::from_constraint(Op::kGt, 5).contains(5));
+  EXPECT_TRUE(IntervalSet::from_constraint(Op::kGe, 5).contains(5));
+
+  EXPECT_THROW(IntervalSet::from_constraint(Op::kPrefix, 5), std::invalid_argument);
+}
+
+TEST(IntervalSet, NormalizationMergesTouching) {
+  // [1,2] U (2,3] U [5,6] -> [1,3], [5,6]
+  const auto s = IntervalSet::of({{Pos::at(5), Pos::at(6)},
+                                  {Pos::at(1), Pos::at(2)},
+                                  {Pos::at(2).succ(), Pos::at(3)}});
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{Pos::at(1), Pos::at(3)}));
+  EXPECT_EQ(s.intervals()[1], (Interval{Pos::at(5), Pos::at(6)}));
+}
+
+TEST(IntervalSet, NormalizationKeepsHoles) {
+  // (-inf,2) U (2,inf) stays two intervals.
+  const auto s = IntervalSet::of({Interval::less_than(2), Interval::greater_than(2)});
+  EXPECT_EQ(s.intervals().size(), 2u);
+}
+
+TEST(IntervalSet, IntersectBasics) {
+  const auto a = IntervalSet::from_constraint(Op::kGt, 8.30);
+  const auto b = IntervalSet::from_constraint(Op::kLt, 8.70);
+  const auto both = a.intersect(b);  // (8.30, 8.70)
+  EXPECT_TRUE(both.contains(8.40));
+  EXPECT_FALSE(both.contains(8.30));
+  EXPECT_FALSE(both.contains(8.70));
+  EXPECT_FALSE(both.contains(9.0));
+}
+
+TEST(IntervalSet, IntersectEmptyResult) {
+  const auto a = IntervalSet::from_constraint(Op::kGt, 10.0);
+  const auto b = IntervalSet::from_constraint(Op::kLt, 5.0);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(IntervalSet, IntersectWithNe) {
+  // x > 1 AND x != 3: hole at 3.
+  const auto s = IntervalSet::from_constraint(Op::kGt, 1.0)
+                     .intersect(IntervalSet::from_constraint(Op::kNe, 3.0));
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(IntervalSet, EqIntersectNeIsEmpty) {
+  const auto s = IntervalSet::from_constraint(Op::kEq, 3.0)
+                     .intersect(IntervalSet::from_constraint(Op::kNe, 3.0));
+  EXPECT_TRUE(s.empty());
+}
+
+// Property: intersection of random constraint sets agrees with evaluating
+// the constraints directly on sample points.
+class IntervalSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetProperty, IntersectionAgreesWithDirectEvaluation) {
+  util::Rng rng(GetParam());
+  const Op ops[] = {Op::kEq, Op::kNe, Op::kLt, Op::kLe, Op::kGt, Op::kGe};
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t k = 1 + rng.below(3);
+    std::vector<std::pair<Op, double>> cs;
+    IntervalSet set = IntervalSet::all();
+    for (size_t i = 0; i < k; ++i) {
+      // Small integer operands make coincidences (the interesting cases)
+      // frequent.
+      const Op op = ops[rng.below(6)];
+      const double v = static_cast<double>(rng.range_i64(-3, 3));
+      cs.emplace_back(op, v);
+      set = set.intersect(IntervalSet::from_constraint(op, v));
+    }
+    for (double x = -4.0; x <= 4.0; x += 0.5) {
+      bool direct = true;
+      for (const auto& [op, v] : cs) {
+        switch (op) {
+          case Op::kEq: direct &= (x == v); break;
+          case Op::kNe: direct &= (x != v); break;
+          case Op::kLt: direct &= (x < v); break;
+          case Op::kLe: direct &= (x <= v); break;
+          case Op::kGt: direct &= (x > v); break;
+          case Op::kGe: direct &= (x >= v); break;
+          default: break;
+        }
+      }
+      EXPECT_EQ(set.contains(x), direct) << "x=" << x << " set=" << set.to_string();
+    }
+    // Invariant: intervals sorted, disjoint, non-touching.
+    const auto& ivs = set.intervals();
+    for (size_t i = 0; i + 1 < ivs.size(); ++i) {
+      EXPECT_LT(ivs[i].hi, ivs[i + 1].lo);
+      EXPECT_FALSE(ivs[i].touches(ivs[i + 1]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace subsum::core

@@ -1,0 +1,197 @@
+// Cross-mode property suites: coarse AACS under arbitrary operation
+// sequences must stay a sound over-approximation of exact AACS, and the
+// full SimSystem must agree with the global oracle under EVERY combination
+// of the configuration knobs at once.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/matcher.h"
+#include "overlay/topologies.h"
+#include "sim/bus.h"
+#include "sim/system.h"
+#include "util/rng.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum {
+namespace {
+
+using core::AacsMode;
+using model::SubId;
+using overlay::BrokerId;
+
+// ---------------------------------------------------------------------------
+// Coarse AACS vs exact AACS under random insert/remove/merge sequences.
+// ---------------------------------------------------------------------------
+
+class CoarseVsExact : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoarseVsExact, CoarseIsAlwaysASoundOverApproximation) {
+  util::Rng rng(GetParam());
+  core::Aacs coarse(AacsMode::kCoarse);
+  core::Aacs exact(AacsMode::kExact);
+  std::vector<SubId> live;
+  uint32_t next = 0;
+
+  auto random_interval = [&] {
+    const double a = static_cast<double>(rng.range_i64(-15, 15));
+    const double w = static_cast<double>(rng.below(12));
+    return core::Interval{core::Pos::at(a), core::Pos::at(a + w)};
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55 || live.empty()) {
+      const SubId id{0, next++, 0};
+      const auto iv = random_interval();
+      coarse.insert(iv, std::vector<SubId>{id});
+      exact.insert(iv, std::vector<SubId>{id});
+      live.push_back(id);
+    } else if (roll < 0.8) {
+      const size_t at = rng.below(live.size());
+      coarse.remove(live[at]);
+      exact.remove(live[at]);
+      live.erase(live.begin() + static_cast<long>(at));
+    } else {
+      // Merge a small batch (as multi-broker merging would).
+      core::Aacs other_c(AacsMode::kCoarse);
+      core::Aacs other_e(AacsMode::kExact);
+      for (int i = 0; i < 3; ++i) {
+        const SubId id{1, next++, 0};
+        const auto iv = random_interval();
+        other_c.insert(iv, std::vector<SubId>{id});
+        other_e.insert(iv, std::vector<SubId>{id});
+        live.push_back(id);
+      }
+      coarse.merge(other_c);
+      exact.merge(other_e);
+    }
+
+    if (step % 20 != 0) continue;
+    // The sound-over-approximation invariant: coarse lookups are supersets
+    // of exact lookups at every point. (Piece counts are NOT comparable
+    // once removals interleave: absorbed ids keep wide rows alive in
+    // coarse mode while exact pieces coalesce differently.)
+    for (double x = -18; x <= 30; x += 1.0) {
+      const auto* e = exact.find(x);
+      if (!e) continue;
+      const auto* c = coarse.find(x);
+      ASSERT_NE(c, nullptr) << "coarse lost a match at " << x;
+      EXPECT_TRUE(std::includes(c->begin(), c->end(), e->begin(), e->end())) << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoarseVsExact, ::testing::Values(7, 14, 21, 28));
+
+// ---------------------------------------------------------------------------
+// The whole system, every knob at once, against the oracle.
+// ---------------------------------------------------------------------------
+
+struct MatrixCase {
+  core::AacsMode mode;
+  core::GeneralizePolicy policy;
+  bool combine;
+  bool immediate;
+  bool virtual_degrees;
+  uint8_t width;
+};
+
+class SystemMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SystemMatrix, DeliveredEqualsOracleUnderAllKnobs) {
+  const auto& p = GetParam();
+  sim::SystemConfig cfg;
+  cfg.schema = workload::stock_schema();
+  cfg.graph = overlay::cable_wireless_24();
+  cfg.arith_mode = p.mode;
+  cfg.policy = p.policy;
+  cfg.combine_subsumption = p.combine;
+  cfg.propagation.immediate_delivery = p.immediate;
+  cfg.numeric_width = p.width;
+  if (p.virtual_degrees) {
+    cfg.router.virtual_degrees = routing::capped_virtual_degrees(cfg.graph, 3);
+    cfg.router.tie_salt = 17;
+  }
+  sim::SimSystem sys(std::move(cfg));
+
+  workload::SubGenParams sp;
+  sp.subsumption = 0.7;
+  sp.range_tightness = p.width == 4 ? 0.0 : 0.5;  // width-4 needs pool values
+  workload::SubscriptionGenerator gen(sys.schema(), sp, 1000 + p.width);
+  workload::EventGenerator events(sys.schema(), gen.pools(), {}, 2000 + p.width);
+  util::Rng rng(3000);
+
+  core::NaiveMatcher oracle;
+  for (int period = 0; period < 2; ++period) {
+    for (int i = 0; i < 50; ++i) {
+      const auto home = static_cast<BrokerId>(rng.below(sys.broker_count()));
+      model::Subscription sub = gen.next();
+      const SubId id = sys.subscribe(home, sub);
+      oracle.add({id, std::move(sub)});
+    }
+    sys.run_propagation_period();
+  }
+
+  size_t matched = 0;
+  for (int i = 0; i < 40; ++i) {
+    model::Event e = events.next();
+    if (i % 2 == 1) {
+      const auto& os = oracle.subs()[rng.below(oracle.size())];
+      if (auto derived = workload::matching_event(sys.schema(), os.sub)) {
+        e = *std::move(derived);
+      }
+    }
+    const auto out = sys.publish(static_cast<BrokerId>(rng.below(sys.broker_count())), e);
+    EXPECT_EQ(out.delivered, oracle.match(e));
+    EXPECT_TRUE(std::includes(out.candidates.begin(), out.candidates.end(),
+                              out.delivered.begin(), out.delivered.end()));
+    matched += out.delivered.size();
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, SystemMatrix,
+    ::testing::Values(
+        MatrixCase{AacsMode::kExact, core::GeneralizePolicy::kSafe, false, false, false, 8},
+        MatrixCase{AacsMode::kCoarse, core::GeneralizePolicy::kSafe, false, true, false, 4},
+        MatrixCase{AacsMode::kCoarse, core::GeneralizePolicy::kAggressive, true, true, true, 4},
+        MatrixCase{AacsMode::kExact, core::GeneralizePolicy::kNone, true, false, true, 8},
+        MatrixCase{AacsMode::kCoarse, core::GeneralizePolicy::kNone, false, true, true, 8},
+        MatrixCase{AacsMode::kExact, core::GeneralizePolicy::kAggressive, true, true, false, 8}));
+
+// ---------------------------------------------------------------------------
+// Accounting ledger basics.
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, RecordsPerType) {
+  sim::Accounting acct;
+  acct.record(sim::MsgType::kSummary, 100);
+  acct.record(sim::MsgType::kSummary, 50);
+  acct.record(sim::MsgType::kEventForward, 7);
+  EXPECT_EQ(acct.messages(sim::MsgType::kSummary), 2u);
+  EXPECT_EQ(acct.bytes(sim::MsgType::kSummary), 150u);
+  EXPECT_EQ(acct.messages(sim::MsgType::kEventForward), 1u);
+  EXPECT_EQ(acct.messages(sim::MsgType::kEventDelivery), 0u);
+  EXPECT_EQ(acct.total_messages(), 3u);
+  EXPECT_EQ(acct.total_bytes(), 157u);
+  acct.reset();
+  EXPECT_EQ(acct.total_messages(), 0u);
+  EXPECT_EQ(acct.total_bytes(), 0u);
+}
+
+TEST(Accounting, ToStringListsEveryType) {
+  sim::Accounting acct;
+  acct.record(sim::MsgType::kSubForward, 1);
+  const std::string out = acct.to_string();
+  EXPECT_NE(out.find("summary"), std::string::npos);
+  EXPECT_NE(out.find("sub-forward: 1"), std::string::npos);
+  EXPECT_NE(out.find("event-forward"), std::string::npos);
+  EXPECT_NE(out.find("event-delivery"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsum

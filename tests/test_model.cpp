@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "model/event.h"
+#include "model/schema.h"
+#include "model/subscription.h"
+#include "model/value.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::model {
+namespace {
+
+Schema test_schema() { return workload::stock_schema(); }
+
+TEST(Value, Types) {
+  EXPECT_EQ(Value(int64_t{5}).type(), AttrType::kInt);
+  EXPECT_EQ(Value(5).type(), AttrType::kInt);
+  EXPECT_EQ(Value(5.0).type(), AttrType::kFloat);
+  EXPECT_EQ(Value("x").type(), AttrType::kString);
+  EXPECT_EQ(Value(std::string("x")).type(), AttrType::kString);
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_float(), 2.5);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_DOUBLE_EQ(Value(7).as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+}
+
+TEST(Value, AccessorTypeErrors) {
+  EXPECT_THROW((void)Value("x").as_int(), TypeError);
+  EXPECT_THROW((void)Value(1).as_string(), TypeError);
+  EXPECT_THROW((void)Value("x").as_number(), TypeError);
+  EXPECT_THROW((void)Value(1.0).as_int(), TypeError);
+}
+
+TEST(Value, NoCrossTypeEquality) {
+  EXPECT_FALSE(Value(1) == Value(1.0));
+  EXPECT_TRUE(Value(1) == Value(int64_t{1}));
+}
+
+TEST(Value, Arithmetic) {
+  EXPECT_TRUE(Value(1).is_arithmetic());
+  EXPECT_TRUE(Value(1.5).is_arithmetic());
+  EXPECT_FALSE(Value("s").is_arithmetic());
+}
+
+TEST(Schema, LookupAndTypes) {
+  const Schema s = test_schema();
+  EXPECT_EQ(s.attr_count(), 10u);
+  EXPECT_EQ(s.id_of("exchange"), 0u);
+  EXPECT_EQ(s.type_of(s.id_of("price")), AttrType::kFloat);
+  EXPECT_EQ(s.type_of(s.id_of("volume")), AttrType::kInt);
+  EXPECT_EQ(s.type_of(s.id_of("symbol")), AttrType::kString);
+  EXPECT_FALSE(s.find("nope").has_value());
+  EXPECT_THROW((void)s.id_of("nope"), std::out_of_range);
+  EXPECT_EQ(s.arithmetic_count(), 6u);
+  EXPECT_EQ(s.string_count(), 4u);
+}
+
+TEST(Schema, RejectsDuplicatesAndEmpty) {
+  EXPECT_THROW(Schema({{"a", AttrType::kInt}, {"a", AttrType::kFloat}}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"", AttrType::kInt}}), std::invalid_argument);
+}
+
+TEST(Schema, RejectsTooManyAttributes) {
+  std::vector<AttributeSpec> many;
+  for (int i = 0; i < 65; ++i) many.push_back({"a" + std::to_string(i), AttrType::kInt});
+  EXPECT_THROW((void)Schema(std::move(many)), std::invalid_argument);
+}
+
+TEST(Event, BuilderAndLookup) {
+  const Schema s = test_schema();
+  const Event e = EventBuilder(s)
+                      .set("price", 8.40)
+                      .set("symbol", "OTE")
+                      .set("volume", int64_t{132700})
+                      .build();
+  EXPECT_EQ(e.size(), 3u);
+  ASSERT_NE(e.find(s.id_of("price")), nullptr);
+  EXPECT_DOUBLE_EQ(e.find(s.id_of("price"))->as_float(), 8.40);
+  EXPECT_EQ(e.find(s.id_of("exchange")), nullptr);
+  EXPECT_EQ(popcount(e.mask()), 3);
+}
+
+TEST(Event, AttributesSortedById) {
+  const Schema s = test_schema();
+  const Event e = EventBuilder(s).set("volume", 1).set("exchange", "NYSE").build();
+  ASSERT_EQ(e.attrs().size(), 2u);
+  EXPECT_LT(e.attrs()[0].attr, e.attrs()[1].attr);
+}
+
+TEST(Event, RejectsTypeMismatch) {
+  const Schema s = test_schema();
+  EXPECT_THROW(EventBuilder(s).set("price", "cheap").build(), TypeError);
+  EXPECT_THROW(EventBuilder(s).set("symbol", 5).build(), TypeError);
+  // Int attribute refuses a float value (no silent coercion).
+  EXPECT_THROW(EventBuilder(s).set("volume", 1.5).build(), TypeError);
+}
+
+TEST(Event, RejectsDuplicateAttribute) {
+  const Schema s = test_schema();
+  EXPECT_THROW(EventBuilder(s).set("price", 1.0).set("price", 2.0).build(),
+               std::invalid_argument);
+}
+
+TEST(Constraint, ArithmeticOperators) {
+  const Schema s = test_schema();
+  const AttrId price = s.id_of("price");
+  EXPECT_TRUE((Constraint{price, Op::kEq, 8.4}.matches(Value(8.4))));
+  EXPECT_FALSE((Constraint{price, Op::kEq, 8.4}.matches(Value(8.5))));
+  EXPECT_TRUE((Constraint{price, Op::kNe, 8.4}.matches(Value(8.5))));
+  EXPECT_TRUE((Constraint{price, Op::kLt, 8.7}.matches(Value(8.4))));
+  EXPECT_FALSE((Constraint{price, Op::kLt, 8.4}.matches(Value(8.4))));
+  EXPECT_TRUE((Constraint{price, Op::kLe, 8.4}.matches(Value(8.4))));
+  EXPECT_TRUE((Constraint{price, Op::kGt, 8.3}.matches(Value(8.4))));
+  EXPECT_TRUE((Constraint{price, Op::kGe, 8.4}.matches(Value(8.4))));
+  EXPECT_FALSE((Constraint{price, Op::kGe, 8.5}.matches(Value(8.4))));
+}
+
+TEST(Constraint, StringOperators) {
+  const Schema s = test_schema();
+  const AttrId sym = s.id_of("symbol");
+  EXPECT_TRUE((Constraint{sym, Op::kEq, "OTE"}.matches(Value("OTE"))));
+  EXPECT_TRUE((Constraint{sym, Op::kNe, "OTE"}.matches(Value("X"))));
+  EXPECT_TRUE((Constraint{sym, Op::kPrefix, "OT"}.matches(Value("OTE"))));
+  EXPECT_FALSE((Constraint{sym, Op::kPrefix, "TE"}.matches(Value("OTE"))));
+  EXPECT_TRUE((Constraint{sym, Op::kSuffix, "TE"}.matches(Value("OTE"))));
+  EXPECT_TRUE((Constraint{sym, Op::kContains, "T"}.matches(Value("OTE"))));
+  EXPECT_FALSE((Constraint{sym, Op::kContains, "z"}.matches(Value("OTE"))));
+}
+
+TEST(Constraint, Validation) {
+  const Schema s = test_schema();
+  // String operator on an arithmetic attribute.
+  EXPECT_THROW(validate({s.id_of("price"), Op::kPrefix, "x"}, s), std::invalid_argument);
+  // Ordering operator on a string attribute.
+  EXPECT_THROW(validate({s.id_of("symbol"), Op::kLt, "x"}, s), std::invalid_argument);
+  // Wrong operand type.
+  EXPECT_THROW(validate({s.id_of("price"), Op::kEq, "x"}, s), TypeError);
+  EXPECT_THROW(validate({s.id_of("volume"), Op::kEq, 1.5}, s), TypeError);
+  EXPECT_THROW(validate({s.id_of("symbol"), Op::kEq, 5}, s), TypeError);
+  // Out of range attribute.
+  EXPECT_THROW(validate({99, Op::kEq, 5}, s), std::invalid_argument);
+  // Valid ones pass.
+  EXPECT_NO_THROW(validate({s.id_of("price"), Op::kLt, 8.7}, s));
+  EXPECT_NO_THROW(validate({s.id_of("symbol"), Op::kPrefix, "OT"}, s));
+}
+
+TEST(Subscription, PaperFigure3Examples) {
+  const Schema s = test_schema();
+  // Subscription 1: exchange = N*SE (contains-style; we use suffix "SE"
+  // with prefix "N"), symbol = OTE, 8.30 < price < 8.70.
+  const Subscription s1 = SubscriptionBuilder(s)
+                              .where("exchange", Op::kPrefix, "N")
+                              .where("exchange", Op::kSuffix, "SE")
+                              .where("symbol", Op::kEq, "OTE")
+                              .where("price", Op::kLt, 8.70)
+                              .where("price", Op::kGt, 8.30)
+                              .build();
+  // Subscription 2: symbol >* OT, price = 8.20, volume > 130000, low < 8.05.
+  const Subscription s2 = SubscriptionBuilder(s)
+                              .where("symbol", Op::kPrefix, "OT")
+                              .where("price", Op::kEq, 8.20)
+                              .where("volume", Op::kGt, int64_t{130000})
+                              .where("low", Op::kLt, 8.05)
+                              .build();
+
+  // The event of figure 2.
+  const Event e = EventBuilder(s)
+                      .set("exchange", "NYSE")
+                      .set("symbol", "OTE")
+                      .set("when", int64_t{1057057525})
+                      .set("price", 8.40)
+                      .set("volume", int64_t{132700})
+                      .set("high", 8.80)
+                      .set("low", 8.22)
+                      .build();
+
+  EXPECT_TRUE(s1.matches(e));
+  EXPECT_FALSE(s2.matches(e));  // price 8.40 != 8.20 and low 8.22 >= 8.05
+}
+
+TEST(Subscription, MultipleConstraintsSameAttributeAreConjunctive) {
+  const Schema s = test_schema();
+  const Subscription sub = SubscriptionBuilder(s)
+                               .where("price", Op::kGt, 1.0)
+                               .where("price", Op::kLt, 2.0)
+                               .build();
+  EXPECT_TRUE(sub.matches(EventBuilder(s).set("price", 1.5).build()));
+  EXPECT_FALSE(sub.matches(EventBuilder(s).set("price", 2.5).build()));
+  EXPECT_FALSE(sub.matches(EventBuilder(s).set("price", 0.5).build()));
+}
+
+TEST(Subscription, EventMissingConstrainedAttributeDoesNotMatch) {
+  const Schema s = test_schema();
+  const Subscription sub = SubscriptionBuilder(s)
+                               .where("price", Op::kGt, 1.0)
+                               .where("symbol", Op::kEq, "OTE")
+                               .build();
+  EXPECT_FALSE(sub.matches(EventBuilder(s).set("price", 2.0).build()));
+}
+
+TEST(Subscription, EventMayHaveExtraAttributes) {
+  const Schema s = test_schema();
+  const Subscription sub = SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build();
+  EXPECT_TRUE(sub.matches(
+      EventBuilder(s).set("price", 2.0).set("symbol", "X").set("volume", 5).build()));
+}
+
+TEST(Subscription, MaskMatchesConstrainedAttributes) {
+  const Schema s = test_schema();
+  const Subscription sub = SubscriptionBuilder(s)
+                               .where("price", Op::kGt, 1.0)
+                               .where("price", Op::kLt, 9.0)
+                               .where("symbol", Op::kEq, "A")
+                               .build();
+  EXPECT_EQ(sub.mask(), attr_bit(s.id_of("price")) | attr_bit(s.id_of("symbol")));
+}
+
+TEST(Subscription, RejectsEmpty) {
+  const Schema s = test_schema();
+  EXPECT_THROW(Subscription(s, {}), std::invalid_argument);
+}
+
+TEST(Subscription, ConstraintsOn) {
+  const Schema s = test_schema();
+  const Subscription sub = SubscriptionBuilder(s)
+                               .where("price", Op::kGt, 1.0)
+                               .where("price", Op::kLt, 2.0)
+                               .where("symbol", Op::kEq, "A")
+                               .build();
+  EXPECT_EQ(sub.constraints_on(s.id_of("price")).size(), 2u);
+  EXPECT_EQ(sub.constraints_on(s.id_of("symbol")).size(), 1u);
+  EXPECT_EQ(sub.constraints_on(s.id_of("volume")).size(), 0u);
+}
+
+}  // namespace
+}  // namespace subsum::model

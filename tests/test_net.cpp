@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "net/cluster.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "overlay/topologies.h"
+#include "sim/system.h"
+#include "util/rng.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::EventBuilder;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::Subscription;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+TEST(Socket, ListenerConnectSendRecv) {
+  Listener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  std::thread server([&] {
+    auto s = listener.accept();
+    ASSERT_TRUE(s.has_value());
+    std::byte buf[5];
+    ASSERT_TRUE(s->recv_exact(buf));
+    s->send_all(buf);  // echo
+  });
+  Socket c = connect_local(listener.port());
+  const std::byte msg[5] = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4},
+                            std::byte{5}};
+  c.send_all(msg);
+  std::byte back[5];
+  ASSERT_TRUE(c.recv_exact(back));
+  EXPECT_TRUE(std::equal(std::begin(msg), std::end(msg), std::begin(back)));
+  server.join();
+}
+
+TEST(Socket, CleanEofReturnsFalse) {
+  Listener listener(0);
+  std::thread server([&] {
+    auto s = listener.accept();
+    ASSERT_TRUE(s.has_value());
+    // Close immediately.
+  });
+  Socket c = connect_local(listener.port());
+  server.join();
+  std::byte buf[1];
+  EXPECT_FALSE(c.recv_exact(buf));
+}
+
+TEST(Socket, ConnectRefusedThrows) {
+  // Grab a port, then close it so nothing is listening.
+  uint16_t dead_port;
+  {
+    Listener l(0);
+    dead_port = l.port();
+  }
+  EXPECT_THROW(connect_local(dead_port), NetError);
+}
+
+TEST(Framing, RoundTrip) {
+  Listener listener(0);
+  std::thread server([&] {
+    auto s = listener.accept();
+    ASSERT_TRUE(s.has_value());
+    auto f = recv_frame(*s);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->kind, MsgKind::kPublish);
+    send_frame(*s, MsgKind::kPublishAck, f->payload);
+  });
+  Socket c = connect_local(listener.port());
+  const std::vector<std::byte> payload = {std::byte{9}, std::byte{8}};
+  send_frame(c, MsgKind::kPublish, payload);
+  auto reply = recv_frame(c);
+  server.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, MsgKind::kPublishAck);
+  EXPECT_EQ(reply->payload, payload);
+}
+
+TEST(Framing, EmptyPayloadAndEof) {
+  Listener listener(0);
+  std::thread server([&] {
+    auto s = listener.accept();
+    ASSERT_TRUE(s.has_value());
+    auto f = recv_frame(*s);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(f->payload.empty());
+    EXPECT_FALSE(recv_frame(*s).has_value());  // clean EOF after close
+  });
+  {
+    Socket c = connect_local(listener.port());
+    send_frame(c, MsgKind::kStats, {});
+  }
+  server.join();
+}
+
+TEST(Protocol, EventRoundTrip) {
+  const Schema s = schema_v();
+  const auto e = EventBuilder(s)
+                     .set("price", 8.40)
+                     .set("symbol", "OTE")
+                     .set("volume", int64_t{132700})
+                     .build();
+  util::BufWriter w;
+  put_event(w, e);
+  util::BufReader r(w.bytes());
+  EXPECT_EQ(get_event(r, s), e);
+}
+
+TEST(Protocol, SubscriptionRoundTrip) {
+  const Schema s = schema_v();
+  const auto sub = SubscriptionBuilder(s)
+                       .where("price", Op::kGt, 8.30)
+                       .where("price", Op::kLt, 8.70)
+                       .where("symbol", Op::kPrefix, "OT")
+                       .build();
+  util::BufWriter w;
+  put_subscription(w, sub);
+  util::BufReader r(w.bytes());
+  EXPECT_EQ(get_subscription(r, s), sub);
+}
+
+TEST(Protocol, SubIdRoundTrip) {
+  util::BufWriter w;
+  const SubId id{23, 999999, 0x3FF};
+  put_sub_id(w, id);
+  util::BufReader r(w.bytes());
+  EXPECT_EQ(get_sub_id(r), id);
+}
+
+TEST(Protocol, RejectsUnknownAttributes) {
+  const Schema s = schema_v();
+  util::BufWriter w;
+  w.put_varint(1);
+  w.put_varint(99);  // bogus attribute id
+  w.put_i64(1);
+  util::BufReader r(w.bytes());
+  EXPECT_THROW(get_event(r, s), util::DecodeError);
+}
+
+TEST(Protocol, BitmapHelpers) {
+  auto bm = make_bitmap(13);
+  EXPECT_EQ(bm.size(), 2u);
+  EXPECT_FALSE(bitmap_all(bm, 13));
+  for (size_t i = 0; i < 13; ++i) {
+    EXPECT_FALSE(bitmap_get(bm, i));
+    bitmap_set(bm, i);
+    EXPECT_TRUE(bitmap_get(bm, i));
+  }
+  EXPECT_TRUE(bitmap_all(bm, 13));
+}
+
+TEST(Protocol, MessageRoundTrips) {
+  const Schema s = schema_v();
+  const auto e = EventBuilder(s).set("price", 1.5).build();
+
+  SummaryMsg sm;
+  sm.from = 7;
+  sm.merged_brokers = {1, 2, 7};
+  sm.removals = {SubId{1, 2, 3}};
+  sm.summary = {std::byte{0xAA}, std::byte{0xBB}};
+  const auto sm2 = decode_summary_msg(encode(sm));
+  EXPECT_EQ(sm2.from, sm.from);
+  EXPECT_EQ(sm2.merged_brokers, sm.merged_brokers);
+  EXPECT_EQ(sm2.removals, sm.removals);
+  EXPECT_EQ(sm2.summary, sm.summary);
+
+  EventMsg em;
+  em.origin = 3;
+  em.seq = 42;
+  em.brocli = make_bitmap(24);
+  bitmap_set(em.brocli, 5);
+  em.event = e;
+  const auto em2 = decode_event_msg(encode(em, s), s);
+  EXPECT_EQ(em2.origin, 3u);
+  EXPECT_EQ(em2.seq, 42u);
+  EXPECT_TRUE(bitmap_get(em2.brocli, 5));
+  EXPECT_EQ(em2.event, e);
+
+  DeliverMsg dm{9, {SubId{9, 1, 4}}, e};
+  const auto dm2 = decode_deliver_msg(encode(dm, s), s);
+  EXPECT_EQ(dm2.examined_at, 9u);
+  EXPECT_EQ(dm2.ids, dm.ids);
+  EXPECT_EQ(dm2.event, e);
+
+  const auto tm = decode_trigger_msg(encode(TriggerMsg{4}));
+  EXPECT_EQ(tm.iteration, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Live broker tests
+// ---------------------------------------------------------------------------
+
+TEST(BrokerNode, SubscribePublishNotifySingleBroker) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto client = cluster.connect(0);
+
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "OTE").build();
+  const SubId id = client->subscribe(sub);
+  EXPECT_EQ(id.broker, 0u);
+  EXPECT_EQ(id.local, 0u);
+
+  client->publish(EventBuilder(s).set("symbol", "OTE").set("price", 8.4).build());
+  const auto note = client->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  ASSERT_NE(note->event.find(s.id_of("price")), nullptr);
+
+  // Non-matching publish produces no notification.
+  client->publish(EventBuilder(s).set("symbol", "X").build());
+  EXPECT_FALSE(client->next_notification(100ms).has_value());
+}
+
+TEST(BrokerNode, UnsubscribeStopsNotifications) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  auto client = cluster.connect(0);
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "A").build();
+  const SubId id = client->subscribe(sub);
+  client->unsubscribe(id);
+  client->publish(EventBuilder(s).set("symbol", "A").build());
+  EXPECT_FALSE(client->next_notification(100ms).has_value());
+}
+
+TEST(Cluster, Fig7EndToEndOverTcp) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::fig7_tree());
+
+  // Paper example 3: brokers 4, 8, 13 (nodes 3, 7, 12) subscribe.
+  auto c3 = cluster.connect(3);
+  auto c7 = cluster.connect(7);
+  auto c12 = cluster.connect(12);
+  auto publisher = cluster.connect(0);
+
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "evt").build();
+  const SubId id3 = c3->subscribe(sub);
+  const SubId id7 = c7->subscribe(sub);
+  const SubId id12 = c12->subscribe(sub);
+
+  cluster.run_propagation_period();
+
+  // Propagation left broker 4 (paper broker 5) knowing brokers 0-5.
+  EXPECT_EQ(cluster.node(4).snapshot().merged_brokers, 6u);
+  EXPECT_EQ(cluster.node(7).snapshot().merged_brokers, 4u);
+  EXPECT_EQ(cluster.node(10).snapshot().merged_brokers, 3u);
+
+  publisher->publish(EventBuilder(s).set("symbol", "evt").build());
+
+  const auto n3 = c3->next_notification(2000ms);
+  const auto n7 = c7->next_notification(2000ms);
+  const auto n12 = c12->next_notification(2000ms);
+  ASSERT_TRUE(n3 && n7 && n12);
+  EXPECT_EQ(n3->ids, std::vector<SubId>{id3});
+  EXPECT_EQ(n7->ids, std::vector<SubId>{id7});
+  EXPECT_EQ(n12->ids, std::vector<SubId>{id12});
+
+  // Exactly-once: no further notifications anywhere.
+  EXPECT_FALSE(c3->next_notification(100ms).has_value());
+  EXPECT_FALSE(c7->next_notification(100ms).has_value());
+  EXPECT_FALSE(c12->next_notification(100ms).has_value());
+}
+
+TEST(Cluster, TcpMatchesSimSystemOnRandomWorkload) {
+  const Schema s = schema_v();
+  const auto g = overlay::fig7_tree();
+
+  Cluster cluster(s, g);
+  sim::SystemConfig sim_cfg;
+  sim_cfg.schema = s;
+  sim_cfg.graph = g;
+  sim::SimSystem sim(sim_cfg);
+
+  workload::SubGenParams sp;
+  sp.subsumption = 0.5;
+  workload::SubscriptionGenerator gen(s, sp, 2024);
+  workload::EventGenerator events(s, gen.pools(), {}, 2025);
+  util::Rng rng(2026);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (BrokerId b = 0; b < g.size(); ++b) clients.push_back(cluster.connect(b));
+
+  std::map<SubId, BrokerId> owners;
+  for (int i = 0; i < 40; ++i) {
+    const auto home = static_cast<BrokerId>(rng.below(g.size()));
+    const Subscription sub = gen.next();
+    const SubId tcp_id = clients[home]->subscribe(sub);
+    const SubId sim_id = sim.subscribe(home, sub);
+    EXPECT_EQ(tcp_id, sim_id);
+  }
+  cluster.run_propagation_period();
+  sim.run_propagation_period();
+
+  for (int i = 0; i < 20; ++i) {
+    const auto e = events.next();
+    const auto origin = static_cast<BrokerId>(rng.below(g.size()));
+    clients[origin]->publish(e);
+    const auto expected = sim.publish(origin, e);
+
+    // publish() is synchronous end-to-end, so every notification was
+    // written before it returned. Block only where something is expected;
+    // drain the rest to catch spurious extras.
+    std::map<BrokerId, size_t> expected_per_owner;
+    for (const auto& id : expected.delivered) ++expected_per_owner[id.broker];
+    std::vector<SubId> tcp_ids;
+    for (const auto& [owner, want] : expected_per_owner) {
+      size_t got = 0;
+      while (got < want) {
+        auto note = clients[owner]->next_notification(2000ms);
+        ASSERT_TRUE(note.has_value()) << "missing notification at broker " << owner;
+        for (const auto& id : note->ids) tcp_ids.push_back(id);
+        got += note->ids.size();
+      }
+    }
+    for (auto& c : clients) {
+      for (const auto& note : c->drain_notifications()) {
+        for (const auto& id : note.ids) tcp_ids.push_back(id);
+      }
+    }
+    std::sort(tcp_ids.begin(), tcp_ids.end());
+    EXPECT_EQ(tcp_ids, expected.delivered) << "event " << i;
+  }
+}
+
+TEST(Cluster, SnapshotReflectsSubscriptions) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2));
+  auto client = cluster.connect(0);
+  const auto sub = SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build();
+  client->subscribe(sub);
+  client->subscribe(sub);
+  const auto snap = cluster.node(0).snapshot();
+  EXPECT_EQ(snap.local_subs, 2u);
+  EXPECT_GT(snap.held_wire_bytes, 0u);
+}
+
+TEST(Cluster, ClientConnectionDropIsTolerated) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2));
+  {
+    auto doomed = cluster.connect(0);
+    const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "A").build();
+    doomed->subscribe(sub);
+  }  // client closes; its subscription's notifications go nowhere
+  auto publisher = cluster.connect(1);
+  cluster.run_propagation_period();
+  // Publishing must not crash or hang even though the subscriber is gone.
+  publisher->publish(EventBuilder(s).set("symbol", "A").build());
+  const auto snap = cluster.node(0).snapshot();
+  EXPECT_EQ(snap.local_subs, 1u);
+}
+
+}  // namespace
+}  // namespace subsum::net

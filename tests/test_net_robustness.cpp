@@ -1,0 +1,210 @@
+// Failure injection and robustness for the TCP layer: malformed frames,
+// unknown message kinds, connection storms, concurrent publishers, and
+// propagation across multiple periods with churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/cluster.h"
+#include "overlay/topologies.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubscriptionBuilder;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+TEST(NetRobustness, GarbageBytesDoNotKillTheBroker) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  util::Rng rng(1);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    try {
+      Socket sock = connect_local(cluster.port_of(0));
+      std::vector<std::byte> junk(1 + rng.below(64));
+      for (auto& b : junk) b = std::byte{static_cast<uint8_t>(rng.below(256))};
+      sock.send_all(junk);
+      // Either the broker replies something or drops us; both fine.
+    } catch (const NetError&) {
+    }
+  }
+  // The broker still serves real clients.
+  auto client = cluster.connect(0);
+  const auto id = client->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "ok").build());
+  client->publish(model::EventBuilder(s).set("symbol", "ok").build());
+  const auto note = client->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+}
+
+TEST(NetRobustness, MalformedPayloadsRejectedPerConnection) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+
+  // Valid frame header, garbage subscribe payload: the broker must drop
+  // only this connection.
+  {
+    Socket sock = connect_local(cluster.port_of(0));
+    const std::vector<std::byte> junk = {std::byte{0xFF}, std::byte{0xFF},
+                                         std::byte{0xFF}};
+    send_frame(sock, MsgKind::kSubscribe, junk);
+    // Server closes or errors; reading should terminate either way.
+    try {
+      (void)recv_frame(sock);
+    } catch (const NetError&) {
+    }
+  }
+  auto client = cluster.connect(0);
+  EXPECT_NO_THROW(client->subscribe(
+      SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build()));
+}
+
+TEST(NetRobustness, UnknownMessageKindGetsErrorReply) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  Socket sock = connect_local(cluster.port_of(0));
+  send_frame(sock, static_cast<MsgKind>(55), {});
+  const auto reply = recv_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, MsgKind::kError);
+}
+
+TEST(NetRobustness, OversizedFrameRejectedClientSide) {
+  // The cap guards both directions; sending is refused locally.
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1));
+  Socket sock = connect_local(cluster.port_of(0));
+  std::vector<std::byte> huge(kMaxFrameBytes + 1);
+  EXPECT_THROW(send_frame(sock, MsgKind::kPublish, huge), NetError);
+}
+
+TEST(NetRobustness, ConnectionStorm) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2));
+  for (int i = 0; i < 100; ++i) {
+    Socket sock = connect_local(cluster.port_of(i % 2));
+    // Immediately drop.
+  }
+  auto client = cluster.connect(0);
+  EXPECT_NO_THROW(client->subscribe(
+      SubscriptionBuilder(s).where("price", Op::kGt, 1.0).build()));
+}
+
+TEST(NetRobustness, ConcurrentPublishersAndSubscribers) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::fig7_tree());
+
+  // One subscriber per broker on a shared topic.
+  std::vector<std::unique_ptr<Client>> subs;
+  std::vector<SubId> ids;
+  for (overlay::BrokerId b = 0; b < cluster.size(); ++b) {
+    subs.push_back(cluster.connect(b));
+    ids.push_back(subs.back()->subscribe(
+        SubscriptionBuilder(s).where("symbol", Op::kEq, "storm").build()));
+  }
+  cluster.run_propagation_period();
+
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        auto client = cluster.connect(static_cast<overlay::BrokerId>(t % cluster.size()));
+        for (int i = 0; i < kEventsPerThread; ++i) {
+          client->publish(model::EventBuilder(s)
+                              .set("symbol", "storm")
+                              .set("volume", int64_t{t * 100 + i})
+                              .build());
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every subscriber got every event exactly once.
+  const int expected = kThreads * kEventsPerThread;
+  for (size_t b = 0; b < subs.size(); ++b) {
+    int got = 0;
+    while (got < expected) {
+      const auto note = subs[b]->next_notification(2000ms);
+      ASSERT_TRUE(note.has_value()) << "broker " << b << " saw only " << got;
+      EXPECT_EQ(note->ids, std::vector<SubId>{ids[b]});
+      ++got;
+    }
+    EXPECT_FALSE(subs[b]->next_notification(100ms).has_value()) << "duplicate at " << b;
+  }
+}
+
+TEST(NetRobustness, MultiPeriodChurnOverTcp) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::fig7_tree());
+  auto c3 = cluster.connect(3);
+  auto publisher = cluster.connect(9);
+
+  // Period 1: subscribe and verify delivery.
+  const auto id1 = c3->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "alpha").build());
+  cluster.run_propagation_period();
+  publisher->publish(model::EventBuilder(s).set("symbol", "alpha").build());
+  ASSERT_TRUE(c3->next_notification(2000ms).has_value());
+
+  // Period 2: unsubscribe; the removal piggybacks on the next period.
+  c3->unsubscribe(id1);
+  cluster.run_propagation_period();
+  publisher->publish(model::EventBuilder(s).set("symbol", "alpha").build());
+  EXPECT_FALSE(c3->next_notification(200ms).has_value());
+
+  // Period 3: a new subscription still works after the churn.
+  const auto id2 = c3->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "beta").build());
+  cluster.run_propagation_period();
+  publisher->publish(model::EventBuilder(s).set("symbol", "beta").build());
+  const auto note = c3->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id2});
+}
+
+TEST(NetRobustness, Cw24ClusterEndToEnd) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::cable_wireless_24());
+  auto boston = cluster.connect(23);
+  auto seattle = cluster.connect(0);
+  const auto id = boston->subscribe(SubscriptionBuilder(s)
+                                        .where("price", Op::kGt, 100.0)
+                                        .where("sector", Op::kEq, "energy")
+                                        .build());
+  cluster.run_propagation_period();
+  seattle->publish(model::EventBuilder(s)
+                       .set("price", 140.0)
+                       .set("sector", "energy")
+                       .build());
+  const auto note = boston->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  seattle->publish(model::EventBuilder(s)
+                       .set("price", 90.0)
+                       .set("sector", "energy")
+                       .build());
+  EXPECT_FALSE(boston->next_notification(200ms).has_value());
+}
+
+}  // namespace
+}  // namespace subsum::net

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "overlay/graph.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topologies.h"
+#include "util/rng.h"
+
+namespace subsum::overlay {
+namespace {
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.neighbors(1), (std::vector<BrokerId>{0, 2, 3}));
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // duplicate
+}
+
+TEST(Graph, BfsDistances) {
+  const Graph g = line(5);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(g.diameter(), 4);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.diameter(), -1);
+  EXPECT_EQ(g.distances_from(0)[2], -1);
+}
+
+TEST(Graph, MeanPairwiseDistanceLine3) {
+  // Distances: 0-1:1, 0-2:2, 1-2:1 (each counted both directions).
+  EXPECT_DOUBLE_EQ(line(3).mean_pairwise_distance(), (1 + 2 + 1 + 1 + 2 + 1) / 6.0);
+}
+
+TEST(Topologies, Fig7TreeMatchesPaper) {
+  const Graph g = fig7_tree();
+  EXPECT_EQ(g.size(), 13u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.max_degree(), 5u);
+  // Paper: broker 5 has degree 5; leaves are 1,3,4,6,9,12,13;
+  // degree-2 brokers are 2,7,10; degree-3 are 8 and 11. (0-indexed: -1.)
+  EXPECT_EQ(g.degree(4), 5u);
+  for (int leaf : {1, 3, 4, 6, 9, 12, 13}) EXPECT_EQ(g.degree(leaf - 1), 1u) << leaf;
+  for (int d2 : {2, 7, 10}) EXPECT_EQ(g.degree(d2 - 1), 2u) << d2;
+  for (int d3 : {8, 11}) EXPECT_EQ(g.degree(d3 - 1), 3u) << d3;
+}
+
+TEST(Topologies, CableWireless24Profile) {
+  const Graph g = cable_wireless_24();
+  EXPECT_EQ(g.size(), 24u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.max_degree(), 6u);
+  const double mean_degree = 2.0 * static_cast<double>(g.edge_count()) / 24.0;
+  EXPECT_GT(mean_degree, 2.5);
+  EXPECT_LT(mean_degree, 3.5);
+  EXPECT_LE(g.diameter(), 8);
+  EXPECT_EQ(cable_wireless_24_names().size(), 24u);
+}
+
+TEST(Topologies, LineRingStarBalanced) {
+  EXPECT_EQ(line(6).edge_count(), 5u);
+  EXPECT_EQ(ring(6).edge_count(), 6u);
+  EXPECT_EQ(ring(6).max_degree(), 2u);
+  EXPECT_EQ(star(7).degree(0), 6u);
+  EXPECT_EQ(star(7).max_degree(), 6u);
+  const Graph b = balanced_tree(7, 2);
+  EXPECT_EQ(b.edge_count(), 6u);
+  EXPECT_EQ(b.degree(0), 2u);
+  EXPECT_TRUE(b.connected());
+  EXPECT_THROW(ring(2), std::invalid_argument);
+  EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+class RandomTopologyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTopologyProperty, RandomTreesAreTrees) {
+  util::Rng rng(GetParam());
+  for (size_t n : {2u, 5u, 24u, 100u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.size(), n);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST_P(RandomTopologyProperty, PreferentialAttachmentConnected) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  const Graph g = preferential_attachment(50, 2, rng);
+  EXPECT_EQ(g.size(), 50u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_GE(g.edge_count(), 49u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(SpanningTree, BfsTreeStructure) {
+  const Graph g = fig7_tree();
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.parent[0], 0u);
+  EXPECT_EQ(t.edge_count(), 12u);
+  EXPECT_EQ(t.depth[0], 0);
+  EXPECT_EQ(t.parent[1], 0u);  // paper broker 2's parent is broker 1
+  // Depths follow the tree: broker 5 (node 4) is two hops from broker 1.
+  EXPECT_EQ(t.depth[4], 2);
+}
+
+TEST(SpanningTree, SteinerEdges) {
+  const Graph g = line(5);
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.steiner_edges({}), 0u);
+  EXPECT_EQ(t.steiner_edges({0}), 0u);       // root itself
+  EXPECT_EQ(t.steiner_edges({4}), 4u);       // full path
+  EXPECT_EQ(t.steiner_edges({2, 4}), 4u);    // shared path counted once
+  EXPECT_EQ(t.steiner_edges({1, 2}), 2u);
+  EXPECT_EQ(t.steiner_edges({4, 4}), 4u);    // duplicates are free
+}
+
+TEST(SpanningTree, StarSteiner) {
+  const Graph g = star(6);
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.steiner_edges({1, 2, 3}), 3u);
+  const SpanningTree leaf = bfs_tree(g, 1);
+  // From a leaf, reaching another leaf crosses the hub: 2 edges.
+  EXPECT_EQ(leaf.steiner_edges({2}), 2u);
+  EXPECT_EQ(leaf.steiner_edges({2, 3}), 3u);  // hub edge shared
+}
+
+TEST(SpanningTree, DisconnectedThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(bfs_tree(g, 0), std::invalid_argument);
+}
+
+TEST(SpanningTree, DepthsAreShortestPaths) {
+  const Graph g = cable_wireless_24();
+  for (BrokerId root : {0u, 11u, 23u}) {
+    const SpanningTree t = bfs_tree(g, root);
+    const auto d = g.distances_from(root);
+    for (BrokerId v = 0; v < g.size(); ++v) EXPECT_EQ(t.depth[v], d[v]);
+  }
+}
+
+}  // namespace
+}  // namespace subsum::overlay

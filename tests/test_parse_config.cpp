@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "config/config.h"
+#include "model/parse.h"
+#include "workload/stock_schema.h"
+
+namespace subsum {
+namespace {
+
+using model::Constraint;
+using model::Op;
+using model::ParseError;
+using model::Schema;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+TEST(ParseConstraint, ArithmeticOperators) {
+  const Schema s = schema_v();
+  EXPECT_EQ(model::parse_constraint(s, "price > 8.30"),
+            (Constraint{s.id_of("price"), Op::kGt, 8.30}));
+  EXPECT_EQ(model::parse_constraint(s, "price<=8.7"),
+            (Constraint{s.id_of("price"), Op::kLe, 8.7}));
+  EXPECT_EQ(model::parse_constraint(s, "volume != 5"),
+            (Constraint{s.id_of("volume"), Op::kNe, int64_t{5}}));
+  EXPECT_EQ(model::parse_constraint(s, "volume >= 130000"),
+            (Constraint{s.id_of("volume"), Op::kGe, int64_t{130000}}));
+  EXPECT_EQ(model::parse_constraint(s, "when = 99"),
+            (Constraint{s.id_of("when"), Op::kEq, int64_t{99}}));
+}
+
+TEST(ParseConstraint, StringOperators) {
+  const Schema s = schema_v();
+  EXPECT_EQ(model::parse_constraint(s, "symbol = OTE"),
+            (Constraint{s.id_of("symbol"), Op::kEq, "OTE"}));
+  EXPECT_EQ(model::parse_constraint(s, "symbol = \"two words\""),
+            (Constraint{s.id_of("symbol"), Op::kEq, "two words"}));
+  EXPECT_EQ(model::parse_constraint(s, "symbol >* OT"),
+            (Constraint{s.id_of("symbol"), Op::kPrefix, "OT"}));
+  EXPECT_EQ(model::parse_constraint(s, "symbol *< TE"),
+            (Constraint{s.id_of("symbol"), Op::kSuffix, "TE"}));
+  EXPECT_EQ(model::parse_constraint(s, "symbol * T"),
+            (Constraint{s.id_of("symbol"), Op::kContains, "T"}));
+  EXPECT_EQ(model::parse_constraint(s, "exchange != NASDAQ"),
+            (Constraint{s.id_of("exchange"), Op::kNe, "NASDAQ"}));
+}
+
+TEST(ParseConstraint, Errors) {
+  const Schema s = schema_v();
+  EXPECT_THROW(model::parse_constraint(s, ""), ParseError);
+  EXPECT_THROW(model::parse_constraint(s, "nosuch = 1"), ParseError);
+  EXPECT_THROW(model::parse_constraint(s, "price 8.3"), ParseError);
+  EXPECT_THROW(model::parse_constraint(s, "price >"), ParseError);
+  EXPECT_THROW(model::parse_constraint(s, "price = abc"), ParseError);
+  EXPECT_THROW(model::parse_constraint(s, "volume = 1.5"), ParseError);
+  // Operator invalid for the type is rejected by constraint validation.
+  EXPECT_THROW(model::parse_constraint(s, "price >* 3"), std::invalid_argument);
+  EXPECT_THROW(model::parse_constraint(s, "symbol < x"), std::invalid_argument);
+}
+
+TEST(ParseSubscription, Conjunction) {
+  const Schema s = schema_v();
+  const auto sub = model::parse_subscription(
+      s, "price > 8.30 AND price < 8.70 AND symbol = OTE");
+  EXPECT_EQ(sub.constraints().size(), 3u);
+  EXPECT_TRUE(sub.matches(
+      model::EventBuilder(s).set("price", 8.4).set("symbol", "OTE").build()));
+  EXPECT_FALSE(sub.matches(
+      model::EventBuilder(s).set("price", 9.0).set("symbol", "OTE").build()));
+}
+
+TEST(ParseSubscription, CaseInsensitiveAndQuotedAnd) {
+  const Schema s = schema_v();
+  const auto sub = model::parse_subscription(s, "symbol = \"R AND D\" and price > 1");
+  EXPECT_EQ(sub.constraints().size(), 2u);
+  EXPECT_EQ(sub.constraints()[0].operand.as_string(), "R AND D");
+}
+
+TEST(ParseSubscription, SingleConstraint) {
+  const Schema s = schema_v();
+  EXPECT_EQ(model::parse_subscription(s, "price > 1").constraints().size(), 1u);
+}
+
+TEST(ParseEvent, Basic) {
+  const Schema s = schema_v();
+  const auto e =
+      model::parse_event(s, "price = 8.40, symbol = OTE, volume = 132700");
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.find(s.id_of("price"))->as_float(), 8.40);
+  EXPECT_EQ(e.find(s.id_of("symbol"))->as_string(), "OTE");
+  EXPECT_EQ(e.find(s.id_of("volume"))->as_int(), 132700);
+}
+
+TEST(ParseEvent, QuotedCommaValue) {
+  const Schema s = schema_v();
+  const auto e = model::parse_event(s, "symbol = \"A, B\", price = 1.0");
+  EXPECT_EQ(e.find(s.id_of("symbol"))->as_string(), "A, B");
+}
+
+TEST(ParseEvent, Errors) {
+  const Schema s = schema_v();
+  EXPECT_THROW(model::parse_event(s, ""), ParseError);
+  EXPECT_THROW(model::parse_event(s, "price"), ParseError);
+  EXPECT_THROW(model::parse_event(s, "nosuch = 1"), ParseError);
+  EXPECT_THROW(model::parse_event(s, "price = x"), ParseError);
+  // Duplicate attribute rejected by Event validation.
+  EXPECT_THROW(model::parse_event(s, "price = 1.0, price = 2.0"), std::invalid_argument);
+}
+
+TEST(Config, ParsesExplicitTopology) {
+  const auto spec = config::parse_system_spec(R"(
+# a comment
+attribute symbol string
+attribute price float   # trailing comment
+attribute volume int
+brokers 3
+edge 0 1
+edge 1 2
+)");
+  EXPECT_EQ(spec.schema.attr_count(), 3u);
+  EXPECT_EQ(spec.schema.type_of(spec.schema.id_of("price")), model::AttrType::kFloat);
+  EXPECT_EQ(spec.graph.size(), 3u);
+  EXPECT_TRUE(spec.graph.has_edge(0, 1));
+  EXPECT_TRUE(spec.graph.connected());
+}
+
+TEST(Config, ParsesBuiltinTopologies) {
+  EXPECT_EQ(config::parse_system_spec("attribute a int\ntopology cw24\n").graph.size(), 24u);
+  EXPECT_EQ(config::parse_system_spec("attribute a int\ntopology fig7\n").graph.size(), 13u);
+  EXPECT_EQ(config::parse_system_spec("attribute a int\ntopology line 5\n").graph.size(), 5u);
+  EXPECT_EQ(config::parse_system_spec("attribute a int\ntopology ring 6\n").graph.size(), 6u);
+  EXPECT_EQ(config::parse_system_spec("attribute a int\ntopology star 4\n").graph.size(), 4u);
+}
+
+TEST(Config, Errors) {
+  using config::ConfigError;
+  EXPECT_THROW(config::parse_system_spec(""), ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a int\n"), ConfigError);  // no topology
+  EXPECT_THROW(config::parse_system_spec("attribute a int\nbrokers 2\n"), ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a bogus\nbrokers 1\n"), ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a int\nattribute a int\ntopology fig7\n"),
+               ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a int\nbrokers 2\nedge 0 5\n"),
+               ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a int\ntopology fig7\nbrokers 2\n"),
+               ConfigError);
+  EXPECT_THROW(config::parse_system_spec("nonsense\n"), ConfigError);
+  EXPECT_THROW(config::parse_system_spec("attribute a int\ntopology blob 3\n"), ConfigError);
+}
+
+TEST(Config, RoundTripsThroughText) {
+  const auto spec = config::parse_system_spec("attribute a int\ntopology fig7\n");
+  const auto again = config::parse_system_spec(config::to_text(spec));
+  EXPECT_EQ(again.schema, spec.schema);
+  EXPECT_EQ(again.graph.edges(), spec.graph.edges());
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  try {
+    config::parse_system_spec("attribute a int\nbogus directive\n");
+    FAIL() << "expected ConfigError";
+  } catch (const config::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace subsum

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/matcher.h"
+#include "core/serialize.h"
+#include "model/subscription.h"
+#include "overlay/topologies.h"
+#include "routing/propagation.h"
+#include "util/rng.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::routing {
+namespace {
+
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+using overlay::Graph;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+core::WireConfig wire_for(const Schema& s, const Graph& g) {
+  return {model::SubIdCodec(static_cast<uint32_t>(g.size()), 1u << 20, s.attr_count()), 8};
+}
+
+/// One distinctive subscription per broker: symbol == "b<k>".
+std::vector<core::BrokerSummary> per_broker_summaries(const Schema& s, const Graph& g) {
+  std::vector<core::BrokerSummary> own;
+  for (BrokerId b = 0; b < g.size(); ++b) {
+    core::BrokerSummary summary(s);
+    const auto sub =
+        SubscriptionBuilder(s).where("symbol", Op::kEq, "b" + std::to_string(b)).build();
+    summary.add(sub, SubId{b, 0, sub.mask()});
+    own.push_back(std::move(summary));
+  }
+  return own;
+}
+
+TEST(Propagation, Fig7Walkthrough) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+
+  // Iteration 1: the seven leaves send; iteration 2: nodes 1, 6, 9 send;
+  // iterations 3-5: brokers 7(8), 10(11) and 4(5) are sinks. 10 hops total.
+  EXPECT_EQ(result.hops(), 10u);
+
+  auto sends_in = [&](int it) {
+    std::set<std::pair<BrokerId, BrokerId>> out;
+    for (const auto& snd : result.sends) {
+      if (snd.iteration == it) out.insert({snd.from, snd.to});
+    }
+    return out;
+  };
+  // Iteration 1 (paper: brokers 1,3,4,6,9,12,13 send to their neighbors).
+  EXPECT_EQ(sends_in(1),
+            (std::set<std::pair<BrokerId, BrokerId>>{
+                {0, 1}, {2, 4}, {3, 4}, {5, 4}, {8, 7}, {11, 10}, {12, 10}}));
+  // Iteration 2: node 1 (broker 2) -> 4 (broker 5); node 6 (broker 7) picks
+  // the smaller-degree choice node 7 (broker 8); node 9 (broker 10) -> 7.
+  EXPECT_EQ(sends_in(2),
+            (std::set<std::pair<BrokerId, BrokerId>>{{1, 4}, {6, 7}, {9, 7}}));
+  EXPECT_TRUE(sends_in(3).empty());
+  EXPECT_TRUE(sends_in(4).empty());
+  EXPECT_TRUE(sends_in(5).empty());
+
+  // Paper: "broker 5 will have knowledge of the summaries of brokers 1-6".
+  EXPECT_EQ(result.merged_brokers[4], (std::vector<BrokerId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(result.merged_brokers[7], (std::vector<BrokerId>{6, 7, 8, 9}));
+  EXPECT_EQ(result.merged_brokers[10], (std::vector<BrokerId>{10, 11, 12}));
+  // A broker that only sent keeps just its own (plus earlier receipts).
+  EXPECT_EQ(result.merged_brokers[0], std::vector<BrokerId>{0});
+  EXPECT_EQ(result.merged_brokers[1], (std::vector<BrokerId>{0, 1}));
+}
+
+TEST(Propagation, HeldSummariesContainMergedBrokersSubscriptions) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+  // held[4] must match the subscriptions of every broker in its merged set.
+  for (BrokerId b : result.merged_brokers[4]) {
+    const auto e =
+        model::EventBuilder(s).set("symbol", "b" + std::to_string(b)).build();
+    const auto m = core::match(result.held[4], e);
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0].broker, b);
+  }
+  // ...and not those outside it.
+  const auto e9 = model::EventBuilder(s).set("symbol", "b9").build();
+  EXPECT_TRUE(core::match(result.held[4], e9).empty());
+}
+
+TEST(Propagation, RequiresOneSummaryPerBroker) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  std::vector<core::BrokerSummary> too_few(3, core::BrokerSummary(s));
+  EXPECT_THROW(propagate(g, too_few, wire_for(s, g)), std::invalid_argument);
+}
+
+TEST(Propagation, BytesAccountedPerSend) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+  for (const auto& snd : result.sends) EXPECT_GT(snd.bytes, 0u);
+  EXPECT_EQ(result.total_bytes(),
+            std::accumulate(result.sends.begin(), result.sends.end(), size_t{0},
+                            [](size_t acc, const PropagationSend& snd) {
+                              return acc + snd.bytes;
+                            }));
+}
+
+// Invariants on arbitrary connected topologies.
+class PropagationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationProperty, CoverageAndBounds) {
+  const Schema s = schema_v();
+  util::Rng rng(GetParam());
+  // (graph, has_sink): when some maximum-degree broker has no eligible
+  // neighbor it sends nothing, giving the paper's "< #brokers" hop claim;
+  // in locally-regular graphs (ring, line middles, some random trees)
+  // same-degree neighbors exchange pairwise and hops can reach exactly n.
+  std::vector<std::pair<Graph, bool>> graphs;
+  graphs.emplace_back(overlay::cable_wireless_24(), true);
+  graphs.emplace_back(overlay::random_tree(17, rng), false);
+  graphs.emplace_back(overlay::ring(8), false);
+  graphs.emplace_back(overlay::star(9), true);
+  graphs.emplace_back(overlay::line(6), false);
+
+  for (const auto& [g, has_sink] : graphs) {
+    const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+
+    // Each broker sends at most one summary message (§5.2.1).
+    if (has_sink) {
+      EXPECT_LT(result.hops(), g.size());
+    } else {
+      EXPECT_LE(result.hops(), g.size());
+    }
+
+    // Every broker appears in its own merged set.
+    for (BrokerId b = 0; b < g.size(); ++b) {
+      const auto& mb = result.merged_brokers[b];
+      EXPECT_TRUE(std::binary_search(mb.begin(), mb.end(), b));
+      EXPECT_TRUE(std::is_sorted(mb.begin(), mb.end()));
+    }
+
+    // Global coverage: the union over all brokers of Merged_Brokers is
+    // everything (so the BROCLI walk can terminate having seen all).
+    std::set<BrokerId> covered;
+    for (const auto& mb : result.merged_brokers) covered.insert(mb.begin(), mb.end());
+    EXPECT_EQ(covered.size(), g.size());
+
+    // Knowledge soundness: if broker x is in merged_brokers[b], then
+    // held[b] matches x's subscription.
+    for (BrokerId b = 0; b < g.size(); ++b) {
+      for (BrokerId x : result.merged_brokers[b]) {
+        const auto e =
+            model::EventBuilder(s).set("symbol", "b" + std::to_string(x)).build();
+        EXPECT_EQ(core::match(result.held[b], e).size(), 1u)
+            << "broker " << b << " claims but lacks " << x;
+      }
+    }
+
+    // Sends only happen towards equal-or-higher-degree neighbors.
+    for (const auto& snd : result.sends) {
+      EXPECT_TRUE(g.has_edge(snd.from, snd.to));
+      EXPECT_GE(g.degree(snd.to), g.degree(snd.from));
+      EXPECT_EQ(g.degree(snd.from), static_cast<size_t>(snd.iteration));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperty, ::testing::Values(3, 7, 13, 29));
+
+TEST(Propagation, SingleBrokerDegenerate) {
+  const Schema s = schema_v();
+  const Graph g(1);
+  const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+  EXPECT_EQ(result.hops(), 0u);
+  EXPECT_EQ(result.merged_brokers[0], std::vector<BrokerId>{0});
+}
+
+TEST(Propagation, TwoBrokersExchangeBothWays) {
+  // Both have degree 1 and act in iteration 1; each picks the other.
+  const Schema s = schema_v();
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto result = propagate(g, per_broker_summaries(s, g), wire_for(s, g));
+  EXPECT_EQ(result.hops(), 2u);
+  EXPECT_EQ(result.merged_brokers[0], (std::vector<BrokerId>{0, 1}));
+  EXPECT_EQ(result.merged_brokers[1], (std::vector<BrokerId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace subsum::routing

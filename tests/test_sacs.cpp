@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/sacs.h"
+#include "util/rng.h"
+
+namespace subsum::core {
+namespace {
+
+using model::Op;
+using model::SubId;
+
+SubId sid(uint32_t n) { return SubId{0, n, 0}; }
+
+TEST(StringPattern, Matches) {
+  EXPECT_TRUE((StringPattern{Op::kEq, "OTE"}.matches("OTE")));
+  EXPECT_FALSE((StringPattern{Op::kEq, "OTE"}.matches("OT")));
+  EXPECT_TRUE((StringPattern{Op::kNe, "OTE"}.matches("X")));
+  EXPECT_FALSE((StringPattern{Op::kNe, "OTE"}.matches("OTE")));
+  EXPECT_TRUE((StringPattern{Op::kPrefix, "OT"}.matches("OTE")));
+  EXPECT_TRUE((StringPattern{Op::kSuffix, "TE"}.matches("OTE")));
+  EXPECT_TRUE((StringPattern{Op::kContains, "T"}.matches("OTE")));
+  EXPECT_THROW((void)(StringPattern{Op::kLt, "x"}.matches("y")), std::invalid_argument);
+}
+
+TEST(StringPattern, CoversPrefix) {
+  EXPECT_TRUE(covers({Op::kPrefix, "m"}, {Op::kPrefix, "micro"}));
+  EXPECT_FALSE(covers({Op::kPrefix, "micro"}, {Op::kPrefix, "m"}));
+  EXPECT_TRUE(covers({Op::kPrefix, "micro"}, {Op::kEq, "microsoft"}));
+  EXPECT_FALSE(covers({Op::kPrefix, "micro"}, {Op::kEq, "mic"}));
+  EXPECT_FALSE(covers({Op::kPrefix, "m"}, {Op::kSuffix, "m"}));
+  EXPECT_FALSE(covers({Op::kPrefix, "m"}, {Op::kContains, "m"}));
+}
+
+TEST(StringPattern, CoversSuffix) {
+  EXPECT_TRUE(covers({Op::kSuffix, "soft"}, {Op::kEq, "microsoft"}));
+  EXPECT_TRUE(covers({Op::kSuffix, "t"}, {Op::kSuffix, "soft"}));
+  EXPECT_FALSE(covers({Op::kSuffix, "soft"}, {Op::kSuffix, "t"}));
+}
+
+TEST(StringPattern, CoversContains) {
+  EXPECT_TRUE(covers({Op::kContains, "cro"}, {Op::kEq, "microsoft"}));
+  EXPECT_TRUE(covers({Op::kContains, "cro"}, {Op::kPrefix, "micro"}));
+  EXPECT_TRUE(covers({Op::kContains, "os"}, {Op::kSuffix, "osoft"}));
+  EXPECT_TRUE(covers({Op::kContains, "o"}, {Op::kContains, "cro"}));
+  EXPECT_FALSE(covers({Op::kContains, "cro"}, {Op::kContains, "o"}));
+  // contains("") covers everything, including Ne.
+  EXPECT_TRUE(covers({Op::kContains, ""}, {Op::kNe, "x"}));
+  EXPECT_FALSE(covers({Op::kContains, "x"}, {Op::kNe, "y"}));
+}
+
+TEST(StringPattern, CoversEqAndNe) {
+  EXPECT_TRUE(covers({Op::kEq, "a"}, {Op::kEq, "a"}));
+  EXPECT_FALSE(covers({Op::kEq, "a"}, {Op::kEq, "b"}));
+  EXPECT_FALSE(covers({Op::kEq, "a"}, {Op::kPrefix, "a"}));
+  EXPECT_TRUE(covers({Op::kNe, "a"}, {Op::kEq, "b"}));
+  EXPECT_FALSE(covers({Op::kNe, "a"}, {Op::kEq, "a"}));
+  EXPECT_TRUE(covers({Op::kNe, "a"}, {Op::kNe, "a"}));
+  EXPECT_FALSE(covers({Op::kNe, "a"}, {Op::kNe, "b"}));
+  // Ne("zzz") covers Prefix("a"): "zzz" does not start with "a".
+  EXPECT_TRUE(covers({Op::kNe, "zzz"}, {Op::kPrefix, "a"}));
+  EXPECT_FALSE(covers({Op::kNe, "abc"}, {Op::kPrefix, "a"}));
+}
+
+// Semantic soundness: whenever covers(a, b) holds, every string matching b
+// matches a. Randomized over a small alphabet to force collisions.
+class CoversProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoversProperty, CoversImpliesImplication) {
+  util::Rng rng(GetParam());
+  const Op ops[] = {Op::kEq, Op::kNe, Op::kPrefix, Op::kSuffix, Op::kContains};
+  auto word = [&] {
+    std::string s;
+    const size_t len = rng.below(4);
+    for (size_t i = 0; i < len; ++i) s += static_cast<char>('a' + rng.below(2));
+    return s;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const StringPattern a{ops[rng.below(5)], word()};
+    const StringPattern b{ops[rng.below(5)], word()};
+    if (!covers(a, b)) continue;
+    // Exhaustive universe of test strings over {a, b}^<=4.
+    std::vector<std::string> universe{""};
+    for (int code = 0; code < (2 + 4 + 8 + 16); ++code) {
+      // enumerate strings of length 1..4 over {a,b}
+      int c = code;
+      size_t len = 1;
+      int count = 2;
+      while (c >= count) {
+        c -= count;
+        count *= 2;
+        ++len;
+      }
+      std::string s;
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + (c & 1));
+        c >>= 1;
+      }
+      universe.push_back(s);
+    }
+    for (const auto& s : universe) {
+      if (b.matches(s)) {
+        EXPECT_TRUE(a.matches(s)) << a.to_string() << " claimed to cover " << b.to_string()
+                                  << " but misses \"" << s << "\"";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoversProperty, ::testing::Values(101, 202, 303));
+
+TEST(Sacs, PaperFigure5SharedRow) {
+  // S1 and S2 both constrain symbol with >* OT: one row, two ids.
+  Sacs s;
+  s.insert({Op::kPrefix, "OT"}, sid(1));
+  s.insert({Op::kPrefix, "OT"}, sid(2));
+  ASSERT_EQ(s.nr(), 1u);
+  EXPECT_EQ(s.find("OTE"), (std::vector<SubId>{sid(1), sid(2)}));
+  EXPECT_TRUE(s.find("XYZ").empty());
+}
+
+TEST(Sacs, CoveredConstraintJoinsExistingRow) {
+  Sacs s;
+  s.insert({Op::kPrefix, "m"}, sid(1));
+  s.insert({Op::kEq, "microsoft"}, sid(2));  // covered by prefix "m"
+  EXPECT_EQ(s.nr(), 1u);
+  // Lossy in the safe direction: "mango" now reports S2 as candidate too.
+  EXPECT_EQ(s.find("mango"), (std::vector<SubId>{sid(1), sid(2)}));
+}
+
+TEST(Sacs, MoreGeneralConstraintSubstitutesRows) {
+  Sacs s;
+  s.insert({Op::kEq, "microsoft"}, sid(1));
+  s.insert({Op::kEq, "micronet"}, sid(2));
+  EXPECT_EQ(s.nr(), 2u);
+  s.insert({Op::kPrefix, "micro"}, sid(3));  // covers both rows
+  EXPECT_EQ(s.nr(), 1u);
+  EXPECT_EQ(s.rows()[0].pattern, (StringPattern{Op::kPrefix, "micro"}));
+  EXPECT_EQ(s.find("microscope"), (std::vector<SubId>{sid(1), sid(2), sid(3)}));
+}
+
+TEST(Sacs, NoFalseNegativesAfterSubstitution) {
+  Sacs s;
+  s.insert({Op::kEq, "microsoft"}, sid(1));
+  s.insert({Op::kPrefix, "micro"}, sid(2));
+  // S1's original value must still be findable.
+  const auto ids = s.find("microsoft");
+  EXPECT_NE(std::find(ids.begin(), ids.end(), sid(1)), ids.end());
+}
+
+TEST(Sacs, PolicyNoneKeepsDistinctRows) {
+  Sacs s(GeneralizePolicy::kNone);
+  s.insert({Op::kEq, "microsoft"}, sid(1));
+  s.insert({Op::kPrefix, "micro"}, sid(2));
+  EXPECT_EQ(s.nr(), 2u);
+  // Identical patterns still share a row under kNone.
+  s.insert({Op::kEq, "microsoft"}, sid(3));
+  EXPECT_EQ(s.nr(), 2u);
+  EXPECT_EQ(s.find("microsoft"), (std::vector<SubId>{sid(1), sid(2), sid(3)}));
+}
+
+TEST(Sacs, SafePolicyDoesNotGeneralizeUnderNe) {
+  Sacs safe(GeneralizePolicy::kSafe);
+  safe.insert({Op::kNe, "x"}, sid(1));
+  safe.insert({Op::kEq, "abc"}, sid(2));
+  EXPECT_EQ(safe.nr(), 2u);  // Eq kept separate despite Ne("x") covering it
+
+  Sacs aggressive(GeneralizePolicy::kAggressive);
+  aggressive.insert({Op::kNe, "x"}, sid(1));
+  aggressive.insert({Op::kEq, "abc"}, sid(2));
+  EXPECT_EQ(aggressive.nr(), 1u);
+}
+
+TEST(Sacs, FindDeduplicatesAcrossRows) {
+  Sacs s;
+  s.insert({Op::kPrefix, "ab"}, sid(1));
+  s.insert({Op::kSuffix, "cd"}, sid(1));  // same subscription, two constraints
+  EXPECT_EQ(s.nr(), 2u);
+  EXPECT_EQ(s.find("abcd"), std::vector<SubId>{sid(1)});  // not twice
+}
+
+TEST(Sacs, RemoveDropsEmptyRows) {
+  Sacs s;
+  s.insert({Op::kPrefix, "OT"}, sid(1));
+  s.insert({Op::kPrefix, "OT"}, sid(2));
+  s.remove(sid(1));
+  EXPECT_EQ(s.nr(), 1u);
+  EXPECT_EQ(s.find("OTE"), std::vector<SubId>{sid(2)});
+  s.remove(sid(2));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Sacs, MergeCombinesAndGeneralizes) {
+  Sacs a, b;
+  a.insert({Op::kEq, "microsoft"}, sid(1));
+  b.insert({Op::kPrefix, "micro"}, sid(2));
+  b.insert({Op::kEq, "oracle"}, sid(3));
+  a.merge(b);
+  EXPECT_EQ(a.nr(), 2u);  // "micro" absorbed "microsoft"; "oracle" separate
+  EXPECT_EQ(a.find("oracle"), std::vector<SubId>{sid(3)});
+  const auto ids = a.find("microsoft");
+  EXPECT_EQ(ids, (std::vector<SubId>{sid(1), sid(2)}));
+}
+
+TEST(Sacs, StatsCounters) {
+  Sacs s;
+  s.insert({Op::kPrefix, "OT"}, sid(1));
+  s.insert({Op::kPrefix, "OT"}, sid(2));
+  s.insert({Op::kEq, "abcd"}, sid(3));
+  EXPECT_EQ(s.nr(), 2u);
+  EXPECT_EQ(s.id_entries(), 3u);
+  EXPECT_EQ(s.value_bytes(), 2u + 4u);
+}
+
+}  // namespace
+}  // namespace subsum::core

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "core/serialize.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum::core {
+namespace {
+
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubIdCodec;
+using model::Subscription;
+using model::SubscriptionBuilder;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+WireConfig wire8(const Schema& s) {
+  return {SubIdCodec(24, 1u << 20, s.attr_count()), 8};
+}
+
+BrokerSummary sample_summary(const Schema& s) {
+  BrokerSummary summary(s);
+  const Subscription s1 = SubscriptionBuilder(s)
+                              .where("price", Op::kGt, 8.30)
+                              .where("price", Op::kLt, 8.70)
+                              .where("symbol", Op::kEq, "OTE")
+                              .build();
+  const Subscription s2 = SubscriptionBuilder(s)
+                              .where("price", Op::kEq, 8.20)
+                              .where("volume", Op::kGt, int64_t{130000})
+                              .where("symbol", Op::kPrefix, "OT")
+                              .where("exchange", Op::kNe, "NASDAQ")
+                              .build();
+  const Subscription s3 = SubscriptionBuilder(s)
+                              .where("when", Op::kNe, int64_t{0})
+                              .where("sector", Op::kContains, "tech")
+                              .build();
+  summary.add(s1, SubId{3, 7, s1.mask()});
+  summary.add(s2, SubId{3, 8, s2.mask()});
+  summary.add(s3, SubId{11, 2, s3.mask()});
+  return summary;
+}
+
+TEST(Serialize, RoundTripWidth8IsExact) {
+  const Schema s = schema_v();
+  const BrokerSummary summary = sample_summary(s);
+  const auto bytes = encode_summary(summary, wire8(s));
+  const BrokerSummary back = decode_summary(bytes, s);
+  EXPECT_EQ(back, summary);
+}
+
+TEST(Serialize, RoundTripWidth4PreservesFloat32Values) {
+  const Schema s = schema_v();
+  BrokerSummary summary(s);
+  // Values chosen exactly representable in float32.
+  const Subscription sub = SubscriptionBuilder(s)
+                               .where("price", Op::kGt, 8.5)
+                               .where("price", Op::kLt, 10.25)
+                               .where("volume", Op::kEq, int64_t{131072})
+                               .build();
+  summary.add(sub, SubId{0, 0, sub.mask()});
+  WireConfig cfg{SubIdCodec(24, 1u << 20, s.attr_count()), 4};
+  const BrokerSummary back = decode_summary(encode_summary(summary, cfg), s);
+  EXPECT_EQ(back, summary);
+}
+
+TEST(Serialize, Width4RejectsOversizedIntegrals) {
+  const Schema s = schema_v();
+  BrokerSummary summary(s);
+  const Subscription sub =
+      SubscriptionBuilder(s).where("volume", Op::kEq, int64_t{1} << 40).build();
+  summary.add(sub, SubId{0, 0, sub.mask()});
+  WireConfig cfg{SubIdCodec(24, 1u << 20, s.attr_count()), 4};
+  EXPECT_THROW(encode_summary(summary, cfg), std::range_error);
+}
+
+TEST(Serialize, Width4IsSmallerThanWidth8) {
+  const Schema s = schema_v();
+  const BrokerSummary summary = sample_summary(s);
+  WireConfig cfg4{SubIdCodec(24, 1000, s.attr_count()), 4};
+  EXPECT_LT(wire_size(summary, cfg4), wire_size(summary, wire8(s)));
+}
+
+TEST(Serialize, DecodedSummaryMatchesSameEvents) {
+  const Schema s = schema_v();
+  workload::SubscriptionGenerator gen(s, {}, 5);
+  workload::EventGenerator events(s, gen.pools(), {}, 6);
+  BrokerSummary summary(s);
+  for (uint32_t i = 0; i < 100; ++i) {
+    const Subscription sub = gen.next();
+    summary.add(sub, SubId{2, i, sub.mask()});
+  }
+  const BrokerSummary back = decode_summary(encode_summary(summary, wire8(s)), s);
+  for (int i = 0; i < 100; ++i) {
+    const auto e = events.next();
+    EXPECT_EQ(match(back, e), match(summary, e));
+  }
+}
+
+TEST(Serialize, EmptySummaryRoundTrips) {
+  const Schema s = schema_v();
+  const BrokerSummary empty(s);
+  const auto bytes = encode_summary(empty, wire8(s));
+  EXPECT_EQ(decode_summary(bytes, s), empty);
+  EXPECT_LT(bytes.size(), 40u);  // header + one varint 0 per attribute
+}
+
+TEST(Serialize, MalformedInputsThrow) {
+  const Schema s = schema_v();
+  const auto good = encode_summary(sample_summary(s), wire8(s));
+
+  // Truncations at every prefix length must throw, never crash or accept.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<std::byte> cut(good.begin(), good.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_summary(cut, s), util::DecodeError) << "prefix " << len;
+  }
+
+  // Bad version byte.
+  auto bad = good;
+  bad[0] = std::byte{99};
+  EXPECT_THROW(decode_summary(bad, s), util::DecodeError);
+
+  // Trailing garbage.
+  bad = good;
+  bad.push_back(std::byte{0});
+  EXPECT_THROW(decode_summary(bad, s), util::DecodeError);
+}
+
+TEST(Serialize, WireSizeEqualsEncodedSize) {
+  const Schema s = schema_v();
+  const BrokerSummary summary = sample_summary(s);
+  EXPECT_EQ(wire_size(summary, wire8(s)), encode_summary(summary, wire8(s)).size());
+}
+
+TEST(PaperSize, EquationsOnKnownCounts) {
+  // Equation (1): (2*nsr + ne)*sst + La*sid; equation (2): nr*ssv + Ls*sid.
+  SummaryStats st;
+  st.nsr = 3;
+  st.ne = 2;
+  st.la_entries = 10;
+  st.nr = 4;
+  st.ls_entries = 6;
+  st.value_bytes = 17;
+  const PaperSizeParams p{4, 4, 10};
+  const PaperSize sz = paper_size(st, p);
+  EXPECT_EQ(sz.aacs_bytes, (2 * 3 + 2) * 4 + 10 * 4);
+  EXPECT_EQ(sz.sacs_bytes, 4 * 10 + 6 * 4);
+  EXPECT_EQ(sz.total(), sz.aacs_bytes + sz.sacs_bytes);
+
+  const PaperSize measured = paper_size(st, p, /*measured_ssv=*/true);
+  EXPECT_EQ(measured.sacs_bytes, 17 + 6 * 4);
+}
+
+TEST(PaperSize, TracksWireSizeWithinConstantFactor) {
+  // The analytic model and the real encoding should agree within a small
+  // factor (the wire adds flags/varints; the model adds ssv estimation).
+  const Schema s = schema_v();
+  workload::SubGenParams sp;
+  sp.subsumption = 0.5;
+  workload::SubscriptionGenerator gen(s, sp, 9);
+  BrokerSummary summary(s);
+  for (uint32_t i = 0; i < 500; ++i) {
+    const Subscription sub = gen.next();
+    summary.add(sub, SubId{0, i, sub.mask()});
+  }
+  WireConfig cfg{SubIdCodec(24, 1000, s.attr_count()), 4};
+  const double wire = static_cast<double>(wire_size(summary, cfg));
+  const double model =
+      static_cast<double>(paper_size(summary.stats(), {4, 4, 10}, true).total());
+  EXPECT_GT(wire / model, 0.5);
+  EXPECT_LT(wire / model, 2.0);
+}
+
+}  // namespace
+}  // namespace subsum::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "model/sub_id.h"
+#include "util/rng.h"
+
+namespace subsum::model {
+namespace {
+
+TEST(BitsFor, MatchesPaperExamples) {
+  // "in a system with 1000 brokers, c1 would be 10 bits long"
+  EXPECT_EQ(bits_for(1000), 10);
+  // "if each broker needs to manage 1,000,000 subscriptions, c2 is 20 bits"
+  EXPECT_EQ(bits_for(1000000), 20);
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(256), 8);
+  EXPECT_EQ(bits_for(257), 9);
+}
+
+TEST(SubIdCodec, PaperFigure6Example) {
+  // 4 brokers, 8 outstanding subscriptions, 7 attributes: subscription 1 of
+  // broker 2 constraining attributes 3, 5 and 6 (bits counted from the
+  // right, 1-based in the figure => zero-based ids 2, 4, 5).
+  const SubIdCodec codec(4, 8, 7);
+  EXPECT_EQ(codec.c1_bits(), 2);
+  EXPECT_EQ(codec.c2_bits(), 3);
+  EXPECT_EQ(codec.c3_bits(), 7);
+  EXPECT_EQ(codec.encoded_size(), 2u);  // 12 bits -> 2 bytes
+
+  SubId id;
+  id.broker = 2;
+  id.local = 1;
+  id.attrs = attr_bit(2) | attr_bit(4) | attr_bit(5);
+  const auto bits = codec.pack(id);
+  // Layout: c1 | c2 | c3 = 10 | 001 | 0110100 (binary, figure 6).
+  EXPECT_EQ(static_cast<uint64_t>(bits), 0b10'001'0110100u);
+  const SubId back = codec.unpack(bits);
+  EXPECT_EQ(back, id);
+}
+
+TEST(SubIdCodec, EncodedSizeForPaperTable2) {
+  // 24 brokers (5 bits), 2^20 subs (20 bits), 10 attributes => 35 bits
+  // => 5 bytes; with 1000 subs (10 bits) => 25 bits => 4 bytes, the paper's
+  // sid = 4.
+  EXPECT_EQ(SubIdCodec(24, 1u << 20, 10).encoded_size(), 5u);
+  EXPECT_EQ(SubIdCodec(24, 1000, 10).encoded_size(), 4u);
+}
+
+TEST(SubIdCodec, RejectsOutOfRangeFields) {
+  const SubIdCodec codec(4, 8, 7);
+  EXPECT_THROW((void)codec.pack({4, 0, 0}), std::invalid_argument);   // broker needs 3 bits
+  EXPECT_THROW((void)codec.pack({0, 8, 0}), std::invalid_argument);   // local needs 4 bits
+  EXPECT_THROW((void)codec.pack({0, 0, 1u << 7}), std::invalid_argument);  // mask bit 8
+}
+
+TEST(SubIdCodec, RejectsBadParameters) {
+  EXPECT_THROW(SubIdCodec(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(SubIdCodec(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SubIdCodec(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(SubIdCodec(1, 1, 65), std::invalid_argument);
+}
+
+TEST(SubId, OrderingAndAttrCount) {
+  const SubId a{1, 2, 0b101};
+  const SubId b{1, 3, 0b1};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.attr_count(), 2);
+  EXPECT_EQ(SubId{}.attr_count(), 0);
+}
+
+TEST(SubId, HashDistinguishes) {
+  std::hash<SubId> h;
+  EXPECT_NE(h({1, 2, 3}), h({2, 1, 3}));
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+class SubIdCodecRoundTrip : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t, size_t>> {};
+
+TEST_P(SubIdCodecRoundTrip, RandomIdsSurvive) {
+  const auto [brokers, max_subs, attrs] = GetParam();
+  const SubIdCodec codec(brokers, max_subs, attrs);
+  util::Rng rng(brokers * 1315423911u + attrs);
+  for (int i = 0; i < 500; ++i) {
+    SubId id;
+    id.broker = static_cast<BrokerId>(rng.below(brokers));
+    id.local = static_cast<uint32_t>(rng.below(max_subs));
+    id.attrs = attrs >= 64 ? rng.next() : rng.below(uint64_t{1} << attrs);
+    EXPECT_EQ(codec.unpack(codec.pack(id)), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, SubIdCodecRoundTrip,
+    ::testing::Values(std::tuple<uint32_t, uint64_t, size_t>{1, 1, 1},
+                      std::tuple<uint32_t, uint64_t, size_t>{24, 1000, 10},
+                      std::tuple<uint32_t, uint64_t, size_t>{1000, 1u << 20, 10},
+                      std::tuple<uint32_t, uint64_t, size_t>{13, 4096, 64},
+                      std::tuple<uint32_t, uint64_t, size_t>{4, 8, 7}));
+
+}  // namespace
+}  // namespace subsum::model

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace subsum::util {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  BufWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  BufWriter w;
+  w.put_u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(w.bytes()[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(w.bytes()[3]), 0x01);
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  const uint64_t cases[] = {0,    1,    127,        128,
+                            300,  16383, 16384,     (1ULL << 32) - 1,
+                            1ULL << 32, ~0ULL};
+  for (uint64_t v : cases) {
+    BufWriter w;
+    w.put_varint(v);
+    EXPECT_EQ(w.size(), varint_size(v)) << v;
+    BufReader r(w.bytes());
+    EXPECT_EQ(r.get_varint(), v);
+  }
+}
+
+TEST(Bytes, VarintSizes) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(~0ULL), 10u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  BufWriter w;
+  w.put_string("");
+  w.put_string("hello");
+  w.put_string(std::string(1000, 'x'));
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  BufWriter w;
+  w.put_u32(7);
+  BufReader r(w.bytes());
+  r.get_u16();
+  EXPECT_THROW(r.get_u32(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  BufWriter w;
+  w.put_varint(100);  // promises 100 bytes, delivers none
+  BufReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), DecodeError);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  std::vector<std::byte> bad(11, std::byte{0x80});
+  BufReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.range_i64(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, AsciiLower) {
+  Rng rng(19);
+  const std::string s = rng.ascii_lower(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(23);
+  Zipf z(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+TEST(Zipf, AllRanksReachable) {
+  Rng rng(29);
+  Zipf z(5, 0.5);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("microsoft", "micro"));
+  EXPECT_TRUE(starts_with("micro", "micro"));
+  EXPECT_FALSE(starts_with("mic", "micro"));
+  EXPECT_TRUE(starts_with("anything", ""));
+
+  EXPECT_TRUE(ends_with("microsoft", "soft"));
+  EXPECT_TRUE(ends_with("soft", "soft"));
+  EXPECT_FALSE(ends_with("of", "soft"));
+  EXPECT_TRUE(ends_with("anything", ""));
+
+  EXPECT_TRUE(contains("microsoft", "cros"));
+  EXPECT_TRUE(contains("microsoft", ""));
+  EXPECT_FALSE(contains("micro", "soft"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+}  // namespace
+}  // namespace subsum::util

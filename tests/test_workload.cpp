@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "core/summary.h"
+#include "model/subscription.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace subsum::workload {
+namespace {
+
+using model::Schema;
+using model::SubId;
+
+TEST(StockSchema, Shape) {
+  const Schema s = stock_schema();
+  EXPECT_EQ(s.attr_count(), 10u);
+  EXPECT_EQ(s.arithmetic_count(), 6u);
+  EXPECT_EQ(s.string_count(), 4u);
+  EXPECT_EQ(s.type_of(s.id_of("price")), model::AttrType::kFloat);
+  EXPECT_EQ(s.type_of(s.id_of("when")), model::AttrType::kInt);
+  EXPECT_EQ(s.type_of(s.id_of("currency")), model::AttrType::kString);
+}
+
+TEST(ValuePools, DisjointCanonicalRanges) {
+  const Schema s = stock_schema();
+  const ValuePools p = ValuePools::make(s, 2, 32);
+  for (model::AttrId a = 0; a < s.attr_count(); ++a) {
+    if (!is_arithmetic(s.type_of(a))) continue;
+    ASSERT_EQ(p.arith[a].ranges.size(), 2u);
+    const auto& r = p.arith[a].ranges;
+    EXPECT_LT(r[0].second, r[1].first);  // disjoint and ordered
+  }
+  for (model::AttrId a = 0; a < s.attr_count(); ++a) {
+    if (is_arithmetic(s.type_of(a))) continue;
+    EXPECT_EQ(p.strings[a].size(), 32u);
+    EXPECT_FALSE(p.prefixes[a].empty());
+  }
+}
+
+TEST(SubscriptionGenerator, ProducesValidMix) {
+  const Schema s = stock_schema();
+  SubGenParams params;
+  params.arith_attrs = 2;
+  params.string_attrs = 3;
+  SubscriptionGenerator gen(s, params, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto sub = gen.next();
+    size_t arith = 0, str = 0;
+    for (model::AttrId a = 0; a < s.attr_count(); ++a) {
+      if (!(sub.mask() & model::attr_bit(a))) continue;
+      (is_arithmetic(s.type_of(a)) ? arith : str) += 1;
+    }
+    EXPECT_EQ(arith, 2u);
+    EXPECT_EQ(str, 3u);
+  }
+}
+
+TEST(SubscriptionGenerator, DeterministicBySeed) {
+  const Schema s = stock_schema();
+  SubscriptionGenerator a(s, {}, 9);
+  SubscriptionGenerator b(s, {}, 9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SubscriptionGenerator, RejectsImpossibleMix) {
+  const Schema s = stock_schema();
+  SubGenParams params;
+  params.string_attrs = 5;  // schema has only 4 string attributes
+  EXPECT_THROW(SubscriptionGenerator(s, params, 1), std::invalid_argument);
+}
+
+TEST(SubscriptionGenerator, SubsumptionKnobShrinksSummaries) {
+  // Higher subsumption probability => more value reuse => fewer AACS/SACS
+  // rows for the same number of subscriptions. This is the exact mechanism
+  // behind the paper's figures 8 and 11.
+  const Schema s = stock_schema();
+  auto rows_at = [&](double subsumption) {
+    SubGenParams params;
+    params.subsumption = subsumption;
+    SubscriptionGenerator gen(s, params, 42);
+    core::BrokerSummary summary(s);
+    for (uint32_t i = 0; i < 400; ++i) {
+      const auto sub = gen.next();
+      summary.add(sub, SubId{0, i, sub.mask()});
+    }
+    const auto st = summary.stats();
+    return st.nsr + st.ne + st.nr;
+  };
+  const size_t low = rows_at(0.1);
+  const size_t high = rows_at(0.9);
+  EXPECT_LT(high, low / 2);
+}
+
+TEST(EventGenerator, ProducesValidEvents) {
+  const Schema s = stock_schema();
+  SubscriptionGenerator gen(s, {}, 3);
+  EventGenParams ep;
+  ep.arith_attrs = 2;
+  ep.string_attrs = 3;
+  EventGenerator events(s, gen.pools(), ep, 4);
+  for (int i = 0; i < 100; ++i) {
+    const auto e = events.next();
+    EXPECT_EQ(e.size(), 5u);
+  }
+}
+
+TEST(EventGenerator, HitRateControlsMatches) {
+  const Schema s = stock_schema();
+  SubGenParams sp;
+  sp.subsumption = 0.9;
+  sp.pool_size = 4;  // small pools so pooled equalities actually collide
+  SubscriptionGenerator gen(s, sp, 5);
+  core::BrokerSummary summary(s);
+  core::NaiveMatcher naive;
+  for (uint32_t i = 0; i < 200; ++i) {
+    auto sub = gen.next();
+    const SubId id{0, i, sub.mask()};
+    summary.add(sub, id);
+    naive.add({id, std::move(sub)});
+  }
+  auto matches_at = [&](double hit_rate) {
+    EventGenParams ep;
+    ep.hit_rate = hit_rate;
+    ep.arith_attrs = 6;  // full events: attribute coverage never the blocker
+    ep.string_attrs = 4;
+    EventGenerator events(s, gen.pools(), ep, 6);
+    size_t total = 0;
+    for (int i = 0; i < 300; ++i) total += naive.match(events.next()).size();
+    return total;
+  };
+  EXPECT_GT(matches_at(0.95), matches_at(0.2));
+  EXPECT_GT(matches_at(0.95), 0u);
+}
+
+TEST(EventGenerator, ZipfSkewConcentratesValues) {
+  const Schema s = stock_schema();
+  SubscriptionGenerator gen(s, {}, 7);
+  const auto symbol = s.id_of("symbol");
+
+  auto top_share = [&](double exponent) {
+    EventGenParams ep;
+    ep.hit_rate = 1.0;
+    ep.zipf_exponent = exponent;
+    EventGenerator events(s, gen.pools(), ep, 8);
+    std::map<std::string, int> counts;
+    int total = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const auto e = events.next();
+      if (const auto* v = e.find(symbol)) {
+        ++counts[v->as_string()];
+        ++total;
+      }
+    }
+    int best = 0;
+    for (const auto& [k, c] : counts) best = std::max(best, c);
+    return static_cast<double>(best) / total;
+  };
+  // Uniform over 64 pooled values ~ 1.6% per value; Zipf(1.2) concentrates.
+  EXPECT_LT(top_share(0.0), 0.08);
+  EXPECT_GT(top_share(1.2), 0.2);
+}
+
+}  // namespace
+}  // namespace subsum::workload

@@ -1,0 +1,105 @@
+// subsum_broker — run one broker daemon of a deployment.
+//
+//   subsum_broker --config deploy.conf --id 3 --port 7003 ...
+//                 --peers 7000,7001,...,7012 [--propagate-every 10]
+//
+// Every broker of the deployment is started with the same --config and
+// --peers list (ports in broker-id order; peers[id] must equal --port).
+// One broker (any) may be given --propagate-every N to act as the
+// propagation controller, clocking Algorithm 2's iterations across the
+// deployment every N seconds.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "config/config.h"
+#include "net/broker_node.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_broker --config FILE --id N --port P --peers P0,P1,...\n"
+    "                     [--propagate-every SECONDS]\n";
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop = true; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace subsum;
+  const tools::Args args(argc, argv);
+
+  config::SystemSpec spec;
+  try {
+    spec = config::load_system_spec(args.required("config", kUsage));
+  } catch (const config::ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 1;
+  }
+
+  const auto id = static_cast<overlay::BrokerId>(args.required_u64("id", kUsage));
+  const auto port = static_cast<uint16_t>(args.required_u64("port", kUsage));
+  auto peers = args.flag_ports("peers");
+  if (id >= spec.graph.size() || peers.size() != spec.graph.size() || peers[id] != port) {
+    std::cerr << "--id/--port/--peers inconsistent with the config's "
+              << spec.graph.size() << "-broker overlay\n"
+              << kUsage;
+    return 2;
+  }
+
+  net::BrokerConfig cfg;
+  cfg.id = id;
+  cfg.schema = spec.schema;
+  cfg.graph = spec.graph;
+  cfg.port = port;
+
+  try {
+    net::BrokerNode node(std::move(cfg));
+    node.set_peer_ports(peers);
+    std::cout << "broker " << id << " (degree " << spec.graph.degree(id)
+              << ") listening on 127.0.0.1:" << node.port() << std::endl;
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    const uint64_t period = args.flag_u64("propagate-every", 0);
+    auto last = std::chrono::steady_clock::now();
+    while (!g_stop) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (period == 0) continue;
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last < std::chrono::seconds(period)) continue;
+      last = now;
+      // Act as the controller: clock the iterations across all brokers.
+      try {
+        const auto max_degree = static_cast<uint32_t>(spec.graph.max_degree());
+        for (uint32_t it = 1; it <= max_degree; ++it) {
+          for (uint16_t p : peers) {
+            net::Socket s = net::connect_local(p);
+            net::send_frame(s, net::MsgKind::kTrigger, net::encode(net::TriggerMsg{it}));
+            const auto ack = net::recv_frame(s);
+            if (!ack || ack->kind != net::MsgKind::kTriggerAck) {
+              throw net::NetError("trigger not acknowledged");
+            }
+          }
+        }
+        std::cout << "propagation period completed" << std::endl;
+      } catch (const std::exception& e) {
+        std::cerr << "propagation period failed (will retry): " << e.what() << "\n";
+      }
+    }
+    std::cout << "broker " << id << " shutting down\n";
+    node.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "broker failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

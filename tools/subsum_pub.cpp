@@ -1,0 +1,55 @@
+// subsum_pub — publish events to a broker.
+//
+//   subsum_pub --config deploy.conf --port 7000 ...
+//              'price = 8.40, symbol = OTE, volume = 132700'
+//
+// Each positional argument is one event (comma-separated attribute
+// assignments). publish() is synchronous through the whole distributed
+// walk, so when the tool exits every matched subscriber has been notified.
+#include <iostream>
+
+#include "config/config.h"
+#include "model/parse.h"
+#include "net/client.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_pub --config FILE --port BROKER_PORT 'EVENT'...\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace subsum;
+  const tools::Args args(argc, argv);
+
+  config::SystemSpec spec;
+  try {
+    spec = config::load_system_spec(args.required("config", kUsage));
+  } catch (const config::ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 1;
+  }
+  if (args.positional().empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  try {
+    net::Client client(static_cast<uint16_t>(args.required_u64("port", kUsage)),
+                       spec.schema);
+    for (const auto& text : args.positional()) {
+      const auto event = model::parse_event(spec.schema, text);
+      client.publish(event);
+      std::cout << "published " << event.to_string(spec.schema) << "\n";
+    }
+  } catch (const model::ParseError& e) {
+    std::cerr << "event parse error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// subsum_sub — subscribe to a broker and print notifications.
+//
+//   subsum_sub --config deploy.conf --port 7003 ...
+//              'price > 8.30 AND price < 8.70 AND symbol = OTE' ...
+//              'exchange = "NYSE"'
+//
+// Each positional argument is one subscription (a conjunction of
+// constraints joined by AND). The tool keeps running and prints every
+// notification; stop with Ctrl-C. Pass --count N to exit after N
+// notifications (useful for scripting).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+
+#include "config/config.h"
+#include "model/parse.h"
+#include "net/client.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_sub --config FILE --port BROKER_PORT [--count N] "
+    "'SUBSCRIPTION'...\n";
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop = true; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace subsum;
+  using namespace std::chrono_literals;
+  const tools::Args args(argc, argv);
+
+  config::SystemSpec spec;
+  try {
+    spec = config::load_system_spec(args.required("config", kUsage));
+  } catch (const config::ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 1;
+  }
+  if (args.positional().empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  try {
+    net::Client client(static_cast<uint16_t>(args.required_u64("port", kUsage)),
+                       spec.schema);
+    for (const auto& text : args.positional()) {
+      const auto sub = model::parse_subscription(spec.schema, text);
+      const auto id = client.subscribe(sub);
+      std::cout << "subscribed " << id.to_string() << ": " << sub.to_string(spec.schema)
+                << "\n";
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    uint64_t remaining = args.flag_u64("count", 0);
+    while (!g_stop) {
+      const auto note = client.next_notification(250ms);
+      if (!note) continue;
+      std::cout << "event " << note->event.to_string(spec.schema) << " ->";
+      for (const auto& id : note->ids) std::cout << " " << id.to_string();
+      std::cout << std::endl;
+      if (remaining > 0 && --remaining == 0) break;
+    }
+  } catch (const model::ParseError& e) {
+    std::cerr << "subscription parse error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

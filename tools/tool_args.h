@@ -1,0 +1,77 @@
+// Minimal argv handling shared by the CLI tools: --key value flags plus
+// positional arguments, with typed accessors and usage errors.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace subsum::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << a << "\n";
+          std::exit(2);
+        }
+        flags_[a.substr(2)] = argv[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> flag(const std::string& key) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string required(const std::string& key, const char* usage) const {
+    if (auto v = flag(key)) return *v;
+    std::cerr << "missing --" << key << "\n" << usage;
+    std::exit(2);
+  }
+
+  [[nodiscard]] uint64_t required_u64(const std::string& key, const char* usage) const {
+    return std::strtoull(required(key, usage).c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] uint64_t flag_u64(const std::string& key, uint64_t fallback) const {
+    const auto v = flag(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Comma-separated list of ports.
+  [[nodiscard]] std::vector<uint16_t> flag_ports(const std::string& key) const {
+    std::vector<uint16_t> out;
+    const auto v = flag(key);
+    if (!v) return out;
+    size_t start = 0;
+    while (start <= v->size()) {
+      const size_t comma = v->find(',', start);
+      const std::string part = v->substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!part.empty()) out.push_back(static_cast<uint16_t>(std::stoul(part)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace subsum::tools
