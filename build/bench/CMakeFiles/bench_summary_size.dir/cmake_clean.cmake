@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_size.dir/bench_summary_size.cpp.o"
+  "CMakeFiles/bench_summary_size.dir/bench_summary_size.cpp.o.d"
+  "bench_summary_size"
+  "bench_summary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_network.dir/news_network.cpp.o"
+  "CMakeFiles/news_network.dir/news_network.cpp.o.d"
+  "news_network"
+  "news_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

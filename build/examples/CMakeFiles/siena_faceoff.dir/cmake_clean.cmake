@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siena_faceoff.dir/siena_faceoff.cpp.o"
+  "CMakeFiles/siena_faceoff.dir/siena_faceoff.cpp.o.d"
+  "siena_faceoff"
+  "siena_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siena_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/broadcast.cpp" "src/CMakeFiles/subsum.dir/baseline/broadcast.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/baseline/broadcast.cpp.o.d"
+  "/root/repo/src/config/config.cpp" "src/CMakeFiles/subsum.dir/config/config.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/config/config.cpp.o.d"
+  "/root/repo/src/core/aacs.cpp" "src/CMakeFiles/subsum.dir/core/aacs.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/aacs.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/CMakeFiles/subsum.dir/core/interval.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/interval.cpp.o.d"
+  "/root/repo/src/core/matcher.cpp" "src/CMakeFiles/subsum.dir/core/matcher.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/matcher.cpp.o.d"
+  "/root/repo/src/core/sacs.cpp" "src/CMakeFiles/subsum.dir/core/sacs.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/sacs.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/subsum.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/string_constraint.cpp" "src/CMakeFiles/subsum.dir/core/string_constraint.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/string_constraint.cpp.o.d"
+  "/root/repo/src/core/summary.cpp" "src/CMakeFiles/subsum.dir/core/summary.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/core/summary.cpp.o.d"
+  "/root/repo/src/model/constraint.cpp" "src/CMakeFiles/subsum.dir/model/constraint.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/constraint.cpp.o.d"
+  "/root/repo/src/model/event.cpp" "src/CMakeFiles/subsum.dir/model/event.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/event.cpp.o.d"
+  "/root/repo/src/model/parse.cpp" "src/CMakeFiles/subsum.dir/model/parse.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/parse.cpp.o.d"
+  "/root/repo/src/model/schema.cpp" "src/CMakeFiles/subsum.dir/model/schema.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/schema.cpp.o.d"
+  "/root/repo/src/model/sub_id.cpp" "src/CMakeFiles/subsum.dir/model/sub_id.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/sub_id.cpp.o.d"
+  "/root/repo/src/model/subscription.cpp" "src/CMakeFiles/subsum.dir/model/subscription.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/subscription.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/CMakeFiles/subsum.dir/model/value.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/model/value.cpp.o.d"
+  "/root/repo/src/net/broker_node.cpp" "src/CMakeFiles/subsum.dir/net/broker_node.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/broker_node.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "src/CMakeFiles/subsum.dir/net/client.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/client.cpp.o.d"
+  "/root/repo/src/net/cluster.cpp" "src/CMakeFiles/subsum.dir/net/cluster.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/cluster.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/CMakeFiles/subsum.dir/net/framing.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/framing.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/CMakeFiles/subsum.dir/net/protocol.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/protocol.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/subsum.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/net/socket.cpp.o.d"
+  "/root/repo/src/overlay/graph.cpp" "src/CMakeFiles/subsum.dir/overlay/graph.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/overlay/graph.cpp.o.d"
+  "/root/repo/src/overlay/spanning_tree.cpp" "src/CMakeFiles/subsum.dir/overlay/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/overlay/spanning_tree.cpp.o.d"
+  "/root/repo/src/overlay/topologies.cpp" "src/CMakeFiles/subsum.dir/overlay/topologies.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/overlay/topologies.cpp.o.d"
+  "/root/repo/src/routing/event_router.cpp" "src/CMakeFiles/subsum.dir/routing/event_router.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/routing/event_router.cpp.o.d"
+  "/root/repo/src/routing/propagation.cpp" "src/CMakeFiles/subsum.dir/routing/propagation.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/routing/propagation.cpp.o.d"
+  "/root/repo/src/siena/covering.cpp" "src/CMakeFiles/subsum.dir/siena/covering.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/siena/covering.cpp.o.d"
+  "/root/repo/src/siena/poset.cpp" "src/CMakeFiles/subsum.dir/siena/poset.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/siena/poset.cpp.o.d"
+  "/root/repo/src/siena/siena_network.cpp" "src/CMakeFiles/subsum.dir/siena/siena_network.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/siena/siena_network.cpp.o.d"
+  "/root/repo/src/sim/bus.cpp" "src/CMakeFiles/subsum.dir/sim/bus.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/sim/bus.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/subsum.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/sim/system.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/subsum.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/subsum.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/subsum.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/subsum.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/util/strings.cpp.o.d"
+  "/root/repo/src/workload/event_gen.cpp" "src/CMakeFiles/subsum.dir/workload/event_gen.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/workload/event_gen.cpp.o.d"
+  "/root/repo/src/workload/stock_schema.cpp" "src/CMakeFiles/subsum.dir/workload/stock_schema.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/workload/stock_schema.cpp.o.d"
+  "/root/repo/src/workload/sub_gen.cpp" "src/CMakeFiles/subsum.dir/workload/sub_gen.cpp.o" "gcc" "src/CMakeFiles/subsum.dir/workload/sub_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aacs.cpp" "tests/CMakeFiles/subsum_tests.dir/test_aacs.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_aacs.cpp.o.d"
+  "/root/repo/tests/test_client_edge.cpp" "tests/CMakeFiles/subsum_tests.dir/test_client_edge.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_client_edge.cpp.o.d"
+  "/root/repo/tests/test_event_routing.cpp" "tests/CMakeFiles/subsum_tests.dir/test_event_routing.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_event_routing.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/subsum_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/subsum_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_mode_properties.cpp" "tests/CMakeFiles/subsum_tests.dir/test_mode_properties.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_mode_properties.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/subsum_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/subsum_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_net_robustness.cpp" "tests/CMakeFiles/subsum_tests.dir/test_net_robustness.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_net_robustness.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/subsum_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_overlay.cpp" "tests/CMakeFiles/subsum_tests.dir/test_overlay.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/test_parse_config.cpp" "tests/CMakeFiles/subsum_tests.dir/test_parse_config.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_parse_config.cpp.o.d"
+  "/root/repo/tests/test_propagation.cpp" "tests/CMakeFiles/subsum_tests.dir/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_propagation.cpp.o.d"
+  "/root/repo/tests/test_sacs.cpp" "tests/CMakeFiles/subsum_tests.dir/test_sacs.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_sacs.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/subsum_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_siena.cpp" "tests/CMakeFiles/subsum_tests.dir/test_siena.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_siena.cpp.o.d"
+  "/root/repo/tests/test_sim_system.cpp" "tests/CMakeFiles/subsum_tests.dir/test_sim_system.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_sim_system.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/subsum_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sub_id.cpp" "tests/CMakeFiles/subsum_tests.dir/test_sub_id.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_sub_id.cpp.o.d"
+  "/root/repo/tests/test_summary_algebra.cpp" "tests/CMakeFiles/subsum_tests.dir/test_summary_algebra.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_summary_algebra.cpp.o.d"
+  "/root/repo/tests/test_summary_match.cpp" "tests/CMakeFiles/subsum_tests.dir/test_summary_match.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_summary_match.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/subsum_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/subsum_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/subsum_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/subsum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

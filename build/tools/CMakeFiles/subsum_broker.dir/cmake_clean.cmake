@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsum_broker.dir/subsum_broker.cpp.o"
+  "CMakeFiles/subsum_broker.dir/subsum_broker.cpp.o.d"
+  "subsum_broker"
+  "subsum_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsum_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

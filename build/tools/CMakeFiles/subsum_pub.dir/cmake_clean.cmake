@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsum_pub.dir/subsum_pub.cpp.o"
+  "CMakeFiles/subsum_pub.dir/subsum_pub.cpp.o.d"
+  "subsum_pub"
+  "subsum_pub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsum_pub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsum_sub.dir/subsum_sub.cpp.o"
+  "CMakeFiles/subsum_sub.dir/subsum_sub.cpp.o.d"
+  "subsum_sub"
+  "subsum_sub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsum_sub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
