@@ -11,7 +11,9 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "core/batch_matcher.h"
 #include "core/matcher.h"
+#include "util/thread_pool.h"
 #include "workload/event_gen.h"
 
 namespace {
@@ -37,7 +39,7 @@ struct Fixture {
       naive.add({id, std::move(sub)});
     }
     workload::EventGenerator egen(schema, gen.pools(), {}, n * 7 + 2);
-    for (int i = 0; i < 64; ++i) events.push_back(egen.next());
+    for (int i = 0; i < 256; ++i) events.push_back(egen.next());
   }
 };
 
@@ -67,6 +69,47 @@ void BM_SummaryMatch(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(collected) / events_run);
   state.counters["matched"] = benchmark::Counter(static_cast<double>(matched) / events_run);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// The engine through a reused caller-owned scratch: the steady-state
+// allocation-free path BatchMatcher and publish_batch run on.
+void BM_SummaryMatchScratch(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  core::MatchScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = core::match_into(f.summary, f.events[i++ % f.events.size()], scratch);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// The pre-optimization implementation, kept for the perf trajectory.
+void BM_SummaryMatchReference(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = core::match_reference(f.summary, f.events[i++ % f.events.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// Batched throughput: events/sec over a 256-event batch, sharded across a
+// fixed-size pool (threads = arg 2). items_processed counts events.
+void BM_BatchMatch(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  util::ThreadPool pool(static_cast<size_t>(state.range(2)));
+  core::BatchMatcher matcher(pool);
+  std::vector<std::vector<model::SubId>> results;
+  for (auto _ : state) {
+    matcher.match_batch(f.summary, f.events, results);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.events.size()));
 }
 
 void BM_NaiveMatch(benchmark::State& state) {
@@ -101,6 +144,16 @@ void BM_SummaryInsert(benchmark::State& state) {
 BENCHMARK(BM_SummaryMatch)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryMatchScratch)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryMatchReference)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BatchMatch)
+    ->ArgsProduct({{10000, 100000}, {10, 90}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_NaiveMatch)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);

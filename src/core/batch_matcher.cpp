@@ -1,0 +1,44 @@
+#include "core/batch_matcher.h"
+
+#include <algorithm>
+
+namespace subsum::core {
+
+void BatchMatcher::match_batch(const BrokerSummary& summary,
+                               std::span<const model::Event> events,
+                               std::vector<std::vector<model::SubId>>& results,
+                               std::vector<MatchDiag>* diags) {
+  results.resize(events.size());
+  if (diags) diags->resize(events.size());
+  if (events.empty()) return;
+
+  const size_t shards = std::min(pool_->concurrency(), events.size());
+  const size_t chunk = (events.size() + shards - 1) / shards;
+  if (scratch_.size() < shards) scratch_.resize(shards);
+
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(begin + chunk, events.size());
+    if (begin >= end) break;
+    pool_->submit([this, s, begin, end, &summary, events, &results, diags] {
+      MatchScratch& scratch = scratch_[s];
+      for (size_t i = begin; i < end; ++i) {
+        MatchDiag diag;
+        const auto ids = match_into(summary, events[i], scratch, diags ? &diag : nullptr);
+        results[i].assign(ids.begin(), ids.end());
+        if (diags) (*diags)[i] = diag;
+      }
+    });
+  }
+  pool_->wait();
+}
+
+std::vector<std::vector<model::SubId>> BatchMatcher::match_batch(
+    const BrokerSummary& summary, std::span<const model::Event> events,
+    std::vector<MatchDiag>* diags) {
+  std::vector<std::vector<model::SubId>> results;
+  match_batch(summary, events, results, diags);
+  return results;
+}
+
+}  // namespace subsum::core

@@ -1,0 +1,42 @@
+// Batched, parallel event matching (the throughput face of Algorithm 1).
+//
+// BatchMatcher shards a span of events into one contiguous chunk per pool
+// worker; each shard runs match_into() with its own persistent
+// MatchScratch, so a warmed-up matcher allocates nothing per event beyond
+// the result vectors it hands back. Events are independent, so results are
+// identical to calling match() per event in order regardless of thread
+// count (see tests/test_match_parallel.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/matcher.h"
+#include "util/thread_pool.h"
+
+namespace subsum::core {
+
+class BatchMatcher {
+ public:
+  /// The pool is borrowed and must outlive the matcher.
+  explicit BatchMatcher(util::ThreadPool& pool) : pool_(&pool) {}
+
+  /// Matches every event against `summary`. `results` is resized to
+  /// events.size(); results[i] holds event i's sorted matched ids (existing
+  /// capacity is reused across calls). With `diags`, diags[i] carries the
+  /// per-event MatchDiag. Not reentrant: one batch at a time per matcher.
+  void match_batch(const BrokerSummary& summary, std::span<const model::Event> events,
+                   std::vector<std::vector<model::SubId>>& results,
+                   std::vector<MatchDiag>* diags = nullptr);
+
+  /// Convenience overload allocating the result vectors.
+  [[nodiscard]] std::vector<std::vector<model::SubId>> match_batch(
+      const BrokerSummary& summary, std::span<const model::Event> events,
+      std::vector<MatchDiag>* diags = nullptr);
+
+ private:
+  util::ThreadPool* pool_;
+  std::vector<MatchScratch> scratch_;  // one per shard, persistent across batches
+};
+
+}  // namespace subsum::core

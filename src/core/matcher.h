@@ -1,9 +1,26 @@
 // The matching algorithm (paper §3.3, Algorithm 1) plus a per-subscription
 // naive matcher used as the exactness oracle in tests and as the comparison
 // point for the §5.2.4 computational-cost benches.
+//
+// Two implementations of Algorithm 1 live here:
+//
+//  * match_into() — the engine: a two-pass dense-counter fast path when
+//    every collected id belongs to one broker and the local-id range fits
+//    the gate (O(P + memset(range)), the big-N hot case), a compacting
+//    linear min-scan for k <= kScanMaxLists lists, and a binary-heap k-way
+//    merge (O(P log k)) otherwise. All working memory lives in a
+//    caller-owned MatchScratch, so steady-state matching performs zero
+//    heap allocations.
+//  * match_reference() — the original straightforward implementation,
+//    kept verbatim as the differential-testing oracle and as the "seed"
+//    comparison point in bench/bench_matching and tools/bench_json.
+//
+// match() keeps the historic signature as a thin wrapper over match_into()
+// with a per-thread scratch.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/summary.h"
@@ -19,12 +36,57 @@ struct MatchDiag {
   size_t attrs_satisfied = 0;  // event attributes with at least one hit
 };
 
+/// Reusable working memory for match_into(). One scratch serves any number
+/// of sequential match_into() calls (buffers grow to the workload's
+/// high-water mark and are then reused, so steady state allocates
+/// nothing); results live in `out` and are overwritten by the next call.
+/// A scratch must not be shared between concurrent calls — use one per
+/// thread (see BatchMatcher).
+struct MatchScratch {
+  /// Matched ids of the most recent match_into() call (sorted).
+  std::vector<model::SubId> out;
+
+  // -- internals, exposed so the struct stays an aggregate --
+  struct Cursor {
+    const model::SubId* cur;
+    const model::SubId* end;
+  };
+  std::vector<std::vector<model::SubId>> owned;  // reused Sacs::find_into buffers
+  std::vector<Cursor> lists;                     // step-1 id list cursors
+  std::vector<uint32_t> heap;                    // k-way merge heap (list indices)
+  std::vector<uint8_t> dense_count;              // fast path: per-local-id counters
+};
+
+/// Dense fast-path gate: all collected ids must share one broker and span a
+/// local-id range of at most kDenseSlack × P + kDenseMinWidth slots (the
+/// only O(range) work is a memset, so the slack can be generous) and at
+/// most kDenseMaxWidth slots (bounds scratch memory at 1 byte per slot).
+/// Outside the gate, k <= kScanMaxLists uses a compacting linear min-scan
+/// (heap bookkeeping loses at tiny k) and larger k the heap merge.
+inline constexpr size_t kDenseSlack = 64;
+inline constexpr size_t kDenseMinWidth = 4096;
+inline constexpr size_t kDenseMaxWidth = size_t{1} << 24;
+inline constexpr size_t kScanMaxLists = 4;
+
 /// Algorithm 1. Step 1 scans the summary structures per event attribute and
 /// counts, per subscription id, in how many per-attribute id lists it
 /// appears; step 2 keeps the ids whose counter equals popcount(c3).
-/// Returned ids are sorted.
+/// The result is sorted, lives in `scratch.out`, and is valid until the
+/// next call using the same scratch.
+std::span<const model::SubId> match_into(const BrokerSummary& summary,
+                                         const model::Event& event, MatchScratch& scratch,
+                                         MatchDiag* diag = nullptr);
+
+/// Historic signature: match_into() over a per-thread scratch, copied out.
 std::vector<model::SubId> match(const BrokerSummary& summary, const model::Event& event,
                                 MatchDiag* diag = nullptr);
+
+/// The pre-optimization implementation (repeated linear min-scan over the
+/// k lists, fresh allocations per call). Oracle for differential tests and
+/// the "seed" baseline for the perf trajectory in BENCH_matching.json.
+std::vector<model::SubId> match_reference(const BrokerSummary& summary,
+                                          const model::Event& event,
+                                          MatchDiag* diag = nullptr);
 
 /// Oracle/baseline: stores whole subscriptions and scans them per event.
 class NaiveMatcher {

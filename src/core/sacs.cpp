@@ -92,16 +92,29 @@ void Sacs::remove(model::SubId id) {
 
 std::vector<model::SubId> Sacs::find(const std::string& value) const {
   std::vector<SubId> out;
+  find_into(value, out);
+  return out;
+}
+
+void Sacs::find_into(const std::string& value, std::vector<model::SubId>& out) const {
+  out.clear();
+  size_t rows_hit = 0;
   if (auto it = eq_index_.find(value); it != eq_index_.end()) {
     const auto& ids = eq_rows_[it->second].ids;
     out.insert(out.end(), ids.begin(), ids.end());
+    ++rows_hit;
   }
   for (const auto& row : pat_rows_) {
-    if (row.pattern.matches(value)) out.insert(out.end(), row.ids.begin(), row.ids.end());
+    if (row.pattern.matches(value)) {
+      out.insert(out.end(), row.ids.begin(), row.ids.end());
+      ++rows_hit;
+    }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // Each row's list is sorted and unique; a single hit needs no post-pass.
+  if (rows_hit > 1) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
 }
 
 void Sacs::merge(const Sacs& other) {

@@ -58,6 +58,10 @@ class Sacs {
   /// over-approximation is the documented, safe direction.
   [[nodiscard]] std::vector<model::SubId> find(const std::string& value) const;
 
+  /// find() into a caller-owned buffer (cleared first, capacity reused):
+  /// the allocation-free path the matching engine's MatchScratch drives.
+  void find_into(const std::string& value, std::vector<model::SubId>& out) const;
+
   /// Folds another broker's Sacs for the same attribute into this one.
   void merge(const Sacs& other);
 

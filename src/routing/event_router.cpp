@@ -17,7 +17,7 @@ std::vector<model::SubId> RouteResult::matched_ids() const {
 
 RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
                         BrokerId origin, const model::Event& event,
-                        const RouterOptions& opts) {
+                        const RouterOptions& opts, core::MatchScratch* scratch) {
   const size_t n = g.size();
   if (state.held.size() != n || origin >= n) {
     throw std::invalid_argument("routing state does not fit the graph");
@@ -54,7 +54,14 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
     r.visited.push_back(current);
 
     // Step 1: check the local merged summary for matches.
-    const auto matched = core::match(state.held[current], event);
+    std::vector<model::SubId> matched_buf;
+    std::span<const model::SubId> matched;
+    if (scratch) {
+      matched = core::match_into(state.held[current], event, *scratch);
+    } else {
+      matched_buf = core::match(state.held[current], event);
+      matched = matched_buf;
+    }
 
     // Notify owners of fresh matches: owners already in the incoming BROCLI
     // were examined (and notified) by an earlier broker.

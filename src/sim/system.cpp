@@ -124,20 +124,62 @@ routing::PropagationResult SimSystem::run_propagation_period() {
 
 SimSystem::PublishOutcome SimSystem::publish(BrokerId origin, const model::Event& event) {
   if (origin >= broker_count()) throw std::invalid_argument("origin broker out of range");
+  return publish_one(origin, event, acct_, nullptr);
+}
+
+std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
+    BrokerId origin, std::span<const model::Event> events, util::ThreadPool& pool) {
+  if (origin >= broker_count()) throw std::invalid_argument("origin broker out of range");
+  std::vector<PublishOutcome> out(events.size());
+  if (events.empty()) return out;
+
+  const size_t shards = std::min(pool.concurrency(), events.size());
+  const size_t chunk = (events.size() + shards - 1) / shards;
+  std::vector<Accounting> deltas(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(begin + chunk, events.size());
+    if (begin >= end) break;
+    pool.submit([this, s, begin, end, origin, events, &out, &deltas] {
+      core::MatchScratch scratch;
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = publish_one(origin, events[i], deltas[s], &scratch);
+      }
+    });
+  }
+  pool.wait();
+  // Barrier: fold the per-shard ledgers in shard (= event) order. The sums
+  // are commutative integer additions, so totals are bit-identical to the
+  // sequential loop's.
+  for (const Accounting& d : deltas) acct_.merge(d);
+  return out;
+}
+
+std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
+    BrokerId origin, std::span<const model::Event> events) {
+  if (!publish_pool_) {
+    publish_pool_ = std::make_unique<util::ThreadPool>(util::ThreadPool::hardware_threads());
+  }
+  return publish_batch(origin, events, *publish_pool_);
+}
+
+SimSystem::PublishOutcome SimSystem::publish_one(BrokerId origin, const model::Event& event,
+                                                 Accounting& acct,
+                                                 core::MatchScratch* scratch) const {
   PublishOutcome out;
-  out.route = routing::route_event(cfg_.graph, state_, origin, event, cfg_.router);
+  out.route = routing::route_event(cfg_.graph, state_, origin, event, cfg_.router, scratch);
 
   const size_t ebytes = event_wire_bytes(event);
   for (size_t i = 0; i + 1 < out.route.visited.size(); ++i) {
     // Forwarded event carries BROCLI (one byte per broker as a bitmap).
-    acct_.record(MsgType::kEventForward, ebytes + (broker_count() + 7) / 8);
+    acct.record(MsgType::kEventForward, ebytes + (broker_count() + 7) / 8);
   }
 
   for (const auto& d : out.route.deliveries) {
     out.candidates.insert(out.candidates.end(), d.ids.begin(), d.ids.end());
     if (d.owner != d.examined_at) {
-      acct_.record(MsgType::kEventDelivery,
-                   ebytes + d.ids.size() * wire_.codec.encoded_size());
+      acct.record(MsgType::kEventDelivery,
+                  ebytes + d.ids.size() * wire_.codec.encoded_size());
     }
     // Exact re-filtering at the owner: SACS summarization may have produced
     // false positives; the home table is authoritative.

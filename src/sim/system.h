@@ -14,7 +14,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/matcher.h"
@@ -25,6 +27,7 @@
 #include "routing/event_router.h"
 #include "routing/propagation.h"
 #include "sim/bus.h"
+#include "util/thread_pool.h"
 
 namespace subsum::sim {
 
@@ -89,6 +92,22 @@ class SimSystem {
   /// Publishes an event at `origin` and routes it per Algorithm 3.
   PublishOutcome publish(overlay::BrokerId origin, const model::Event& event);
 
+  /// Publishes a batch of independent events at `origin`, sharding the
+  /// BROCLI walks and candidate matching across `pool`'s workers (one
+  /// MatchScratch per shard). Events do not mutate broker state, only the
+  /// accounting ledger; each shard records into a private Accounting delta
+  /// and the deltas are merged at the barrier, so per-event outcomes AND
+  /// the ledger totals are identical to running the sequential publish()
+  /// loop — for every pool size, including the inline (0/1-thread) pool.
+  std::vector<PublishOutcome> publish_batch(overlay::BrokerId origin,
+                                            std::span<const model::Event> events,
+                                            util::ThreadPool& pool);
+
+  /// publish_batch() on an internally-owned pool sized
+  /// ThreadPool::hardware_threads() (created on first use).
+  std::vector<PublishOutcome> publish_batch(overlay::BrokerId origin,
+                                            std::span<const model::Event> events);
+
   [[nodiscard]] const Accounting& accounting() const noexcept { return acct_; }
   Accounting& accounting() noexcept { return acct_; }
 
@@ -110,6 +129,12 @@ class SimSystem {
   /// Registers `id` in the summaries (delta + local held).
   void dissolve(overlay::BrokerId broker, const model::Subscription& sub, model::SubId id);
 
+  /// The publish pipeline for one event: const on broker state, records
+  /// into the given ledger (the member ledger for publish(), a per-shard
+  /// delta for publish_batch()).
+  PublishOutcome publish_one(overlay::BrokerId origin, const model::Event& event,
+                             Accounting& acct, core::MatchScratch* scratch) const;
+
   SystemConfig cfg_;
   core::WireConfig wire_;
   Accounting acct_;
@@ -121,6 +146,7 @@ class SimSystem {
   routing::PropagationResult state_;              // cumulative held summaries
   /// combine_subsumption bookkeeping: propagated root -> covered local subs.
   std::map<model::SubId, std::vector<model::SubId>> covered_by_;
+  std::unique_ptr<util::ThreadPool> publish_pool_;  // lazily built default pool
 };
 
 }  // namespace subsum::sim

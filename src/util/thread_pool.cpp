@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace subsum::util {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (workers_.empty()) return;
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  const size_t shards = std::min(concurrency(), std::max<size_t>(n, 1));
+  const size_t chunk = (n + shards - 1) / shards;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(begin + chunk, n);
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  wait();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || queue_head_ < queue_.size(); });
+      if (queue_head_ == queue_.size()) return;  // stop_ and drained
+      task = std::move(queue_[queue_head_++]);
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace subsum::util

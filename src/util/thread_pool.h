@@ -1,0 +1,72 @@
+// A small fixed-size thread pool (no external deps) for the batched
+// matching engine and the parallel publish pipeline.
+//
+// Semantics are deliberately minimal: submit() enqueues a task, wait()
+// blocks until every task submitted so far has finished. Tasks must not
+// submit further tasks (no work stealing, no futures); parallel_for shards
+// an index range into one contiguous chunk per worker, which is all the
+// batch matcher needs and keeps the sharding deterministic.
+//
+// A pool of size 0 or 1 degrades to running everything inline on the
+// calling thread, so callers can be written against the pool
+// unconditionally and single-threaded runs stay exactly sequential.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subsum::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 and 1 both mean "inline, no workers".
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (0 when running inline).
+  [[nodiscard]] size_t size() const noexcept { return workers_.size(); }
+
+  /// Effective parallelism: max(1, size()).
+  [[nodiscard]] size_t concurrency() const noexcept {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Enqueues one task. With no workers the task runs inline immediately.
+  /// Tasks must not call submit()/wait() on the same pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed. Exceptions thrown by
+  /// tasks terminate (tasks are internal shards, not user callbacks).
+  void wait();
+
+  /// Runs fn(begin, end) over `n` indices split into `concurrency()`
+  /// contiguous chunks, then waits. The chunk boundaries depend only on
+  /// n and the pool size, so the sharding is deterministic.
+  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  [[nodiscard]] static size_t hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // signals workers: queue non-empty / stop
+  std::condition_variable cv_idle_;   // signals wait(): everything drained
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  size_t queue_head_ = 0;
+  size_t in_flight_ = 0;  // queued + currently-executing tasks
+  bool stop_ = false;
+};
+
+}  // namespace subsum::util

@@ -1,0 +1,163 @@
+// bench_json: runs the matching-engine throughput benchmarks and writes
+// BENCH_matching.json, so every PR leaves a machine-readable point on the
+// perf trajectory. Measures, on one BrokerSummary of N subscriptions
+// (stock schema, AacsMode::kCoarse, the paper's workload):
+//
+//  * seed_match_us        — the pre-optimization match_reference() per event
+//  * match_us             — match() (per-thread scratch wrapper) per event
+//  * match_scratch_us     — match_into() with a reused caller scratch
+//  * batch: events/sec at threads 1/2/4/8 through BatchMatcher
+//  * publish_batch: events/sec at threads 1/2/4/8 through
+//    SimSystem::publish_batch on the 24-broker backbone
+//
+// Usage: bench_json [--n 100000] [--subsumption 10] [--events 256]
+//                   [--repeat 5] [--out BENCH_matching.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/batch_matcher.h"
+#include "core/matcher.h"
+#include "overlay/topologies.h"
+#include "sim/system.h"
+#include "tool_args.h"
+#include "util/thread_pool.h"
+#include "workload/event_gen.h"
+#include "workload/stock_schema.h"
+#include "workload/sub_gen.h"
+
+namespace {
+
+using namespace subsum;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-`repeat` wall time of fn() (returns seconds).
+template <typename Fn>
+double best_of(int repeat, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const size_t n = args.flag_u64("n", 100000);
+  const double subsumption = static_cast<double>(args.flag_u64("subsumption", 10)) / 100.0;
+  const size_t n_events = args.flag_u64("events", 256);
+  const int repeat = static_cast<int>(args.flag_u64("repeat", 5));
+  const std::string out_path = args.flag("out").value_or("BENCH_matching.json");
+
+  const model::Schema schema = workload::stock_schema();
+  workload::SubGenParams sp;
+  sp.subsumption = subsumption;
+  workload::SubscriptionGenerator gen(schema, sp, n * 7 + 1);
+  core::BrokerSummary summary(schema, core::GeneralizePolicy::kSafe, core::AacsMode::kCoarse);
+  core::NaiveMatcher naive;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto sub = gen.next();
+    const model::SubId id{0, i, sub.mask()};
+    summary.add(sub, id);
+    naive.add({id, std::move(sub)});
+  }
+  workload::EventGenerator egen(schema, gen.pools(), {}, n * 7 + 2);
+  std::vector<model::Event> events;
+  events.reserve(n_events);
+  for (size_t i = 0; i < n_events; ++i) events.push_back(egen.next());
+
+  std::fprintf(stderr, "bench_json: n=%zu events=%zu repeat=%d\n", n, n_events, repeat);
+
+  size_t sink = 0;  // defeats dead-code elimination across runs
+  const double seed_s = best_of(repeat, [&] {
+    for (const auto& e : events) sink += core::match_reference(summary, e).size();
+  });
+  const double match_s = best_of(repeat, [&] {
+    for (const auto& e : events) sink += core::match(summary, e).size();
+  });
+  core::MatchScratch scratch;
+  const double scratch_s = best_of(repeat, [&] {
+    for (const auto& e : events) sink += core::match_into(summary, e, scratch).size();
+  });
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<double> batch_eps;
+  for (const size_t t : thread_counts) {
+    util::ThreadPool pool(t);
+    core::BatchMatcher matcher(pool);
+    std::vector<std::vector<model::SubId>> results;
+    matcher.match_batch(summary, events, results);  // warm up pool + scratches
+    const double s = best_of(repeat, [&] { matcher.match_batch(summary, events, results); });
+    batch_eps.push_back(static_cast<double>(events.size()) / s);
+  }
+
+  // publish_batch on the 24-broker backbone: a smaller system (the walk
+  // visits many brokers), so scale the subscription count down.
+  sim::SystemConfig cfg;
+  cfg.schema = schema;
+  cfg.graph = overlay::cable_wireless_24();
+  cfg.arith_mode = core::AacsMode::kCoarse;
+  sim::SimSystem sys(cfg);
+  workload::SubscriptionGenerator pgen(schema, sp, 1234);
+  const size_t per_broker = std::max<size_t>(n / (24 * 10), 10);
+  for (overlay::BrokerId b = 0; b < sys.broker_count(); ++b) {
+    for (size_t i = 0; i < per_broker; ++i) sys.subscribe(b, pgen.next());
+  }
+  sys.run_propagation_period();
+  std::vector<double> publish_eps;
+  for (const size_t t : thread_counts) {
+    util::ThreadPool pool(t);
+    auto warm = sys.publish_batch(0, events, pool);
+    sink += warm.size();
+    const double s = best_of(repeat, [&] {
+      auto out = sys.publish_batch(0, events, pool);
+      sink += out.back().candidates.size();
+    });
+    publish_eps.push_back(static_cast<double>(events.size()) / s);
+  }
+
+  const double per_event = static_cast<double>(events.size());
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": {\"n_subscriptions\": %zu, \"subsumption\": %.2f, "
+               "\"batch_events\": %zu, \"aacs_mode\": \"coarse\", \"repeat\": %d},\n",
+               n, subsumption, n_events, repeat);
+  // Thread-scaling numbers are only meaningful relative to this: on a
+  // 1-core host the 8-thread batch cannot beat the 1-thread batch.
+  std::fprintf(f, "  \"host\": {\"hardware_threads\": %zu},\n",
+               util::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"single_thread\": {\n");
+  std::fprintf(f, "    \"seed_match_us_per_event\": %.3f,\n", seed_s / per_event * 1e6);
+  std::fprintf(f, "    \"match_us_per_event\": %.3f,\n", match_s / per_event * 1e6);
+  std::fprintf(f, "    \"match_scratch_us_per_event\": %.3f,\n", scratch_s / per_event * 1e6);
+  std::fprintf(f, "    \"speedup_vs_seed\": %.2f\n", seed_s / scratch_s);
+  std::fprintf(f, "  },\n");
+  const auto print_scaling = [&](const char* key, const std::vector<double>& eps,
+                                 const char* tail) {
+    std::fprintf(f, "  \"%s\": {\n", key);
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(f, "    \"events_per_sec_t%zu\": %.0f,\n", thread_counts[i], eps[i]);
+    }
+    std::fprintf(f, "    \"scaling_t8_vs_t1\": %.2f\n  }%s\n", eps.back() / eps.front(), tail);
+  };
+  print_scaling("batch_match", batch_eps, ",");
+  print_scaling("publish_batch", publish_eps, "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (sink=%zu)\n", out_path.c_str(), sink);
+  return 0;
+}
