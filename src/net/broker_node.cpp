@@ -1,6 +1,7 @@
 #include "net/broker_node.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace subsum::net {
 
@@ -58,6 +59,7 @@ BrokerNode::Snapshot BrokerNode::snapshot() const {
   s.local_subs = home_.size();
   s.merged_brokers = merged_brokers_.size();
   s.held_wire_bytes = core::wire_size(held_, wire_);
+  s.pending_redeliveries = pending_deliveries_.size();
   return s;
 }
 
@@ -223,14 +225,25 @@ std::optional<BrokerNode::PendingSend> BrokerNode::prepare_summary_send(uint32_t
   msg.removals = pending_removals_;
   pending_removals_.clear();
   msg.summary = core::encode_summary(held_, wire_);
-  return PendingSend{*target, encode(msg)};
+  return PendingSend{*target, encode(msg), std::move(msg.removals)};
 }
 
 void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
   const auto msg = decode_trigger_msg(f.payload);
+  if (msg.iteration == 1) flush_pending_deliveries();
   auto send = prepare_summary_send(msg.iteration);
   if (send) {
-    send_to_peer_sync(send->to, MsgKind::kSummary, send->payload, MsgKind::kSummaryAck);
+    try {
+      send_to_peer_sync(send->to, MsgKind::kSummary, send->payload, MsgKind::kSummaryAck);
+    } catch (const PeerUnreachable&) {
+      // Dead neighbor: the summary itself is not lost — the state-based
+      // full-summary send repeats every period — but the removal
+      // piggyback must survive for a later period. Ack the trigger so
+      // the controller's round continues for live brokers.
+      std::lock_guard lk(mu_);
+      pending_removals_.insert(pending_removals_.end(), send->removals.begin(),
+                               send->removals.end());
+    }
   }
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kTriggerAck, {});
@@ -320,35 +333,101 @@ void BrokerNode::walk_step(EventMsg msg) {
         if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
       }
     } else {
-      send_to_peer_sync(owner, MsgKind::kDeliver, encode(dm, cfg_.schema),
-                        MsgKind::kDeliverAck);
+      auto payload = encode(dm, cfg_.schema);
+      try {
+        send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck);
+      } catch (const PeerUnreachable&) {
+        // The owner is down: keep the delivery for the redelivery pass so
+        // a restarted broker (whose client re-subscribed) still hears it.
+        queue_redelivery(PendingDelivery{owner, std::move(payload)});
+      }
     }
   }
 
-  if (bitmap_all(msg.brocli, cfg_.graph.size())) return;
-
-  // Forward to the highest-degree broker not yet in BROCLI.
-  std::optional<BrokerId> next;
-  for (BrokerId b = 0; b < cfg_.graph.size(); ++b) {
-    if (bitmap_get(msg.brocli, b)) continue;
-    if (!next || cfg_.graph.degree(b) > cfg_.graph.degree(*next)) next = b;
+  // Forward to the highest-degree broker not yet in BROCLI. A hop that
+  // stays unreachable after the retry budget is marked examined (its
+  // subscribers are unreachable too) and the walk degrades to the
+  // next-highest-degree live broker, so one dead broker cannot stall a
+  // publish or strand the remaining subscribers.
+  while (!bitmap_all(msg.brocli, cfg_.graph.size())) {
+    std::optional<BrokerId> next;
+    size_t remaining = 0;
+    for (BrokerId b = 0; b < cfg_.graph.size(); ++b) {
+      if (bitmap_get(msg.brocli, b)) continue;
+      ++remaining;
+      if (!next || cfg_.graph.degree(b) > cfg_.graph.degree(*next)) next = b;
+    }
+    // The peer acks kEvent only after finishing its own downstream walk,
+    // so the ack deadline scales with the work left, not one io_timeout.
+    const auto ack_budget = cfg_.rpc.io_timeout * static_cast<int>(remaining + 1);
+    try {
+      send_to_peer_sync(*next, MsgKind::kEvent, encode(msg, cfg_.schema),
+                        MsgKind::kEventAck, ack_budget);
+      return;
+    } catch (const PeerUnreachable&) {
+      bitmap_set(msg.brocli, *next);
+    }
   }
-  send_to_peer_sync(*next, MsgKind::kEvent, encode(msg, cfg_.schema), MsgKind::kEventAck);
+}
+
+void BrokerNode::queue_redelivery(PendingDelivery pd) {
+  std::lock_guard lk(mu_);
+  if (pending_deliveries_.size() >= kMaxPendingDeliveries) pending_deliveries_.pop_front();
+  pending_deliveries_.push_back(std::move(pd));
+}
+
+void BrokerNode::flush_pending_deliveries() {
+  std::deque<PendingDelivery> work;
+  {
+    std::lock_guard lk(mu_);
+    work.swap(pending_deliveries_);
+  }
+  if (work.empty()) return;
+  std::vector<char> down(cfg_.graph.size(), 0);  // short-circuit per owner
+  for (auto& pd : work) {
+    if (!down[pd.owner]) {
+      try {
+        send_to_peer_sync(pd.owner, MsgKind::kDeliver, pd.payload, MsgKind::kDeliverAck);
+        continue;
+      } catch (const PeerUnreachable&) {
+        down[pd.owner] = 1;
+      }
+    }
+    if (--pd.ttl > 0) queue_redelivery(std::move(pd));
+  }
 }
 
 void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
-                                   std::span<const std::byte> payload, MsgKind ack_kind) {
+                                   std::span<const std::byte> payload, MsgKind ack_kind,
+                                   std::optional<std::chrono::milliseconds> ack_timeout) {
   uint16_t port;
   {
     std::lock_guard lk(mu_);
     if (peer_ports_.size() != cfg_.graph.size()) throw NetError("peer ports not configured");
     port = peer_ports_.at(peer);
   }
-  Socket s = connect_local(port);
-  send_frame(s, kind, payload);
-  auto ack = recv_frame(s);
-  if (!ack || ack->kind != ack_kind) {
-    throw NetError("peer did not acknowledge message");
+  util::Backoff backoff(cfg_.rpc.backoff,
+                        (uint64_t{cfg_.id} << 32) ^ rpc_seq_.fetch_add(1));
+  for (;;) {
+    try {
+      Socket s = connect_local(port, cfg_.rpc.connect_timeout);
+      s.set_send_timeout(cfg_.rpc.io_timeout);
+      s.set_recv_timeout(ack_timeout.value_or(cfg_.rpc.io_timeout));
+      send_frame(s, kind, payload);
+      auto ack = recv_frame(s);
+      if (!ack || ack->kind != ack_kind) {
+        throw NetError("peer did not acknowledge message");
+      }
+      return;
+    } catch (const NetError& e) {
+      std::optional<std::chrono::milliseconds> delay;
+      if (!stopping_) delay = backoff.next_delay();
+      if (!delay) {
+        throw PeerUnreachable(peer, "broker " + std::to_string(peer) +
+                                        " unreachable: " + e.what());
+      }
+      std::this_thread::sleep_for(*delay);
+    }
   }
 }
 

@@ -24,10 +24,21 @@
 // network call; peer RPCs therefore cannot deadlock (a blocked walk thread
 // at broker A does not prevent A from serving kDeliver on another
 // connection).
+//
+// Fault tolerance: every peer RPC runs under RpcPolicy deadlines and a
+// backoff-paced retry loop, so no broker call can block forever on a dead
+// or stalled peer. When the chosen walk hop stays unreachable after
+// retries, the walk marks it in the BROCLI bitmap (its subscribers are
+// unreachable too) and forwards to the next-highest-degree live broker;
+// failed kDelivers are queued and re-tried at the start of each
+// propagation period (at-most-once overall: the queue is bounded and
+// in-memory). A restarted broker re-learns routing state from the
+// state-based full-summary sends within the following periods.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,8 +52,29 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "overlay/graph.h"
+#include "util/backoff.h"
 
 namespace subsum::net {
+
+/// Deadlines and retry pacing for every RPC a broker (or the cluster
+/// controller) makes to a peer.
+struct RpcPolicy {
+  std::chrono::milliseconds connect_timeout{500};
+  std::chrono::milliseconds io_timeout{2000};
+  util::BackoffPolicy backoff{std::chrono::milliseconds{20},
+                              std::chrono::milliseconds{500}, 3};
+};
+
+/// A peer RPC failed even after the policy's retry budget.
+class PeerUnreachable : public NetError {
+ public:
+  PeerUnreachable(overlay::BrokerId peer, const std::string& what)
+      : NetError(what), peer_(peer) {}
+  [[nodiscard]] overlay::BrokerId peer() const noexcept { return peer_; }
+
+ private:
+  overlay::BrokerId peer_;
+};
 
 struct BrokerConfig {
   overlay::BrokerId id = 0;
@@ -52,6 +84,7 @@ struct BrokerConfig {
   uint64_t max_subs_per_broker = uint64_t{1} << 20;
   uint8_t numeric_width = 8;
   uint16_t port = 0;  // 0 = ephemeral (in-process clusters); fixed for CLI use
+  RpcPolicy rpc;
 };
 
 class BrokerNode {
@@ -73,11 +106,15 @@ class BrokerNode {
   /// Stops the listener and joins all handler threads.
   void stop();
 
+  /// Whether stop() has run (a killed broker in a Cluster).
+  [[nodiscard]] bool stopped() const noexcept { return stopping_.load(); }
+
   /// Introspection for tests: current held-summary stats and counts.
   struct Snapshot {
     size_t local_subs = 0;
     size_t merged_brokers = 0;
     size_t held_wire_bytes = 0;
+    size_t pending_redeliveries = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -103,17 +140,35 @@ class BrokerNode {
 
   /// One step of the BROCLI walk executed at this broker. Mutates the
   /// bitmap in `msg`, performs deliveries and the onward forward (both
-  /// synchronous), then returns.
+  /// synchronous), then returns. Unreachable hops are marked in the bitmap
+  /// and skipped; unreachable delivery owners are queued for redelivery.
   void walk_step(EventMsg msg);
 
+  /// Connects, sends, and awaits the ack, all under RpcPolicy deadlines,
+  /// retrying with backoff. Throws PeerUnreachable once the retry budget
+  /// is spent. `ack_timeout` overrides io_timeout for the ack wait (the
+  /// kEvent ack covers the peer's whole downstream walk).
   void send_to_peer_sync(overlay::BrokerId peer, MsgKind kind,
-                         std::span<const std::byte> payload, MsgKind ack_kind);
+                         std::span<const std::byte> payload, MsgKind ack_kind,
+                         std::optional<std::chrono::milliseconds> ack_timeout = {});
+
+  /// Failed kDeliver payloads, re-tried at the start of each propagation
+  /// period until their ttl expires (at-most-once: bounded, in-memory).
+  struct PendingDelivery {
+    overlay::BrokerId owner = 0;
+    std::vector<std::byte> payload;  // encoded DeliverMsg
+    int ttl = 8;                     // periods left before dropping
+  };
+  static constexpr size_t kMaxPendingDeliveries = 1024;  // oldest dropped beyond
+  void queue_redelivery(PendingDelivery pd);
+  void flush_pending_deliveries();
 
   /// Builds the SummaryMsg for this period under `mu_`, choosing the
   /// eligible neighbor; returns nullopt when there is nothing to send.
   struct PendingSend {
     overlay::BrokerId to = 0;
     std::vector<std::byte> payload;
+    std::vector<model::SubId> removals;  // re-queued if the send fails
   };
   std::optional<PendingSend> prepare_summary_send(uint32_t iteration);
 
@@ -135,6 +190,8 @@ class BrokerNode {
   std::vector<char> communicated_;               // per neighbor id, this period
   uint32_t next_local_ = 0;
   uint64_t publish_seq_ = 0;
+  std::atomic<uint64_t> rpc_seq_{0};  // jitter seed stream for peer RPCs
+  std::deque<PendingDelivery> pending_deliveries_;
   std::vector<uint16_t> peer_ports_;
   std::map<uint32_t, std::shared_ptr<ClientConn>> subscribers_;  // local c2 -> conn
 };

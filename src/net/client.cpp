@@ -2,14 +2,19 @@
 
 namespace subsum::net {
 
-Client::Client(uint16_t port, const model::Schema& schema)
-    : schema_(&schema), sock_(connect_local(port)) {
+Client::Client(uint16_t port, const model::Schema& schema, ClientOptions opts)
+    : schema_(&schema),
+      port_(port),
+      opts_(opts),
+      sock_(connect_local(port, opts_.connect_timeout)) {
+  if (opts_.rpc_timeout.count() > 0) sock_.set_send_timeout(opts_.rpc_timeout);
   reader_ = std::thread([this] { reader_loop(); });
 }
 
 Client::~Client() { close(); }
 
 void Client::close() {
+  std::lock_guard lc(lifecycle_mu_);
   {
     std::lock_guard lk(mu_);
     if (close_called_) return;
@@ -19,6 +24,40 @@ void Client::close() {
   sock_.shutdown_both();
   if (reader_.joinable()) reader_.join();
   cv_.notify_all();
+}
+
+bool Client::connected() const {
+  std::lock_guard lk(mu_);
+  return !closed_;
+}
+
+void Client::mark_dead() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  sock_.shutdown_both();
+  cv_.notify_all();
+}
+
+void Client::reconnect() {
+  std::lock_guard lc(lifecycle_mu_);
+  {
+    std::lock_guard lk(mu_);
+    if (close_called_) throw NetError("client connection closed");
+    if (!closed_) return;  // someone else already reconnected
+  }
+  // The old reader observed closed_ (EOF or our shutdown) and is exiting.
+  if (reader_.joinable()) reader_.join();
+  Socket fresh = connect_local(port_, opts_.connect_timeout);
+  if (opts_.rpc_timeout.count() > 0) fresh.set_send_timeout(opts_.rpc_timeout);
+  {
+    std::lock_guard lk(mu_);
+    sock_ = std::move(fresh);
+    closed_ = false;
+    reply_.reset();
+  }
+  reader_ = std::thread([this] { reader_loop(); });
 }
 
 void Client::reader_loop() {
@@ -43,19 +82,65 @@ void Client::reader_loop() {
 }
 
 Frame Client::rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expected_ack) {
+  uint64_t seq;
+  {
+    std::lock_guard lk(mu_);
+    seq = rpc_seq_++;
+  }
+  util::Backoff backoff(opts_.backoff, port_ ^ (seq << 16));
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return !rpc_in_flight_; });
+      if (!closed_) {
+        rpc_in_flight_ = true;
+        reply_.reset();
+        break;
+      }
+      if (close_called_ || !opts_.auto_reconnect) {
+        throw NetError("client connection closed");
+      }
+    }
+    // Dead but reconnectable: nothing has been sent yet, so retrying is
+    // safe. Pace attempts with the backoff budget.
+    try {
+      reconnect();
+    } catch (const NetError&) {
+      const auto delay = backoff.next_delay();
+      if (!delay) throw;
+      std::this_thread::sleep_for(*delay);
+    }
+  }
+
+  struct InFlightGuard {
+    Client* c;
+    ~InFlightGuard() {
+      std::lock_guard lk(c->mu_);
+      c->rpc_in_flight_ = false;
+      c->cv_.notify_all();
+    }
+  } guard{this};
+
+  try {
+    send_frame(sock_, kind, payload);
+  } catch (const NetError&) {
+    mark_dead();
+    throw;
+  }
+
   std::unique_lock lk(mu_);
-  cv_.wait(lk, [this] { return !rpc_in_flight_ || closed_; });
-  if (closed_) throw NetError("client connection closed");
-  rpc_in_flight_ = true;
-  reply_.reset();
-  lk.unlock();
-
-  send_frame(sock_, kind, payload);
-
-  lk.lock();
-  cv_.wait(lk, [this] { return reply_.has_value() || closed_; });
-  rpc_in_flight_ = false;
-  cv_.notify_all();
+  const auto ready = [this] { return reply_.has_value() || closed_; };
+  if (opts_.rpc_timeout.count() > 0) {
+    if (!cv_.wait_for(lk, opts_.rpc_timeout, ready)) {
+      lk.unlock();
+      // The request may have been acted on; the reply is lost. Kill the
+      // connection (the demux has an orphan reply pending) and surface it.
+      mark_dead();
+      throw NetTimeout("rpc timed out awaiting reply");
+    }
+  } else {
+    cv_.wait(lk, ready);
+  }
   if (!reply_) throw NetError("connection closed awaiting reply");
   Frame f = std::move(*reply_);
   reply_.reset();
@@ -85,10 +170,15 @@ void Client::publish(const model::Event& event) {
 std::optional<NotifyMsg> Client::next_notification(std::chrono::milliseconds timeout) {
   std::unique_lock lk(mu_);
   cv_.wait_for(lk, timeout, [this] { return !notifications_.empty() || closed_; });
-  if (notifications_.empty()) return std::nullopt;
-  NotifyMsg m = std::move(notifications_.front());
-  notifications_.pop_front();
-  return m;
+  if (!notifications_.empty()) {
+    NotifyMsg m = std::move(notifications_.front());
+    notifications_.pop_front();
+    return m;
+  }
+  // Distinguish "nothing yet" from "nothing will ever come": a dead
+  // connection with a drained queue is an error, not an empty optional.
+  if (closed_) throw NetError("connection closed while awaiting notifications");
+  return std::nullopt;
 }
 
 std::vector<NotifyMsg> Client::drain_notifications() {

@@ -2,6 +2,13 @@
 // and receive notifications. A background reader thread demultiplexes the
 // connection: RPC replies complete the pending call; kNotify frames are
 // queued for next_notification()/drain_notifications().
+//
+// Fault tolerance: connects and RPC round-trips run under ClientOptions
+// deadlines. When an RPC finds the connection already dead (broker
+// restarted), it transparently reconnects with backoff BEFORE sending —
+// a failure after the request was sent is never retried (the broker may
+// have acted on it), it surfaces as NetError/NetTimeout. Subscriptions do
+// NOT survive a reconnect; callers re-subscribe.
 #pragma once
 
 #include <chrono>
@@ -16,14 +23,27 @@
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "util/backoff.h"
 
 namespace subsum::net {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Deadline for one RPC round-trip. publish() spans the broker's whole
+  /// BROCLI walk, so this must cover the broker-side walk budget.
+  /// Zero waits forever.
+  std::chrono::milliseconds rpc_timeout{30000};
+  /// Reconnect (with backoff) when an RPC finds the connection dead.
+  bool auto_reconnect = true;
+  util::BackoffPolicy backoff{std::chrono::milliseconds{20},
+                              std::chrono::milliseconds{500}, 3};
+};
 
 class Client {
  public:
   /// Connects to a broker on 127.0.0.1:port. The schema must match the
   /// broker's.
-  Client(uint16_t port, const model::Schema& schema);
+  Client(uint16_t port, const model::Schema& schema, ClientOptions opts = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -39,29 +59,42 @@ class Client {
   /// deliveries) completed.
   void publish(const model::Event& event);
 
-  /// Next queued notification, waiting up to `timeout`.
+  /// Next queued notification, waiting up to `timeout`. Returns nullopt on
+  /// a genuine timeout; throws NetError once the connection is closed and
+  /// the queue is drained (so pollers cannot spin on a dead connection).
   std::optional<NotifyMsg> next_notification(std::chrono::milliseconds timeout);
 
   /// All currently queued notifications (non-blocking).
   std::vector<NotifyMsg> drain_notifications();
+
+  /// Whether the connection is currently usable.
+  [[nodiscard]] bool connected() const;
 
   void close();
 
  private:
   Frame rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expected_ack);
   void reader_loop();
+  /// Re-establishes the connection if it is dead; single attempt, throws
+  /// NetError on failure. No-op when the connection is healthy.
+  void reconnect();
+  void mark_dead();
 
   const model::Schema* schema_;
+  uint16_t port_;
+  ClientOptions opts_;
   Socket sock_;
   std::thread reader_;
+  std::mutex lifecycle_mu_;  // serializes close() and reconnect()
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool closed_ = false;        // connection unusable (EOF, error, or close())
-  bool close_called_ = false;  // close() ran; guards the reader join
+  bool close_called_ = false;  // close() ran; reconnects refused
   bool rpc_in_flight_ = false;
   std::optional<Frame> reply_;
   std::deque<NotifyMsg> notifications_;
+  uint64_t rpc_seq_ = 0;  // jitter seed stream for reconnect backoff
 };
 
 }  // namespace subsum::net

@@ -1,10 +1,12 @@
 #include "net/cluster.h"
 
+#include <algorithm>
+
 namespace subsum::net {
 
 Cluster::Cluster(const model::Schema& schema, const overlay::Graph& graph,
-                 core::GeneralizePolicy policy)
-    : schema_(&schema), graph_(graph) {
+                 core::GeneralizePolicy policy, RpcPolicy rpc)
+    : schema_(&schema), graph_(graph), policy_(policy), rpc_(rpc) {
   nodes_.reserve(graph_.size());
   for (overlay::BrokerId b = 0; b < graph_.size(); ++b) {
     BrokerConfig cfg;
@@ -12,31 +14,64 @@ Cluster::Cluster(const model::Schema& schema, const overlay::Graph& graph,
     cfg.schema = schema;
     cfg.graph = graph_;
     cfg.policy = policy;
+    cfg.rpc = rpc_;
     nodes_.push_back(std::make_unique<BrokerNode>(std::move(cfg)));
   }
-  std::vector<uint16_t> ports;
-  ports.reserve(nodes_.size());
-  for (const auto& n : nodes_) ports.push_back(n->port());
-  for (const auto& n : nodes_) n->set_peer_ports(ports);
+  ports_.reserve(nodes_.size());
+  for (const auto& n : nodes_) ports_.push_back(n->port());
+  for (const auto& n : nodes_) n->set_peer_ports(ports_);
 }
 
-std::unique_ptr<Client> Cluster::connect(overlay::BrokerId b) const {
-  return std::make_unique<Client>(nodes_.at(b)->port(), *schema_);
+std::unique_ptr<Client> Cluster::connect(overlay::BrokerId b, ClientOptions opts) const {
+  return std::make_unique<Client>(ports_.at(b), *schema_, opts);
 }
 
-void Cluster::run_propagation_period() {
+PropagationReport Cluster::run_propagation_period() {
+  PropagationReport report;
+  std::vector<char> failed(nodes_.size(), 0);
+  // A trigger ack can lag behind the broker's summary send plus its
+  // redelivery flush, each paced by the backoff budget; size the wait
+  // accordingly rather than one io_timeout.
+  const auto ack_timeout = rpc_.io_timeout * 10 + std::chrono::seconds(1);
   const auto max_degree = static_cast<uint32_t>(graph_.max_degree());
   for (uint32_t it = 1; it <= max_degree; ++it) {
-    // Trigger every broker; brokers whose degree != it ack immediately.
-    for (const auto& n : nodes_) {
-      Socket s = connect_local(n->port());
-      send_frame(s, MsgKind::kTrigger, encode(TriggerMsg{it}));
-      const auto ack = recv_frame(s);
-      if (!ack || ack->kind != MsgKind::kTriggerAck) {
-        throw NetError("broker failed to complete propagation iteration");
+    for (overlay::BrokerId b = 0; b < nodes_.size(); ++b) {
+      if (failed[b]) continue;  // already reported; skip for this period
+      try {
+        Socket s = connect_local(ports_[b], rpc_.connect_timeout);
+        s.set_send_timeout(rpc_.io_timeout);
+        s.set_recv_timeout(ack_timeout);
+        send_frame(s, MsgKind::kTrigger, encode(TriggerMsg{it}));
+        const auto ack = recv_frame(s);
+        if (!ack || ack->kind != MsgKind::kTriggerAck) {
+          throw NetError("trigger not acknowledged");
+        }
+      } catch (const NetError&) {
+        // Report which broker failed and continue the round: the paper's
+        // iteration semantics degrade gracefully (the broker simply sends
+        // nothing this period; state-based resends cover it later).
+        failed[b] = 1;
+        report.unreachable.push_back(b);
       }
     }
   }
+  return report;
+}
+
+void Cluster::kill(overlay::BrokerId b) { nodes_.at(b)->stop(); }
+
+void Cluster::restart(overlay::BrokerId b) {
+  if (alive(b)) return;
+  nodes_.at(b).reset();  // release the old port before rebinding
+  BrokerConfig cfg;
+  cfg.id = b;
+  cfg.schema = *schema_;
+  cfg.graph = graph_;
+  cfg.policy = policy_;
+  cfg.rpc = rpc_;
+  cfg.port = ports_.at(b);
+  nodes_.at(b) = std::make_unique<BrokerNode>(std::move(cfg));
+  nodes_.at(b)->set_peer_ports(ports_);
 }
 
 void Cluster::stop() {

@@ -1,7 +1,13 @@
 // Spawns a whole broker network in one process: one BrokerNode per overlay
-// node on ephemeral loopback ports, peer tables wired automatically. Also
-// acts as the propagation controller, clocking Algorithm 2's iterations
-// across the live TCP brokers.
+// node on loopback ports, peer tables wired automatically. Also acts as
+// the propagation controller, clocking Algorithm 2's iterations across the
+// live TCP brokers.
+//
+// Fault tolerance: kill(b) stops a broker mid-run (its port is remembered)
+// and restart(b) brings a fresh, empty broker back on the same port; the
+// state-based summary sends re-heal its routing state over the following
+// propagation periods. A propagation round skips unreachable brokers and
+// reports them instead of aborting.
 #pragma once
 
 #include <memory>
@@ -12,33 +18,58 @@
 
 namespace subsum::net {
 
+/// Outcome of one propagation period under churn.
+struct PropagationReport {
+  /// Brokers that failed to take (or ack) at least one trigger this
+  /// period, in first-failure order; live brokers completed the round.
+  std::vector<overlay::BrokerId> unreachable;
+
+  [[nodiscard]] bool complete() const noexcept { return unreachable.empty(); }
+};
+
 class Cluster {
  public:
   Cluster(const model::Schema& schema, const overlay::Graph& graph,
-          core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe);
+          core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe,
+          RpcPolicy rpc = {});
   ~Cluster() { stop(); }
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   [[nodiscard]] size_t size() const noexcept { return nodes_.size(); }
-  [[nodiscard]] uint16_t port_of(overlay::BrokerId b) const { return nodes_.at(b)->port(); }
+  [[nodiscard]] uint16_t port_of(overlay::BrokerId b) const { return ports_.at(b); }
   [[nodiscard]] BrokerNode& node(overlay::BrokerId b) { return *nodes_.at(b); }
 
   /// New client connection to broker b.
-  [[nodiscard]] std::unique_ptr<Client> connect(overlay::BrokerId b) const;
+  [[nodiscard]] std::unique_ptr<Client> connect(overlay::BrokerId b,
+                                                ClientOptions opts = {}) const;
 
   /// Clocks one full propagation period: for i = 1..max_degree, triggers
   /// iteration i on every broker and barriers on the acks (each broker's
   /// summary send is synchronous, so the barrier gives exactly the paper's
-  /// iteration semantics).
-  void run_propagation_period();
+  /// iteration semantics). Unreachable brokers are skipped for the rest of
+  /// the period and reported; the round continues for live brokers.
+  PropagationReport run_propagation_period();
+
+  /// Simulates a crash: stops broker b (connections reset, state lost).
+  void kill(overlay::BrokerId b);
+
+  /// Brings a killed broker back, empty, on its original port and re-wires
+  /// peers. Clients must reconnect and re-subscribe; held summaries heal
+  /// via the next propagation periods.
+  void restart(overlay::BrokerId b);
+
+  [[nodiscard]] bool alive(overlay::BrokerId b) const { return !nodes_.at(b)->stopped(); }
 
   void stop();
 
  private:
   const model::Schema* schema_;
   overlay::Graph graph_;
+  core::GeneralizePolicy policy_;
+  RpcPolicy rpc_;
+  std::vector<uint16_t> ports_;  // fixed for the cluster's lifetime
   std::vector<std::unique_ptr<BrokerNode>> nodes_;
 };
 

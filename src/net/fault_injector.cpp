@@ -1,0 +1,117 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+namespace subsum::net {
+
+FaultInjector::FaultInjector(uint16_t target_port)
+    : target_port_(target_port), listener_(0) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+FaultInjector::~FaultInjector() { stop(); }
+
+void FaultInjector::accept_loop() {
+  while (!stopping_) {
+    auto down = listener_.accept();
+    if (!down) break;
+    if (mode_.load() == Mode::kDrop) continue;  // Socket dtor closes: refused service
+    Socket up;
+    try {
+      up = connect_local(target_port_, std::chrono::milliseconds(1000));
+    } catch (const NetError&) {
+      continue;  // target gone: client sees an immediate close
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->down = std::move(*down);
+    conn->up = std::move(up);
+    std::lock_guard lk(mu_);
+    if (stopping_) break;
+    std::erase_if(conns_, [](const std::weak_ptr<Conn>& w) { return w.expired(); });
+    conns_.push_back(conn);
+    threads_.emplace_back([this, conn] { pump(conn, /*upstream=*/true); });
+    threads_.emplace_back([this, conn] { pump(conn, /*upstream=*/false); });
+  }
+}
+
+void FaultInjector::pump(const std::shared_ptr<Conn>& conn, bool upstream) {
+  Socket& src = upstream ? conn->down : conn->up;
+  Socket& dst = upstream ? conn->up : conn->down;
+  std::byte buf[4096];
+  try {
+    for (;;) {
+      const size_t n = src.recv_some(buf);
+      if (n == 0) break;
+      switch (mode_.load()) {
+        case Mode::kBlackhole:
+          continue;  // swallow silently, in both directions
+        case Mode::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_.load()));
+          break;
+        case Mode::kTruncate:
+          if (upstream) {
+            const size_t limit = truncate_after_.load();
+            const size_t already = conn->sent_up.load();
+            const size_t allowed = already < limit ? limit - already : 0;
+            if (allowed < n) {
+              if (allowed > 0) {
+                dst.send_all(std::span(buf, allowed));
+                conn->sent_up.fetch_add(allowed);
+                forwarded_.fetch_add(allowed);
+              }
+              conn->down.shutdown_both();
+              conn->up.shutdown_both();
+              return;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+      dst.send_all(std::span(buf, n));
+      if (upstream) {
+        conn->sent_up.fetch_add(n);
+        forwarded_.fetch_add(n);
+      }
+    }
+  } catch (const NetError&) {
+    // Fall through: a failed pump tears the pair down.
+  }
+  // Half-close the forward direction so the peer sees EOF; the opposite
+  // pump keeps draining until its own EOF.
+  src.shutdown_both();
+  dst.shutdown_both();
+}
+
+void FaultInjector::sever_connections() {
+  std::lock_guard lk(mu_);
+  for (auto& weak : conns_) {
+    if (auto conn = weak.lock()) {
+      conn->down.shutdown_both();
+      conn->up.shutdown_both();
+    }
+  }
+}
+
+void FaultInjector::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(mu_);
+    threads.swap(threads_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) {
+        conn->down.shutdown_both();
+        conn->up.shutdown_both();
+      }
+    }
+    conns_.clear();
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace subsum::net

@@ -1,0 +1,82 @@
+// A TCP fault-injection proxy for tests and demos. It listens on its own
+// loopback port and forwards byte streams to a target port, applying a
+// switchable fault mode per chunk:
+//
+//   kPass       forward faithfully
+//   kDelay      forward after sleeping `delay` per chunk (slow link)
+//   kDrop       close every new connection immediately (refused service)
+//   kBlackhole  accept and read, but never forward and never reply
+//   kTruncate   forward only the first `truncate_after` bytes of the
+//               client->server stream, then hard-close both ends
+//               (mid-frame cut)
+//
+// Point a broker's peer-port entry (BrokerNode::set_peer_ports) or a
+// client at port() to interpose on that path. Mode changes apply to new
+// chunks immediately; sever_connections() additionally resets everything
+// in flight (simulating a crashed link).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace subsum::net {
+
+class FaultInjector {
+ public:
+  enum class Mode : uint8_t { kPass = 0, kDelay, kDrop, kBlackhole, kTruncate };
+
+  explicit FaultInjector(uint16_t target_port);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] uint16_t port() const noexcept { return listener_.port(); }
+  [[nodiscard]] uint16_t target_port() const noexcept { return target_port_; }
+
+  void set_mode(Mode m) noexcept { mode_.store(m); }
+  [[nodiscard]] Mode mode() const noexcept { return mode_.load(); }
+  void set_delay(std::chrono::milliseconds d) noexcept { delay_ms_.store(d.count()); }
+  void set_truncate_after(size_t bytes) noexcept { truncate_after_.store(bytes); }
+
+  /// Hard-closes every connection currently proxied (both ends see a
+  /// reset/EOF) without changing the mode.
+  void sever_connections();
+
+  /// Bytes forwarded client->server since construction.
+  [[nodiscard]] uint64_t forwarded_bytes() const noexcept { return forwarded_.load(); }
+
+  void stop();
+
+ private:
+  struct Conn {
+    Socket down;  // accepted client side
+    Socket up;    // connection to the real target
+    std::atomic<size_t> sent_up{0};
+  };
+
+  void accept_loop();
+  void pump(const std::shared_ptr<Conn>& conn, bool upstream);
+
+  uint16_t target_port_;
+  Listener listener_;
+  std::atomic<Mode> mode_{Mode::kPass};
+  std::atomic<int64_t> delay_ms_{0};
+  std::atomic<size_t> truncate_after_{0};
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::thread accept_thread_;
+};
+
+}  // namespace subsum::net

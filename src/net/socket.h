@@ -1,8 +1,11 @@
-// Minimal RAII TCP sockets over IPv4 loopback. Blocking I/O; every error
-// surfaces as NetError. Enough to run a real multi-broker deployment on one
+// Minimal RAII TCP sockets over IPv4 loopback. Blocking I/O with optional
+// per-call deadlines; every error surfaces as NetError (timeouts as the
+// NetTimeout subclass). Enough to run a real multi-broker deployment on one
 // machine (the paper's evaluation scale) without external dependencies.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -15,6 +18,13 @@ namespace subsum::net {
 class NetError : public std::runtime_error {
  public:
   explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A deadline expired (connect, send, or recv). Distinct from other
+/// NetErrors so callers can tell a stalled peer from a dead one.
+class NetTimeout : public NetError {
+ public:
+  explicit NetTimeout(const std::string& what) : NetError(what) {}
 };
 
 /// A connected TCP socket (move-only).
@@ -32,6 +42,15 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
+  /// Deadline for each subsequent send/recv syscall (SO_SNDTIMEO /
+  /// SO_RCVTIMEO); zero disables. An expired deadline throws NetTimeout.
+  void set_send_timeout(std::chrono::milliseconds d);
+  void set_recv_timeout(std::chrono::milliseconds d);
+  void set_io_timeout(std::chrono::milliseconds d) {
+    set_send_timeout(d);
+    set_recv_timeout(d);
+  }
+
   /// Writes the whole buffer; throws NetError on failure.
   void send_all(std::span<const std::byte> data);
 
@@ -39,6 +58,9 @@ class Socket {
   /// message boundary (nothing read); throws NetError on partial reads or
   /// errors.
   bool recv_exact(std::span<std::byte> data);
+
+  /// Reads up to data.size() bytes; returns 0 on EOF. Throws NetError.
+  size_t recv_some(std::span<std::byte> data);
 
   /// Half-closes the write side (wakes a blocked reader on the peer).
   void shutdown_both() noexcept;
@@ -50,12 +72,15 @@ class Socket {
 };
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port.
+/// close() may race a blocked accept() from another thread, so the fd is
+/// atomic (close exchanges it out exactly once).
 class Listener {
  public:
   explicit Listener(uint16_t port);
   ~Listener() { close(); }
 
-  Listener(Listener&& o) noexcept : fd_(o.fd_), port_(o.port_) { o.fd_ = -1; }
+  Listener(Listener&& o) noexcept
+      : fd_(o.fd_.exchange(-1)), port_(o.port_) {}
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
   Listener& operator=(Listener&&) = delete;
@@ -69,11 +94,13 @@ class Listener {
   void close() noexcept;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:port; throws NetError on failure.
-Socket connect_local(uint16_t port);
+/// Connects to 127.0.0.1:port; throws NetError on failure. A non-zero
+/// timeout bounds the connect itself (non-blocking connect + poll) and
+/// throws NetTimeout when it expires; zero blocks indefinitely.
+Socket connect_local(uint16_t port, std::chrono::milliseconds timeout = {});
 
 }  // namespace subsum::net

@@ -25,6 +25,13 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
   if (opts.virtual_degrees && opts.virtual_degrees->size() != n) {
     throw std::invalid_argument("virtual_degrees size mismatch");
   }
+  if (!opts.down.empty() && opts.down.size() != n) {
+    throw std::invalid_argument("down size mismatch");
+  }
+  const auto is_down = [&](BrokerId b) -> bool {
+    return !opts.down.empty() && opts.down[b];
+  };
+  if (is_down(origin)) throw std::invalid_argument("origin broker is down");
   const auto degree_of = [&](BrokerId b) -> int {
     return opts.virtual_degrees ? (*opts.virtual_degrees)[b]
                                 : static_cast<int>(g.degree(b));
@@ -70,6 +77,12 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
       if (!brocli[id.broker]) by_owner[id.broker].push_back(id);
     }
     for (auto& [owner, ids] : by_owner) {
+      if (is_down(owner)) {
+        // Over TCP the kDeliver would fail and sit in the redelivery
+        // queue; here it is recorded as undeliverable (no hop counted).
+        r.undeliverable.push_back({current, owner, std::move(ids)});
+        continue;
+      }
       r.deliveries.push_back({current, owner, std::move(ids)});
       if (owner != current) ++r.delivery_hops;  // local delivery is free
     }
@@ -78,22 +91,35 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
     for (BrokerId b : state.merged_brokers[current]) add_to_brocli(b);
 
     // Step 4: continue while some broker's subscriptions are unexamined.
-    if (brocli_count == n) break;
-    std::optional<BrokerId> next;
-    size_t ties = 0;
-    for (BrokerId b = 0; b < n; ++b) {
-      if (brocli[b]) continue;
-      if (!next || score_of(b) > score_of(*next)) {
-        next = b;
-        ties = 1;
-      } else if (opts.tie_salt != 0 && score_of(b) == score_of(*next)) {
-        // Reservoir-style rotation among equal-degree candidates.
-        ++ties;
-        if ((opts.tie_salt % ties) == 0) next = b;
+    // A down broker chosen as the best hop is skipped exactly the way the
+    // TCP walk degrades: marked in BROCLI unexamined, no forward hop, and
+    // the selection repeats among the survivors.
+    std::optional<BrokerId> forward;
+    while (brocli_count < n) {
+      std::optional<BrokerId> next;
+      size_t ties = 0;
+      for (BrokerId b = 0; b < n; ++b) {
+        if (brocli[b]) continue;
+        if (!next || score_of(b) > score_of(*next)) {
+          next = b;
+          ties = 1;
+        } else if (opts.tie_salt != 0 && score_of(b) == score_of(*next)) {
+          // Reservoir-style rotation among equal-degree candidates.
+          ++ties;
+          if ((opts.tie_salt % ties) == 0) next = b;
+        }
       }
+      if (is_down(*next)) {
+        add_to_brocli(*next);
+        r.skipped.push_back(*next);
+        continue;
+      }
+      forward = next;
+      break;
     }
+    if (!forward) break;
     ++r.forward_hops;
-    current = *next;
+    current = *forward;
   }
   return r;
 }

@@ -40,6 +40,12 @@ struct Delivery {
 struct RouteResult {
   std::vector<overlay::BrokerId> visited;  // walk order, starting at origin
   std::vector<Delivery> deliveries;
+  /// Down brokers the walk bypassed (marked in BROCLI unexamined), in the
+  /// order encountered — mirrors BrokerNode's degraded TCP walk.
+  std::vector<overlay::BrokerId> skipped;
+  /// Matches owned by down brokers: undeliverable while the partition
+  /// lasts (over TCP these sit in the sender's redelivery queue).
+  std::vector<Delivery> undeliverable;
   /// Forwarding messages between examining brokers (= visited.size()-1).
   size_t forward_hops = 0;
   /// Notification messages to owners; a broker that examines the event and
@@ -74,6 +80,12 @@ struct RouterOptions {
   /// Rotates tie-breaking among equal-score candidates (e.g. a per-event
   /// sequence number) to spread load; 0 keeps the smallest-id rule.
   uint64_t tie_salt = 0;
+  /// Brokers currently believed down (empty, or one flag per broker). The
+  /// walk never forwards to a down broker: when one would be chosen it is
+  /// marked in BROCLI unexamined (RouteResult::skipped) and the walk
+  /// degrades to the next-best live broker; matches owned by down brokers
+  /// land in RouteResult::undeliverable. The origin must be up.
+  std::vector<char> down;
 };
 
 /// Routes one event published at `origin` through the post-propagation

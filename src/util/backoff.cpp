@@ -1,0 +1,28 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace subsum::util {
+
+Backoff::Backoff(const BackoffPolicy& policy, uint64_t seed) noexcept
+    : policy_(policy), rng_(seed), seed_(seed), prev_(policy.base) {}
+
+std::optional<std::chrono::milliseconds> Backoff::next_delay() noexcept {
+  if (attempt_ >= policy_.max_attempts) return std::nullopt;
+  ++attempt_;
+  const int64_t lo = std::max<int64_t>(0, policy_.base.count());
+  const int64_t hi = std::max(lo, prev_.count() * 3);
+  int64_t delay = lo;
+  if (hi > lo) delay += static_cast<int64_t>(rng_.below(static_cast<uint64_t>(hi - lo + 1)));
+  delay = std::min(delay, policy_.cap.count());
+  prev_ = std::chrono::milliseconds(delay);
+  return prev_;
+}
+
+void Backoff::reset() noexcept {
+  rng_ = Rng(seed_);
+  prev_ = policy_.base;
+  attempt_ = 1;
+}
+
+}  // namespace subsum::util

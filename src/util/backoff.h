@@ -1,0 +1,72 @@
+// Retry pacing for unreliable peers: exponential backoff with decorrelated
+// jitter ("sleep = min(cap, uniform(base, 3*prev))"), a hard attempt cap,
+// and deterministic delays given the seed so tests can pin schedules.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace subsum::util {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds base{10};  // first retry delay lower bound
+  std::chrono::milliseconds cap{500};  // upper bound for any single delay
+  int max_attempts = 3;                // total tries, including the first
+
+  friend bool operator==(const BackoffPolicy&, const BackoffPolicy&) = default;
+};
+
+/// Tracks one operation's retry schedule. Usage:
+///
+///   Backoff b(policy, seed);
+///   for (;;) {
+///     try { return op(); }
+///     catch (...) {
+///       auto d = b.next_delay();
+///       if (!d) throw;                      // attempts exhausted
+///       std::this_thread::sleep_for(*d);
+///     }
+///   }
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, uint64_t seed = 0) noexcept;
+
+  /// Delay to sleep before the next retry; nullopt once max_attempts tries
+  /// have been handed out. Every returned delay is in [base, cap].
+  std::optional<std::chrono::milliseconds> next_delay() noexcept;
+
+  /// Tries started so far (1 after construction: the first is underway).
+  [[nodiscard]] int attempts_started() const noexcept { return attempt_; }
+
+  void reset() noexcept;
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  uint64_t seed_;
+  std::chrono::milliseconds prev_;
+  int attempt_ = 1;
+};
+
+/// Runs `fn` up to policy.max_attempts times, sleeping the backoff delay
+/// between tries. Retries only on exceptions derived from `E`; the last
+/// failure is rethrown once attempts are exhausted.
+template <typename E, typename F>
+auto retry(const BackoffPolicy& policy, uint64_t seed, F&& fn) {
+  Backoff backoff(policy, seed);
+  for (;;) {
+    try {
+      return fn();
+    } catch (const E&) {
+      const auto delay = backoff.next_delay();
+      if (!delay) throw;
+      std::this_thread::sleep_for(*delay);
+    }
+  }
+}
+
+}  // namespace subsum::util

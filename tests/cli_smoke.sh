@@ -54,16 +54,18 @@ for attempt in 1 2 3 4 5; do
 done
 [ "$started" = 1 ] || { echo "brokers failed to start"; cat "$WORK"/broker*.log; exit 1; }
 
-"$BUILD/tools/subsum_sub" --config "$WORK/deploy.conf" --port $((BASE+3)) --count 1 \
+# timeout(1) guards: a wedged client must fail the test, not hang it
+# until the ctest-level timeout reaps the whole script.
+timeout 60 "$BUILD/tools/subsum_sub" --config "$WORK/deploy.conf" --port $((BASE+3)) --count 1 \
     'price > 8.30 AND price < 8.70 AND symbol = OTE' > "$WORK/sub.log" 2>&1 &
 SUB=$!
 
 # Wait for at least one propagation period after the subscription landed.
 sleep 2.5
 
-"$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
     'price = 8.40, symbol = OTE, volume = 132700' > "$WORK/pub.log" 2>&1 \
-    || { echo "publish failed"; cat "$WORK/pub.log"; exit 1; }
+    || { echo "publish failed or timed out"; cat "$WORK/pub.log"; exit 1; }
 
 # The subscriber exits after one notification (--count 1).
 for _ in $(seq 1 40); do
@@ -78,7 +80,7 @@ grep -q 'event .*OTE.* -> S(3.0)' "$WORK/sub.log" || {
   echo "unexpected subscriber output:"; cat "$WORK/sub.log"; exit 1; }
 
 # A non-matching publish must not notify anyone (run sub with a timeout).
-"$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
     'price = 9.99, symbol = OTE' > /dev/null 2>&1 || exit 1
 
 echo "cli smoke test passed"

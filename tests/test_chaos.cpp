@@ -1,0 +1,174 @@
+// Chaos suite (ctest label "chaos"): randomized kill/restart churn on the
+// paper's Fig. 7 13-broker tree, plus a blackholed-link publish bound.
+// These run longer than the unit tier and exercise every fault path at
+// once: degraded walks, redelivery queues, propagation reports, client
+// reconnects, and state-based self-healing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/fault_injector.h"
+#include "overlay/topologies.h"
+#include "util/rng.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::EventBuilder;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+
+RpcPolicy tight_policy() {
+  RpcPolicy p;
+  p.connect_timeout = 200ms;
+  p.io_timeout = 1000ms;
+  p.backoff = {5ms, 40ms, 2};
+  return p;
+}
+
+ClientOptions tight_client() {
+  ClientOptions o;
+  o.connect_timeout = 500ms;
+  o.rpc_timeout = 30000ms;
+  o.backoff = {5ms, 40ms, 4};
+  return o;
+}
+
+// Five propagation periods of churn on fig-7: each period two random
+// brokers die, a publish happens mid-churn, propagation runs (reporting
+// exactly the dead pair), both brokers restart and their subscribers
+// re-subscribe. After two healing periods, an event published at EVERY
+// broker must reach EVERY subscriber exactly once.
+TEST(Chaos, KillRestartChurnOnFig7Tree) {
+  const Schema s = workload::stock_schema();
+  const overlay::Graph g = overlay::fig7_tree();
+  const size_t n = g.size();
+  Cluster cluster(s, g, core::GeneralizePolicy::kSafe, tight_policy());
+
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "chaos").build();
+  std::vector<std::unique_ptr<Client>> clients(n);
+  std::vector<SubId> ids(n);
+  for (BrokerId b = 0; b < n; ++b) {
+    clients[b] = cluster.connect(b, tight_client());
+    ids[b] = clients[b]->subscribe(sub);
+  }
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+
+  util::Rng rng(77);
+  for (int period = 0; period < 5; ++period) {
+    const auto a = static_cast<BrokerId>(rng.below(n));
+    BrokerId c = a;
+    while (c == a) c = static_cast<BrokerId>(rng.below(n));
+    cluster.kill(a);
+    cluster.kill(c);
+    clients[a].reset();
+    clients[c].reset();
+
+    // Publishing mid-churn must complete (degraded walk + queued
+    // redeliveries), not hang; deliveries to dead brokers are best-effort.
+    BrokerId origin = 0;
+    while (origin == a || origin == c) ++origin;
+    clients[origin]->publish(
+        EventBuilder(s).set("symbol", "chaos").set("volume", int64_t{period}).build());
+
+    const auto report = cluster.run_propagation_period();
+    for (BrokerId dead : report.unreachable) {
+      EXPECT_TRUE(dead == a || dead == c) << "unexpected unreachable broker " << dead;
+    }
+
+    cluster.restart(a);
+    cluster.restart(c);
+    for (BrokerId b : {a, c}) {
+      clients[b] = cluster.connect(b, tight_client());
+      // The restarted broker's id counter reset, so the identical
+      // subscription reclaims its old id and stale rows on peers stay
+      // consistent.
+      EXPECT_EQ(clients[b]->subscribe(sub), ids[b]);
+    }
+  }
+
+  // Heal: two full periods re-propagate every summary and flush any
+  // queued redeliveries from the churn phase.
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  for (auto& c : clients) (void)c->drain_notifications();
+
+  // Steady state: one event per origin broker, delivered exactly once to
+  // all 13 subscribers.
+  for (BrokerId b = 0; b < n; ++b) {
+    clients[b]->publish(
+        EventBuilder(s).set("symbol", "chaos").set("volume", int64_t{100 + b}).build());
+  }
+  const auto volume_attr = s.id_of("volume");
+  for (BrokerId b = 0; b < n; ++b) {
+    std::multiset<int64_t> got;
+    while (got.size() < n) {
+      const auto note = clients[b]->next_notification(5000ms);
+      ASSERT_TRUE(note.has_value()) << "subscriber " << b << " missing events; got "
+                                    << got.size() << " of " << n;
+      ASSERT_EQ(note->ids, std::vector<SubId>{ids[b]});
+      const auto* v = note->event.find(volume_attr);
+      ASSERT_NE(v, nullptr);
+      got.insert(v->as_int());
+    }
+    std::multiset<int64_t> want;
+    for (BrokerId o = 0; o < n; ++o) want.insert(100 + o);
+    EXPECT_EQ(got, want) << "subscriber " << b << " saw duplicates or wrong events";
+  }
+  // No strays beyond the expected set.
+  EXPECT_FALSE(clients[0]->next_notification(100ms).has_value());
+}
+
+// A blackholed inter-broker link must bound the publish (deadline + capped
+// retries, well under 2x the per-hop budget), queue the delivery, and
+// redeliver once the link heals.
+TEST(Chaos, BlackholedLinkBoundsPublishThenRedelivers) {
+  const Schema s = workload::stock_schema();
+  const RpcPolicy rpc = tight_policy();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, rpc);
+
+  auto subscriber = cluster.connect(1, tight_client());
+  const SubId id = subscriber->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "hole").build());
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+
+  // Interpose on broker 0 -> broker 1 and swallow everything.
+  FaultInjector inj(cluster.port_of(1));
+  inj.set_mode(FaultInjector::Mode::kBlackhole);
+  cluster.node(0).set_peer_ports({cluster.port_of(0), inj.port()});
+
+  auto publisher = cluster.connect(0, tight_client());
+  const auto t0 = std::chrono::steady_clock::now();
+  publisher->publish(EventBuilder(s).set("symbol", "hole").build());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Budget per dead-peer encounter: max_attempts blocked round-trips plus
+  // backoff sleeps. The walk hits the blackhole for the kDeliver; assert
+  // the 2x bound on the total budget.
+  const auto budget = rpc.backoff.max_attempts * (rpc.connect_timeout + rpc.io_timeout) +
+                      rpc.backoff.max_attempts * rpc.backoff.cap;
+  EXPECT_LT(elapsed, 2 * budget);
+  EXPECT_GE(elapsed, rpc.io_timeout);  // it really waited out a deadline
+  EXPECT_EQ(cluster.node(0).snapshot().pending_redeliveries, 1u);
+  EXPECT_FALSE(subscriber->next_notification(100ms).has_value());
+
+  // Heal the link; the next propagation period flushes the queue.
+  inj.set_mode(FaultInjector::Mode::kPass);
+  inj.sever_connections();
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  const auto note = subscriber->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  EXPECT_EQ(cluster.node(0).snapshot().pending_redeliveries, 0u);
+}
+
+}  // namespace
+}  // namespace subsum::net

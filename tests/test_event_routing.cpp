@@ -104,6 +104,115 @@ TEST(EventRouting, InvalidInputsThrow) {
   EXPECT_THROW(route_event(g, state, 0, e, opts), std::invalid_argument);
 }
 
+TEST(EventRouting, DownBrokerIsSkippedNotVisited) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto state = setup(s, g, {3, 7, 12});
+  const auto e = model::EventBuilder(s).set("symbol", "evt").build();
+
+  // Node 10 is normally the walk's last stop (it merged 11/12). Mark it
+  // down: the walk must bypass it, keep going, and still reach broker 12's
+  // subscription by visiting a live broker that knows it (12 itself).
+  RouterOptions opts;
+  opts.down.assign(g.size(), 0);
+  opts.down[10] = 1;
+  const auto r = route_event(g, state, 0, e, opts);
+
+  EXPECT_TRUE(std::find(r.visited.begin(), r.visited.end(), 10u) == r.visited.end());
+  EXPECT_EQ(r.skipped, std::vector<BrokerId>{10});
+  EXPECT_TRUE(r.undeliverable.empty());  // every owner is alive
+  std::set<BrokerId> owners;
+  for (const auto& d : r.deliveries) owners.insert(d.owner);
+  EXPECT_EQ(owners, (std::set<BrokerId>{3, 7, 12}));
+}
+
+TEST(EventRouting, DownOwnerLandsInUndeliverable) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto state = setup(s, g, {3, 7, 12});
+  const auto e = model::EventBuilder(s).set("symbol", "evt").build();
+
+  RouterOptions opts;
+  opts.down.assign(g.size(), 0);
+  opts.down[3] = 1;  // a pure leaf owner: never a forward target
+  const auto r = route_event(g, state, 0, e, opts);
+
+  std::set<BrokerId> owners;
+  for (const auto& d : r.deliveries) owners.insert(d.owner);
+  EXPECT_EQ(owners, (std::set<BrokerId>{7, 12}));
+  ASSERT_EQ(r.undeliverable.size(), 1u);
+  EXPECT_EQ(r.undeliverable[0].owner, 3u);
+  EXPECT_EQ(r.undeliverable[0].examined_at, 4u);  // node 4 held node 3's rows
+  // The undeliverable match costs no hop (nothing was sent): only the
+  // node-10 -> node-12 delivery remains (broker 7's is local).
+  EXPECT_EQ(r.delivery_hops, 1u);
+}
+
+TEST(EventRouting, DownValidation) {
+  const Schema s = schema_v();
+  const Graph g = overlay::fig7_tree();
+  const auto state = setup(s, g, {});
+  const auto e = model::EventBuilder(s).set("symbol", "x").build();
+  RouterOptions opts;
+  opts.down = {1, 0};  // wrong size
+  EXPECT_THROW(route_event(g, state, 0, e, opts), std::invalid_argument);
+  opts.down.assign(g.size(), 0);
+  opts.down[5] = 1;
+  EXPECT_THROW(route_event(g, state, 5, e, opts), std::invalid_argument);
+}
+
+// Randomized churn: live owners still get exactly-once delivery, dead
+// owners' matches are quarantined, and the walk never touches a down
+// broker.
+TEST(EventRouting, RandomDownSetsKeepLiveDeliveryExact) {
+  const Schema s = schema_v();
+  util::Rng rng(4242);
+  std::vector<Graph> graphs;
+  graphs.push_back(overlay::fig7_tree());
+  graphs.push_back(overlay::cable_wireless_24());
+
+  for (const auto& g : graphs) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::set<BrokerId> matched;
+      while (matched.size() < g.size() / 3) {
+        matched.insert(static_cast<BrokerId>(rng.below(g.size())));
+      }
+      const auto state = setup(s, g, matched);
+      const auto origin = static_cast<BrokerId>(rng.below(g.size()));
+      RouterOptions opts;
+      opts.down.assign(g.size(), 0);
+      std::set<BrokerId> down;
+      while (down.size() < g.size() / 4) {
+        const auto b = static_cast<BrokerId>(rng.below(g.size()));
+        if (b == origin) continue;
+        down.insert(b);
+        opts.down[b] = 1;
+      }
+      const auto e = model::EventBuilder(s).set("symbol", "evt").build();
+      const auto r = route_event(g, state, origin, e, opts);
+
+      for (BrokerId v : r.visited) EXPECT_FALSE(down.contains(v));
+      for (BrokerId sk : r.skipped) EXPECT_TRUE(down.contains(sk));
+
+      std::multiset<BrokerId> live_owners;
+      for (const auto& d : r.deliveries) {
+        EXPECT_FALSE(down.contains(d.owner));
+        live_owners.insert(d.owner);
+      }
+      // Exactly the live matched brokers, exactly once each.
+      std::set<BrokerId> want;
+      for (BrokerId m : matched) {
+        if (!down.contains(m)) want.insert(m);
+      }
+      EXPECT_EQ(std::set<BrokerId>(live_owners.begin(), live_owners.end()), want);
+      EXPECT_EQ(live_owners.size(), want.size()) << "duplicate delivery under churn";
+      // A down owner's match surfaces as undeliverable iff some live
+      // visited broker held its rows.
+      for (const auto& d : r.undeliverable) EXPECT_TRUE(down.contains(d.owner));
+    }
+  }
+}
+
 // Exactly-once delivery and completeness on arbitrary topologies, matched
 // sets, and origins.
 class RoutingProperty : public ::testing::TestWithParam<uint64_t> {};

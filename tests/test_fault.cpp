@@ -1,0 +1,405 @@
+// Fault-tolerance layer: backoff schedules, socket deadlines, the
+// FaultInjector proxy, all-or-nothing summary merges under partial frames,
+// propagation reports under churn, degraded BROCLI walks past dead
+// brokers, queued redelivery, and client reconnect semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/cluster.h"
+#include "net/fault_injector.h"
+#include "overlay/topologies.h"
+#include "util/backoff.h"
+#include "util/bytes.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::EventBuilder;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+/// Small deadlines so failure paths resolve in milliseconds, not seconds.
+RpcPolicy tight_policy() {
+  RpcPolicy p;
+  p.connect_timeout = 250ms;
+  p.io_timeout = 1000ms;
+  p.backoff = {5ms, 40ms, 2};
+  return p;
+}
+
+ClientOptions tight_client() {
+  ClientOptions o;
+  o.connect_timeout = 500ms;
+  o.rpc_timeout = 20000ms;
+  o.backoff = {5ms, 40ms, 4};
+  return o;
+}
+
+// --- util::Backoff ----------------------------------------------------------
+
+TEST(Backoff, DelaysStayWithinBaseAndCap) {
+  util::Backoff b({10ms, 50ms, 6}, 42);
+  int delays = 0;
+  while (auto d = b.next_delay()) {
+    EXPECT_GE(*d, 10ms);
+    EXPECT_LE(*d, 50ms);
+    ++delays;
+  }
+  EXPECT_EQ(delays, 5);  // 6 attempts total = 5 sleeps between them
+  EXPECT_EQ(b.attempts_started(), 6);
+  EXPECT_FALSE(b.next_delay().has_value());  // stays exhausted
+  b.reset();
+  EXPECT_TRUE(b.next_delay().has_value());
+}
+
+TEST(Backoff, DeterministicGivenSeed) {
+  util::Backoff a({10ms, 400ms, 8}, 7);
+  util::Backoff b({10ms, 400ms, 8}, 7);
+  while (true) {
+    const auto da = a.next_delay();
+    const auto db = b.next_delay();
+    EXPECT_EQ(da, db);
+    if (!da) break;
+  }
+}
+
+TEST(Backoff, SingleAttemptNeverRetries) {
+  util::Backoff b({10ms, 50ms, 1}, 0);
+  EXPECT_FALSE(b.next_delay().has_value());
+}
+
+TEST(Backoff, RetryHelperRethrowsAfterBudget) {
+  int calls = 0;
+  EXPECT_THROW(util::retry<NetError>({1ms, 2ms, 3}, 0,
+                                     [&]() -> int {
+                                       ++calls;
+                                       throw NetError("always");
+                                     }),
+               NetError);
+  EXPECT_EQ(calls, 3);
+}
+
+// --- socket deadlines -------------------------------------------------------
+
+TEST(SocketDeadline, RecvTimesOutInsteadOfBlocking) {
+  Listener listener(0);
+  Socket c = connect_local(listener.port());
+  c.set_recv_timeout(100ms);
+  std::byte buf[1];
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)c.recv_exact(buf), NetTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 80ms);
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(SocketDeadline, TimedConnectSucceedsAndRefusalIsFast) {
+  Listener listener(0);
+  // The poll-based connect path must work for a healthy target.
+  Socket ok = connect_local(listener.port(), 500ms);
+  EXPECT_TRUE(ok.valid());
+
+  uint16_t dead_port;
+  {
+    Listener doomed(0);
+    dead_port = doomed.port();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(connect_local(dead_port, 500ms), NetError);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 400ms);  // refused, not timed out
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjector, PassThroughIsTransparent) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  FaultInjector inj(cluster.port_of(0));
+
+  Client client(inj.port(), s, tight_client());
+  const auto id = client.subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "proxy").build());
+  client.publish(EventBuilder(s).set("symbol", "proxy").build());
+  const auto note = client.next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  EXPECT_GT(inj.forwarded_bytes(), 0u);
+}
+
+TEST(FaultInjector, BlackholeHitsTheDeadlineNotForever) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  FaultInjector inj(cluster.port_of(0));
+  inj.set_mode(FaultInjector::Mode::kBlackhole);
+
+  Socket c = connect_local(inj.port(), 500ms);
+  c.set_recv_timeout(200ms);
+  send_frame(c, MsgKind::kStats, {});
+  EXPECT_THROW((void)recv_frame(c), NetTimeout);
+}
+
+TEST(FaultInjector, DropRefusesNewConnections) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  FaultInjector inj(cluster.port_of(0));
+  inj.set_mode(FaultInjector::Mode::kDrop);
+
+  // The TCP connect itself succeeds (the listener accepts), but the
+  // injector closes immediately: the first read sees EOF.
+  Socket c = connect_local(inj.port(), 500ms);
+  c.set_recv_timeout(2000ms);
+  EXPECT_FALSE(recv_frame(c).has_value());
+}
+
+// --- all-or-nothing summary merges (satellite: partial kSummary) ------------
+
+TEST(SummaryIntegrity, PartialFrameThenCloseLeavesHeldIntact) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto c1 = cluster.connect(1);
+  c1->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "keep").build());
+  const auto before = cluster.node(1).snapshot();
+
+  {
+    // A kSummary frame header announcing 100 payload bytes, but only 10
+    // arrive before the connection dies mid-frame.
+    Socket raw = connect_local(cluster.port_of(1), 500ms);
+    util::BufWriter w;
+    w.put_u32(100);
+    w.put_u8(static_cast<uint8_t>(MsgKind::kSummary));
+    for (int i = 0; i < 10; ++i) w.put_u8(0xAB);
+    raw.send_all(w.bytes());
+  }  // close mid-frame
+  std::this_thread::sleep_for(50ms);
+
+  const auto after = cluster.node(1).snapshot();
+  EXPECT_EQ(after.merged_brokers, before.merged_brokers);
+  EXPECT_EQ(after.held_wire_bytes, before.held_wire_bytes);
+  EXPECT_EQ(after.local_subs, before.local_subs);
+
+  // A real propagation still merges cleanly afterwards.
+  const auto report = cluster.run_propagation_period();
+  EXPECT_TRUE(report.complete());
+  auto c0 = cluster.connect(0);
+  c0->publish(EventBuilder(s).set("symbol", "keep").build());
+  EXPECT_TRUE(c1->next_notification(2000ms).has_value());
+}
+
+TEST(SummaryIntegrity, CorruptPayloadRejectedWithoutMutation) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  const auto before = cluster.node(0).snapshot();
+
+  Socket raw = connect_local(cluster.port_of(0), 500ms);
+  const std::vector<std::byte> junk(37, std::byte{0xFF});
+  send_frame(raw, MsgKind::kSummary, junk);
+  // The broker drops the connection on the decode error (no ack).
+  raw.set_recv_timeout(2000ms);
+  try {
+    (void)recv_frame(raw);
+  } catch (const NetError&) {
+  }
+
+  const auto after = cluster.node(0).snapshot();
+  EXPECT_EQ(after.merged_brokers, before.merged_brokers);
+  EXPECT_EQ(after.held_wire_bytes, before.held_wire_bytes);
+}
+
+TEST(SummaryIntegrity, TruncatedPeerSummaryMergesNothingThenHeals) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto c0 = cluster.connect(0);
+  c0->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "heal").build());
+
+  // Interpose on broker 0 -> broker 1 only; cut every frame after 3 bytes.
+  FaultInjector inj(cluster.port_of(1));
+  inj.set_mode(FaultInjector::Mode::kTruncate);
+  inj.set_truncate_after(3);
+  cluster.node(0).set_peer_ports({cluster.port_of(0), inj.port()});
+
+  const auto before = cluster.node(1).snapshot();
+  const auto report = cluster.run_propagation_period();
+  // Broker 0's summary send died mid-frame; broker 1 must hold its old
+  // state (merge is all-or-nothing) and both brokers still acked their
+  // triggers.
+  EXPECT_TRUE(report.complete());
+  const auto after = cluster.node(1).snapshot();
+  EXPECT_EQ(after.merged_brokers, before.merged_brokers);
+  EXPECT_EQ(after.held_wire_bytes, before.held_wire_bytes);
+
+  // Heal the link: the state-based resend completes the merge.
+  inj.set_mode(FaultInjector::Mode::kPass);
+  EXPECT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().merged_brokers, 2u);
+}
+
+// --- propagation under churn (satellite: report + continue) -----------------
+
+TEST(ClusterFault, PropagationReportsDeadBrokerAndContinues) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(3), core::GeneralizePolicy::kSafe, tight_policy());
+  cluster.kill(1);
+  EXPECT_FALSE(cluster.alive(1));
+
+  const auto report = cluster.run_propagation_period();
+  EXPECT_EQ(report.unreachable, std::vector<BrokerId>{1});
+
+  // Live brokers finished the round and still serve traffic.
+  auto c0 = cluster.connect(0);
+  const auto id = c0->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "alive").build());
+  c0->publish(EventBuilder(s).set("symbol", "alive").build());
+  const auto note = c0->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+}
+
+// --- degraded BROCLI walk (tentpole) ----------------------------------------
+
+TEST(ClusterFault, WalkSkipsDeadBrokerAndStillDeliversEverywhereReachable) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::fig7_tree(), core::GeneralizePolicy::kSafe, tight_policy());
+
+  auto c3 = cluster.connect(3);
+  auto c7 = cluster.connect(7);
+  auto c12 = cluster.connect(12);
+  auto publisher = cluster.connect(0);
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "evt").build();
+  const SubId id3 = c3->subscribe(sub);
+  const SubId id7 = c7->subscribe(sub);
+  const SubId id12 = c12->subscribe(sub);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+
+  // Node 10 is the walk's gateway to brokers 11/12 (it merged their
+  // summaries). Killing it forces the walk to degrade: skip 10, visit the
+  // leaves directly, and still deliver to broker 12's subscriber.
+  cluster.kill(10);
+  const auto t0 = std::chrono::steady_clock::now();
+  publisher->publish(EventBuilder(s).set("symbol", "evt").build());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Dead-peer detection is ECONNREFUSED + the small backoff budget, far
+  // under 2x the per-hop deadline budget.
+  EXPECT_LT(elapsed, 2 * tight_policy().io_timeout);
+
+  EXPECT_EQ(c3->next_notification(2000ms)->ids, std::vector<SubId>{id3});
+  EXPECT_EQ(c7->next_notification(2000ms)->ids, std::vector<SubId>{id7});
+  EXPECT_EQ(c12->next_notification(2000ms)->ids, std::vector<SubId>{id12});
+
+  // Restart + one propagation period re-heals the broker's summaries.
+  cluster.restart(10);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_GE(cluster.node(10).snapshot().merged_brokers, 3u);
+
+  publisher->publish(EventBuilder(s).set("symbol", "evt").build());
+  EXPECT_EQ(c3->next_notification(2000ms)->ids, std::vector<SubId>{id3});
+  EXPECT_EQ(c7->next_notification(2000ms)->ids, std::vector<SubId>{id7});
+  EXPECT_EQ(c12->next_notification(2000ms)->ids, std::vector<SubId>{id12});
+}
+
+// --- queued redelivery (tentpole) -------------------------------------------
+
+TEST(ClusterFault, FailedDeliveryIsQueuedAndRedeliveredAfterRestart) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  const auto sub = SubscriptionBuilder(s).where("symbol", Op::kEq, "redo").build();
+  {
+    auto doomed = cluster.connect(1);
+    doomed->subscribe(sub);
+    ASSERT_TRUE(cluster.run_propagation_period().complete());
+  }
+  cluster.kill(1);
+
+  auto publisher = cluster.connect(0);
+  publisher->publish(EventBuilder(s).set("symbol", "redo").build());
+  EXPECT_EQ(cluster.node(0).snapshot().pending_redeliveries, 1u);
+
+  cluster.restart(1);
+  auto revived = cluster.connect(1);
+  // Re-subscribing the same subscription reclaims the same id (the
+  // restarted broker's local counter reset), so the queued delivery's ids
+  // pass the exact home re-filter.
+  const SubId id = revived->subscribe(sub);
+  cluster.run_propagation_period();  // flushes broker 0's redelivery queue
+
+  const auto note = revived->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  EXPECT_EQ(cluster.node(0).snapshot().pending_redeliveries, 0u);
+}
+
+// --- client fault semantics (satellites) ------------------------------------
+
+TEST(ClientFault, NextNotificationSurfacesClosedConnection) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(0);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "x").build());
+  cluster.kill(0);
+  // The dead connection must surface as an error, not as an endless
+  // stream of empty optionals.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client->next_notification(10000ms), NetError);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);  // woke on close, not timeout
+}
+
+TEST(ClientFault, QueuedNotificationsDrainBeforeClosedSurfaces) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(0);
+  const auto id = client->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "q").build());
+  client->publish(EventBuilder(s).set("symbol", "q").build());
+  // The notification was written before publish() returned; wait until the
+  // reader has queued it before killing the broker.
+  const auto note = client->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+  cluster.kill(0);
+  EXPECT_THROW((void)client->next_notification(1000ms), NetError);
+}
+
+TEST(ClientFault, ReconnectsAfterBrokerRestart) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(0, tight_client());
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "v1").build());
+
+  cluster.kill(0);
+  cluster.restart(0);
+  std::this_thread::sleep_for(50ms);  // let the reader observe the EOF
+
+  // The old subscription died with the broker; the client transparently
+  // reconnects and a fresh subscribe works on the same object.
+  const auto id = client->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "v2").build());
+  client->publish(EventBuilder(s).set("symbol", "v2").build());
+  const auto note = client->next_notification(2000ms);
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->ids, std::vector<SubId>{id});
+}
+
+TEST(ClientFault, ReconnectDisabledStillThrows) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, tight_policy());
+  ClientOptions opts = tight_client();
+  opts.auto_reconnect = false;
+  auto client = cluster.connect(0, opts);
+  cluster.kill(0);
+  cluster.restart(0);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_THROW(client->subscribe(
+                   SubscriptionBuilder(s).where("symbol", Op::kEq, "z").build()),
+               NetError);
+}
+
+}  // namespace
+}  // namespace subsum::net

@@ -54,11 +54,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const net::RpcPolicy rpc;  // deadlines + backoff for peer RPCs
   net::BrokerConfig cfg;
   cfg.id = id;
   cfg.schema = spec.schema;
   cfg.graph = spec.graph;
   cfg.port = port;
+  cfg.rpc = rpc;
 
   try {
     net::BrokerNode node(std::move(cfg));
@@ -78,22 +80,30 @@ int main(int argc, char** argv) {
       if (now - last < std::chrono::seconds(period)) continue;
       last = now;
       // Act as the controller: clock the iterations across all brokers.
-      try {
-        const auto max_degree = static_cast<uint32_t>(spec.graph.max_degree());
-        for (uint32_t it = 1; it <= max_degree; ++it) {
-          for (uint16_t p : peers) {
-            net::Socket s = net::connect_local(p);
+      // An unreachable broker is skipped for the rest of the period and
+      // reported; live brokers still complete the round.
+      std::vector<char> failed(peers.size(), 0);
+      const auto max_degree = static_cast<uint32_t>(spec.graph.max_degree());
+      for (uint32_t it = 1; it <= max_degree; ++it) {
+        for (size_t b = 0; b < peers.size(); ++b) {
+          if (failed[b]) continue;
+          try {
+            net::Socket s = net::connect_local(peers[b], rpc.connect_timeout);
+            s.set_send_timeout(rpc.io_timeout);
+            s.set_recv_timeout(rpc.io_timeout * 10);
             net::send_frame(s, net::MsgKind::kTrigger, net::encode(net::TriggerMsg{it}));
             const auto ack = net::recv_frame(s);
             if (!ack || ack->kind != net::MsgKind::kTriggerAck) {
               throw net::NetError("trigger not acknowledged");
             }
+          } catch (const std::exception& e) {
+            failed[b] = 1;
+            std::cerr << "propagation: broker " << b << " unreachable ("
+                      << e.what() << "); continuing without it\n";
           }
         }
-        std::cout << "propagation period completed" << std::endl;
-      } catch (const std::exception& e) {
-        std::cerr << "propagation period failed (will retry): " << e.what() << "\n";
       }
+      std::cout << "propagation period completed" << std::endl;
     }
     std::cout << "broker " << id << " shutting down\n";
     node.stop();
