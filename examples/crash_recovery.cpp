@@ -1,0 +1,112 @@
+// Crash durability: a 3-broker line deployment where every broker keeps a
+// data directory, the middle broker "crashes" and recovers, and the world
+// keeps turning without anyone re-subscribing. Demonstrates the store
+// layer end to end:
+//
+//   1. subscriptions are WAL-logged before they are acked, so a killed
+//      broker recovers its full subscription set — and rebuilds a summary
+//      image bit-identical to its pre-crash one;
+//   2. the subscriber's client re-attaches its ids on its next poll (a
+//      kAttach handshake, no re-subscribe), and a publish routed through
+//      the recovered broker is delivered as if nothing happened;
+//   3. every incarnation bumps the broker's on-disk epoch: announcements
+//      from a pre-crash incarnation are recognizably stale, so peers never
+//      resurrect zombie routing state.
+//
+// Exits non-zero on any wrong or missing delivery.
+//
+//   ./crash_recovery
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+
+#include "net/cluster.h"
+#include "overlay/topologies.h"
+#include "workload/stock_schema.h"
+
+int main() {
+  using namespace subsum;
+  using namespace std::chrono_literals;
+  using model::Op;
+
+  const model::Schema schema = workload::stock_schema();
+
+  net::RpcPolicy rpc;
+  rpc.connect_timeout = 250ms;
+  rpc.io_timeout = 500ms;
+  rpc.backoff = {5ms, 40ms, 2};
+
+  const std::string data_dir =
+      (std::filesystem::temp_directory_path() / "subsum_crash_recovery").string();
+  std::filesystem::remove_all(data_dir);
+  net::Cluster cluster(schema, overlay::line(3), core::GeneralizePolicy::kSafe, rpc,
+                       data_dir);
+  std::cout << "3 durable brokers up, stores under " << data_dir << "\n";
+
+  const auto sub = model::SubscriptionBuilder(schema)
+                       .where("symbol", Op::kEq, "OTE")
+                       .where("price", Op::kGt, 8.0)
+                       .build();
+  auto alice = cluster.connect(0);  // publisher at one end
+  auto bob = cluster.connect(1);    // subscriber on the broker we will kill
+  const auto bob_id = bob->subscribe(sub);
+  if (!cluster.run_propagation_period().complete()) {
+    std::cerr << "FAIL: initial propagation period incomplete\n";
+    return 1;
+  }
+
+  const auto event =
+      model::EventBuilder(schema).set("symbol", "OTE").set("price", 8.4).build();
+  const auto expect_delivery = [&](const char* stage) {
+    const auto note = bob->next_notification(3000ms);
+    if (!note || note->ids != std::vector<model::SubId>{bob_id}) {
+      std::cerr << "FAIL (" << stage << "): bob did not get the event\n";
+      std::exit(1);
+    }
+    std::cout << "  bob notified (" << stage << ")\n";
+  };
+  alice->publish(event);
+  expect_delivery("before the crash");
+
+  // --- the crash -------------------------------------------------------------
+  const auto image_before = cluster.node(1).own_summary_wire();
+  std::cout << "killing broker 1 (epoch " << cluster.node(1).epoch()
+            << ", bob's home) and restarting it from disk...\n";
+  cluster.kill(1);
+  cluster.restart(1);
+
+  const auto& revived = cluster.node(1);
+  std::cout << "  back as epoch " << revived.epoch() << " with "
+            << revived.snapshot().local_subs << " recovered subscription(s)\n";
+  if (!revived.recovery().recovered || revived.snapshot().local_subs != 1) {
+    std::cerr << "FAIL: the subscription did not survive the crash\n";
+    return 1;
+  }
+  if (revived.own_summary_wire() != image_before) {
+    std::cerr << "FAIL: recovered summary image differs from the pre-crash one\n";
+    return 1;
+  }
+  std::cout << "  recovered summary image is bit-identical to the pre-crash one\n";
+
+  // --- session resumption ----------------------------------------------------
+  // Bob never re-subscribes: his next poll finds the connection dead,
+  // reconnects, and re-binds his subscription ids with a kAttach handshake.
+  (void)bob->next_notification(100ms);
+  alice->publish(event);
+  expect_delivery("after recovery, no re-subscribe");
+
+  // --- epochs ----------------------------------------------------------------
+  // The new incarnation's announcements carry the bumped epoch, so peers
+  // replace — never duplicate — what they held on broker 1's behalf.
+  if (!cluster.run_propagation_period().complete()) {
+    std::cerr << "FAIL: post-recovery propagation period incomplete\n";
+    return 1;
+  }
+  alice->publish(event);
+  expect_delivery("after the new epoch propagated");
+
+  std::filesystem::remove_all(data_dir);
+  std::cout << "crash-recovery run survived: WAL replay, bit-identical summary, "
+               "re-attach without re-subscribe, epoch bump\n";
+  return 0;
+}

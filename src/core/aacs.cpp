@@ -87,6 +87,18 @@ void Aacs::remove(model::SubId id) {
   coalesce(0, pieces_.size());
 }
 
+void Aacs::remove_broker(model::BrokerId broker) {
+  bool changed = false;
+  for (auto& p : pieces_) {
+    const size_t before = p.ids.size();
+    std::erase_if(p.ids, [broker](const SubId& id) { return id.broker == broker; });
+    changed |= p.ids.size() != before;
+  }
+  if (!changed) return;
+  std::erase_if(pieces_, [](const Piece& p) { return p.ids.empty(); });
+  coalesce(0, pieces_.size());
+}
+
 const std::vector<model::SubId>* Aacs::find(double x) const noexcept {
   const Pos p = Pos::at(x);
   auto it = std::lower_bound(pieces_.begin(), pieces_.end(), p,

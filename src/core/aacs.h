@@ -67,6 +67,10 @@ class Aacs {
   /// neighbouring pieces with identical lists coalesce.
   void remove(model::SubId id);
 
+  /// Removes every id owned by `broker` (all ids with c1 == broker): the
+  /// epoch-based discard of a restarted broker's pre-crash rows.
+  void remove_broker(model::BrokerId broker);
+
   /// Ids whose summarized constraint is satisfied by `x`, or nullptr if the
   /// value falls outside every piece. O(log n).
   [[nodiscard]] const std::vector<model::SubId>* find(double x) const noexcept;

@@ -90,6 +90,21 @@ void Sacs::remove(model::SubId id) {
   }
 }
 
+void Sacs::remove_broker(model::BrokerId broker) {
+  const auto owned = [broker](const SubId& id) { return id.broker == broker; };
+  for (auto& row : pat_rows_) std::erase_if(row.ids, owned);
+  std::erase_if(pat_rows_, [](const Row& row) { return row.ids.empty(); });
+  bool eq_changed = false;
+  for (auto& row : eq_rows_) {
+    std::erase_if(row.ids, owned);
+    eq_changed |= row.ids.empty();
+  }
+  if (eq_changed) {
+    std::erase_if(eq_rows_, [](const Row& row) { return row.ids.empty(); });
+    reindex_eq();
+  }
+}
+
 std::vector<model::SubId> Sacs::find(const std::string& value) const {
   std::vector<SubId> out;
   find_into(value, out);

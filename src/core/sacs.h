@@ -51,6 +51,10 @@ class Sacs {
   /// see BrokerSummary::rebuild for the exact-restoration path).
   void remove(model::SubId id);
 
+  /// Removes every id owned by `broker` (epoch-based discard of a
+  /// restarted broker's pre-crash rows).
+  void remove_broker(model::BrokerId broker);
+
   /// Sorted unique ids of subscriptions whose (summarized) constraint is
   /// satisfied by `value`. A subscription with several conjunctive
   /// constraints on this attribute is reported if ANY of them matches —

@@ -10,7 +10,8 @@ namespace subsum::core {
 
 namespace {
 
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersion = 2;       // v2 adds the u64 epoch stamp
+constexpr uint8_t kVersionNoEpoch = 1;  // pre-epoch images still decode
 
 constexpr uint8_t kLoInf = 1 << 4;
 constexpr uint8_t kHiInf = 1 << 5;
@@ -76,13 +77,15 @@ std::vector<model::SubId> get_ids(util::BufReader& r, const model::SubIdCodec& c
 
 }  // namespace
 
-std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg) {
+std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg,
+                                      uint64_t epoch) {
   if (cfg.numeric_width != 4 && cfg.numeric_width != 8) {
     throw std::invalid_argument("numeric_width must be 4 or 8");
   }
   const model::Schema& schema = summary.schema();
   util::BufWriter w(1024);
   w.put_u8(kVersion);
+  w.put_u64(epoch);
   w.put_u8(cfg.numeric_width);
   w.put_u8(static_cast<uint8_t>(cfg.codec.c1_bits()));
   w.put_u8(static_cast<uint8_t>(cfg.codec.c2_bits()));
@@ -120,9 +123,15 @@ std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireCo
 }
 
 BrokerSummary decode_summary(std::span<const std::byte> data, const model::Schema& schema,
-                             GeneralizePolicy policy, AacsMode arith_mode) {
+                             GeneralizePolicy policy, AacsMode arith_mode,
+                             uint64_t* epoch_out) {
   util::BufReader r(data);
-  if (r.get_u8() != kVersion) throw util::DecodeError("unknown summary version");
+  const uint8_t version = r.get_u8();
+  if (version != kVersion && version != kVersionNoEpoch) {
+    throw util::DecodeError("unknown summary version");
+  }
+  const uint64_t epoch = version == kVersion ? r.get_u64() : 0;
+  if (epoch_out) *epoch_out = epoch;
   const uint8_t width = r.get_u8();
   if (width != 4 && width != 8) throw util::DecodeError("bad numeric width");
   const uint8_t c1 = r.get_u8();

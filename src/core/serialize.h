@@ -4,7 +4,8 @@
 //
 // Layout (all multi-byte integers little-endian):
 //
-//   u8  version
+//   u8  version                               -- 2; v1 (no epoch) still decodes
+//   u64 epoch                                 -- announcing broker's incarnation
 //   u8  numeric_width (4 or 8)
 //   u8  c1_bits, u8 c2_bits, u8 c3_bits      -- SubIdCodec parameters
 //   varint attr_count                         -- must equal the schema's
@@ -40,14 +41,18 @@ struct WireConfig {
 
 /// Encodes a summary. With numeric_width 4, float values are narrowed to
 /// float32 and integral values must fit in int32 (throws std::range_error
-/// otherwise).
-std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg);
+/// otherwise). `epoch` stamps the image with the announcing broker's
+/// incarnation number (see net/broker_node.h; 0 = epochs unused).
+std::vector<std::byte> encode_summary(const BrokerSummary& summary, const WireConfig& cfg,
+                                      uint64_t epoch = 0);
 
 /// Decodes a summary previously produced by encode_summary over the same
-/// schema. Throws util::DecodeError on malformed input.
+/// schema. Throws util::DecodeError on malformed input. When `epoch_out`
+/// is non-null it receives the image's epoch stamp (0 for v1 images).
 BrokerSummary decode_summary(std::span<const std::byte> data, const model::Schema& schema,
                              GeneralizePolicy policy = GeneralizePolicy::kSafe,
-                             AacsMode arith_mode = AacsMode::kExact);
+                             AacsMode arith_mode = AacsMode::kExact,
+                             uint64_t* epoch_out = nullptr);
 
 /// Encoded size in bytes (== encode_summary(...).size()).
 size_t wire_size(const BrokerSummary& summary, const WireConfig& cfg);

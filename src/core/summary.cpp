@@ -48,6 +48,16 @@ void BrokerSummary::remove(model::SubId id) {
   }
 }
 
+void BrokerSummary::remove_broker(model::BrokerId broker) {
+  for (AttrId a = 0; a < schema_->attr_count(); ++a) {
+    if (is_arithmetic(schema_->type_of(a))) {
+      aacs_[a].remove_broker(broker);
+    } else {
+      sacs_[a].remove_broker(broker);
+    }
+  }
+}
+
 void BrokerSummary::merge(const BrokerSummary& other) {
   if (!schema_ || !other.schema_ || !(*schema_ == *other.schema_)) {
     throw std::invalid_argument("cannot merge summaries over different schemata");

@@ -53,6 +53,12 @@ class BrokerSummary {
   /// Removes one subscription id from every structure its c3 mask touches.
   void remove(model::SubId id);
 
+  /// Removes every id owned by `broker` from every structure: the
+  /// epoch-based anti-entropy discard applied when a peer announces a
+  /// newer incarnation (its pre-crash rows are replaced by the fresh
+  /// image merged right after).
+  void remove_broker(model::BrokerId broker);
+
   /// Folds another broker's summary into this one (multi-broker merge).
   /// Schemata must agree.
   void merge(const BrokerSummary& other);

@@ -18,6 +18,29 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
   merged_brokers_ = {cfg_.id};
   communicated_.assign(cfg_.graph.size(), 0);
+  if (!cfg_.data_dir.empty()) {
+    // Recovery runs to completion before the listener thread starts, so
+    // no client or peer ever observes a half-recovered broker.
+    store_ = std::make_unique<store::BrokerStore>(cfg_.data_dir, cfg_.schema, cfg_.policy, wire_);
+    store::DurableState st = store_->open();
+    epoch_ = st.epoch;
+    next_local_ = st.next_local;
+    recovery_.recovered = st.epoch > 1 || !st.subs.empty();
+    recovery_.wal_torn = st.wal_torn;
+    recovery_.snapshot_fell_back = st.snapshot_fell_back;
+    recovery_.own_image_verified = st.own_image_verified;
+    for (auto& os : st.subs) home_.add(std::move(os));
+    if (st.held) held_ = std::move(*st.held);
+    for (size_t i = 0; i < st.merged_brokers.size(); ++i) {
+      const BrokerId b = st.merged_brokers[i];
+      if (b >= cfg_.graph.size() || b == cfg_.id) continue;
+      merged_brokers_.push_back(b);
+      peer_epochs_.set(b, i < st.merged_epochs.size() ? st.merged_epochs[i] : 0);
+    }
+    std::sort(merged_brokers_.begin(), merged_brokers_.end());
+    merged_brokers_.erase(std::unique(merged_brokers_.begin(), merged_brokers_.end()),
+                          merged_brokers_.end());
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -33,6 +56,14 @@ void BrokerNode::set_peer_ports(std::vector<uint16_t> ports) {
 
 void BrokerNode::stop() {
   if (stopping_.exchange(true)) return;
+  {
+    // The empty critical section orders the flag against waiters: any
+    // retry sleep either saw stopping_ before waiting or is inside
+    // wait_for and receives the notify. Shutdown time is thus bounded by
+    // one RPC deadline, never a full backoff schedule.
+    std::lock_guard sl(stop_mu_);
+  }
+  stop_cv_.notify_all();
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> handlers;
@@ -60,7 +91,15 @@ BrokerNode::Snapshot BrokerNode::snapshot() const {
   s.merged_brokers = merged_brokers_.size();
   s.held_wire_bytes = core::wire_size(held_, wire_);
   s.pending_redeliveries = pending_deliveries_.size();
+  s.epoch = epoch_;
   return s;
+}
+
+std::vector<std::byte> BrokerNode::own_summary_wire() const {
+  std::lock_guard lk(mu_);
+  return core::encode_summary(
+      core::BrokerSummary::rebuild(cfg_.schema, cfg_.policy, home_.subs()), wire_,
+      /*epoch=*/0);
 }
 
 void BrokerNode::accept_loop() {
@@ -90,6 +129,9 @@ void BrokerNode::handle_connection(Socket sock) {
       switch (frame->kind) {
         case MsgKind::kSubscribe:
           on_subscribe(sock, conn, *frame, owned_locals);
+          break;
+        case MsgKind::kAttach:
+          on_attach(sock, conn, *frame, owned_locals);
           break;
         case MsgKind::kUnsubscribe:
           on_unsubscribe(sock, *conn, *frame);
@@ -147,10 +189,38 @@ void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn
     held_.add(sub, id);
     home_.add({id, std::move(sub)});
     subscribers_[id.local] = conn;
+    if (store_) {
+      // Durable before acked: the client may treat the ack as a promise
+      // that the subscription survives kill -9.
+      store_->log_subscribe(home_.subs().back());
+      store_->commit();
+      maybe_compact_locked();
+    }
   }
   owned_locals.push_back(id.local);
   std::lock_guard wl(conn->write_mu);
   send_frame(s, MsgKind::kSubscribeAck, encode(SubscribeAckMsg{id}));
+}
+
+void BrokerNode::on_attach(Socket& s, const std::shared_ptr<ClientConn>& conn, const Frame& f,
+                           std::vector<uint32_t>& owned_locals) {
+  const auto msg = decode_attach_msg(f.payload);
+  uint32_t bound = 0;
+  {
+    std::lock_guard lk(mu_);
+    for (const SubId& id : msg.ids) {
+      if (id.broker != cfg_.id) continue;
+      const auto& subs = home_.subs();
+      const bool known = std::any_of(subs.begin(), subs.end(),
+                                     [&](const auto& os) { return os.id == id; });
+      if (!known) continue;  // e.g. lost with a torn WAL tail: client must re-subscribe
+      subscribers_[id.local] = conn;
+      owned_locals.push_back(id.local);
+      ++bound;
+    }
+  }
+  std::lock_guard wl(conn->write_mu);
+  send_frame(s, MsgKind::kAttachAck, encode(AttachAckMsg{bound}));
 }
 
 void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
@@ -162,6 +232,11 @@ void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
     held_.remove(id);
     subscribers_.erase(id.local);
     pending_removals_.push_back(id);
+    if (store_) {
+      store_->log_unsubscribe(id);
+      store_->commit();
+      maybe_compact_locked();
+    }
   }
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kUnsubscribeAck, {});
@@ -184,17 +259,48 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
 
 void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
   auto msg = decode_summary_msg(f.payload);
-  auto incoming = core::decode_summary(msg.summary, cfg_.schema, cfg_.policy);
+  uint64_t image_epoch = 0;
+  auto incoming = core::decode_summary(msg.summary, cfg_.schema, cfg_.policy,
+                                       core::AacsMode::kExact, &image_epoch);
   {
     std::lock_guard lk(mu_);
-    for (const SubId& id : msg.removals) incoming.remove(id);
-    held_.merge(incoming);
-    for (const SubId& id : msg.removals) held_.remove(id);
-    std::vector<BrokerId> merged;
-    std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
-    std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
-                   msg.merged_brokers.end(), std::back_inserter(merged));
-    merged_brokers_ = std::move(merged);
+    // Anti-entropy by incarnation: an announcement stamped with an epoch
+    // older than one already seen from that sender is a zombie of a
+    // pre-crash incarnation — drop it wholesale.
+    const auto from_check = peer_epochs_.observe(msg.from, image_epoch);
+    if (from_check == routing::EpochCheck::kStale) {
+      counters_.inc("summary.stale_dropped");
+    } else {
+      if (from_check == routing::EpochCheck::kNewer) {
+        // The sender restarted: everything we hold on its behalf is from
+        // the old incarnation. The image below carries its full current
+        // state (sends are state-based), so discard-then-merge converges.
+        held_.remove_broker(msg.from);
+        counters_.inc("summary.peer_superseded");
+      }
+      for (size_t i = 0; i < msg.merged_brokers.size(); ++i) {
+        const BrokerId b = msg.merged_brokers[i];
+        if (b == cfg_.id || b == msg.from) continue;
+        const uint64_t e = i < msg.epochs.size() ? msg.epochs[i] : 0;
+        if (peer_epochs_.observe(b, e) == routing::EpochCheck::kNewer) {
+          // Transitive case: the sender aggregated b's post-restart
+          // state, so our pre-restart rows for b are superseded too. (A
+          // kStale entry is merged anyway: stale rows only cause spurious
+          // deliveries, which the owner's exact re-filter rejects, and
+          // they wash out at the next direct announcement from b.)
+          held_.remove_broker(b);
+          counters_.inc("summary.peer_superseded");
+        }
+      }
+      for (const SubId& id : msg.removals) incoming.remove(id);
+      held_.merge(incoming);
+      for (const SubId& id : msg.removals) held_.remove(id);
+      std::vector<BrokerId> merged;
+      std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
+      std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
+                     msg.merged_brokers.end(), std::back_inserter(merged));
+      merged_brokers_ = std::move(merged);
+    }
     if (msg.from < communicated_.size()) communicated_[msg.from] = 1;
   }
   std::lock_guard wl(conn.write_mu);
@@ -222,10 +328,32 @@ std::optional<BrokerNode::PendingSend> BrokerNode::prepare_summary_send(uint32_t
   SummaryMsg msg;
   msg.from = cfg_.id;
   msg.merged_brokers = merged_brokers_;
+  msg.epochs = merged_epochs_locked();
   msg.removals = pending_removals_;
   pending_removals_.clear();
-  msg.summary = core::encode_summary(held_, wire_);
+  msg.summary = core::encode_summary(held_, wire_, epoch_);
   return PendingSend{*target, encode(msg), std::move(msg.removals)};
+}
+
+std::vector<uint64_t> BrokerNode::merged_epochs_locked() const {
+  std::vector<uint64_t> es;
+  es.reserve(merged_brokers_.size());
+  for (BrokerId b : merged_brokers_) {
+    es.push_back(b == cfg_.id ? epoch_ : peer_epochs_.epoch_of(b));
+  }
+  return es;
+}
+
+void BrokerNode::maybe_compact_locked() {
+  if (!store_ || store_->wal_records() < cfg_.snapshot_wal_threshold) return;
+  store::BrokerStore::SnapshotInput in;
+  in.next_local = next_local_;
+  in.subs = &home_.subs();
+  in.merged_brokers = merged_brokers_;
+  in.merged_epochs = merged_epochs_locked();
+  in.held = &held_;
+  store_->write_snapshot(in);
+  counters_.inc("store.compactions");
 }
 
 void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
@@ -338,8 +466,8 @@ void BrokerNode::walk_step(EventMsg msg) {
         send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck);
       } catch (const PeerUnreachable&) {
         // The owner is down: keep the delivery for the redelivery pass so
-        // a restarted broker (whose client re-subscribed) still hears it.
-        queue_redelivery(PendingDelivery{owner, std::move(payload)});
+        // a restarted broker (whose client re-attached) still hears it.
+        queue_redelivery(PendingDelivery{owner, std::move(payload), cfg_.redelivery_ttl});
       }
     }
   }
@@ -372,7 +500,10 @@ void BrokerNode::walk_step(EventMsg msg) {
 
 void BrokerNode::queue_redelivery(PendingDelivery pd) {
   std::lock_guard lk(mu_);
-  if (pending_deliveries_.size() >= kMaxPendingDeliveries) pending_deliveries_.pop_front();
+  if (pending_deliveries_.size() >= kMaxPendingDeliveries) {
+    pending_deliveries_.pop_front();
+    counters_.inc("redelivery.dropped_overflow");
+  }
   pending_deliveries_.push_back(std::move(pd));
 }
 
@@ -393,7 +524,13 @@ void BrokerNode::flush_pending_deliveries() {
         down[pd.owner] = 1;
       }
     }
-    if (--pd.ttl > 0) queue_redelivery(std::move(pd));
+    if (--pd.ttl > 0) {
+      queue_redelivery(std::move(pd));
+    } else {
+      // The at-most-once bound kicked in: record it so operators (and the
+      // fault suite) can see deliveries aged out rather than vanishing.
+      counters_.inc("redelivery.dropped_ttl");
+    }
   }
 }
 
@@ -426,7 +563,10 @@ void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
         throw PeerUnreachable(peer, "broker " + std::to_string(peer) +
                                         " unreachable: " + e.what());
       }
-      std::this_thread::sleep_for(*delay);
+      // Interruptible: stop() notifies, so shutdown never waits out a
+      // backoff schedule.
+      std::unique_lock sl(stop_mu_);
+      stop_cv_.wait_for(sl, *delay, [this] { return stopping_.load(); });
     }
   }
 }

@@ -34,6 +34,16 @@
 // propagation period (at-most-once overall: the queue is bounded and
 // in-memory). A restarted broker re-learns routing state from the
 // state-based full-summary sends within the following periods.
+//
+// Durability: with BrokerConfig::data_dir set, every accepted subscribe/
+// unsubscribe is WAL-logged and fsync'd before the ack (store/
+// broker_store.h), the state is periodically compacted to a snapshot, and
+// construction runs crash recovery before the listener starts. Each
+// incarnation gets a monotonically increasing epoch, stamped on summary
+// announcements; peers discard held rows from older incarnations when a
+// higher epoch appears (see on_summary), so a crash-restart cannot leave
+// zombie routing state in the overlay. Ephemeral brokers stamp epoch 0,
+// which opts out of staleness ordering entirely.
 #pragma once
 
 #include <atomic>
@@ -52,6 +62,9 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "overlay/graph.h"
+#include "routing/propagation.h"
+#include "stats/stats.h"
+#include "store/broker_store.h"
 #include "util/backoff.h"
 
 namespace subsum::net {
@@ -85,6 +98,13 @@ struct BrokerConfig {
   uint8_t numeric_width = 8;
   uint16_t port = 0;  // 0 = ephemeral (in-process clusters); fixed for CLI use
   RpcPolicy rpc;
+  /// Data directory for crash durability. Empty = ephemeral: no WAL, no
+  /// snapshots, epoch 0 on announcements (the pre-durability behavior).
+  std::string data_dir;
+  /// Compact (snapshot + WAL truncate) once this many records accumulate.
+  uint64_t snapshot_wal_threshold = 256;
+  /// Propagation periods a failed delivery is retried before dropping.
+  int redelivery_ttl = 8;
 };
 
 class BrokerNode {
@@ -115,8 +135,31 @@ class BrokerNode {
     size_t merged_brokers = 0;
     size_t held_wire_bytes = 0;
     size_t pending_redeliveries = 0;
+    uint64_t epoch = 0;  // 0 when ephemeral (no data dir)
   };
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// This incarnation's epoch; 0 when the broker is ephemeral.
+  [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Event counters (redelivery.dropped_ttl, redelivery.dropped_overflow,
+  /// summary.stale_dropped, summary.peer_superseded, ...). Thread-safe.
+  [[nodiscard]] const stats::Counters& counters() const noexcept { return counters_; }
+
+  /// What recovery found in the data directory (all false when ephemeral
+  /// or the directory was empty).
+  struct RecoveryInfo {
+    bool recovered = false;           // any durable state was loaded
+    bool wal_torn = false;            // a torn/corrupt log tail was discarded
+    bool snapshot_fell_back = false;  // snapshot corrupt: log-only replay
+    bool own_image_verified = false;  // snapshot's own image matched rebuild
+  };
+  [[nodiscard]] RecoveryInfo recovery() const noexcept { return recovery_; }
+
+  /// Test hook: the wire image of the broker's OWN summary (rebuilt from
+  /// the home table, epoch field zeroed) — comparable bit-for-bit across
+  /// restarts.
+  [[nodiscard]] std::vector<std::byte> own_summary_wire() const;
 
  private:
   struct ClientConn {
@@ -130,6 +173,8 @@ class BrokerNode {
   // Frame handlers; `conn` is this connection's shared write handle.
   void on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn, const Frame& f,
                     std::vector<uint32_t>& owned_locals);
+  void on_attach(Socket& s, const std::shared_ptr<ClientConn>& conn, const Frame& f,
+                 std::vector<uint32_t>& owned_locals);
   void on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f);
   void on_publish(Socket& s, ClientConn& conn, const Frame& f);
   void on_summary(Socket& s, ClientConn& conn, const Frame& f);
@@ -172,11 +217,20 @@ class BrokerNode {
   };
   std::optional<PendingSend> prepare_summary_send(uint32_t iteration);
 
+  /// Compacts to a snapshot when the WAL has grown past the threshold.
+  /// Caller must hold mu_. No-op for ephemeral brokers.
+  void maybe_compact_locked();
+
+  /// Epochs aligned with merged_brokers_ (own id -> epoch_). Under mu_.
+  [[nodiscard]] std::vector<uint64_t> merged_epochs_locked() const;
+
   BrokerConfig cfg_;
   core::WireConfig wire_;
   Listener listener_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;                // pairs with stop_cv_ for retry sleeps
+  std::condition_variable stop_cv_;   // woken by stop(): bounded shutdown
 
   std::mutex threads_mu_;
   std::vector<std::thread> handlers_;
@@ -194,6 +248,13 @@ class BrokerNode {
   std::deque<PendingDelivery> pending_deliveries_;
   std::vector<uint16_t> peer_ports_;
   std::map<uint32_t, std::shared_ptr<ClientConn>> subscribers_;  // local c2 -> conn
+
+  // Durability (null/0 when cfg_.data_dir is empty).
+  std::unique_ptr<store::BrokerStore> store_;  // guarded by mu_
+  uint64_t epoch_ = 0;                         // immutable after construction
+  routing::EpochTable peer_epochs_;            // guarded by mu_
+  RecoveryInfo recovery_;                      // immutable after construction
+  stats::Counters counters_;                   // internally synchronized
 };
 
 }  // namespace subsum::net

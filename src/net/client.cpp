@@ -51,6 +51,23 @@ void Client::reconnect() {
   if (reader_.joinable()) reader_.join();
   Socket fresh = connect_local(port_, opts_.connect_timeout);
   if (opts_.rpc_timeout.count() > 0) fresh.set_send_timeout(opts_.rpc_timeout);
+  std::vector<model::SubId> owned;
+  {
+    std::lock_guard lk(mu_);
+    owned = owned_;
+  }
+  if (!owned.empty()) {
+    // Re-bind our subscriptions inline, before the reader thread owns the
+    // socket (no demux needed): a crash-recovered broker then notifies
+    // this connection without any re-subscribe. A broker that lost them
+    // binds none; either way the handshake must complete.
+    fresh.set_recv_timeout(opts_.rpc_timeout.count() > 0 ? opts_.rpc_timeout
+                                                         : opts_.connect_timeout);
+    send_frame(fresh, MsgKind::kAttach, encode(AttachMsg{std::move(owned)}));
+    const auto ack = recv_frame(fresh);
+    if (!ack || ack->kind != MsgKind::kAttachAck) throw NetError("attach not acknowledged");
+    fresh.set_recv_timeout(std::chrono::milliseconds{0});  // reader blocks again
+  }
   {
     std::lock_guard lk(mu_);
     sock_ = std::move(fresh);
@@ -152,13 +169,23 @@ model::SubId Client::subscribe(const model::Subscription& sub) {
   util::BufWriter w;
   put_subscription(w, sub);
   const Frame f = rpc(MsgKind::kSubscribe, w.bytes(), MsgKind::kSubscribeAck);
-  return decode_subscribe_ack(f.payload).id;
+  const model::SubId id = decode_subscribe_ack(f.payload).id;
+  std::lock_guard lk(mu_);
+  owned_.push_back(id);
+  return id;
 }
 
 void Client::unsubscribe(model::SubId id) {
   util::BufWriter w;
   put_sub_id(w, id);
   rpc(MsgKind::kUnsubscribe, w.bytes(), MsgKind::kUnsubscribeAck);
+  std::lock_guard lk(mu_);
+  std::erase(owned_, id);
+}
+
+std::vector<model::SubId> Client::owned_subscriptions() const {
+  std::lock_guard lk(mu_);
+  return owned_;
 }
 
 void Client::publish(const model::Event& event) {
@@ -168,16 +195,26 @@ void Client::publish(const model::Event& event) {
 }
 
 std::optional<NotifyMsg> Client::next_notification(std::chrono::milliseconds timeout) {
-  std::unique_lock lk(mu_);
-  cv_.wait_for(lk, timeout, [this] { return !notifications_.empty() || closed_; });
-  if (!notifications_.empty()) {
-    NotifyMsg m = std::move(notifications_.front());
-    notifications_.pop_front();
-    return m;
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait_for(lk, timeout, [this] { return !notifications_.empty() || closed_; });
+    if (!notifications_.empty()) {
+      NotifyMsg m = std::move(notifications_.front());
+      notifications_.pop_front();
+      return m;
+    }
+    if (!closed_) return std::nullopt;
+    // Distinguish "nothing yet" from "nothing will ever come": a dead,
+    // non-reconnectable connection with a drained queue is an error, not
+    // an empty optional.
+    if (close_called_ || !opts_.auto_reconnect) {
+      throw NetError("connection closed while awaiting notifications");
+    }
   }
-  // Distinguish "nothing yet" from "nothing will ever come": a dead
-  // connection with a drained queue is an error, not an empty optional.
-  if (closed_) throw NetError("connection closed while awaiting notifications");
+  // Dead but reconnectable: one attempt (which re-attaches owned
+  // subscriptions), so a poller rides out a broker crash-recovery without
+  // re-subscribing. Failure throws NetError, preserving the no-spin rule.
+  reconnect();
   return std::nullopt;
 }
 

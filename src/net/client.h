@@ -7,8 +7,14 @@
 // deadlines. When an RPC finds the connection already dead (broker
 // restarted), it transparently reconnects with backoff BEFORE sending —
 // a failure after the request was sent is never retried (the broker may
-// have acted on it), it surfaces as NetError/NetTimeout. Subscriptions do
-// NOT survive a reconnect; callers re-subscribe.
+// have acted on it), it surfaces as NetError/NetTimeout.
+//
+// Session resumption: the client remembers the SubIds it owns and, on
+// every reconnect, re-binds them to the new connection with a kAttach
+// handshake. Against a crash-recovered broker (one with a data dir) the
+// old subscriptions keep notifying this client without any re-subscribe;
+// a broker that lost them (ephemeral restart) simply binds none, and the
+// caller re-subscribes as before.
 #pragma once
 
 #include <chrono>
@@ -60,9 +66,15 @@ class Client {
   void publish(const model::Event& event);
 
   /// Next queued notification, waiting up to `timeout`. Returns nullopt on
-  /// a genuine timeout; throws NetError once the connection is closed and
-  /// the queue is drained (so pollers cannot spin on a dead connection).
+  /// a genuine timeout. Once the connection is closed and the queue is
+  /// drained, makes one reconnect (+ attach) attempt when auto_reconnect
+  /// is on; a failed attempt — or auto_reconnect off — throws NetError (so
+  /// pollers cannot spin on a dead connection).
   std::optional<NotifyMsg> next_notification(std::chrono::milliseconds timeout);
+
+  /// Subscription ids currently owned by this client (subscribed minus
+  /// unsubscribed); these are re-attached on reconnect.
+  [[nodiscard]] std::vector<model::SubId> owned_subscriptions() const;
 
   /// All currently queued notifications (non-blocking).
   std::vector<NotifyMsg> drain_notifications();
@@ -94,6 +106,7 @@ class Client {
   bool rpc_in_flight_ = false;
   std::optional<Frame> reply_;
   std::deque<NotifyMsg> notifications_;
+  std::vector<model::SubId> owned_;  // re-attached on reconnect
   uint64_t rpc_seq_ = 0;  // jitter seed stream for reconnect backoff
 };
 

@@ -5,17 +5,12 @@
 namespace subsum::net {
 
 Cluster::Cluster(const model::Schema& schema, const overlay::Graph& graph,
-                 core::GeneralizePolicy policy, RpcPolicy rpc)
-    : schema_(&schema), graph_(graph), policy_(policy), rpc_(rpc) {
+                 core::GeneralizePolicy policy, RpcPolicy rpc, std::string data_dir)
+    : schema_(&schema), graph_(graph), policy_(policy), rpc_(rpc),
+      data_dir_(std::move(data_dir)) {
   nodes_.reserve(graph_.size());
   for (overlay::BrokerId b = 0; b < graph_.size(); ++b) {
-    BrokerConfig cfg;
-    cfg.id = b;
-    cfg.schema = schema;
-    cfg.graph = graph_;
-    cfg.policy = policy;
-    cfg.rpc = rpc_;
-    nodes_.push_back(std::make_unique<BrokerNode>(std::move(cfg)));
+    nodes_.push_back(std::make_unique<BrokerNode>(make_config(b)));
   }
   ports_.reserve(nodes_.size());
   for (const auto& n : nodes_) ports_.push_back(n->port());
@@ -60,15 +55,21 @@ PropagationReport Cluster::run_propagation_period() {
 
 void Cluster::kill(overlay::BrokerId b) { nodes_.at(b)->stop(); }
 
-void Cluster::restart(overlay::BrokerId b) {
-  if (alive(b)) return;
-  nodes_.at(b).reset();  // release the old port before rebinding
+BrokerConfig Cluster::make_config(overlay::BrokerId b) const {
   BrokerConfig cfg;
   cfg.id = b;
   cfg.schema = *schema_;
   cfg.graph = graph_;
   cfg.policy = policy_;
   cfg.rpc = rpc_;
+  if (!data_dir_.empty()) cfg.data_dir = data_dir_ + "/broker-" + std::to_string(b);
+  return cfg;
+}
+
+void Cluster::restart(overlay::BrokerId b) {
+  if (alive(b)) return;
+  nodes_.at(b).reset();  // release the old port before rebinding
+  BrokerConfig cfg = make_config(b);
   cfg.port = ports_.at(b);
   nodes_.at(b) = std::make_unique<BrokerNode>(std::move(cfg));
   nodes_.at(b)->set_peer_ports(ports_);

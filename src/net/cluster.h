@@ -29,9 +29,12 @@ struct PropagationReport {
 
 class Cluster {
  public:
+  /// `data_dir`, when non-empty, makes every broker durable: broker b
+  /// stores its WAL/snapshot/epoch under <data_dir>/broker-<b>, and
+  /// restart(b) recovers from it instead of coming back empty.
   Cluster(const model::Schema& schema, const overlay::Graph& graph,
           core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe,
-          RpcPolicy rpc = {});
+          RpcPolicy rpc = {}, std::string data_dir = {});
   ~Cluster() { stop(); }
 
   Cluster(const Cluster&) = delete;
@@ -55,9 +58,11 @@ class Cluster {
   /// Simulates a crash: stops broker b (connections reset, state lost).
   void kill(overlay::BrokerId b);
 
-  /// Brings a killed broker back, empty, on its original port and re-wires
-  /// peers. Clients must reconnect and re-subscribe; held summaries heal
-  /// via the next propagation periods.
+  /// Brings a killed broker back on its original port and re-wires peers.
+  /// Without a cluster data_dir the broker returns empty (clients must
+  /// reconnect and re-subscribe); with one, it crash-recovers its
+  /// subscription set and summaries from disk, and reconnecting clients
+  /// re-attach their existing subscriptions.
   void restart(overlay::BrokerId b);
 
   [[nodiscard]] bool alive(overlay::BrokerId b) const { return !nodes_.at(b)->stopped(); }
@@ -69,6 +74,8 @@ class Cluster {
   overlay::Graph graph_;
   core::GeneralizePolicy policy_;
   RpcPolicy rpc_;
+  std::string data_dir_;  // empty = ephemeral brokers
+  [[nodiscard]] BrokerConfig make_config(overlay::BrokerId b) const;
   std::vector<uint16_t> ports_;  // fixed for the cluster's lifetime
   std::vector<std::unique_ptr<BrokerNode>> nodes_;
 };

@@ -20,6 +20,8 @@ enum class MsgKind : uint8_t {
   kPublish = 5,
   kPublishAck = 6,
   kNotify = 7,
+  kAttach = 8,  // re-bind recovered subscription ids after reconnect
+  kAttachAck = 9,
   // broker <-> broker
   kSummary = 16,
   kSummaryAck = 17,

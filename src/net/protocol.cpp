@@ -123,6 +123,9 @@ std::vector<std::byte> encode(const SummaryMsg& m) {
   w.put_u32(m.from);
   w.put_varint(m.merged_brokers.size());
   for (auto id : m.merged_brokers) w.put_u32(id);
+  for (size_t i = 0; i < m.merged_brokers.size(); ++i) {
+    w.put_u64(i < m.epochs.size() ? m.epochs[i] : 0);
+  }
   put_sub_ids(w, m.removals);
   w.put_varint(m.summary.size());
   w.put_bytes(m.summary);
@@ -135,6 +138,7 @@ SummaryMsg decode_summary_msg(std::span<const std::byte> b) {
   m.from = r.get_u32();
   const uint64_t nb = r.get_varint();
   for (uint64_t i = 0; i < nb; ++i) m.merged_brokers.push_back(r.get_u32());
+  for (uint64_t i = 0; i < nb; ++i) m.epochs.push_back(r.get_u64());
   m.removals = get_sub_ids(r);
   const uint64_t len = r.get_varint();
   const auto bytes = r.get_bytes(len);
@@ -206,6 +210,28 @@ std::vector<std::byte> encode(const TriggerMsg& m) {
 }
 
 TriggerMsg decode_trigger_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {r.get_u32()};
+}
+
+std::vector<std::byte> encode(const AttachMsg& m) {
+  util::BufWriter w;
+  put_sub_ids(w, m.ids);
+  return std::move(w).take();
+}
+
+AttachMsg decode_attach_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {get_sub_ids(r)};
+}
+
+std::vector<std::byte> encode(const AttachAckMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.bound);
+  return std::move(w).take();
+}
+
+AttachAckMsg decode_attach_ack(std::span<const std::byte> b) {
   util::BufReader r(b);
   return {r.get_u32()};
 }

@@ -39,8 +39,20 @@ struct SubscribeAckMsg {
 struct SummaryMsg {
   overlay::BrokerId from = 0;
   std::vector<overlay::BrokerId> merged_brokers;
+  std::vector<uint64_t> epochs;           // aligned with merged_brokers; 0 = ephemeral
   std::vector<model::SubId> removals;     // maintenance piggyback
   std::vector<std::byte> summary;         // core/serialize wire format
+};
+
+/// Sent by a reconnecting client to re-bind subscription ids it already
+/// owns (e.g. after the broker crash-recovered them from its store) to the
+/// new connection, without re-subscribing.
+struct AttachMsg {
+  std::vector<model::SubId> ids;
+};
+
+struct AttachAckMsg {
+  uint32_t bound = 0;  // how many of the requested ids the broker knew
 };
 
 struct EventMsg {
@@ -82,6 +94,12 @@ NotifyMsg decode_notify_msg(std::span<const std::byte> b, const model::Schema& s
 
 std::vector<std::byte> encode(const TriggerMsg& m);
 TriggerMsg decode_trigger_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const AttachMsg& m);
+AttachMsg decode_attach_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const AttachAckMsg& m);
+AttachAckMsg decode_attach_ack(std::span<const std::byte> b);
 
 // --- BROCLI bitmap helpers ---------------------------------------------------
 

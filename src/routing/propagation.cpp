@@ -84,4 +84,25 @@ PropagationResult propagate(const overlay::Graph& g, const std::vector<core::Bro
   return r;
 }
 
+EpochCheck EpochTable::observe(overlay::BrokerId origin, uint64_t epoch) {
+  // Epoch 0 means the origin does not persist state (ephemeral broker):
+  // no incarnation ordering exists, so never judge it stale or newer.
+  if (epoch == 0) return EpochCheck::kCurrent;
+  if (origin >= epochs_.size()) epochs_.resize(origin + 1, 0);
+  uint64_t& known = epochs_[origin];
+  if (epoch < known) return EpochCheck::kStale;
+  if (epoch > known && known > 0) {
+    known = epoch;
+    return EpochCheck::kNewer;
+  }
+  // First observation (known == 0) carries no prior state to discard.
+  known = epoch;
+  return EpochCheck::kCurrent;
+}
+
+void EpochTable::set(overlay::BrokerId origin, uint64_t epoch) {
+  if (origin >= epochs_.size()) epochs_.resize(origin + 1, 0);
+  epochs_[origin] = std::max(epochs_[origin], epoch);
+}
+
 }  // namespace subsum::routing

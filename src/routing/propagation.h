@@ -77,4 +77,47 @@ PropagationResult propagate(const overlay::Graph& g, const std::vector<core::Bro
                             const core::WireConfig& wire,
                             const PropagationOptions& opts = {});
 
+// --- epoch-based anti-entropy ------------------------------------------------
+//
+// Every broker stamps its summary announcements with a monotonically
+// increasing EPOCH (its incarnation number, persisted by src/store and
+// bumped on every restart). A receiver keeps the highest epoch observed
+// per origin broker; the comparison below turns the state-based resends of
+// the failure model (DESIGN.md §6) into a real anti-entropy rule:
+//
+//   kNewer   -- the origin restarted: every held row owned by it belongs
+//               to a dead incarnation and must be discarded before the
+//               fresh image is merged.
+//   kStale   -- the announcement predates the origin's current
+//               incarnation (a delayed pre-crash message): ignore it.
+//   kCurrent -- same incarnation; plain idempotent merge.
+
+enum class EpochCheck : uint8_t {
+  kCurrent = 0,
+  kNewer = 1,
+  kStale = 2,
+};
+
+/// Highest epoch observed per origin broker. Epoch 0 means "epochs unused"
+/// (ephemeral brokers); it never triggers a discard, preserving the plain
+/// state-based-resend behaviour.
+class EpochTable {
+ public:
+  EpochTable() = default;
+  explicit EpochTable(size_t brokers) : epochs_(brokers, 0) {}
+
+  /// Classifies an announcement from `origin` stamped `epoch`, updating
+  /// the table to the maximum of the two.
+  EpochCheck observe(overlay::BrokerId origin, uint64_t epoch);
+
+  [[nodiscard]] uint64_t epoch_of(overlay::BrokerId origin) const {
+    return origin < epochs_.size() ? epochs_[origin] : 0;
+  }
+  void set(overlay::BrokerId origin, uint64_t epoch);
+  [[nodiscard]] size_t size() const noexcept { return epochs_.size(); }
+
+ private:
+  std::vector<uint64_t> epochs_;
+};
+
 }  // namespace subsum::routing

@@ -8,6 +8,28 @@
 
 namespace subsum::stats {
 
+void Counters::inc(const std::string& name, uint64_t by) {
+  std::lock_guard lk(mu_);
+  counts_[name] += by;
+}
+
+uint64_t Counters::value(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> Counters::snapshot() const {
+  std::lock_guard lk(mu_);
+  return counts_;
+}
+
+std::string Counters::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot()) os << name << "=" << v << "\n";
+  return os.str();
+}
+
 void Series::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -3,11 +3,29 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace subsum::stats {
+
+/// Thread-safe named event counters. Reading a counter that was never
+/// incremented yields 0 — callers need not pre-register names.
+class Counters {
+ public:
+  void inc(const std::string& name, uint64_t by = 1);
+  [[nodiscard]] uint64_t value(const std::string& name) const;
+  [[nodiscard]] std::map<std::string, uint64_t> snapshot() const;
+  /// "name=value" lines, sorted by name; for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counts_;
+};
 
 /// Online accumulator: count / mean / min / max / stddev.
 class Series {

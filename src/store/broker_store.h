@@ -1,0 +1,122 @@
+// Crash-durable broker state: the paper's premise is that summaries ARE
+// the broker's routing state (§3-§4), so that state must survive kill -9.
+// A BrokerStore manages one broker's data directory:
+//
+//   <dir>/wal       append-only subscribe/unsubscribe log (store/wal.h)
+//   <dir>/snapshot  periodic compaction of the full state
+//   <dir>/epoch     the broker's incarnation counter
+//
+// Write path: every accepted subscribe/unsubscribe is appended to the WAL
+// and fsync'd (group-committed per batch) BEFORE the client sees the ack.
+// Once the log grows past a threshold, the caller compacts: the live
+// subscription set, the held merged summary (its AACS/SACS wire image,
+// sized per the paper's eqs. (1)-(2)), the Merged_Brokers set with their
+// epochs, and an image of the broker's OWN summary are written to
+// snapshot.tmp, fsync'd, atomically renamed over the old snapshot, and the
+// log is truncated.
+//
+// Recovery (open()):
+//   1. load the snapshot (magic + CRC-32C verified). The own-summary image
+//      is cross-checked by REBUILDING from the persisted subscription set
+//      and comparing bit-for-bit; any mismatch (or a corrupt CRC) demotes
+//      the snapshot to untrusted and recovery falls back to replaying the
+//      log from scratch — degraded, never a crash.
+//   2. replay the WAL tail (idempotently: a duplicate subscribe or a
+//      missing unsubscribe is skipped, so a crash between snapshot rename
+//      and log truncation is harmless). A torn final record is discarded
+//      and the file is truncated to the last intact record.
+//   3. bump and persist the epoch, so the new incarnation's announcements
+//      outrank anything the old one said (routing/propagation.h).
+//
+// All multi-byte integers little-endian, via util::BufWriter/BufReader.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "core/summary.h"
+#include "model/subscription.h"
+#include "overlay/graph.h"
+#include "store/wal.h"
+
+namespace subsum::store {
+
+/// Everything recovery reconstructed from the data directory.
+struct DurableState {
+  /// This incarnation's epoch (already bumped past every persisted value).
+  uint64_t epoch = 1;
+  /// Next free local subscription id.
+  uint32_t next_local = 0;
+  /// The home subscription table, in original insertion order.
+  std::vector<model::OwnedSubscription> subs;
+  /// Merged_Brokers set from the snapshot (empty when falling back).
+  std::vector<overlay::BrokerId> merged_brokers;
+  /// Last known epoch per entry of merged_brokers (aligned).
+  std::vector<uint64_t> merged_epochs;
+  /// Held merged summary: snapshot image + WAL tail applied; on fallback,
+  /// rebuilt from `subs` alone (peer state heals via resends).
+  std::optional<core::BrokerSummary> held;
+
+  // Diagnostics for tests and logs.
+  bool wal_torn = false;          // a torn/corrupt log tail was discarded
+  bool snapshot_fell_back = false;  // snapshot missing/corrupt: log-only replay
+  bool own_image_verified = false;  // rebuild matched the persisted image bit-for-bit
+};
+
+class BrokerStore {
+ public:
+  /// Creates `dir` if needed. The schema/policy/wire must match the
+  /// broker's (they parameterize record and image encoding).
+  BrokerStore(std::string dir, model::Schema schema, core::GeneralizePolicy policy,
+              core::WireConfig wire);
+  ~BrokerStore();
+
+  BrokerStore(const BrokerStore&) = delete;
+  BrokerStore& operator=(const BrokerStore&) = delete;
+
+  /// Runs recovery, bumps + persists the epoch, and opens the WAL for
+  /// appending. Call exactly once, before any log_* call.
+  DurableState open();
+
+  /// Appends a record (not yet durable — commit() the batch).
+  void log_subscribe(const model::OwnedSubscription& os);
+  void log_unsubscribe(model::SubId id);
+
+  /// fsync: the records appended since the last commit become durable.
+  void commit();
+
+  /// State fed to write_snapshot(): the broker's current in-memory state.
+  struct SnapshotInput {
+    uint32_t next_local = 0;
+    const std::vector<model::OwnedSubscription>* subs = nullptr;
+    std::vector<overlay::BrokerId> merged_brokers;
+    std::vector<uint64_t> merged_epochs;
+    const core::BrokerSummary* held = nullptr;
+  };
+
+  /// Compaction: atomically replaces the snapshot and truncates the log.
+  void write_snapshot(const SnapshotInput& in);
+
+  [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
+  /// WAL records since the last compaction (or open).
+  [[nodiscard]] uint64_t wal_records() const noexcept;
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::vector<std::byte> encode_snapshot(const SnapshotInput& in) const;
+  void persist_epoch(uint64_t epoch) const;
+  [[nodiscard]] uint64_t read_epoch_file() const;
+
+  std::string dir_;
+  model::Schema schema_;
+  core::GeneralizePolicy policy_;
+  core::WireConfig wire_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t epoch_ = 0;
+  uint64_t wal_base_records_ = 0;  // records already in the log at open()
+};
+
+}  // namespace subsum::store

@@ -1,0 +1,92 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/bytes.h"
+#include "util/crc32c.h"
+
+namespace subsum::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw StoreError(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) fail("open", path_);
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::append(std::span<const std::byte> payload) {
+  util::BufWriter w(8 + payload.size());
+  w.put_u32(static_cast<uint32_t>(payload.size()));
+  w.put_u32(util::crc32c(payload));
+  w.put_bytes(payload);
+  const auto& buf = w.bytes();
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  ++appended_;
+}
+
+void WalWriter::sync() {
+  if (::fsync(fd_) != 0) fail("fsync", path_);
+}
+
+void WalWriter::reset() {
+  if (::ftruncate(fd_, 0) != 0) fail("ftruncate", path_);
+  sync();
+  appended_ = 0;
+}
+
+void WalWriter::truncate(uint64_t bytes) {
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) fail("ftruncate", path_);
+  sync();
+}
+
+WalReplay replay_wal(const std::string& path) {
+  WalReplay out;
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return out;  // no log yet: clean empty state
+  const std::streamoff size = in.tellg();
+  std::vector<std::byte> data(size > 0 ? static_cast<size_t>(size) : 0);
+  in.seekg(0);
+  if (!data.empty()) in.read(reinterpret_cast<char*>(data.data()), size);
+  const std::span<const std::byte> all(data);
+  // Cannot use BufReader directly: its truncation errors are exceptions,
+  // and here truncation is an expected, recoverable condition.
+  size_t pos = 0;
+  while (data.size() - pos >= 8) {
+    util::BufReader hdr(all.subspan(pos, 8));
+    const uint32_t len = hdr.get_u32();
+    const uint32_t crc = hdr.get_u32();
+    if (data.size() - pos - 8 < len) break;  // torn payload
+    const auto payload = all.subspan(pos + 8, len);
+    if (util::crc32c(payload) != crc) break;  // corrupt: stop, keep prefix
+    out.records.emplace_back(payload.begin(), payload.end());
+    pos += 8 + len;
+  }
+  out.valid_bytes = pos;
+  out.torn_tail = pos != data.size();
+  return out;
+}
+
+}  // namespace subsum::store

@@ -1,0 +1,83 @@
+// Append-only write-ahead log with CRC-32C record framing.
+//
+// On-disk layout, repeated per record:
+//
+//   u32 len   (LE)  -- payload byte count
+//   u32 crc   (LE)  -- crc32c(payload)
+//   payload
+//
+// Durability contract: append() buffers in the kernel; sync() (fsync)
+// commits every record appended so far. A record is only considered
+// durable once a sync() after its append returned — callers group-commit
+// by batching appends between syncs.
+//
+// Crash tolerance on replay: a torn tail — the file ends inside a header
+// or payload, or the final record's CRC does not match (a partially
+// flushed write) — is DISCARDED, never fatal. A CRC mismatch anywhere
+// stops replay at that point: everything before it is intact (each record
+// was covered by its own checksum), everything after it is unreachable
+// without trusting a corrupt length field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace subsum::store {
+
+/// Thrown on unrecoverable I/O failures (open/write/fsync errors). Replay
+/// of damaged data never throws this — damage is handled by truncation.
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class WalWriter {
+ public:
+  /// Opens (creating if absent) the log for appending.
+  explicit WalWriter(std::string path);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record (not yet durable).
+  void append(std::span<const std::byte> payload);
+
+  /// fsync: commits every append() so far. One sync covers a whole batch.
+  void sync();
+
+  /// Truncates the log to empty (after a snapshot compaction) and syncs.
+  void reset();
+
+  /// Truncates the log to `bytes` (drops a torn tail found by replay) and
+  /// syncs, so fresh appends follow the last intact record.
+  void truncate(uint64_t bytes);
+
+  /// Records appended through this writer since open/reset.
+  [[nodiscard]] uint64_t appended() const noexcept { return appended_; }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t appended_ = 0;
+};
+
+struct WalReplay {
+  std::vector<std::vector<std::byte>> records;
+  /// Bytes of intact records; the file's tail beyond this was discarded.
+  size_t valid_bytes = 0;
+  /// True when a torn/corrupt tail was discarded.
+  bool torn_tail = false;
+};
+
+/// Reads every intact record from the log at `path`. A missing file yields
+/// an empty replay; a torn or corrupt tail is discarded (torn_tail set).
+WalReplay replay_wal(const std::string& path);
+
+}  // namespace subsum::store

@@ -1,0 +1,54 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace subsum::util {
+
+namespace {
+
+// Slice-by-4: four 256-entry tables computed once at startup. Processes
+// 4 input bytes per iteration, ~3x a plain byte-at-a-time loop — plenty for
+// WAL records that are also being fsync'd.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() noexcept {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(std::span<const std::byte> data, uint32_t seed) noexcept {
+  const auto& t = tables().t;
+  uint32_t crc = ~seed;
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^ t[1][(crc >> 16) & 0xFF] ^
+          t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+}  // namespace subsum::util

@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every durable record and snapshot in src/store. CRC-32C
+// is the standard choice for storage framing (iSCSI, ext4, LevelDB WALs)
+// because it detects all burst errors up to 32 bits and has hardware
+// support on most ISAs; this is the portable table-driven form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace subsum::util {
+
+/// CRC-32C of `data`, continuing from `seed` (pass a previous result to
+/// checksum discontiguous pieces as one stream; 0 starts fresh).
+uint32_t crc32c(std::span<const std::byte> data, uint32_t seed = 0) noexcept;
+
+}  // namespace subsum::util

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Crash-recovery test of the CLI tools: a 2-broker deployment where broker 1
+# runs with --data-dir, gets SIGKILLed (kill -9, no shutdown hooks), and is
+# restarted on the same directory. The subscriber (running with --retry 1)
+# must receive a post-restart event WITHOUT re-subscribing, and the restarted
+# broker must report a recovered subscription and a bumped epoch.
+# Usage: cli_recovery.sh <build_dir>
+set -u
+
+BUILD=${1:?usage: cli_recovery.sh <build_dir>}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/deploy.conf" <<EOF
+attribute exchange string
+attribute symbol string
+attribute sector string
+attribute currency string
+attribute when int
+attribute price float
+attribute volume int
+attribute high float
+attribute low float
+attribute open float
+topology line 2
+EOF
+
+start_broker1() {
+  "$BUILD/tools/subsum_broker" --config "$WORK/deploy.conf" --id 1 \
+      --port $((BASE+1)) --peers "$PORTS" --data-dir "$WORK/broker1-data" \
+      >> "$WORK/broker1.log" 2>&1 &
+  B1=$!
+}
+
+# Random base port with retry on clashes (see cli_smoke.sh).
+started=0
+for attempt in 1 2 3 4 5; do
+  BASE=$(( 10000 + (RANDOM % 20000) ))
+  PORTS="$BASE,$((BASE+1))"
+
+  "$BUILD/tools/subsum_broker" --config "$WORK/deploy.conf" --id 0 \
+      --port $BASE --peers "$PORTS" --propagate-every 1 \
+      > "$WORK/broker0.log" 2>&1 &
+  : > "$WORK/broker1.log"
+  start_broker1
+
+  started=1
+  for i in 0 1; do
+    ok=0
+    for _ in $(seq 1 50); do
+      if grep -q "listening" "$WORK/broker$i.log" 2>/dev/null; then ok=1; break; fi
+      if grep -q "broker failed" "$WORK/broker$i.log" 2>/dev/null; then break; fi
+      sleep 0.1
+    done
+    [ "$ok" = 1 ] || { started=0; break; }
+  done
+  [ "$started" = 1 ] && break
+  echo "attempt $attempt: port clash at base $BASE, retrying"
+  kill $(jobs -p) 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK/broker1-data"
+done
+[ "$started" = 1 ] || { echo "brokers failed to start"; cat "$WORK"/broker*.log; exit 1; }
+
+grep -q "epoch 1" "$WORK/broker1.log" || {
+  echo "durable broker did not report its epoch:"; cat "$WORK/broker1.log"; exit 1; }
+
+# Subscriber on the durable broker; --retry 1 rides out the crash window.
+timeout 90 "$BUILD/tools/subsum_sub" --config "$WORK/deploy.conf" --port $((BASE+1)) \
+    --count 1 --retry 1 'symbol = OTE AND price > 8.00' > "$WORK/sub.log" 2>&1 &
+SUB=$!
+
+# Wait for the subscription to land and one propagation period to spread it.
+for _ in $(seq 1 50); do
+  grep -q "subscribed" "$WORK/sub.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "subscribed" "$WORK/sub.log" || {
+  echo "subscriber failed to subscribe:"; cat "$WORK/sub.log"; exit 1; }
+sleep 2.5
+
+# The crash: no SIGTERM, no atexit — the WAL is all that survives.
+kill -9 "$B1"
+wait "$B1" 2>/dev/null
+
+start_broker1
+for _ in $(seq 1 50); do
+  grep -q "epoch 2" "$WORK/broker1.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "epoch 2 (recovered 1 subscriptions" "$WORK/broker1.log" || {
+  echo "restarted broker did not recover:"; cat "$WORK/broker1.log"; exit 1; }
+
+# Give the subscriber a poll cycle to reconnect + re-attach, then publish
+# from broker 0. The pre-crash subscription must fire — no re-subscribe ran.
+sleep 1
+timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+    'price = 8.40, symbol = OTE' > "$WORK/pub.log" 2>&1 \
+    || { echo "publish failed or timed out"; cat "$WORK/pub.log"; exit 1; }
+
+for _ in $(seq 1 60); do
+  kill -0 "$SUB" 2>/dev/null || break
+  sleep 0.25
+done
+if kill -0 "$SUB" 2>/dev/null; then
+  echo "subscriber never got the post-recovery notification"
+  cat "$WORK/sub.log" "$WORK"/broker*.log; exit 1
+fi
+
+grep -q 'event .*OTE.* -> S(1.0)' "$WORK/sub.log" || {
+  echo "unexpected subscriber output:"; cat "$WORK/sub.log"; exit 1; }
+
+echo "cli recovery test passed"
+exit 0

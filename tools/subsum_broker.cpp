@@ -2,6 +2,13 @@
 //
 //   subsum_broker --config deploy.conf --id 3 --port 7003 ...
 //                 --peers 7000,7001,...,7012 [--propagate-every 10]
+//                 [--data-dir DIR]
+//
+// With --data-dir the broker is crash-durable: subscriptions are WAL-logged
+// to DIR before being acked, the state is periodically snapshotted, and a
+// restart with the same --data-dir recovers the subscription set and
+// summaries (clients re-attach instead of re-subscribing). Each restart
+// bumps the broker's epoch so peers discard its pre-crash routing state.
 //
 // Every broker of the deployment is started with the same --config and
 // --peers list (ports in broker-id order; peers[id] must equal --port).
@@ -24,7 +31,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_broker --config FILE --id N --port P --peers P0,P1,...\n"
-    "                     [--propagate-every SECONDS]\n";
+    "                     [--propagate-every SECONDS] [--data-dir DIR]\n";
 
 std::atomic<bool> g_stop{false};
 
@@ -61,12 +68,24 @@ int main(int argc, char** argv) {
   cfg.graph = spec.graph;
   cfg.port = port;
   cfg.rpc = rpc;
+  if (auto dir = args.flag("data-dir")) cfg.data_dir = *dir;
 
   try {
     net::BrokerNode node(std::move(cfg));
     node.set_peer_ports(peers);
     std::cout << "broker " << id << " (degree " << spec.graph.degree(id)
-              << ") listening on 127.0.0.1:" << node.port() << std::endl;
+              << ") listening on 127.0.0.1:" << node.port();
+    if (node.epoch() > 0) {
+      const auto rec = node.recovery();
+      std::cout << ", epoch " << node.epoch();
+      if (rec.recovered) {
+        std::cout << " (recovered " << node.snapshot().local_subs << " subscriptions"
+                  << (rec.wal_torn ? ", torn WAL tail discarded" : "")
+                  << (rec.snapshot_fell_back ? ", snapshot corrupt: log-only replay" : "")
+                  << ")";
+      }
+    }
+    std::cout << std::endl;
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);

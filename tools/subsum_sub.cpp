@@ -7,11 +7,15 @@
 // Each positional argument is one subscription (a conjunction of
 // constraints joined by AND). The tool keeps running and prints every
 // notification; stop with Ctrl-C. Pass --count N to exit after N
-// notifications (useful for scripting).
+// notifications (useful for scripting). Pass --retry 1 to keep polling
+// across broker outages: the client reconnects and re-attaches its
+// subscriptions, so a crash-recovered broker (subsum_broker --data-dir)
+// resumes notifying without a re-subscribe.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <thread>
 
 #include "config/config.h"
 #include "model/parse.h"
@@ -22,7 +26,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_sub --config FILE --port BROKER_PORT [--count N] "
-    "'SUBSCRIPTION'...\n";
+    "[--retry 1] 'SUBSCRIPTION'...\n";
 
 std::atomic<bool> g_stop{false};
 void on_signal(int) { g_stop = true; }
@@ -52,15 +56,27 @@ int main(int argc, char** argv) {
     for (const auto& text : args.positional()) {
       const auto sub = model::parse_subscription(spec.schema, text);
       const auto id = client.subscribe(sub);
+      // endl: scripts tail the redirected log to know the subscription
+      // landed, so the line must not sit in a full buffer.
       std::cout << "subscribed " << id.to_string() << ": " << sub.to_string(spec.schema)
-                << "\n";
+                << std::endl;
     }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     uint64_t remaining = args.flag_u64("count", 0);
+    const bool retry = args.flag_u64("retry", 0) != 0;
     while (!g_stop) {
-      const auto note = client.next_notification(250ms);
+      std::optional<net::NotifyMsg> note;
+      try {
+        note = client.next_notification(250ms);
+      } catch (const net::NetError&) {
+        if (!retry) throw;
+        // Broker down: keep polling; each poll makes one reconnect (and
+        // re-attach) attempt, so we resume once it recovers.
+        std::this_thread::sleep_for(250ms);
+        continue;
+      }
       if (!note) continue;
       std::cout << "event " << note->event.to_string(spec.schema) << " ->";
       for (const auto& id : note->ids) std::cout << " " << id.to_string();
