@@ -13,6 +13,9 @@
 #include "bench_common.h"
 #include "core/batch_matcher.h"
 #include "core/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/stats.h"
 #include "util/thread_pool.h"
 #include "workload/event_gen.h"
 
@@ -112,6 +115,31 @@ void BM_BatchMatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.events.size()));
 }
 
+// Telemetry-overhead guard: the scratch path plus exactly the
+// instrumentation BrokerNode::walk_step wraps around it — a now_us()
+// timing pair feeding a log2-bucket histogram, and one pre-registered
+// counter handle. Compare against BM_SummaryMatchScratch in a default
+// build, and against the same binary built with -DSUBSUM_NO_TELEMETRY=ON
+// (where all of it compiles out); the delta budget is <3%.
+void BM_SummaryMatchTelemetry(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  core::MatchScratch scratch;
+  obs::MetricsRegistry metrics;
+  obs::Histogram* hist = metrics.histogram("subsum_match_latency_us");
+  stats::Counters counters;
+  stats::Counters::Handle* matched = counters.handle("events_matched");
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint64_t t0 = obs::now_us();
+    auto m = core::match_into(f.summary, f.events[i++ % f.events.size()], scratch);
+    hist->observe(obs::now_us() - t0);
+    matched->inc(m.size());
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
 void BM_NaiveMatch(benchmark::State& state) {
   auto& f = fixture_for(static_cast<size_t>(state.range(0)),
                         static_cast<double>(state.range(1)) / 100.0);
@@ -148,6 +176,9 @@ BENCHMARK(BM_SummaryMatchScratch)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SummaryMatchReference)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryMatchTelemetry)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_BatchMatch)

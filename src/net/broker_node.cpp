@@ -14,14 +14,36 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
                               cfg_.max_subs_per_broker, cfg_.schema.attr_count()),
             cfg_.numeric_width},
       listener_(cfg_.port),
-      held_(cfg_.schema, cfg_.policy) {
+      held_(cfg_.schema, cfg_.policy),
+      trace_ring_(cfg_.trace_capacity) {
   if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
   merged_brokers_ = {cfg_.id};
   communicated_.assign(cfg_.graph.size(), 0);
+
+  // Pre-register every hot-path metric handle; after this, instrument code
+  // only does relaxed atomic adds (obs/metrics.h).
+  ctr_publishes_ = metrics_.counter("subsum_publishes_total");
+  ctr_stale_ = metrics_.counter("subsum_summary_stale_dropped_total");
+  ctr_superseded_ = metrics_.counter("subsum_summary_peer_superseded_total");
+  ctr_compactions_ = metrics_.counter("subsum_store_compactions_total");
+  ctr_drop_ttl_ = metrics_.counter("subsum_redelivery_dropped_ttl_total");
+  ctr_drop_overflow_ = metrics_.counter("subsum_redelivery_dropped_overflow_total");
+  gauge_redelivery_depth_ = metrics_.gauge("subsum_redelivery_queue_depth");
+  hist_match_ = metrics_.histogram("subsum_match_latency_us");
+  hist_peer_rpc_.resize(cfg_.graph.size());
+  ctr_peer_retries_.resize(cfg_.graph.size());
+  for (BrokerId b = 0; b < cfg_.graph.size(); ++b) {
+    const std::string label = "{peer=\"" + std::to_string(b) + "\"}";
+    hist_peer_rpc_[b] = metrics_.histogram("subsum_peer_rpc_latency_us" + label);
+    ctr_peer_retries_[b] = metrics_.counter("subsum_peer_rpc_retries_total" + label);
+  }
+
   if (!cfg_.data_dir.empty()) {
     // Recovery runs to completion before the listener thread starts, so
     // no client or peer ever observes a half-recovered broker.
     store_ = std::make_unique<store::BrokerStore>(cfg_.data_dir, cfg_.schema, cfg_.policy, wire_);
+    store_->set_metrics(metrics_.histogram("subsum_wal_fsync_us"),
+                        metrics_.histogram("subsum_snapshot_us"));
     store::DurableState st = store_->open();
     epoch_ = st.epoch;
     next_local_ = st.next_local;
@@ -154,6 +176,9 @@ void BrokerNode::handle_connection(Socket sock) {
         case MsgKind::kStats:
           on_stats(sock, *conn, *frame);
           break;
+        case MsgKind::kTrace:
+          on_trace(sock, *conn, *frame);
+          break;
         default:
           send_frame(sock, MsgKind::kError, {});
           break;
@@ -252,9 +277,17 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
     std::lock_guard lk(mu_);
     msg.seq = publish_seq_++;
   }
-  walk_step(std::move(msg));
+  // Mint the causal trace id here — the publish edge is the root of the
+  // event's span tree — and hand it back in the ack (v3; v2 clients
+  // ignore the payload).
+  msg.trace = obs::mint_trace_id(cfg_.id, msg.seq, obs::now_us());
+  const uint64_t trace = msg.trace;
+  ctr_publishes_->inc();
+  walk_step(std::move(msg), f.payload.size());
+  util::BufWriter w;
+  w.put_u64(trace);
   std::lock_guard wl(conn.write_mu);
-  send_frame(s, MsgKind::kPublishAck, {});
+  send_frame(s, MsgKind::kPublishAck, w.bytes());
 }
 
 void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
@@ -269,14 +302,14 @@ void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
     // pre-crash incarnation — drop it wholesale.
     const auto from_check = peer_epochs_.observe(msg.from, image_epoch);
     if (from_check == routing::EpochCheck::kStale) {
-      counters_.inc("summary.stale_dropped");
+      ctr_stale_->inc();
     } else {
       if (from_check == routing::EpochCheck::kNewer) {
         // The sender restarted: everything we hold on its behalf is from
         // the old incarnation. The image below carries its full current
         // state (sends are state-based), so discard-then-merge converges.
         held_.remove_broker(msg.from);
-        counters_.inc("summary.peer_superseded");
+        ctr_superseded_->inc();
       }
       for (size_t i = 0; i < msg.merged_brokers.size(); ++i) {
         const BrokerId b = msg.merged_brokers[i];
@@ -289,7 +322,7 @@ void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
           // deliveries, which the owner's exact re-filter rejects, and
           // they wash out at the next direct announcement from b.)
           held_.remove_broker(b);
-          counters_.inc("summary.peer_superseded");
+          ctr_superseded_->inc();
         }
       }
       for (const SubId& id : msg.removals) incoming.remove(id);
@@ -353,7 +386,7 @@ void BrokerNode::maybe_compact_locked() {
   in.merged_epochs = merged_epochs_locked();
   in.held = &held_;
   store_->write_snapshot(in);
-  counters_.inc("store.compactions");
+  ctr_compactions_->inc();
 }
 
 void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
@@ -378,13 +411,19 @@ void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
 }
 
 void BrokerNode::on_event(Socket& s, ClientConn& conn, const Frame& f) {
-  walk_step(decode_event_msg(f.payload, cfg_.schema));
+  walk_step(decode_event_msg(f.payload, cfg_.schema), f.payload.size());
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kEventAck, {});
 }
 
 void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
   const auto msg = decode_deliver_msg(f.payload, cfg_.schema);
+  if (msg.trace) {
+    // The owner-side deliver span: together with the sender's spans this
+    // closes the publish -> deliver causal chain across brokers.
+    trace_ring_.append({msg.trace, cfg_.id, obs::Phase::kDeliver, msg.examined_at,
+                        obs::now_us(), f.payload.size()});
+  }
   // Exact re-filter against the home table, then notify the owning client
   // connections, grouped per connection.
   std::map<std::shared_ptr<ClientConn>, std::vector<SubId>> per_conn;
@@ -411,23 +450,55 @@ void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
 }
 
 void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
+  // Refresh the level gauges from a consistent snapshot, then serve the
+  // whole registry as Prometheus text (v3; the v2 varint triple is gone —
+  // nothing ever parsed it). get-or-register is fine here: this is the
+  // admin path, not a hot path.
   const Snapshot snap = snapshot();
-  util::BufWriter w;
-  w.put_varint(snap.local_subs);
-  w.put_varint(snap.merged_brokers);
-  w.put_varint(snap.held_wire_bytes);
+  metrics_.gauge("subsum_local_subs")->set(static_cast<int64_t>(snap.local_subs));
+  metrics_.gauge("subsum_merged_brokers")->set(static_cast<int64_t>(snap.merged_brokers));
+  metrics_.gauge("subsum_held_wire_bytes")->set(static_cast<int64_t>(snap.held_wire_bytes));
+  metrics_.gauge("subsum_epoch")->set(static_cast<int64_t>(snap.epoch));
+  gauge_redelivery_depth_->set(static_cast<int64_t>(snap.pending_redeliveries));
+  const std::string text = metrics_.prometheus_text();
   std::lock_guard wl(conn.write_mu);
-  send_frame(s, MsgKind::kStatsAck, w.bytes());
+  send_frame(s, MsgKind::kStatsAck,
+             std::span(reinterpret_cast<const std::byte*>(text.data()), text.size()));
 }
 
-void BrokerNode::walk_step(EventMsg msg) {
+void BrokerNode::on_trace(Socket& s, ClientConn& conn, const Frame& f) {
+  const auto req = decode_trace_request(f.payload);
+  TraceReplyMsg reply;
+  reply.spans = req.trace ? trace_ring_.for_trace(req.trace) : trace_ring_.snapshot();
+  if (req.max_spans && reply.spans.size() > req.max_spans) {
+    reply.spans.erase(reply.spans.begin(), reply.spans.end() - req.max_spans);  // keep newest
+  }
+  const auto payload = encode(reply);
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kTraceAck, payload);
+}
+
+void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
+  const uint64_t trace = msg.trace;
+  if (trace) {
+    trace_ring_.append({trace, cfg_.id, obs::Phase::kRecv, obs::Span::kNoPeer,
+                        obs::now_us(), frame_bytes});
+  }
   // Snapshot what we need under the lock; all networking happens after.
   std::vector<SubId> matched;
   std::vector<BrokerId> merged;
   {
     std::lock_guard lk(mu_);
+    const uint64_t t0 = obs::now_us();
     matched = core::match(held_, msg.event);
+    hist_match_->observe(obs::now_us() - t0);
     merged = merged_brokers_;
+  }
+  if (trace) {
+    // bytes carries the matched-id count for match spans (there is no
+    // frame to account).
+    trace_ring_.append({trace, cfg_.id, obs::Phase::kMatch, obs::Span::kNoPeer,
+                        obs::now_us(), matched.size()});
   }
 
   // Owners already in the incoming BROCLI were handled upstream.
@@ -438,7 +509,8 @@ void BrokerNode::walk_step(EventMsg msg) {
   for (BrokerId b : merged) bitmap_set(msg.brocli, b);
 
   for (auto& [owner, ids] : fresh) {
-    const DeliverMsg dm{cfg_.id, std::move(ids), msg.event};
+    const size_t id_count = ids.size();
+    const DeliverMsg dm{cfg_.id, std::move(ids), msg.event, trace};
     if (owner == cfg_.id) {
       // Local delivery without a network hop: reuse the deliver path
       // in-process.
@@ -460,14 +532,23 @@ void BrokerNode::walk_step(EventMsg msg) {
         std::lock_guard wl(client->write_mu);
         if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
       }
+      if (trace) {
+        trace_ring_.append({trace, cfg_.id, obs::Phase::kDeliver, cfg_.id,
+                            obs::now_us(), id_count});
+      }
     } else {
       auto payload = encode(dm, cfg_.schema);
+      const uint64_t frame_size = payload.size();
       try {
-        send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck);
+        send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck, {}, trace);
+        if (trace) {
+          trace_ring_.append({trace, cfg_.id, obs::Phase::kDeliver, owner,
+                              obs::now_us(), frame_size});
+        }
       } catch (const PeerUnreachable&) {
         // The owner is down: keep the delivery for the redelivery pass so
         // a restarted broker (whose client re-attached) still hears it.
-        queue_redelivery(PendingDelivery{owner, std::move(payload), cfg_.redelivery_ttl});
+        queue_redelivery(PendingDelivery{owner, std::move(payload), cfg_.redelivery_ttl, trace});
       }
     }
   }
@@ -488,9 +569,13 @@ void BrokerNode::walk_step(EventMsg msg) {
     // The peer acks kEvent only after finishing its own downstream walk,
     // so the ack deadline scales with the work left, not one io_timeout.
     const auto ack_budget = cfg_.rpc.io_timeout * static_cast<int>(remaining + 1);
+    const auto payload = encode(msg, cfg_.schema);
     try {
-      send_to_peer_sync(*next, MsgKind::kEvent, encode(msg, cfg_.schema),
-                        MsgKind::kEventAck, ack_budget);
+      send_to_peer_sync(*next, MsgKind::kEvent, payload, MsgKind::kEventAck, ack_budget, trace);
+      if (trace) {
+        trace_ring_.append({trace, cfg_.id, obs::Phase::kForward, *next,
+                            obs::now_us(), payload.size()});
+      }
       return;
     } catch (const PeerUnreachable&) {
       bitmap_set(msg.brocli, *next);
@@ -502,9 +587,10 @@ void BrokerNode::queue_redelivery(PendingDelivery pd) {
   std::lock_guard lk(mu_);
   if (pending_deliveries_.size() >= kMaxPendingDeliveries) {
     pending_deliveries_.pop_front();
-    counters_.inc("redelivery.dropped_overflow");
+    ctr_drop_overflow_->inc();
   }
   pending_deliveries_.push_back(std::move(pd));
+  gauge_redelivery_depth_->set(static_cast<int64_t>(pending_deliveries_.size()));
 }
 
 void BrokerNode::flush_pending_deliveries() {
@@ -512,13 +598,19 @@ void BrokerNode::flush_pending_deliveries() {
   {
     std::lock_guard lk(mu_);
     work.swap(pending_deliveries_);
+    gauge_redelivery_depth_->set(0);
   }
   if (work.empty()) return;
   std::vector<char> down(cfg_.graph.size(), 0);  // short-circuit per owner
   for (auto& pd : work) {
     if (!down[pd.owner]) {
+      if (pd.trace) {
+        trace_ring_.append({pd.trace, cfg_.id, obs::Phase::kRedeliver, pd.owner,
+                            obs::now_us(), pd.payload.size()});
+      }
       try {
-        send_to_peer_sync(pd.owner, MsgKind::kDeliver, pd.payload, MsgKind::kDeliverAck);
+        send_to_peer_sync(pd.owner, MsgKind::kDeliver, pd.payload, MsgKind::kDeliverAck, {},
+                          pd.trace);
         continue;
       } catch (const PeerUnreachable&) {
         down[pd.owner] = 1;
@@ -529,14 +621,15 @@ void BrokerNode::flush_pending_deliveries() {
     } else {
       // The at-most-once bound kicked in: record it so operators (and the
       // fault suite) can see deliveries aged out rather than vanishing.
-      counters_.inc("redelivery.dropped_ttl");
+      ctr_drop_ttl_->inc();
     }
   }
 }
 
 void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
                                    std::span<const std::byte> payload, MsgKind ack_kind,
-                                   std::optional<std::chrono::milliseconds> ack_timeout) {
+                                   std::optional<std::chrono::milliseconds> ack_timeout,
+                                   uint64_t trace) {
   uint16_t port;
   {
     std::lock_guard lk(mu_);
@@ -547,6 +640,7 @@ void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
                         (uint64_t{cfg_.id} << 32) ^ rpc_seq_.fetch_add(1));
   for (;;) {
     try {
+      const uint64_t t0 = obs::now_us();
       Socket s = connect_local(port, cfg_.rpc.connect_timeout);
       s.set_send_timeout(cfg_.rpc.io_timeout);
       s.set_recv_timeout(ack_timeout.value_or(cfg_.rpc.io_timeout));
@@ -555,8 +649,16 @@ void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
       if (!ack || ack->kind != ack_kind) {
         throw NetError("peer did not acknowledge message");
       }
+      hist_peer_rpc_[peer]->observe(obs::now_us() - t0);
       return;
     } catch (const NetError& e) {
+      // Counted per failed attempt, whether or not budget remains; the
+      // blackholed-link tests key off exactly this per-peer signal.
+      ctr_peer_retries_[peer]->inc();
+      if (trace) {
+        trace_ring_.append({trace, cfg_.id, obs::Phase::kRetry, peer,
+                            obs::now_us(), payload.size()});
+      }
       std::optional<std::chrono::milliseconds> delay;
       if (!stopping_) delay = backoff.next_delay();
       if (!delay) {

@@ -61,9 +61,10 @@
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/graph.h"
 #include "routing/propagation.h"
-#include "stats/stats.h"
 #include "store/broker_store.h"
 #include "util/backoff.h"
 
@@ -105,6 +106,8 @@ struct BrokerConfig {
   uint64_t snapshot_wal_threshold = 256;
   /// Propagation periods a failed delivery is retried before dropping.
   int redelivery_ttl = 8;
+  /// Spans retained in the trace ring (obs/trace.h); oldest overwritten.
+  size_t trace_capacity = 4096;
 };
 
 class BrokerNode {
@@ -142,9 +145,14 @@ class BrokerNode {
   /// This incarnation's epoch; 0 when the broker is ephemeral.
   [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
 
-  /// Event counters (redelivery.dropped_ttl, redelivery.dropped_overflow,
-  /// summary.stale_dropped, summary.peer_superseded, ...). Thread-safe.
-  [[nodiscard]] const stats::Counters& counters() const noexcept { return counters_; }
+  /// Telemetry registry (counters, gauges, histograms). Thread-safe; the
+  /// kStats admin RPC serves its Prometheus text exposition. Migrated
+  /// event counters live here under Prometheus names
+  /// (`subsum_summary_stale_dropped_total`, ...).
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Recent spans (publish walks, deliveries, retries); served by kTrace.
+  [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept { return trace_ring_; }
 
   /// What recovery found in the data directory (all false when ephemeral
   /// or the directory was empty).
@@ -182,20 +190,27 @@ class BrokerNode {
   void on_deliver(Socket& s, ClientConn& conn, const Frame& f);
   void on_trigger(Socket& s, ClientConn& conn, const Frame& f);
   void on_stats(Socket& s, ClientConn& conn, const Frame& f);
+  void on_trace(Socket& s, ClientConn& conn, const Frame& f);
 
   /// One step of the BROCLI walk executed at this broker. Mutates the
   /// bitmap in `msg`, performs deliveries and the onward forward (both
   /// synchronous), then returns. Unreachable hops are marked in the bitmap
   /// and skipped; unreachable delivery owners are queued for redelivery.
-  void walk_step(EventMsg msg);
+  /// `frame_bytes` is the wire size of the kPublish/kEvent payload that
+  /// carried the event; it sizes the recv span.
+  void walk_step(EventMsg msg, size_t frame_bytes);
 
   /// Connects, sends, and awaits the ack, all under RpcPolicy deadlines,
   /// retrying with backoff. Throws PeerUnreachable once the retry budget
   /// is spent. `ack_timeout` overrides io_timeout for the ack wait (the
-  /// kEvent ack covers the peer's whole downstream walk).
+  /// kEvent ack covers the peer's whole downstream walk). Each successful
+  /// round-trip lands in the per-peer latency histogram; each failed
+  /// attempt bumps the per-peer retry counter and, when `trace` is
+  /// nonzero, records a retry span.
   void send_to_peer_sync(overlay::BrokerId peer, MsgKind kind,
                          std::span<const std::byte> payload, MsgKind ack_kind,
-                         std::optional<std::chrono::milliseconds> ack_timeout = {});
+                         std::optional<std::chrono::milliseconds> ack_timeout = {},
+                         uint64_t trace = 0);
 
   /// Failed kDeliver payloads, re-tried at the start of each propagation
   /// period until their ttl expires (at-most-once: bounded, in-memory).
@@ -203,6 +218,7 @@ class BrokerNode {
     overlay::BrokerId owner = 0;
     std::vector<std::byte> payload;  // encoded DeliverMsg
     int ttl = 8;                     // periods left before dropping
+    uint64_t trace = 0;              // redeliver spans keep the causal chain
   };
   static constexpr size_t kMaxPendingDeliveries = 1024;  // oldest dropped beyond
   void queue_redelivery(PendingDelivery pd);
@@ -254,7 +270,22 @@ class BrokerNode {
   uint64_t epoch_ = 0;                         // immutable after construction
   routing::EpochTable peer_epochs_;            // guarded by mu_
   RecoveryInfo recovery_;                      // immutable after construction
-  stats::Counters counters_;                   // internally synchronized
+
+  // Telemetry (obs/). The registry owns the metrics; the raw pointers are
+  // handles pre-registered in the constructor so hot paths never take the
+  // registration lock. All internally synchronized.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_ring_;
+  obs::Counter* ctr_publishes_ = nullptr;       // subsum_publishes_total
+  obs::Counter* ctr_stale_ = nullptr;           // subsum_summary_stale_dropped_total
+  obs::Counter* ctr_superseded_ = nullptr;      // subsum_summary_peer_superseded_total
+  obs::Counter* ctr_compactions_ = nullptr;     // subsum_store_compactions_total
+  obs::Counter* ctr_drop_ttl_ = nullptr;        // subsum_redelivery_dropped_ttl_total
+  obs::Counter* ctr_drop_overflow_ = nullptr;   // subsum_redelivery_dropped_overflow_total
+  obs::Gauge* gauge_redelivery_depth_ = nullptr;  // subsum_redelivery_queue_depth
+  obs::Histogram* hist_match_ = nullptr;        // subsum_match_latency_us
+  std::vector<obs::Histogram*> hist_peer_rpc_;  // subsum_peer_rpc_latency_us{peer="N"}
+  std::vector<obs::Counter*> ctr_peer_retries_;  // subsum_peer_rpc_retries_total{peer="N"}
 };
 
 }  // namespace subsum::net

@@ -188,10 +188,24 @@ std::vector<model::SubId> Client::owned_subscriptions() const {
   return owned_;
 }
 
-void Client::publish(const model::Event& event) {
+uint64_t Client::publish(const model::Event& event) {
   util::BufWriter w;
   put_event(w, event);
-  rpc(MsgKind::kPublish, w.bytes(), MsgKind::kPublishAck);
+  const Frame f = rpc(MsgKind::kPublish, w.bytes(), MsgKind::kPublishAck);
+  if (f.payload.size() < 8) return 0;  // v2 broker: empty ack, no trace id
+  util::BufReader r(f.payload);
+  return r.get_u64();
+}
+
+std::string Client::stats_text() {
+  const Frame f = rpc(MsgKind::kStats, {}, MsgKind::kStatsAck);
+  return std::string(reinterpret_cast<const char*>(f.payload.data()), f.payload.size());
+}
+
+std::vector<obs::Span> Client::fetch_trace(uint64_t trace, uint32_t max_spans) {
+  const Frame f =
+      rpc(MsgKind::kTrace, encode(TraceRequestMsg{trace, max_spans}), MsgKind::kTraceAck);
+  return decode_trace_reply(f.payload).spans;
 }
 
 std::optional<NotifyMsg> Client::next_notification(std::chrono::milliseconds timeout) {

@@ -62,8 +62,17 @@ class Client {
   void unsubscribe(model::SubId id);
 
   /// Publishes an event; returns after the full distributed walk (and all
-  /// deliveries) completed.
-  void publish(const model::Event& event);
+  /// deliveries) completed. The returned value is the trace id the broker
+  /// minted for the event (PROTOCOL v3) — feed it to fetch_trace() to pull
+  /// the event's span log; 0 against a v2 broker.
+  uint64_t publish(const model::Event& event);
+
+  /// Scrapes the broker's metrics registry: Prometheus text exposition.
+  std::string stats_text();
+
+  /// Fetches spans from the broker's trace ring. trace 0 = all retained
+  /// spans; max_spans 0 = uncapped, otherwise the newest N.
+  std::vector<obs::Span> fetch_trace(uint64_t trace = 0, uint32_t max_spans = 0);
 
   /// Next queued notification, waiting up to `timeout`. Returns nullopt on
   /// a genuine timeout. Once the connection is closed and the queue is

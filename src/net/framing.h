@@ -32,8 +32,10 @@ enum class MsgKind : uint8_t {
   // control plane
   kTrigger = 32,  // run propagation iteration i
   kTriggerAck = 33,
-  kStats = 34,
+  kStats = 34,   // empty request; ack carries Prometheus text exposition
   kStatsAck = 35,
+  kTrace = 36,   // TraceRequestMsg; ack carries recent spans (obs/trace.h)
+  kTraceAck = 37,
   kError = 63,
 };
 

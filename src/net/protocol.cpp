@@ -154,6 +154,7 @@ std::vector<std::byte> encode(const EventMsg& m, const model::Schema& schema) {
   w.put_varint(m.brocli.size());
   w.put_bytes(m.brocli);
   put_event(w, m.event);
+  w.put_u64(m.trace);  // v3 trailing field; v2 decoders ignore trailing bytes
   return std::move(w).take();
 }
 
@@ -166,6 +167,7 @@ EventMsg decode_event_msg(std::span<const std::byte> b, const model::Schema& sch
   const auto bytes = r.get_bytes(len);
   m.brocli.assign(bytes.begin(), bytes.end());
   m.event = get_event(r, schema);
+  if (r.remaining() >= 8) m.trace = r.get_u64();  // absent in v2 frames -> 0
   return m;
 }
 
@@ -175,6 +177,7 @@ std::vector<std::byte> encode(const DeliverMsg& m, const model::Schema& schema) 
   w.put_u32(m.examined_at);
   put_sub_ids(w, m.ids);
   put_event(w, m.event);
+  w.put_u64(m.trace);  // v3 trailing field
   return std::move(w).take();
 }
 
@@ -184,6 +187,7 @@ DeliverMsg decode_deliver_msg(std::span<const std::byte> b, const model::Schema&
   m.examined_at = r.get_u32();
   m.ids = get_sub_ids(r);
   m.event = get_event(r, schema);
+  if (r.remaining() >= 8) m.trace = r.get_u64();
   return m;
 }
 
@@ -234,6 +238,57 @@ std::vector<std::byte> encode(const AttachAckMsg& m) {
 AttachAckMsg decode_attach_ack(std::span<const std::byte> b) {
   util::BufReader r(b);
   return {r.get_u32()};
+}
+
+std::vector<std::byte> encode(const TraceRequestMsg& m) {
+  util::BufWriter w;
+  w.put_u64(m.trace);
+  w.put_u32(m.max_spans);
+  return std::move(w).take();
+}
+
+TraceRequestMsg decode_trace_request(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  TraceRequestMsg m;
+  m.trace = r.get_u64();
+  m.max_spans = r.get_u32();
+  return m;
+}
+
+std::vector<std::byte> encode(const TraceReplyMsg& m) {
+  util::BufWriter w;
+  w.put_varint(m.spans.size());
+  for (const obs::Span& s : m.spans) {
+    w.put_u64(s.trace);
+    w.put_u32(s.broker);
+    w.put_u8(static_cast<uint8_t>(s.phase));
+    w.put_u32(s.peer);
+    w.put_u64(s.t_us);
+    w.put_u64(s.bytes);
+  }
+  return std::move(w).take();
+}
+
+TraceReplyMsg decode_trace_reply(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  TraceReplyMsg m;
+  const uint64_t n = r.get_varint();
+  m.spans.reserve(n < 65536 ? n : 65536);
+  for (uint64_t i = 0; i < n; ++i) {
+    obs::Span s;
+    s.trace = r.get_u64();
+    s.broker = r.get_u32();
+    const uint8_t phase = r.get_u8();
+    if (phase > static_cast<uint8_t>(obs::Phase::kRedeliver)) {
+      throw util::DecodeError("bad span phase");
+    }
+    s.phase = static_cast<obs::Phase>(phase);
+    s.peer = r.get_u32();
+    s.t_us = r.get_u64();
+    s.bytes = r.get_u64();
+    m.spans.push_back(s);
+  }
+  return m;
 }
 
 std::vector<std::byte> make_bitmap(size_t bits) {

@@ -9,6 +9,7 @@
 
 #include "model/event.h"
 #include "model/subscription.h"
+#include "obs/trace.h"
 #include "overlay/graph.h"
 #include "util/bytes.h"
 
@@ -60,12 +61,26 @@ struct EventMsg {
   uint64_t seq = 0;                 // publisher-assigned, for tie rotation
   std::vector<std::byte> brocli;    // bitmap, one bit per broker
   model::Event event;
+  /// Trace id minted at publish (PROTOCOL v3). Encoded as a trailing
+  /// field, so v2 frames decode with trace 0 and v2 peers ignore it.
+  uint64_t trace = 0;
 };
 
 struct DeliverMsg {
   overlay::BrokerId examined_at = 0;
   std::vector<model::SubId> ids;
   model::Event event;
+  uint64_t trace = 0;  // trailing v3 field; 0 from v2 peers
+};
+
+/// Admin RPC: fetch recent spans from a broker's trace ring.
+struct TraceRequestMsg {
+  uint64_t trace = 0;      // 0 = all retained spans
+  uint32_t max_spans = 0;  // 0 = no cap; otherwise the newest N
+};
+
+struct TraceReplyMsg {
+  std::vector<obs::Span> spans;  // oldest first
 };
 
 struct NotifyMsg {
@@ -100,6 +115,12 @@ AttachMsg decode_attach_msg(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const AttachAckMsg& m);
 AttachAckMsg decode_attach_ack(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const TraceRequestMsg& m);
+TraceRequestMsg decode_trace_request(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const TraceReplyMsg& m);
+TraceReplyMsg decode_trace_reply(std::span<const std::byte> b);
 
 // --- BROCLI bitmap helpers ---------------------------------------------------
 

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace subsum::obs {
+
+uint64_t Histogram::quantile(double q) const noexcept {
+  const auto counts = snapshot();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets);
+}
+
+std::array<uint64_t, Histogram::kBuckets + 1> Histogram::snapshot() const noexcept {
+  std::array<uint64_t, kBuckets + 1> out{};
+  for (size_t i = 0; i <= kBuckets; ++i) out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+namespace {
+
+/// The metric family: the name up to any label block.
+std::string_view family_of(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+/// Merges `le="v"` into a (possibly empty) `{...}` label block.
+std::string with_le(std::string_view labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  std::string out(labels.substr(0, labels.size() - 1));  // drop the closing '}'
+  out.append(",le=\"").append(le).append("\"}");
+  return out;
+}
+
+void type_line(std::ostream& os, std::string_view* last_family, std::string_view name,
+               const char* type) {
+  const std::string_view fam = family_of(name);
+  if (*last_family == fam) return;
+  *last_family = fam;
+  os << "# TYPE " << fam << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  std::string_view last;
+
+  for (const auto& [name, c] : counters_) {
+    type_line(os, &last, name, "counter");
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    type_line(os, &last, name, "gauge");
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    type_line(os, &last, name, "histogram");
+    const auto counts = h->snapshot();
+    const std::string_view fam = family_of(name);
+    const std::string_view labels =
+        std::string_view(name).substr(fam.size());  // "{...}" or ""
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      if (counts[i] == 0) continue;  // elide empty buckets; +Inf emitted below
+      cum += counts[i];
+      os << fam << "_bucket" << with_le(labels, std::to_string(Histogram::bucket_bound(i)))
+         << " " << cum << "\n";
+    }
+    os << fam << "_bucket" << with_le(labels, "+Inf") << " " << h->count() << "\n";
+    os << fam << "_sum" << labels << " " << h->sum() << "\n";
+    os << fam << "_count" << labels << " " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace subsum::obs

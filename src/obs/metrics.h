@@ -1,0 +1,151 @@
+// Runtime telemetry: a lock-cheap metrics registry with counters, gauges,
+// and fixed-bucket log-scale histograms.
+//
+// Design goals, in order:
+//   1. Hot-path cost ~ a couple of relaxed atomic adds. Registration takes
+//      a mutex; Counter::inc / Gauge::set / Histogram::observe never do.
+//   2. Handles are stable for the registry's lifetime — instrument code
+//      pre-registers in its constructor and keeps raw pointers.
+//   3. One snapshot path, Prometheus text exposition format, so any
+//      scraper (or `tools/subsum_stats`) can read a live broker.
+//
+// Histograms use one bucket per power of two of the observed value
+// (microseconds in all current call sites): observe(v) lands in bucket
+// floor(log2(v)) + 1, i.e. bucket upper bounds 1, 2, 4, ... 2^62, +Inf.
+// That is coarse (quantiles are exact only at bucket resolution — ±50%
+// worst case) but makes observe() branch-free and the wire/exposition size
+// fixed, which is what a per-match-call hot path can afford.
+//
+// Building with -DSUBSUM_NO_TELEMETRY compiles the mutating hot paths out
+// (inc/set/observe become empty inlines); registration and exposition still
+// work and report zeros. The bench guard in bench_matching measures the
+// delta between the two builds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subsum::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t by = 1) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    v_.fetch_add(by, std::memory_order_relaxed);
+#else
+    (void)by;
+#endif
+  }
+  [[nodiscard]] uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depths, sizes).
+class Gauge {
+ public:
+  void set(int64_t v) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(int64_t by) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    v_.fetch_add(by, std::memory_order_relaxed);
+#else
+    (void)by;
+#endif
+  }
+  [[nodiscard]] int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale histogram: 64 fixed buckets, bucket i counts values whose
+/// bit-width is i (upper bound 2^i - ... effectively le 2^(i-1) for i>=1;
+/// bucket 0 counts zeros). Quantiles are reported as the upper bound of
+/// the bucket containing the requested rank.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void observe(uint64_t v) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound (inclusive) of the bucket holding rank ceil(q * count);
+  /// 0 when empty. q in [0, 1].
+  [[nodiscard]] uint64_t quantile(double q) const noexcept;
+
+  /// Per-bucket counts (index = bit width of the value, 0..64).
+  [[nodiscard]] std::array<uint64_t, kBuckets + 1> snapshot() const noexcept;
+
+  /// Upper bound of bucket i: 0 for i=0, else 2^i - 1.
+  static constexpr uint64_t bucket_bound(size_t i) noexcept {
+    return i == 0 ? 0 : (i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1);
+  }
+
+  static constexpr size_t bucket_of(uint64_t v) noexcept {
+    return static_cast<size_t>(std::bit_width(v));  // 0..64; 64 only for v with bit 63 set
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets + 1> buckets_{};  // [0..64]
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Owns named metrics; handles stay valid for the registry's lifetime.
+/// Metric names follow Prometheus conventions: `subsum_<what>_<unit>` with
+/// optional labels baked into the name (`subsum_peer_rpc_latency_us{peer="3"}`).
+class MetricsRegistry {
+ public:
+  /// Get-or-register. The returned pointer is stable; repeated calls with
+  /// the same name return the same object.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Current value of a counter, 0 when never registered (test helper).
+  [[nodiscard]] uint64_t counter_value(std::string_view name) const;
+
+  /// Prometheus text exposition format, version 0.0.4: one `# TYPE` line
+  /// per metric family (the name up to any '{'), then the samples.
+  /// Histograms expand to `_bucket{le=...}` / `_sum` / `_count` series
+  /// with cumulative bucket counts; empty buckets are elided (the +Inf
+  /// bucket is always present).
+  [[nodiscard]] std::string prometheus_text() const;
+
+ private:
+  template <typename T>
+  using Map = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  mutable std::mutex mu_;  // registration + snapshot only, never per-sample
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
+};
+
+}  // namespace subsum::obs

@@ -57,8 +57,15 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
   };
 
   BrokerId current = origin;
+  // Virtual clock for span timestamps: one tick per span, so equal walks
+  // produce byte-identical span logs (see RouteResult::spans).
+  uint64_t vt = 0;
+  const auto span = [&](obs::Phase phase, uint32_t peer, uint64_t bytes) {
+    if (opts.trace_id) r.spans.push_back({opts.trace_id, current, phase, peer, vt++, bytes});
+  };
   while (true) {
     r.visited.push_back(current);
+    span(obs::Phase::kRecv, obs::Span::kNoPeer, 0);
 
     // Step 1: check the local merged summary for matches.
     std::vector<model::SubId> matched_buf;
@@ -76,13 +83,17 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
     for (const auto& id : matched) {
       if (!brocli[id.broker]) by_owner[id.broker].push_back(id);
     }
+    span(obs::Phase::kMatch, obs::Span::kNoPeer, matched.size());
     for (auto& [owner, ids] : by_owner) {
+      const size_t id_count = ids.size();
       if (is_down(owner)) {
         // Over TCP the kDeliver would fail and sit in the redelivery
         // queue; here it is recorded as undeliverable (no hop counted).
+        span(obs::Phase::kRetry, owner, id_count);
         r.undeliverable.push_back({current, owner, std::move(ids)});
         continue;
       }
+      span(obs::Phase::kDeliver, owner, id_count);
       r.deliveries.push_back({current, owner, std::move(ids)});
       if (owner != current) ++r.delivery_hops;  // local delivery is free
     }
@@ -112,12 +123,14 @@ RouteResult route_event(const overlay::Graph& g, const PropagationResult& state,
       if (is_down(*next)) {
         add_to_brocli(*next);
         r.skipped.push_back(*next);
+        span(obs::Phase::kRetry, *next, 0);
         continue;
       }
       forward = next;
       break;
     }
     if (!forward) break;
+    span(obs::Phase::kForward, *forward, 0);
     ++r.forward_hops;
     current = *forward;
   }

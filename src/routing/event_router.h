@@ -26,6 +26,7 @@
 
 #include "core/matcher.h"
 #include "model/event.h"
+#include "obs/trace.h"
 #include "routing/propagation.h"
 
 namespace subsum::routing {
@@ -46,6 +47,11 @@ struct RouteResult {
   /// Matches owned by down brokers: undeliverable while the partition
   /// lasts (over TCP these sit in the sender's redelivery queue).
   std::vector<Delivery> undeliverable;
+  /// Span log of the walk when RouterOptions::trace_id is set (empty
+  /// otherwise). Timestamps are virtual: a step counter incremented per
+  /// span, so identical walks give identical spans — byte-for-byte via
+  /// obs::to_jsonl — which the determinism tests rely on.
+  std::vector<obs::Span> spans;
   /// Forwarding messages between examining brokers (= visited.size()-1).
   size_t forward_hops = 0;
   /// Notification messages to owners; a broker that examines the event and
@@ -86,6 +92,10 @@ struct RouterOptions {
   /// degrades to the next-best live broker; matches owned by down brokers
   /// land in RouteResult::undeliverable. The origin must be up.
   std::vector<char> down;
+  /// Nonzero: record the walk as spans (RouteResult::spans) under this
+  /// trace id. SimSystem mints ids deterministically (obs::mint_trace_id
+  /// with salt 0) when SystemConfig::trace is on.
+  uint64_t trace_id = 0;
 };
 
 /// Routes one event published at `origin` through the post-propagation

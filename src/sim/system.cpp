@@ -27,7 +27,8 @@ SimSystem::SimSystem(SystemConfig cfg)
     : cfg_(std::move(cfg)),
       wire_{model::SubIdCodec(static_cast<uint32_t>(cfg_.graph.size()),
                               cfg_.max_subs_per_broker, cfg_.schema.attr_count()),
-            cfg_.numeric_width} {
+            cfg_.numeric_width},
+      trace_ring_(cfg_.trace_capacity) {
   const size_t n = cfg_.graph.size();
   if (n == 0) throw std::invalid_argument("system needs at least one broker");
   home_.resize(n);
@@ -124,7 +125,11 @@ routing::PropagationResult SimSystem::run_propagation_period() {
 
 SimSystem::PublishOutcome SimSystem::publish(BrokerId origin, const model::Event& event) {
   if (origin >= broker_count()) throw std::invalid_argument("origin broker out of range");
-  return publish_one(origin, event, acct_, nullptr);
+  const uint64_t trace_id =
+      cfg_.trace ? obs::mint_trace_id(origin, publish_seq_++, /*salt=*/0) : 0;
+  PublishOutcome out = publish_one(origin, event, acct_, nullptr, trace_id);
+  for (const obs::Span& s : out.route.spans) trace_ring_.append(s);
+  return out;
 }
 
 std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
@@ -133,6 +138,13 @@ std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
   std::vector<PublishOutcome> out(events.size());
   if (events.empty()) return out;
 
+  // Trace ids are minted up front, in event order, so the id stream (and
+  // therefore each event's spans) is independent of the sharding.
+  std::vector<uint64_t> traces(events.size(), 0);
+  if (cfg_.trace) {
+    for (auto& t : traces) t = obs::mint_trace_id(origin, publish_seq_++, /*salt=*/0);
+  }
+
   const size_t shards = std::min(pool.concurrency(), events.size());
   const size_t chunk = (events.size() + shards - 1) / shards;
   std::vector<Accounting> deltas(shards);
@@ -140,18 +152,24 @@ std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
     const size_t begin = s * chunk;
     const size_t end = std::min(begin + chunk, events.size());
     if (begin >= end) break;
-    pool.submit([this, s, begin, end, origin, events, &out, &deltas] {
+    pool.submit([this, s, begin, end, origin, events, &out, &deltas, &traces] {
       core::MatchScratch scratch;
       for (size_t i = begin; i < end; ++i) {
-        out[i] = publish_one(origin, events[i], deltas[s], &scratch);
+        out[i] = publish_one(origin, events[i], deltas[s], &scratch, traces[i]);
       }
     });
   }
   pool.wait();
   // Barrier: fold the per-shard ledgers in shard (= event) order. The sums
   // are commutative integer additions, so totals are bit-identical to the
-  // sequential loop's.
+  // sequential loop's. Spans fold into the ring in event order too, so the
+  // ring's contents match the sequential publish() loop exactly.
   for (const Accounting& d : deltas) acct_.merge(d);
+  if (cfg_.trace) {
+    for (const PublishOutcome& o : out) {
+      for (const obs::Span& s : o.route.spans) trace_ring_.append(s);
+    }
+  }
   return out;
 }
 
@@ -164,10 +182,16 @@ std::vector<SimSystem::PublishOutcome> SimSystem::publish_batch(
 }
 
 SimSystem::PublishOutcome SimSystem::publish_one(BrokerId origin, const model::Event& event,
-                                                 Accounting& acct,
-                                                 core::MatchScratch* scratch) const {
+                                                 Accounting& acct, core::MatchScratch* scratch,
+                                                 uint64_t trace_id) const {
   PublishOutcome out;
-  out.route = routing::route_event(cfg_.graph, state_, origin, event, cfg_.router, scratch);
+  if (trace_id) {
+    routing::RouterOptions ropts = cfg_.router;
+    ropts.trace_id = trace_id;
+    out.route = routing::route_event(cfg_.graph, state_, origin, event, ropts, scratch);
+  } else {
+    out.route = routing::route_event(cfg_.graph, state_, origin, event, cfg_.router, scratch);
+  }
 
   const size_t ebytes = event_wire_bytes(event);
   for (size_t i = 0; i + 1 < out.route.visited.size(); ++i) {

@@ -23,6 +23,7 @@
 #include "core/serialize.h"
 #include "model/event.h"
 #include "model/subscription.h"
+#include "obs/trace.h"
 #include "overlay/graph.h"
 #include "routing/event_router.h"
 #include "routing/propagation.h"
@@ -54,6 +55,13 @@ struct SystemConfig {
   /// the broker. Unsubscribing a coverer promotes its covered
   /// subscriptions into the summaries.
   bool combine_subsumption = false;
+  /// Record every publish walk as spans in the system's trace ring. Trace
+  /// ids are minted deterministically (obs::mint_trace_id, salt 0) and
+  /// timestamps are virtual, so two identical runs produce byte-identical
+  /// span logs — including through publish_batch, whose spans are folded
+  /// into the ring in event order at the barrier.
+  bool trace = false;
+  size_t trace_capacity = 4096;
 };
 
 class SimSystem {
@@ -125,6 +133,9 @@ class SimSystem {
 
   [[nodiscard]] const core::WireConfig& wire() const noexcept { return wire_; }
 
+  /// Span log of recent publishes (empty unless SystemConfig::trace).
+  [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept { return trace_ring_; }
+
  private:
   /// Registers `id` in the summaries (delta + local held).
   void dissolve(overlay::BrokerId broker, const model::Subscription& sub, model::SubId id);
@@ -133,7 +144,8 @@ class SimSystem {
   /// into the given ledger (the member ledger for publish(), a per-shard
   /// delta for publish_batch()).
   PublishOutcome publish_one(overlay::BrokerId origin, const model::Event& event,
-                             Accounting& acct, core::MatchScratch* scratch) const;
+                             Accounting& acct, core::MatchScratch* scratch,
+                             uint64_t trace_id) const;
 
   SystemConfig cfg_;
   core::WireConfig wire_;
@@ -147,6 +159,8 @@ class SimSystem {
   /// combine_subsumption bookkeeping: propagated root -> covered local subs.
   std::map<model::SubId, std::vector<model::SubId>> covered_by_;
   std::unique_ptr<util::ThreadPool> publish_pool_;  // lazily built default pool
+  obs::TraceRing trace_ring_;   // publish spans, event order (cfg_.trace)
+  uint64_t publish_seq_ = 0;    // deterministic trace-id stream
 };
 
 }  // namespace subsum::sim

@@ -8,20 +8,34 @@
 
 namespace subsum::stats {
 
-void Counters::inc(const std::string& name, uint64_t by) {
-  std::lock_guard lk(mu_);
-  counts_[name] += by;
-}
-
-uint64_t Counters::value(const std::string& name) const {
+Counters::Handle* Counters::handle(std::string_view name) {
   std::lock_guard lk(mu_);
   const auto it = counts_.find(name);
-  return it == counts_.end() ? 0 : it->second;
+  if (it != counts_.end()) return it->second.get();
+  return counts_.emplace(std::string(name), std::make_unique<Handle>()).first->second.get();
+}
+
+void Counters::inc(std::string_view name, uint64_t by) {
+  std::lock_guard lk(mu_);
+  const auto it = counts_.find(name);  // transparent: no temporary string
+  if (it != counts_.end()) {
+    it->second->inc(by);
+    return;
+  }
+  counts_.emplace(std::string(name), std::make_unique<Handle>()).first->second->inc(by);
+}
+
+uint64_t Counters::value(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second->value();
 }
 
 std::map<std::string, uint64_t> Counters::snapshot() const {
   std::lock_guard lk(mu_);
-  return counts_;
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, h] : counts_) out.emplace(name, h->value());
+  return out;
 }
 
 std::string Counters::to_string() const {
@@ -39,13 +53,16 @@ void Series::add(double x) noexcept {
   }
   ++n_;
   sum_ += x;
-  sumsq_ += x * x;
+  // Welford: accumulate squared deviations from the running mean instead
+  // of raw squares, which cancel catastrophically when |mean| >> stddev.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
 }
 
 double Series::stddev() const noexcept {
   if (n_ < 2) return 0;
-  const double m = mean();
-  const double var = sumsq_ / static_cast<double>(n_) - m * m;
+  const double var = m2_ / static_cast<double>(n_);
   return var > 0 ? std::sqrt(var) : 0;
 }
 

@@ -2,47 +2,80 @@
 // paper's rows and series.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace subsum::stats {
 
 /// Thread-safe named event counters. Reading a counter that was never
 /// incremented yields 0 — callers need not pre-register names.
+///
+/// Two speeds: inc(name) takes the lock for a transparent (no temporary
+/// string) lookup; a pre-registered Handle skips both the lock and the
+/// lookup — one relaxed atomic add — which is what per-event hot loops
+/// should use.
 class Counters {
  public:
-  void inc(const std::string& name, uint64_t by = 1);
-  [[nodiscard]] uint64_t value(const std::string& name) const;
+  /// Stable handle to one named counter (valid for the Counters' lifetime).
+  class Handle {
+   public:
+    void inc(uint64_t by = 1) noexcept { v_.fetch_add(by, std::memory_order_relaxed); }
+    [[nodiscard]] uint64_t value() const noexcept {
+      return v_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class Counters;
+    std::atomic<uint64_t> v_{0};
+  };
+
+  /// Get-or-register; repeated calls with the same name return the same
+  /// handle.
+  Handle* handle(std::string_view name);
+
+  void inc(std::string_view name, uint64_t by = 1);
+  [[nodiscard]] uint64_t value(std::string_view name) const;
   [[nodiscard]] std::map<std::string, uint64_t> snapshot() const;
   /// "name=value" lines, sorted by name; for logs and test failures.
   [[nodiscard]] std::string to_string() const;
 
  private:
+  // std::less<> makes find() transparent: a string_view probe never
+  // constructs a std::string. Nodes are stable, so handles stay valid.
   mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counts_;
+  std::map<std::string, std::unique_ptr<Handle>, std::less<>> counts_;
 };
 
-/// Online accumulator: count / mean / min / max / stddev.
+/// Online accumulator: count / mean / min / max / stddev. Uses Welford's
+/// recurrence, so the variance stays accurate for series whose mean is
+/// large relative to their spread (the naive sum-of-squares form
+/// catastrophically cancels there — e.g. latencies near 1e9 ns).
 class Series {
  public:
   void add(double x) noexcept;
 
   [[nodiscard]] size_t count() const noexcept { return n_; }
-  [[nodiscard]] double mean() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0; }
   [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0; }
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0; }
+  /// Population standard deviation (divides by n, as before the Welford
+  /// rewrite).
   [[nodiscard]] double stddev() const noexcept;
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
  private:
   size_t n_ = 0;
   double sum_ = 0;
-  double sumsq_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;  // sum of squared deviations from the running mean
   double min_ = 0;
   double max_ = 0;
 };

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "net/protocol.h"
+#include "obs/trace.h"
 #include "util/crc32c.h"
 
 namespace subsum::store {
@@ -212,7 +213,15 @@ void BrokerStore::log_unsubscribe(model::SubId id) {
   wal_->append(w.bytes());
 }
 
-void BrokerStore::commit() { wal_->sync(); }
+void BrokerStore::commit() {
+  if (!fsync_us_) {
+    wal_->sync();
+    return;
+  }
+  const uint64_t t0 = obs::now_us();
+  wal_->sync();
+  fsync_us_->observe(obs::now_us() - t0);
+}
 
 uint64_t BrokerStore::wal_records() const noexcept {
   return wal_ ? wal_base_records_ + wal_->appended() : 0;
@@ -243,6 +252,7 @@ std::vector<std::byte> BrokerStore::encode_snapshot(const SnapshotInput& in) con
 }
 
 void BrokerStore::write_snapshot(const SnapshotInput& in) {
+  const uint64_t t0 = snapshot_us_ ? obs::now_us() : 0;
   const auto payload = encode_snapshot(in);
   util::BufWriter w(16 + payload.size());
   w.put_bytes(std::span(reinterpret_cast<const std::byte*>(kSnapshotMagic),
@@ -256,6 +266,7 @@ void BrokerStore::write_snapshot(const SnapshotInput& in) {
   // (replay is idempotent).
   wal_->reset();
   wal_base_records_ = 0;
+  if (snapshot_us_) snapshot_us_->observe(obs::now_us() - t0);
 }
 
 }  // namespace subsum::store

@@ -39,6 +39,7 @@
 #include "core/serialize.h"
 #include "core/summary.h"
 #include "model/subscription.h"
+#include "obs/metrics.h"
 #include "overlay/graph.h"
 #include "store/wal.h"
 
@@ -100,6 +101,14 @@ class BrokerStore {
   /// Compaction: atomically replaces the snapshot and truncates the log.
   void write_snapshot(const SnapshotInput& in);
 
+  /// Telemetry hooks (obs/metrics.h): commit() observes its fsync latency
+  /// into `fsync_us`, write_snapshot() its duration into `snapshot_us`.
+  /// Either may be null (the default): no timing happens.
+  void set_metrics(obs::Histogram* fsync_us, obs::Histogram* snapshot_us) noexcept {
+    fsync_us_ = fsync_us;
+    snapshot_us_ = snapshot_us;
+  }
+
   [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
   /// WAL records since the last compaction (or open).
   [[nodiscard]] uint64_t wal_records() const noexcept;
@@ -117,6 +126,8 @@ class BrokerStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t epoch_ = 0;
   uint64_t wal_base_records_ = 0;  // records already in the log at open()
+  obs::Histogram* fsync_us_ = nullptr;     // not owned; see set_metrics
+  obs::Histogram* snapshot_us_ = nullptr;  // not owned
 };
 
 }  // namespace subsum::store

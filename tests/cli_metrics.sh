@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Metrics/trace smoke test: a 3-broker line deployment, scraped twice with
+# subsum_stats. Asserts the Prometheus exposition is well-formed (TYPE
+# lines, match-latency buckets), counters are monotonic across scrapes,
+# and one publish produces a complete publish->deliver trace with spans
+# from at least two brokers.
+# Usage: cli_metrics.sh <build_dir>
+set -u
+
+BUILD=${1:?usage: cli_metrics.sh <build_dir>}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/deploy.conf" <<EOF
+attribute symbol string
+attribute price float
+attribute volume int
+topology line 3
+EOF
+
+started=0
+for attempt in 1 2 3 4 5; do
+  BASE=$(( 10000 + (RANDOM % 20000) ))
+  PORTS="$BASE,$((BASE+1)),$((BASE+2))"
+
+  for i in 0 1 2; do
+    EXTRA=""
+    [ "$i" = 0 ] && EXTRA="--propagate-every 1"
+    "$BUILD/tools/subsum_broker" --config "$WORK/deploy.conf" --id "$i" \
+        --port $((BASE+i)) --peers "$PORTS" $EXTRA > "$WORK/broker$i.log" 2>&1 &
+  done
+
+  started=1
+  for i in 0 1 2; do
+    ok=0
+    for _ in $(seq 1 50); do
+      if grep -q "listening" "$WORK/broker$i.log" 2>/dev/null; then ok=1; break; fi
+      if grep -q "broker failed" "$WORK/broker$i.log" 2>/dev/null; then break; fi
+      sleep 0.1
+    done
+    [ "$ok" = 1 ] || { started=0; break; }
+  done
+  [ "$started" = 1 ] && break
+  echo "attempt $attempt: port clash at base $BASE, retrying"
+  kill $(jobs -p) 2>/dev/null
+  wait 2>/dev/null
+done
+[ "$started" = 1 ] || { echo "brokers failed to start"; cat "$WORK"/broker*.log; exit 1; }
+
+# A subscriber on broker 2 so the publish at broker 0 must cross brokers.
+timeout 60 "$BUILD/tools/subsum_sub" --config "$WORK/deploy.conf" --port $((BASE+2)) \
+    --count 1 'symbol = OTE' > "$WORK/sub.log" 2>&1 &
+SUB=$!
+sleep 2.5  # one propagation period so broker 0 learns the summary
+
+timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+    'symbol = OTE, price = 8.40' > "$WORK/pub.log" 2>&1 \
+    || { echo "publish failed"; cat "$WORK/pub.log"; exit 1; }
+
+for _ in $(seq 1 40); do
+  kill -0 "$SUB" 2>/dev/null || break
+  sleep 0.25
+done
+kill -0 "$SUB" 2>/dev/null && { echo "notification never arrived"; cat "$WORK/sub.log"; exit 1; }
+
+# --- scrape 1: exposition well-formed, match-latency histogram populated ---
+timeout 30 "$BUILD/tools/subsum_stats" --ports "$PORTS" > "$WORK/scrape1.txt" 2>&1 \
+    || { echo "scrape 1 failed"; cat "$WORK/scrape1.txt"; exit 1; }
+
+grep -q '^# TYPE subsum_publishes_total counter' "$WORK/scrape1.txt" \
+    || { echo "missing TYPE line for publishes counter"; cat "$WORK/scrape1.txt"; exit 1; }
+grep -q '^# TYPE subsum_match_latency_us histogram' "$WORK/scrape1.txt" \
+    || { echo "missing TYPE line for match histogram"; cat "$WORK/scrape1.txt"; exit 1; }
+grep -q '^subsum_match_latency_us_bucket{le="+Inf"}' "$WORK/scrape1.txt" \
+    || { echo "missing +Inf bucket"; cat "$WORK/scrape1.txt"; exit 1; }
+# The walk runs the matcher on at least the origin and the forwarding hop
+# (the last broker may receive a direct kDeliver instead of the event).
+NONZERO=$(grep -c '^subsum_match_latency_us_count [1-9]' "$WORK/scrape1.txt")
+[ "$NONZERO" -ge 2 ] || { echo "expected >=2 brokers with matches, got $NONZERO"; cat "$WORK/scrape1.txt"; exit 1; }
+PUB1=$(awk '/^subsum_publishes_total/ {s += $2} END {print s}' "$WORK/scrape1.txt")
+[ "$PUB1" -ge 1 ] || { echo "publishes counter not incremented"; exit 1; }
+
+# --- the publish->deliver trace crosses brokers -----------------------------
+TRACE=$(grep -o 'trace=[0-9a-f]*' "$WORK/pub.log" | cut -d= -f2)
+[ -n "$TRACE" ] || { echo "publish printed no trace id"; cat "$WORK/pub.log"; exit 1; }
+: > "$WORK/trace.jsonl"
+for i in 0 1 2; do
+  timeout 30 "$BUILD/tools/subsum_stats" --port $((BASE+i)) --trace "$TRACE" \
+      >> "$WORK/trace.jsonl" 2>&1 || { echo "trace fetch failed on broker $i"; exit 1; }
+done
+grep -q "\"trace\":\"$TRACE\".*\"phase\":\"recv\"" "$WORK/trace.jsonl" \
+    || { echo "no recv span"; cat "$WORK/trace.jsonl"; exit 1; }
+grep -q "\"trace\":\"$TRACE\".*\"phase\":\"deliver\"" "$WORK/trace.jsonl" \
+    || { echo "no deliver span"; cat "$WORK/trace.jsonl"; exit 1; }
+BROKERS_IN_TRACE=$(grep "\"trace\":\"$TRACE\"" "$WORK/trace.jsonl" \
+    | grep -o '"broker":[0-9]*' | sort -u | wc -l)
+[ "$BROKERS_IN_TRACE" -ge 2 ] \
+    || { echo "trace covers only $BROKERS_IN_TRACE broker(s)"; cat "$WORK/trace.jsonl"; exit 1; }
+
+# --- scrape 2: counters monotonic after more traffic ------------------------
+timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
+    'symbol = AAPL, price = 1.00' > /dev/null 2>&1 || exit 1
+timeout 30 "$BUILD/tools/subsum_stats" --ports "$PORTS" > "$WORK/scrape2.txt" 2>&1 \
+    || { echo "scrape 2 failed"; exit 1; }
+PUB2=$(awk '/^subsum_publishes_total/ {s += $2} END {print s}' "$WORK/scrape2.txt")
+[ "$PUB2" -gt "$PUB1" ] || { echo "publishes not monotonic: $PUB1 -> $PUB2"; exit 1; }
+CNT1=$(awk '/^subsum_match_latency_us_count/ {s += $2} END {print s}' "$WORK/scrape1.txt")
+CNT2=$(awk '/^subsum_match_latency_us_count/ {s += $2} END {print s}' "$WORK/scrape2.txt")
+[ "$CNT2" -gt "$CNT1" ] || { echo "match count not monotonic: $CNT1 -> $CNT2"; exit 1; }
+
+echo "cli metrics test passed"
+exit 0

@@ -1,0 +1,270 @@
+// obs layer: histogram bucket math and quantiles, the Prometheus text
+// exposition, the bounded trace ring, JSONL span formatting, and trace-id
+// minting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace subsum::obs {
+namespace {
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("subsum_things_total");
+  c->inc();
+  c->inc(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.counter_value("subsum_things_total"), 42u);
+  EXPECT_EQ(reg.counter_value("never_registered"), 0u);
+
+  Gauge* g = reg.gauge("subsum_depth");
+  g->set(7);
+  g->add(-3);
+  EXPECT_EQ(g->value(), 4);
+}
+
+TEST(Metrics, HandlesAreStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);  // get-or-register returns the same object
+  EXPECT_NE(reg.counter("y"), a);
+  EXPECT_EQ(reg.histogram("h"), reg.histogram("h"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("n");
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([c] {
+      for (int i = 0; i < 10000; ++i) c->inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c->value(), 40000u);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketBoundIsInclusiveUpperEdge) {
+  EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_bound(64), ~uint64_t{0});
+  // Every value lands in the bucket whose bound covers it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 65535ull, 65536ull}) {
+    EXPECT_LE(v, Histogram::bucket_bound(Histogram::bucket_of(v))) << v;
+  }
+}
+
+TEST(Histogram, CountSumAndSnapshot) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap[0], 1u);  // the zero
+  EXPECT_EQ(snap[1], 1u);  // 1
+  EXPECT_EQ(snap[3], 2u);  // 5 twice (bit width 3)
+  uint64_t total = 0;
+  for (uint64_t b : snap) total += b;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.observe(3);    // bucket 2, bound 3
+  for (int i = 0; i < 10; ++i) h.observe(100);  // bucket 7, bound 127
+  EXPECT_EQ(h.quantile(0.5), 3u);
+  EXPECT_EQ(h.quantile(0.9), 3u);
+  EXPECT_EQ(h.quantile(0.99), 127u);
+  EXPECT_EQ(h.quantile(1.0), 127u);
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(Exposition, CountersGaugesAndTypeLines) {
+  MetricsRegistry reg;
+  reg.counter("subsum_publishes_total")->inc(3);
+  reg.gauge("subsum_queue_depth")->set(-2);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE subsum_publishes_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_publishes_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE subsum_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_queue_depth -2\n"), std::string::npos);
+}
+
+TEST(Exposition, LabeledSeriesShareOneTypeLine) {
+  MetricsRegistry reg;
+  reg.counter("subsum_rpc_total{peer=\"0\"}")->inc(1);
+  reg.counter("subsum_rpc_total{peer=\"1\"}")->inc(2);
+  const std::string text = reg.prometheus_text();
+  // One TYPE line for the family, both samples present with labels.
+  size_t n = 0;
+  for (size_t pos = 0; (pos = text.find("# TYPE subsum_rpc_total counter", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);
+  EXPECT_NE(text.find("subsum_rpc_total{peer=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_rpc_total{peer=\"1\"} 2\n"), std::string::npos);
+}
+
+TEST(Exposition, HistogramExpandsToCumulativeBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("subsum_lat_us");
+  h->observe(1);
+  h->observe(3);
+  h->observe(3);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE subsum_lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // Cumulative: the le=3 bucket includes the le=1 observation.
+  EXPECT_NE(text.find("subsum_lat_us_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_lat_us_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_lat_us_count 3\n"), std::string::npos);
+  // Empty buckets between 3 and +Inf are elided.
+  EXPECT_EQ(text.find("le=\"7\""), std::string::npos);
+}
+
+TEST(Exposition, EmptyHistogramStillHasInfBucket) {
+  MetricsRegistry reg;
+  reg.histogram("subsum_idle_us");
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("subsum_idle_us_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_idle_us_count 0\n"), std::string::npos);
+}
+
+TEST(Exposition, LabeledHistogramKeepsLabelOnEverySeries) {
+  MetricsRegistry reg;
+  reg.histogram("subsum_rpc_us{peer=\"3\"}")->observe(2);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE subsum_rpc_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_rpc_us_bucket{peer=\"3\",le=\"3\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_rpc_us_sum{peer=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_rpc_us_count{peer=\"3\"} 1\n"), std::string::npos);
+}
+
+// --- TraceRing --------------------------------------------------------------
+
+Span make_span(uint64_t trace, uint64_t t) {
+  Span s;
+  s.trace = trace;
+  s.broker = 1;
+  s.phase = Phase::kRecv;
+  s.t_us = t;
+  return s;
+}
+
+TEST(TraceRing, AppendAndSnapshotInOrder) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 3; ++i) ring.append(make_span(7, i));
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].t_us, 0u);
+  EXPECT_EQ(spans[2].t_us, 2u);
+  EXPECT_EQ(ring.appended(), 3u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) ring.append(make_span(7, i));
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The newest 4, oldest first.
+  EXPECT_EQ(spans[0].t_us, 6u);
+  EXPECT_EQ(spans[3].t_us, 9u);
+  EXPECT_EQ(ring.appended(), 10u);
+}
+
+TEST(TraceRing, ForTraceFiltersAndClearEmpties) {
+  TraceRing ring(8);
+  ring.append(make_span(1, 0));
+  ring.append(make_span(2, 1));
+  ring.append(make_span(1, 2));
+  const auto only1 = ring.for_trace(1);
+  ASSERT_EQ(only1.size(), 2u);
+  EXPECT_EQ(only1[0].t_us, 0u);
+  EXPECT_EQ(only1[1].t_us, 2u);
+  EXPECT_TRUE(ring.for_trace(99).empty());
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// --- JSONL ------------------------------------------------------------------
+
+TEST(Jsonl, FixedFieldOrderAndHexTrace) {
+  Span s;
+  s.trace = 0xabcdef;
+  s.broker = 4;
+  s.phase = Phase::kMatch;
+  s.t_us = 17;
+  s.bytes = 3;
+  const std::vector<Span> spans = {s};
+  EXPECT_EQ(to_jsonl(spans),
+            "{\"trace\":\"0000000000abcdef\",\"broker\":4,\"phase\":\"match\","
+            "\"t_us\":17,\"bytes\":3}\n");
+}
+
+TEST(Jsonl, PeerFieldOnlyWhenPresent) {
+  Span s;
+  s.trace = 1;
+  s.broker = 0;
+  s.phase = Phase::kForward;
+  s.peer = 9;
+  s.t_us = 2;
+  s.bytes = 0;
+  const std::vector<Span> spans = {s};
+  EXPECT_EQ(to_jsonl(spans),
+            "{\"trace\":\"0000000000000001\",\"broker\":0,\"phase\":\"forward\","
+            "\"peer\":9,\"t_us\":2,\"bytes\":0}\n");
+}
+
+TEST(Jsonl, PhaseNamesAreStable) {
+  EXPECT_EQ(to_string(Phase::kRecv), "recv");
+  EXPECT_EQ(to_string(Phase::kMatch), "match");
+  EXPECT_EQ(to_string(Phase::kForward), "forward");
+  EXPECT_EQ(to_string(Phase::kDeliver), "deliver");
+  EXPECT_EQ(to_string(Phase::kRetry), "retry");
+  EXPECT_EQ(to_string(Phase::kRedeliver), "redeliver");
+}
+
+// --- trace ids --------------------------------------------------------------
+
+TEST(TraceId, DeterministicAndNeverZero) {
+  EXPECT_EQ(mint_trace_id(3, 7, 0), mint_trace_id(3, 7, 0));
+  EXPECT_NE(mint_trace_id(3, 7, 0), mint_trace_id(3, 8, 0));
+  EXPECT_NE(mint_trace_id(3, 7, 0), mint_trace_id(4, 7, 0));
+  EXPECT_NE(mint_trace_id(3, 7, 0), mint_trace_id(3, 7, 1));
+  EXPECT_NE(mint_trace_id(0, 0, 0), 0u);  // 0 is reserved for "untraced"
+}
+
+}  // namespace
+}  // namespace subsum::obs

@@ -144,7 +144,7 @@ TEST(EpochStaleness, HigherEpochAnnouncementEvictsZombieRowsAndStaleOnesAreDropp
     ASSERT_TRUE(ack.has_value());
     EXPECT_EQ(ack->kind, MsgKind::kSummaryAck);
   }
-  EXPECT_EQ(cluster.node(0).counters().value("summary.peer_superseded"), 1u);
+  EXPECT_EQ(cluster.node(0).metrics().counter_value("subsum_summary_peer_superseded_total"), 1u);
   EXPECT_EQ(cluster.node(0).snapshot().held_wire_bytes, empty_bytes);
 
   // A zombie of the OLD incarnation re-announcing the row is now stale:
@@ -162,7 +162,7 @@ TEST(EpochStaleness, HigherEpochAnnouncementEvictsZombieRowsAndStaleOnesAreDropp
     ASSERT_TRUE(ack.has_value());
     EXPECT_EQ(ack->kind, MsgKind::kSummaryAck);
   }
-  EXPECT_EQ(cluster.node(0).counters().value("summary.stale_dropped"), 1u);
+  EXPECT_EQ(cluster.node(0).metrics().counter_value("subsum_summary_stale_dropped_total"), 1u);
   EXPECT_EQ(cluster.node(0).snapshot().held_wire_bytes, empty_bytes);
 }
 
@@ -209,7 +209,7 @@ TEST(NodeRecovery, CorruptSnapshotFallsBackToLogAndKeepsServing) {
     Client client(node.port(), s, tight_client());
     client.subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "a").build());
     client.subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "b").build());
-    EXPECT_GE(node.counters().value("store.compactions"), 1u);
+    EXPECT_GE(node.metrics().counter_value("subsum_store_compactions_total"), 1u);
     client.subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "c").build());
     client.close();
     node.stop();
@@ -283,13 +283,13 @@ TEST(Redelivery, TtlExpiryIsCountedAndQueueDrains) {
   auto publisher = cluster.connect(0, tight_client());
   publisher->publish(EventBuilder(s).set("symbol", "ttl").build());
   ASSERT_EQ(cluster.node(0).snapshot().pending_redeliveries, 1u);
-  EXPECT_EQ(cluster.node(0).counters().value("redelivery.dropped_ttl"), 0u);
+  EXPECT_EQ(cluster.node(0).metrics().counter_value("subsum_redelivery_dropped_ttl_total"), 0u);
 
   // Each period retries the queued delivery against the dead owner and
   // decrements its ttl (default 8); it must age out — counted, not silent.
   for (int period = 0; period < 9; ++period) (void)cluster.run_propagation_period();
   EXPECT_EQ(cluster.node(0).snapshot().pending_redeliveries, 0u);
-  EXPECT_EQ(cluster.node(0).counters().value("redelivery.dropped_ttl"), 1u);
+  EXPECT_EQ(cluster.node(0).metrics().counter_value("subsum_redelivery_dropped_ttl_total"), 1u);
 }
 
 }  // namespace

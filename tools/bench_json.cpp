@@ -6,6 +6,7 @@
 //  * seed_match_us        — the pre-optimization match_reference() per event
 //  * match_us             — match() (per-thread scratch wrapper) per event
 //  * match_scratch_us     — match_into() with a reused caller scratch
+//  * match_latency_us     — per-event p50/p90/p99 through obs::Histogram
 //  * batch: events/sec at threads 1/2/4/8 through BatchMatcher
 //  * publish_batch: events/sec at threads 1/2/4/8 through
 //    SimSystem::publish_batch on the 24-broker backbone
@@ -20,6 +21,8 @@
 
 #include "core/batch_matcher.h"
 #include "core/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/topologies.h"
 #include "sim/system.h"
 #include "tool_args.h"
@@ -90,6 +93,17 @@ int main(int argc, char** argv) {
     for (const auto& e : events) sink += core::match_into(summary, e, scratch).size();
   });
 
+  // Per-event match-latency quantiles through the same obs::Histogram the
+  // live broker uses (log2 buckets, so quantiles are bucket upper bounds).
+  obs::Histogram match_hist;
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& e : events) {
+      const uint64_t t0 = obs::now_us();
+      sink += core::match_into(summary, e, scratch).size();
+      match_hist.observe(obs::now_us() - t0);
+    }
+  }
+
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
   std::vector<double> batch_eps;
   for (const size_t t : thread_counts) {
@@ -146,6 +160,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"match_scratch_us_per_event\": %.3f,\n", scratch_s / per_event * 1e6);
   std::fprintf(f, "    \"speedup_vs_seed\": %.2f\n", seed_s / scratch_s);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"match_latency_us\": {\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+               "\"count\": %llu},\n",
+               static_cast<unsigned long long>(match_hist.quantile(0.50)),
+               static_cast<unsigned long long>(match_hist.quantile(0.90)),
+               static_cast<unsigned long long>(match_hist.quantile(0.99)),
+               static_cast<unsigned long long>(match_hist.count()));
   const auto print_scaling = [&](const char* key, const std::vector<double>& eps,
                                  const char* tail) {
     std::fprintf(f, "  \"%s\": {\n", key);

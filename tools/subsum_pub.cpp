@@ -6,6 +6,7 @@
 // Each positional argument is one event (comma-separated attribute
 // assignments). publish() is synchronous through the whole distributed
 // walk, so when the tool exits every matched subscriber has been notified.
+#include <cstdio>
 #include <iostream>
 
 #include "config/config.h"
@@ -41,8 +42,16 @@ int main(int argc, char** argv) {
                        spec.schema);
     for (const auto& text : args.positional()) {
       const auto event = model::parse_event(spec.schema, text);
-      client.publish(event);
-      std::cout << "published " << event.to_string(spec.schema) << "\n";
+      const uint64_t trace = client.publish(event);
+      std::cout << "published " << event.to_string(spec.schema);
+      if (trace) {
+        // Hex trace id, scrapeable: subsum_stats --trace <id> pulls the
+        // event's span log from any broker on the walk.
+        char buf[20];
+        std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(trace));
+        std::cout << " trace=" << buf;
+      }
+      std::cout << "\n";
     }
   } catch (const model::ParseError& e) {
     std::cerr << "event parse error: " << e.what() << "\n";

@@ -1,0 +1,96 @@
+// subsum_stats — scrape a live broker's telemetry.
+//
+//   subsum_stats --port 7003                   # Prometheus text exposition
+//   subsum_stats --ports 7000,7001,7002        # several brokers in one run
+//   subsum_stats --port 7003 --trace all       # every retained span, JSONL
+//   subsum_stats --port 7003 --trace 9f3a...   # spans of one trace id (hex)
+//                [--max-spans N]               # newest N spans only
+//
+// Metrics come back in Prometheus text exposition format 0.0.4 (kStats),
+// ready for a scraper or grep; traces come back as JSON Lines (kTrace),
+// one span per line. Neither RPC needs the deployment's schema, so this
+// tool works against any subsum broker, version 3 or later.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/trace.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_stats --port P | --ports P0,P1,...\n"
+    "                    [--trace all|HEXID] [--max-spans N]\n";
+
+using namespace subsum;
+using namespace std::chrono_literals;
+
+net::Frame rpc(uint16_t port, net::MsgKind kind, std::span<const std::byte> payload,
+               net::MsgKind ack_kind) {
+  net::Socket s = net::connect_local(port, 2000ms);
+  s.set_send_timeout(5000ms);
+  s.set_recv_timeout(5000ms);
+  net::send_frame(s, kind, payload);
+  auto ack = net::recv_frame(s);
+  if (!ack || ack->kind != ack_kind) {
+    throw net::NetError("broker on port " + std::to_string(port) +
+                        " sent an unexpected reply");
+  }
+  return std::move(*ack);
+}
+
+int scrape_metrics(uint16_t port) {
+  const net::Frame f = rpc(port, net::MsgKind::kStats, {}, net::MsgKind::kStatsAck);
+  std::cout.write(reinterpret_cast<const char*>(f.payload.data()),
+                  static_cast<std::streamsize>(f.payload.size()));
+  return 0;
+}
+
+int fetch_trace(uint16_t port, uint64_t trace, uint32_t max_spans) {
+  const net::Frame f = rpc(port, net::MsgKind::kTrace,
+                           net::encode(net::TraceRequestMsg{trace, max_spans}),
+                           net::MsgKind::kTraceAck);
+  const auto reply = net::decode_trace_reply(f.payload);
+  std::cout << obs::to_jsonl(reply.spans);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+
+  std::vector<uint16_t> ports = args.flag_ports("ports");
+  if (const auto p = args.flag("port")) {
+    ports.push_back(static_cast<uint16_t>(std::stoul(*p)));
+  }
+  if (ports.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const auto trace_arg = args.flag("trace");
+  const auto max_spans = static_cast<uint32_t>(args.flag_u64("max-spans", 0));
+
+  int rc = 0;
+  for (size_t i = 0; i < ports.size(); ++i) {
+    try {
+      if (trace_arg) {
+        const uint64_t id =
+            *trace_arg == "all" ? 0 : std::strtoull(trace_arg->c_str(), nullptr, 16);
+        rc |= fetch_trace(ports[i], id, max_spans);
+      } else {
+        if (ports.size() > 1) std::cout << "# broker port " << ports[i] << "\n";
+        rc |= scrape_metrics(ports[i]);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "port " << ports[i] << ": " << e.what() << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
