@@ -13,6 +13,7 @@
 #include <set>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/matcher.h"
 #include "routing/event_router.h"
 #include "routing/propagation.h"
@@ -26,7 +27,7 @@ using overlay::BrokerId;
 
 namespace {
 
-void ablation_merged_summaries() {
+void ablation_merged_summaries(bench::JsonReport& report) {
   std::cout << "(a) merged summaries vs per-broker-only knowledge "
                "(mean brokers visited per event)\n\n";
   const auto schema = workload::stock_schema();
@@ -55,11 +56,15 @@ void ablation_merged_summaries() {
   stats::Table t({"configuration", "mean visits", "max visits"});
   t.row({"with Algorithm 2 (merged)", stats::fmt(with.mean()), stats::fmt(with.max())});
   t.row({"without (per-broker only)", stats::fmt(without.mean()), stats::fmt(without.max())});
+  report.row("merged.with_algorithm2", {"mean visits", "max visits"},
+             {with.mean(), with.max()});
+  report.row("merged.per_broker_only", {"mean visits", "max visits"},
+             {without.mean(), without.max()});
   t.print(std::cout);
   std::cout << "\n";
 }
 
-void ablation_aacs_mode() {
+void ablation_aacs_mode(bench::JsonReport& report) {
   // Workload shaped to separate the modes: the canonical wide range is
   // registered first (one early subscriber per range), then 2000 tight
   // windows inside it. Coarse absorbs every window into the wide row
@@ -103,13 +108,17 @@ void ablation_aacs_mode() {
            stats::fmt(static_cast<double>(st.nsr + st.ne)),
            stats::fmt(static_cast<double>(core::wire_size(summary, wire))),
            stats::fmt(fp.mean())});
+    report.row(mode == core::AacsMode::kCoarse ? "aacs.coarse" : "aacs.exact",
+               {"nsr_ne rows", "wire bytes", "false positive ids per event"},
+               {static_cast<double>(st.nsr + st.ne),
+                static_cast<double>(core::wire_size(summary, wire)), fp.mean()});
   }
   t.print(std::cout);
   std::cout << "(false positives are pruned by the owner's exact re-filter; "
                "they cost delivery bandwidth, not correctness)\n\n";
 }
 
-void ablation_sacs_policy() {
+void ablation_sacs_policy(bench::JsonReport& report) {
   std::cout << "(c) SACS generalization policy (rows/bytes vs string false "
                "positives)\n\n";
   const auto schema = workload::stock_schema();
@@ -156,12 +165,18 @@ void ablation_sacs_policy() {
     t.row({name, stats::fmt(static_cast<double>(summary.stats().nr)),
            stats::fmt(static_cast<double>(core::wire_size(summary, wire))),
            stats::fmt(fp.mean())});
+    const char* key = policy == core::GeneralizePolicy::kNone     ? "sacs.none"
+                      : policy == core::GeneralizePolicy::kSafe   ? "sacs.safe"
+                                                                  : "sacs.aggressive";
+    report.row(key, {"nr rows", "wire bytes", "false positive ids per event"},
+               {static_cast<double>(summary.stats().nr),
+                static_cast<double>(core::wire_size(summary, wire)), fp.mean()});
   }
   t.print(std::cout);
   std::cout << "\n";
 }
 
-void ablation_forwarding_policy() {
+void ablation_forwarding_policy(bench::JsonReport& report) {
   std::cout << "(d) BROCLI forwarding policy (paper §6 virtual degrees): walk "
                "length vs load concentration\n\n";
   const auto schema = workload::stock_schema();
@@ -192,6 +207,9 @@ void ablation_forwarding_policy() {
     for (size_t l : load) load_series.add(static_cast<double>(l));
     t.row({name, stats::fmt(visits.mean()), stats::fmt(load_series.max()),
            stats::fmt(load_series.stddev())});
+    report.row(std::string("forward.") + bench::metric_key(name),
+               {"mean visits", "hottest broker visits", "stddev of load"},
+               {visits.mean(), load_series.max(), load_series.stddev()});
   };
 
   run("highest-degree (paper)", {}, false);
@@ -210,7 +228,7 @@ void ablation_forwarding_policy() {
   std::cout << "\n";
 }
 
-void ablation_propagation_variant() {
+void ablation_propagation_variant(bench::JsonReport& report) {
   std::cout << "(e) Algorithm-2 ambiguity: neighbor preference x delivery "
                "timing (walk length the BROCLI phase inherits)\n\n";
   const auto schema = workload::stock_schema();
@@ -235,6 +253,12 @@ void ablation_propagation_variant() {
                                                                   : "largest",
              immediate ? "immediate (sequential)" : "deferred (strict)",
              stats::fmt(static_cast<double>(state.hops())), stats::fmt(visits.mean())});
+      const std::string key =
+          std::string("prop.") +
+          (pref == routing::NeighborPreference::kSmallestDegree ? "smallest" : "largest") +
+          (immediate ? "_immediate" : "_deferred");
+      report.row(key, {"prop hops", "mean walk visits"},
+                 {static_cast<double>(state.hops()), visits.mean()});
     }
   }
   t.print(std::cout);
@@ -246,10 +270,12 @@ void ablation_propagation_variant() {
 int main() {
   std::cout << "Ablation benches over DESIGN.md design choices\n"
                "==============================================\n\n";
-  ablation_merged_summaries();
-  ablation_aacs_mode();
-  ablation_sacs_policy();
-  ablation_forwarding_policy();
-  ablation_propagation_variant();
+  subsum::bench::JsonReport report("ablations");
+  ablation_merged_summaries(report);
+  ablation_aacs_mode(report);
+  ablation_sacs_policy(report);
+  ablation_forwarding_policy(report);
+  ablation_propagation_variant(report);
+  report.write();
   return 0;
 }

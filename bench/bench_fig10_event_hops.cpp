@@ -17,6 +17,7 @@
 #include <set>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "overlay/spanning_tree.h"
 #include "routing/event_router.h"
 #include "routing/propagation.h"
@@ -42,6 +43,10 @@ int main() {
   std::cout << "Figure 10: mean hops per event to reach all matched brokers, "
             << events << " events on the 24-broker backbone\n\n";
   stats::Table table({"popularity%", "ours", "ours(forward)", "ours(deliver)", "siena"});
+  bench::JsonReport report("fig10");
+  report.meta("brokers", static_cast<double>(n));
+  report.meta("events", static_cast<double>(events));
+  report.meta("unit", "mean hops per event");
 
   for (int pop : {10, 25, 50, 75, 90}) {
     util::Rng rng(1000 + pop);
@@ -93,8 +98,12 @@ int main() {
     }
     table.rowf({static_cast<double>(pop), ours.mean(), fwd.mean(), del.mean(),
                 siena.mean()});
+    report.row("popularity_" + std::to_string(pop),
+               {"ours", "ours(forward)", "ours(deliver)", "siena"},
+               {ours.mean(), fwd.mean(), del.mean(), siena.mean()});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\npaper check: ours below Siena for popularities <= ~75%, "
                "Siena better at 90% (its tree saturates at n-1 = 23 edges)\n";
   return 0;

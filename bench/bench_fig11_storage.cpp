@@ -11,6 +11,7 @@
 
 #include "baseline/broadcast.h"
 #include "bench_common.h"
+#include "bench_report.h"
 #include "routing/propagation.h"
 #include "siena/siena_network.h"
 #include "stats/stats.h"
@@ -24,8 +25,15 @@ int main() {
 
   std::cout << "Figure 11: total subscription storage across the 24 brokers "
                "(bytes)\n\n";
+  const std::vector<std::string> cols = {"broadcast",   "siena@10%",
+                                         "summary@10%", "siena@90%",
+                                         "summary@90%", "siena/summary@10%",
+                                         "siena/summary@90%"};
   stats::Table table({"S/broker", "broadcast", "siena@10%", "summary@10%", "siena@90%",
                       "summary@90%", "siena/summary@10%", "siena/summary@90%"});
+  bench::JsonReport report("fig11");
+  report.meta("brokers", static_cast<double>(g.size()));
+  report.meta("unit", "total stored bytes across brokers");
 
   for (size_t s_per_broker : {10u, 50u, 100u, 250u, 500u, 1000u}) {
     const double broadcast = static_cast<double>(
@@ -58,8 +66,11 @@ int main() {
     const double m10 = summary_storage(0.10), m90 = summary_storage(0.90);
     table.rowf({static_cast<double>(s_per_broker), broadcast, s10, m10, s90, m90,
                 s10 / m10, s90 / m90});
+    report.row("s_" + std::to_string(s_per_broker), cols,
+               {broadcast, s10, m10, s90, m90, s10 / m10, s90 / m90});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\npaper check: siena@10% close to broadcast; summary 2-5x "
                "below siena at matching subsumption\n";
   return 0;

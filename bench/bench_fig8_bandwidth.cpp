@@ -12,6 +12,7 @@
 
 #include "baseline/broadcast.h"
 #include "bench_common.h"
+#include "bench_report.h"
 #include "routing/propagation.h"
 #include "siena/siena_network.h"
 #include "stats/stats.h"
@@ -26,8 +27,15 @@ int main() {
 
   std::cout << "Figure 8: bandwidth (bytes) for subscription propagation, "
                "24-broker backbone, one period\n\n";
+  const std::vector<std::string> cols = {"broadcast",   "siena@10%",
+                                         "summary@10%", "siena@90%",
+                                         "summary@90%", "siena/summary@10%",
+                                         "siena/summary@90%"};
   stats::Table table({"sigma", "broadcast", "siena@10%", "summary@10%", "siena@90%",
                       "summary@90%", "siena/summary@10%", "siena/summary@90%"});
+  bench::JsonReport report("fig8");
+  report.meta("brokers", static_cast<double>(g.size()));
+  report.meta("unit", "bytes per propagation period");
 
   for (size_t sigma : {10u, 50u, 100u, 250u, 500u, 1000u}) {
     const double broadcast = baseline::broadcast_bandwidth_formula(
@@ -53,8 +61,11 @@ int main() {
     const double m10 = summary_bytes(0.10), m90 = summary_bytes(0.90);
     table.rowf({static_cast<double>(sigma), broadcast, s10, m10, s90, m90, s10 / m10,
                 s90 / m90});
+    report.row("sigma_" + std::to_string(sigma), cols,
+               {broadcast, s10, m10, s90, m90, s10 / m10, s90 / m90});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\npaper check: broadcast orders of magnitude above both; "
                "siena/summary ratio in the 4-8x band; summary curves nearly flat\n";
   return 0;

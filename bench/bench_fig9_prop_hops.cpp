@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "routing/propagation.h"
 #include "siena/siena_network.h"
 #include "stats/stats.h"
@@ -29,6 +30,10 @@ int main() {
   std::cout << "Figure 9: mean hops per propagation period (one new subscription "
                "per broker), 24-broker backbone\n\n";
   stats::Table table({"subsumption%", "siena", "ours"});
+  bench::JsonReport report("fig9");
+  report.meta("brokers", static_cast<double>(g.size()));
+  report.meta("periods", static_cast<double>(periods));
+  report.meta("unit", "mean hops per propagation period");
 
   for (double p : {0.10, 0.25, 0.50, 0.75, 0.90}) {
     stats::Series siena_hops;
@@ -41,8 +46,11 @@ int main() {
     const auto own = bench::delta_summaries(schema, g.size(), 1, p, 7);
     const auto ours = routing::propagate(g, own, wire).hops();
     table.rowf({p * 100, siena_hops.mean(), static_cast<double>(ours)});
+    report.row("subsumption_" + std::to_string(static_cast<int>(p * 100)),
+               {"siena", "ours"}, {siena_hops.mean(), static_cast<double>(ours)});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\nworst case for Siena at 0% subsumption would be "
             << g.size() * (g.size() - 1) << " hops (24 x 23, paper §5.2.1); "
             << "ours stays below " << g.size() << " regardless\n";

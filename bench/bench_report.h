@@ -1,0 +1,109 @@
+// Machine-readable output for the figure benches: every bench_fig* /
+// bench_ablations run also writes BENCH_<name>.json (same spirit as
+// tools/bench_json's BENCH_matching.json), so tools/check_bench.py can
+// gate the paper curves against committed baselines.
+//
+// The fig benches are deterministic (fixed seeds, count/byte metrics, no
+// wall-clock timings), so fresh runs reproduce the baseline numbers
+// exactly at the same SUBSUM_BENCH_SCALE and tolerance bands can be tight.
+//
+// Output goes to $SUBSUM_BENCH_JSON_DIR (if set) or the working directory.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace subsum::bench {
+
+/// Canonical metric-key fragment: lowercase, alnum words joined by '_'
+/// ("siena/summary@10%" -> "siena_summary_10", "ours(forward)" ->
+/// "ours_forward"). '.' is kept as the prefix separator.
+inline std::string metric_key(std::string_view s) {
+  std::string out;
+  bool pending_sep = false;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (c == '.') {
+      out += '.';
+      pending_sep = false;
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, "\"" + value + "\"");
+  }
+  void meta(const std::string& key, double value) {
+    meta_.emplace_back(key, fmt(value));
+  }
+
+  void metric(std::string_view key, double value) {
+    metrics_.emplace_back(metric_key(key), value);
+  }
+
+  /// One table row: emits "<prefix>.<column>" for each column/value pair
+  /// (pass the data columns only, not the row-label column).
+  void row(std::string_view prefix, const std::vector<std::string>& columns,
+           const std::vector<double>& values) {
+    const size_t n = columns.size() < values.size() ? columns.size() : values.size();
+    for (size_t i = 0; i < n; ++i) {
+      metric(std::string(metric_key(prefix)) + "." + metric_key(columns[i]), values[i]);
+    }
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a stderr note) on I/O
+  /// failure so benches can keep their human-readable output regardless.
+  bool write() const {
+    std::string dir;
+    if (const char* d = std::getenv("SUBSUM_BENCH_JSON_DIR")) dir = d;
+    const std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"workload\": {", name_.c_str());
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i ? ", " : "", meta_[i].first.c_str(),
+                   meta_[i].second.c_str());
+    }
+    std::fprintf(f, "},\n  \"metrics\": {\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %s%s\n", metrics_[i].first.c_str(),
+                   fmt(metrics_[i].second).c_str(), i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string fmt(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace subsum::bench

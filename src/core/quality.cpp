@@ -1,0 +1,136 @@
+#include "core/quality.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace subsum::core {
+
+namespace {
+
+// FNV-1a, 64-bit: simple, stable across platforms, and good enough to make
+// the 1-in-2^shift sample behave like an unbiased draw on real workloads.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t fnv_bytes(uint64_t h, const void* data, size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+uint64_t fnv_u64(uint64_t h, uint64_t v) noexcept { return fnv_bytes(h, &v, sizeof v); }
+
+}  // namespace
+
+uint64_t event_hash(const model::Event& event) noexcept {
+  // Event attrs are stored sorted by AttrId with at most one value each, so
+  // hashing in storage order is hashing in canonical order.
+  uint64_t h = kFnvOffset;
+  for (const auto& a : event.attrs()) {
+    h = fnv_u64(h, a.attr);
+    h = fnv_u64(h, static_cast<uint64_t>(a.value.type()));
+    switch (a.value.type()) {
+      case model::AttrType::kInt:
+        h = fnv_u64(h, static_cast<uint64_t>(a.value.as_int()));
+        break;
+      case model::AttrType::kFloat: {
+        const double d = a.value.as_float();
+        h = fnv_bytes(h, &d, sizeof d);
+        break;
+      }
+      case model::AttrType::kString: {
+        const std::string& s = a.value.as_string();
+        h = fnv_u64(h, s.size());
+        h = fnv_bytes(h, s.data(), s.size());
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+QualityProbe::QualityProbe(obs::MetricsRegistry& reg, SampleConfig cfg)
+    : cfg_(cfg),
+      sampled_(reg.counter("subsum_quality_sampled_events_total")),
+      candidates_(reg.counter("subsum_quality_candidate_ids_total")),
+      exact_(reg.counter("subsum_quality_exact_ids_total")),
+      false_pos_(reg.counter("subsum_summary_false_positive_ids_total")),
+      divergence_(reg.counter("subsum_quality_engine_divergence_total")),
+      precision_g_(reg.fgauge("subsum_summary_precision")) {
+  precision_g_->set(1.0);
+}
+
+void QualityProbe::record(size_t candidate_ids, size_t exact_ids,
+                          bool engine_diverged) const noexcept {
+  if (exact_ids > candidate_ids) {  // impossible by construction; never hide it
+    engine_diverged = true;
+    exact_ids = candidate_ids;
+  }
+  sampled_->inc();
+  candidates_->inc(candidate_ids);
+  exact_->inc(exact_ids);
+  false_pos_->inc(candidate_ids - exact_ids);
+  if (engine_diverged) divergence_->inc();
+  precision_g_->set(precision());
+}
+
+double QualityProbe::precision() const noexcept {
+  const uint64_t cand = candidates_->value();
+  if (cand == 0) return 1.0;
+  return static_cast<double>(exact_->value()) / static_cast<double>(cand);
+}
+
+namespace {
+
+// `base{k1="v1"[,k2="v2"]}` with values escaped; empty values drop the pair.
+std::string labeled2(std::string_view base, std::string_view k1, std::string_view v1,
+                     std::string_view k2, std::string_view v2) {
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : {std::pair{k1, v1}, std::pair{k2, v2}}) {
+    if (v.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    out.append(k).append("=\"").append(obs::escape_label_value(v)).append("\"");
+  }
+  if (first) return std::string(base);  // no labels at all
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void export_row_occupancy(obs::MetricsRegistry& reg, const BrokerSummary& summary,
+                          std::string_view broker) {
+  const model::Schema& schema = summary.schema();
+  for (model::AttrId id = 0; id < schema.attr_count(); ++id) {
+    obs::Histogram* h = reg.histogram(labeled2("subsum_summary_row_ids", "attr",
+                                               schema.spec(id).name, "broker", broker));
+    h->reset();
+    if (model::is_arithmetic(schema.type_of(id))) {
+      for (const auto& piece : summary.aacs(id).pieces()) h->observe(piece.ids.size());
+    } else {
+      for (const auto& row : summary.sacs(id).rows()) h->observe(row.ids.size());
+    }
+  }
+}
+
+double export_model_drift(obs::MetricsRegistry& reg, const BrokerSummary& summary,
+                          const WireConfig& wire, const PaperSizeParams& params,
+                          std::string_view broker) {
+  const auto name = [broker](std::string_view base) {
+    return broker.empty() ? std::string(base) : obs::labeled(base, "broker", broker);
+  };
+  const size_t actual = wire_size(summary, wire);
+  const size_t predicted = paper_size(summary.stats(), params, /*measured_ssv=*/true).total();
+  const double ratio =
+      predicted == 0 ? 0.0 : static_cast<double>(actual) / static_cast<double>(predicted);
+  reg.gauge(name("subsum_summary_wire_bytes"))->set(static_cast<int64_t>(actual));
+  reg.gauge(name("subsum_summary_model_bytes"))->set(static_cast<int64_t>(predicted));
+  reg.fgauge(name("subsum_summary_model_drift_ratio"))->set(ratio);
+  return ratio;
+}
+
+}  // namespace subsum::core

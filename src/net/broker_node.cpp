@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <thread>
 
+#ifndef SUBSUM_VERSION_STRING
+#define SUBSUM_VERSION_STRING "dev"
+#endif
+
 namespace subsum::net {
 
 using model::SubId;
@@ -15,7 +19,10 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
             cfg_.numeric_width},
       listener_(cfg_.port),
       held_(cfg_.schema, cfg_.policy),
-      trace_ring_(cfg_.trace_capacity) {
+      trace_ring_(cfg_.trace_capacity),
+      probe_(metrics_, core::SampleConfig{cfg_.quality_sample_shift}),
+      walk_metrics_(metrics_),
+      started_at_(std::chrono::steady_clock::now()) {
   if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
   merged_brokers_ = {cfg_.id};
   communicated_.assign(cfg_.graph.size(), 0);
@@ -37,6 +44,11 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
     hist_peer_rpc_[b] = metrics_.histogram("subsum_peer_rpc_latency_us" + label);
     ctr_peer_retries_[b] = metrics_.counter("subsum_peer_rpc_retries_total" + label);
   }
+  // Incarnation identity for fleet collectors: constant-1 build_info with
+  // the version baked into a label, plus uptime/epoch gauges (refreshed on
+  // every kStats scrape) so rows can be keyed by (broker, incarnation).
+  metrics_.gauge(obs::labeled("subsum_build_info", "version", SUBSUM_VERSION_STRING))->set(1);
+  metrics_.gauge("subsum_uptime_seconds")->set(0);
 
   if (!cfg_.data_dir.empty()) {
     // Recovery runs to completion before the listener thread starts, so
@@ -283,6 +295,7 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
   msg.trace = obs::mint_trace_id(cfg_.id, msg.seq, obs::now_us());
   const uint64_t trace = msg.trace;
   ctr_publishes_->inc();
+  walk_metrics_.walks->inc();  // a walk is rooted at the publish edge
   walk_step(std::move(msg), f.payload.size());
   util::BufWriter w;
   w.put_u64(trace);
@@ -333,6 +346,10 @@ void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
       std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
                      msg.merged_brokers.end(), std::back_inserter(merged));
       merged_brokers_ = std::move(merged);
+      // The held image changed: refresh wire-vs-model drift and the
+      // per-attribute row-occupancy distributions while it is current.
+      core::export_model_drift(metrics_, held_, wire_);
+      core::export_row_occupancy(metrics_, held_);
     }
     if (msg.from < communicated_.size()) communicated_[msg.from] = 1;
   }
@@ -460,6 +477,17 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
   metrics_.gauge("subsum_held_wire_bytes")->set(static_cast<int64_t>(snap.held_wire_bytes));
   metrics_.gauge("subsum_epoch")->set(static_cast<int64_t>(snap.epoch));
   gauge_redelivery_depth_->set(static_cast<int64_t>(snap.pending_redeliveries));
+  metrics_.gauge("subsum_uptime_seconds")
+      ->set(std::chrono::duration_cast<std::chrono::seconds>(std::chrono::steady_clock::now() -
+                                                             started_at_)
+                .count());
+  {
+    // Quality exports track subscribes too, not just merges, so a scrape
+    // is always current.
+    std::lock_guard lk(mu_);
+    core::export_model_drift(metrics_, held_, wire_);
+    core::export_row_occupancy(metrics_, held_);
+  }
   const std::string text = metrics_.prometheus_text();
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kStatsAck,
@@ -484,6 +512,7 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
     trace_ring_.append({trace, cfg_.id, obs::Phase::kRecv, obs::Span::kNoPeer,
                         obs::now_us(), frame_bytes});
   }
+  walk_metrics_.visits->inc();  // this broker examines the event
   // Snapshot what we need under the lock; all networking happens after.
   std::vector<SubId> matched;
   std::vector<BrokerId> merged;
@@ -493,6 +522,18 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
     matched = core::match(held_, msg.event);
     hist_match_->observe(obs::now_us() - t0);
     merged = merged_brokers_;
+    // Shadow-sampled quality probe: a broker can verify exactly only its
+    // OWN subscriptions (the home table is the oracle; summaries never
+    // lose matches, so exact ⊆ summary-local). Sampled events also get a
+    // match_into-vs-match_reference differential run on the held summary.
+    if (probe_.should_sample(msg.event)) {
+      const size_t local_candidates = static_cast<size_t>(std::count_if(
+          matched.begin(), matched.end(),
+          [this](const SubId& id) { return id.broker == cfg_.id; }));
+      const size_t local_exact = home_.match(msg.event).size();
+      const bool diverged = core::match_reference(held_, msg.event) != matched;
+      probe_.record(local_candidates, local_exact, diverged);
+    }
   }
   if (trace) {
     // bytes carries the matched-id count for match spans (there is no
@@ -541,6 +582,7 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
       const uint64_t frame_size = payload.size();
       try {
         send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck, {}, trace);
+        walk_metrics_.delivery_hops->inc();
         if (trace) {
           trace_ring_.append({trace, cfg_.id, obs::Phase::kDeliver, owner,
                               obs::now_us(), frame_size});
@@ -548,6 +590,7 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
       } catch (const PeerUnreachable&) {
         // The owner is down: keep the delivery for the redelivery pass so
         // a restarted broker (whose client re-attached) still hears it.
+        walk_metrics_.undeliverable->inc();
         queue_redelivery(PendingDelivery{owner, std::move(payload), cfg_.redelivery_ttl, trace});
       }
     }
@@ -572,12 +615,16 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
     const auto payload = encode(msg, cfg_.schema);
     try {
       send_to_peer_sync(*next, MsgKind::kEvent, payload, MsgKind::kEventAck, ack_budget, trace);
+      walk_metrics_.forward_hops->inc();
       if (trace) {
         trace_ring_.append({trace, cfg_.id, obs::Phase::kForward, *next,
                             obs::now_us(), payload.size()});
       }
       return;
     } catch (const PeerUnreachable&) {
+      // Unexamined re-select: the hop is marked in BROCLI without its
+      // subscriptions having been examined, and the walk degrades.
+      walk_metrics_.reselects->inc();
       bitmap_set(msg.brocli, *next);
     }
   }

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "core/quality.h"
 #include "core/serialize.h"
 #include "model/schema.h"
 #include "net/framing.h"
@@ -64,6 +65,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/graph.h"
+#include "routing/event_router.h"
 #include "routing/propagation.h"
 #include "store/broker_store.h"
 #include "util/backoff.h"
@@ -108,6 +110,10 @@ struct BrokerConfig {
   int redelivery_ttl = 8;
   /// Spans retained in the trace ring (obs/trace.h); oldest overwritten.
   size_t trace_capacity = 4096;
+  /// Shadow-sampling fraction for the summary-quality probe: 1 in
+  /// 2^quality_sample_shift events (by deterministic content hash) re-run
+  /// the exact local oracle next to the summary match (core/quality.h).
+  uint32_t quality_sample_shift = 6;
 };
 
 class BrokerNode {
@@ -276,6 +282,9 @@ class BrokerNode {
   // registration lock. All internally synchronized.
   obs::MetricsRegistry metrics_;
   obs::TraceRing trace_ring_;
+  core::QualityProbe probe_;          // shadow-sampled FP probe (quality.h)
+  routing::WalkMetrics walk_metrics_;  // BROCLI walk-efficiency counters
+  std::chrono::steady_clock::time_point started_at_;  // for subsum_uptime_seconds
   obs::Counter* ctr_publishes_ = nullptr;       // subsum_publishes_total
   obs::Counter* ctr_stale_ = nullptr;           // subsum_summary_stale_dropped_total
   obs::Counter* ctr_superseded_ = nullptr;      // subsum_summary_peer_superseded_total

@@ -6,6 +6,26 @@
 
 namespace subsum::obs {
 
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled(std::string_view name, std::string_view key, std::string_view value) {
+  std::string out(name);
+  out.append("{").append(key).append("=\"").append(escape_label_value(value)).append("\"}");
+  return out;
+}
+
 uint64_t Histogram::quantile(double q) const noexcept {
   const auto counts = snapshot();
   uint64_t total = 0;
@@ -28,6 +48,12 @@ std::array<uint64_t, Histogram::kBuckets + 1> Histogram::snapshot() const noexce
   return out;
 }
 
+void Histogram::reset() noexcept {
+  for (size_t i = 0; i <= kBuckets; ++i) buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard lk(mu_);
   auto it = counters_.find(name);
@@ -42,6 +68,15 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+FGauge* MetricsRegistry::fgauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = fgauges_.find(name);
+  if (it == fgauges_.end()) {
+    it = fgauges_.emplace(std::string(name), std::make_unique<FGauge>()).first;
   }
   return it->second.get();
 }
@@ -97,6 +132,10 @@ std::string MetricsRegistry::prometheus_text() const {
     os << name << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
+    type_line(os, &last, name, "gauge");
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, g] : fgauges_) {
     type_line(os, &last, name, "gauge");
     os << name << " " << g->value() << "\n";
   }

@@ -35,6 +35,15 @@
 
 namespace subsum::obs {
 
+/// Escapes a label VALUE per Prometheus text exposition format 0.0.4:
+/// `\` -> `\\`, `"` -> `\"`, newline -> `\n`. Apply before baking a value
+/// into a metric name's label block; obs::parse_prometheus_text reverses it.
+std::string escape_label_value(std::string_view v);
+
+/// Builds `name{key="value"}` with the value escaped — the registry's
+/// baked-label naming convention, made safe for arbitrary values.
+std::string labeled(std::string_view name, std::string_view key, std::string_view value);
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -74,6 +83,26 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
+/// Instantaneous floating-point level (ratios, precision fractions). The
+/// double travels as its bit pattern through one relaxed atomic, so set()
+/// stays lock-free and tear-free.
+class FGauge {
+ public:
+  void set(double v) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    v_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(v_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> v_{std::bit_cast<uint64_t>(0.0)};
+};
+
 /// Log-scale histogram: 64 fixed buckets, bucket i counts values whose
 /// bit-width is i (upper bound 2^i - ... effectively le 2^(i-1) for i>=1;
 /// bucket 0 counts zeros). Quantiles are reported as the upper bound of
@@ -102,6 +131,12 @@ class Histogram {
   /// Per-bucket counts (index = bit width of the value, 0..64).
   [[nodiscard]] std::array<uint64_t, kBuckets + 1> snapshot() const noexcept;
 
+  /// Zeroes every bucket plus count and sum. Not linearizable against a
+  /// concurrent observe(); intended for distributions that are REcomputed
+  /// from scratch on the admin path (e.g. summary row occupancy, refreshed
+  /// on every scrape/merge) rather than accumulated.
+  void reset() noexcept;
+
   /// Upper bound of bucket i: 0 for i=0, else 2^i - 1.
   static constexpr uint64_t bucket_bound(size_t i) noexcept {
     return i == 0 ? 0 : (i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1);
@@ -126,6 +161,7 @@ class MetricsRegistry {
   /// the same name return the same object.
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
+  FGauge* fgauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
   /// Current value of a counter, 0 when never registered (test helper).
@@ -145,6 +181,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;  // registration + snapshot only, never per-sample
   Map<Counter> counters_;
   Map<Gauge> gauges_;
+  Map<FGauge> fgauges_;
   Map<Histogram> histograms_;
 };
 

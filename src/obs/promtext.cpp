@@ -1,0 +1,114 @@
+#include "obs/promtext.h"
+
+#include <cstdlib>
+
+namespace subsum::obs {
+
+namespace {
+
+bool is_space(char c) noexcept { return c == ' ' || c == '\t'; }
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && (is_space(s.back()) || s.back() == '\r')) s.remove_suffix(1);
+  return s;
+}
+
+/// Parses `k="v",...}` starting after the '{'; advances `pos` past the '}'.
+/// Returns false on malformed input.
+bool parse_labels(std::string_view line, size_t& pos,
+                  std::vector<std::pair<std::string, std::string>>& out) {
+  while (pos < line.size()) {
+    while (pos < line.size() && (is_space(line[pos]) || line[pos] == ',')) ++pos;
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    const size_t eq = line.find('=', pos);
+    if (eq == std::string_view::npos) return false;
+    std::string key(trim(line.substr(pos, eq - pos)));
+    size_t q = eq + 1;
+    while (q < line.size() && is_space(line[q])) ++q;
+    if (q >= line.size() || line[q] != '"') return false;
+    ++q;  // past the opening quote
+    std::string raw;
+    while (q < line.size() && line[q] != '"') {
+      if (line[q] == '\\' && q + 1 < line.size()) {
+        raw += line[q];
+        raw += line[q + 1];
+        q += 2;
+      } else {
+        raw += line[q++];
+      }
+    }
+    if (q >= line.size()) return false;  // unterminated value
+    ++q;                                 // past the closing quote
+    out.emplace_back(std::move(key), unescape_label_value(raw));
+    pos = q;
+  }
+  return false;  // no closing '}'
+}
+
+}  // namespace
+
+std::string unescape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != '\\' || i + 1 >= v.size()) {
+      out += v[i];
+      continue;
+    }
+    switch (v[++i]) {
+      case '\\': out += '\\'; break;
+      case '"': out += '"'; break;
+      case 'n': out += '\n'; break;
+      default:  // unknown escape: keep verbatim
+        out += '\\';
+        out += v[i];
+    }
+  }
+  return out;
+}
+
+const std::string* PromSample::label(std::string_view key) const noexcept {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<PromSample> parse_prometheus_text(std::string_view text) {
+  std::vector<PromSample> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? std::string_view::npos : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    PromSample s;
+    size_t pos = 0;
+    while (pos < line.size() && !is_space(line[pos]) && line[pos] != '{') ++pos;
+    if (pos == 0) continue;
+    s.name.assign(line.substr(0, pos));
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      if (!parse_labels(line, pos, s.labels)) continue;
+    }
+    const std::string_view rest = trim(line.substr(pos));
+    if (rest.empty()) continue;
+    // `value [timestamp]` — strtod stops at the first space by itself.
+    const std::string value_str(rest);
+    char* end = nullptr;
+    s.value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str()) continue;  // not a number
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace subsum::obs

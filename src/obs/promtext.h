@@ -1,0 +1,38 @@
+// Parser for the Prometheus text exposition format 0.0.4 — the inverse of
+// MetricsRegistry::prometheus_text(). One implementation serves both the
+// fleet collector (tools/subsum_top scrapes live brokers) and the escaping
+// round-trip tests, so writer and reader cannot drift apart silently.
+//
+// Scope: the subset the registry emits plus standard-conforming variants —
+// `name value`, `name{k="v",...} value [timestamp]`, `# TYPE` / `# HELP` /
+// comment lines, label values with `\\` `\"` `\n` escapes. Malformed lines
+// are skipped, not fatal: a scrape of a half-written or foreign exposition
+// should degrade to the parseable samples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace subsum::obs {
+
+/// Reverses escape_label_value(): `\\` -> `\`, `\"` -> `"`, `\n` -> newline.
+/// Unknown escapes keep the backslash verbatim (lenient, like Prometheus).
+std::string unescape_label_value(std::string_view v);
+
+/// One parsed sample line.
+struct PromSample {
+  std::string name;  // metric name without the label block
+  std::vector<std::pair<std::string, std::string>> labels;  // unescaped, in order
+  double value = 0;
+
+  /// Value of a label, or nullptr when absent.
+  [[nodiscard]] const std::string* label(std::string_view key) const noexcept;
+};
+
+/// Parses a full exposition. Comment/TYPE/HELP and malformed lines are
+/// skipped; sample order is preserved.
+std::vector<PromSample> parse_prometheus_text(std::string_view text);
+
+}  // namespace subsum::obs

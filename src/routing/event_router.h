@@ -26,6 +26,7 @@
 
 #include "core/matcher.h"
 #include "model/event.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "routing/propagation.h"
 
@@ -62,6 +63,39 @@ struct RouteResult {
 
   /// All matched subscription ids across deliveries, sorted.
   [[nodiscard]] std::vector<model::SubId> matched_ids() const;
+};
+
+/// BROCLI walk-efficiency counters (the observatory's routing probe):
+/// how many brokers a walk visits, how many forward vs delivery messages
+/// it sends, and how often it had to re-select around a down broker
+/// (marked unexamined in BROCLI). Pre-registers stable handles so fold()
+/// is a handful of relaxed atomic adds — callable per publish.
+struct WalkMetrics {
+  explicit WalkMetrics(obs::MetricsRegistry& reg)
+      : walks(reg.counter("subsum_walk_total")),
+        visits(reg.counter("subsum_walk_visits_total")),
+        forward_hops(reg.counter("subsum_walk_forward_hops_total")),
+        delivery_hops(reg.counter("subsum_walk_delivery_hops_total")),
+        reselects(reg.counter("subsum_walk_reselects_total")),
+        undeliverable(reg.counter("subsum_walk_undeliverable_total")) {}
+
+  /// Folds one finished walk into the counters. (const: mutation happens
+  /// through the stable registry handles, so const publish paths may fold.)
+  void fold(const RouteResult& r) const noexcept {
+    walks->inc();
+    visits->inc(r.visited.size());
+    forward_hops->inc(r.forward_hops);
+    delivery_hops->inc(r.delivery_hops);
+    reselects->inc(r.skipped.size());
+    undeliverable->inc(r.undeliverable.size());
+  }
+
+  obs::Counter* walks;
+  obs::Counter* visits;
+  obs::Counter* forward_hops;
+  obs::Counter* delivery_hops;
+  obs::Counter* reselects;      // down brokers bypassed, re-selected around
+  obs::Counter* undeliverable;  // matches owned by down brokers
 };
 
 /// Which broker the walk forwards to next (§4.3 notes "a number of

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "siena/covering.h"
 
@@ -28,7 +29,9 @@ SimSystem::SimSystem(SystemConfig cfg)
       wire_{model::SubIdCodec(static_cast<uint32_t>(cfg_.graph.size()),
                               cfg_.max_subs_per_broker, cfg_.schema.attr_count()),
             cfg_.numeric_width},
-      trace_ring_(cfg_.trace_capacity) {
+      trace_ring_(cfg_.trace_capacity),
+      walk_metrics_(metrics_),
+      probe_(metrics_, core::SampleConfig{cfg_.quality_sample_shift}) {
   const size_t n = cfg_.graph.size();
   if (n == 0) throw std::invalid_argument("system needs at least one broker");
   home_.resize(n);
@@ -120,6 +123,13 @@ routing::PropagationResult SimSystem::run_propagation_period() {
     state_.merged_brokers[b] = std::move(merged);
   }
   delta_.assign(broker_count(), core::BrokerSummary(cfg_.schema, cfg_.policy, cfg_.arith_mode));
+  // Summary-quality exports, refreshed while the merged images are fresh:
+  // wire-vs-model drift and per-attribute row occupancy, per broker.
+  for (BrokerId b = 0; b < broker_count(); ++b) {
+    const std::string label = std::to_string(b);
+    core::export_model_drift(metrics_, state_.held[b], wire_, {}, label);
+    core::export_row_occupancy(metrics_, state_.held[b], label);
+  }
   return period;
 }
 
@@ -227,6 +237,27 @@ SimSystem::PublishOutcome SimSystem::publish_one(BrokerId origin, const model::E
   }
   std::sort(out.candidates.begin(), out.candidates.end());
   std::sort(out.delivered.begin(), out.delivered.end());
+
+  // Observatory probes: walk-efficiency counters on every publish, plus the
+  // shadow-sampled quality probe. `delivered` IS the exact oracle result
+  // (home-table re-filter), so the sampled FP count is candidates−delivered;
+  // the sampled events additionally get a match_into-vs-match_reference
+  // differential run per visited broker (expected always equal). Counter
+  // mutation is relaxed-atomic, so the const publish path and concurrent
+  // publish_batch shards record safely; totals are commutative and thus
+  // identical for every sharding.
+  walk_metrics_.fold(out.route);
+  if (!cfg_.combine_subsumption && probe_.should_sample(event)) {
+    bool diverged = false;
+    for (const BrokerId b : out.route.visited) {
+      if (core::match(state_.held[b], event) !=
+          core::match_reference(state_.held[b], event)) {
+        diverged = true;
+        break;
+      }
+    }
+    probe_.record(out.candidates.size(), out.delivered.size(), diverged);
+  }
   return out;
 }
 

@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "core/quality.h"
 #include "core/serialize.h"
 #include "model/event.h"
 #include "model/subscription.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/graph.h"
 #include "routing/event_router.h"
@@ -62,6 +64,13 @@ struct SystemConfig {
   /// into the ring in event order at the barrier.
   bool trace = false;
   size_t trace_capacity = 4096;
+  /// Shadow-sampling fraction for the summary-quality probe: 1 in
+  /// 2^quality_sample_shift events (by deterministic content hash) get the
+  /// exact oracle re-run next to the summary match, feeding
+  /// subsum_summary_false_positive_ids_total / subsum_summary_precision in
+  /// metrics(). The sampled SET is identical across runs and shardings.
+  /// Skipped under combine_subsumption (delivery semantics differ there).
+  uint32_t quality_sample_shift = 6;
 };
 
 class SimSystem {
@@ -136,6 +145,17 @@ class SimSystem {
   /// Span log of recent publishes (empty unless SystemConfig::trace).
   [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept { return trace_ring_; }
 
+  /// The system's metrics registry: walk-efficiency counters
+  /// (subsum_walk_*), the shadow-sampled quality probe (subsum_quality_*,
+  /// subsum_summary_false_positive_ids_total, subsum_summary_precision)
+  /// and per-broker summary gauges/histograms labeled {broker="N"}
+  /// (model drift, row occupancy — refreshed each propagation period).
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// The shadow-sampling quality probe (for tests: config + precision).
+  [[nodiscard]] const core::QualityProbe& quality_probe() const noexcept { return probe_; }
+
  private:
   /// Registers `id` in the summaries (delta + local held).
   void dissolve(overlay::BrokerId broker, const model::Subscription& sub, model::SubId id);
@@ -161,6 +181,9 @@ class SimSystem {
   std::unique_ptr<util::ThreadPool> publish_pool_;  // lazily built default pool
   obs::TraceRing trace_ring_;   // publish spans, event order (cfg_.trace)
   uint64_t publish_seq_ = 0;    // deterministic trace-id stream
+  obs::MetricsRegistry metrics_;        // declared before the handle holders below
+  routing::WalkMetrics walk_metrics_;   // BROCLI walk-efficiency counters
+  core::QualityProbe probe_;            // shadow-sampled FP probe
 };
 
 }  // namespace subsum::sim

@@ -97,6 +97,33 @@ BROKERS_IN_TRACE=$(grep "\"trace\":\"$TRACE\"" "$WORK/trace.jsonl" \
 [ "$BROKERS_IN_TRACE" -ge 2 ] \
     || { echo "trace covers only $BROKERS_IN_TRACE broker(s)"; cat "$WORK/trace.jsonl"; exit 1; }
 
+# --- identity + quality series on every broker ------------------------------
+grep -q '^subsum_build_info{version="' "$WORK/scrape1.txt" \
+    || { echo "missing build_info gauge"; cat "$WORK/scrape1.txt"; exit 1; }
+grep -q '^subsum_uptime_seconds' "$WORK/scrape1.txt" \
+    || { echo "missing uptime gauge"; exit 1; }
+grep -q '^subsum_summary_precision' "$WORK/scrape1.txt" \
+    || { echo "missing summary precision gauge"; exit 1; }
+grep -q '^subsum_walk_visits_total' "$WORK/scrape1.txt" \
+    || { echo "missing walk visit counter"; exit 1; }
+grep -q '^subsum_summary_model_drift_ratio' "$WORK/scrape1.txt" \
+    || { echo "missing model drift gauge"; exit 1; }
+
+# --- subsum_top: one fleet tick over the same cluster ------------------------
+timeout 30 "$BUILD/tools/subsum_top" --ports "$PORTS" --iterations 1 \
+    --jsonl "$WORK/top.jsonl" > "$WORK/top.txt" 2>&1 \
+    || { echo "subsum_top failed"; cat "$WORK/top.txt"; exit 1; }
+grep -q '^fleet: 3/3 up' "$WORK/top.txt" \
+    || { echo "subsum_top did not see all brokers"; cat "$WORK/top.txt"; exit 1; }
+grep -q 'precision=' "$WORK/top.txt" \
+    || { echo "subsum_top printed no fleet precision"; cat "$WORK/top.txt"; exit 1; }
+grep -q 'top by fp_ids' "$WORK/top.txt" \
+    || { echo "subsum_top printed no hot-broker list"; cat "$WORK/top.txt"; exit 1; }
+grep -q '"model_drift_ratio":' "$WORK/top.jsonl" \
+    || { echo "subsum_top JSONL missing drift field"; cat "$WORK/top.jsonl"; exit 1; }
+grep -q '"fp_ids":' "$WORK/top.jsonl" \
+    || { echo "subsum_top JSONL missing fp field"; cat "$WORK/top.jsonl"; exit 1; }
+
 # --- scrape 2: counters monotonic after more traffic ------------------------
 timeout 30 "$BUILD/tools/subsum_pub" --config "$WORK/deploy.conf" --port $BASE \
     'symbol = AAPL, price = 1.00' > /dev/null 2>&1 || exit 1

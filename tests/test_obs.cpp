@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/promtext.h"
 #include "obs/trace.h"
 
 namespace subsum::obs {
@@ -104,6 +105,93 @@ TEST(Histogram, QuantileReturnsBucketUpperBound) {
   EXPECT_EQ(h.quantile(0.9), 3u);
   EXPECT_EQ(h.quantile(0.99), 127u);
   EXPECT_EQ(h.quantile(1.0), 127u);
+}
+
+TEST(Metrics, FGaugeStoresFractionsAndExposesAsGauge) {
+  MetricsRegistry reg;
+  FGauge* g = reg.fgauge("subsum_ratio");
+  EXPECT_EQ(g->value(), 0.0);
+  g->set(0.9375);  // exact in binary, so value() round-trips bit-for-bit
+  EXPECT_EQ(g->value(), 0.9375);
+  EXPECT_EQ(reg.fgauge("subsum_ratio"), g);  // get-or-register, stable handle
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE subsum_ratio gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("subsum_ratio 0.9375\n"), std::string::npos);
+}
+
+TEST(Histogram, EmptyQuantileIsZeroAtEveryQ) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ResetReturnsToEmptyState) {
+  Histogram h;
+  h.observe(100);
+  h.observe(~uint64_t{0});
+  ASSERT_EQ(h.count(), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  for (uint64_t b : h.snapshot()) EXPECT_EQ(b, 0u);
+}
+
+// --- Label escaping (format 0.0.4) ------------------------------------------
+
+TEST(Labels, EscapeLabelValuePerFormat004) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Labels, LabeledBakesEscapedLabelIntoSeriesName) {
+  EXPECT_EQ(labeled("m", "k", "v"), "m{k=\"v\"}");
+  EXPECT_EQ(labeled("m", "k", "a\"b"), "m{k=\"a\\\"b\"}");
+}
+
+TEST(Labels, UnescapeInvertsEscape) {
+  const std::string gnarly = "quote:\" slash:\\ newline:\n tail";
+  EXPECT_EQ(unescape_label_value(escape_label_value(gnarly)), gnarly);
+  // An unknown escape keeps the backslash verbatim rather than eating it.
+  EXPECT_EQ(unescape_label_value("a\\qb"), "a\\qb");
+}
+
+TEST(Labels, RoundTripThroughExpositionAndParser) {
+  MetricsRegistry reg;
+  const std::string gnarly = "quote:\" slash:\\ newline:\n tail";
+  reg.counter(labeled("subsum_rt_total", "path", gnarly))->inc(5);
+  const auto samples = parse_prometheus_text(reg.prometheus_text());
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.name != "subsum_rt_total") continue;
+    found = true;
+    ASSERT_NE(s.label("path"), nullptr);
+    EXPECT_EQ(*s.label("path"), gnarly);
+    EXPECT_EQ(s.value, 5.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Promtext, ParsesValuesLabelsAndSkipsCommentsAndGarbage) {
+  const auto samples = parse_prometheus_text(
+      "# HELP x something\n"
+      "# TYPE x counter\n"
+      "x 3\n"
+      "y{a=\"1\",b=\"two\"} 4.5 1700000000\n"
+      "this line is not a sample\n"
+      "z -2\n");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "x");
+  EXPECT_EQ(samples[0].value, 3.0);
+  ASSERT_EQ(samples[1].labels.size(), 2u);
+  EXPECT_EQ(*samples[1].label("b"), "two");
+  EXPECT_EQ(samples[1].value, 4.5);
+  EXPECT_EQ(samples[2].value, -2.0);
+  EXPECT_EQ(samples[1].label("missing"), nullptr);
 }
 
 // --- Prometheus exposition --------------------------------------------------

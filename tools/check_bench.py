@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""check_bench.py — gate the paper-figure benches against committed baselines.
+
+Compares fresh BENCH_<name>.json files (written by bench_fig8_bandwidth,
+bench_fig9_prop_hops, bench_fig10_event_hops, bench_fig11_storage and
+bench_ablations) against the baselines committed at the repo root, with a
+per-metric tolerance band:
+
+    pass  iff  |fresh - base| <= abs_tol + rel_tol * |base|
+
+The fig benches are deterministic (fixed seeds, count/byte metrics — no
+wall-clock timings), so the default band is tight; a failure means a real
+curve shift (e.g. an AACS/SACS edit exploding the false-positive rate),
+not noise. To accept an intentional shift, re-run the benches at
+SUBSUM_BENCH_SCALE=1 from the repo root and commit the regenerated
+BENCH_*.json files.
+
+Usage:
+    check_bench.py --baseline-dir . --fresh-dir build \\
+        [--names fig8 fig9 fig10 fig11 ablations] \\
+        [--rel-tol 0.05] [--abs-tol 1e-6] [--tol 'GLOB=REL' ...]
+
+--tol widens (or tightens) the band for metrics matching a glob, e.g.
+    --tol 'ablations:forward.*=0.15'    (metric keys are NAME:KEY)
+The last matching --tol wins.
+
+Exit status: 0 all gates pass, 1 any metric out of band or file/metric
+missing, 2 bad invocation.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        print(f"FAIL  {path}: not valid JSON ({e})")
+        return None
+
+
+def rel_tol_for(qualified, overrides, default):
+    tol = default
+    for glob, value in overrides:
+        if fnmatch.fnmatch(qualified, glob):
+            tol = value
+    return tol
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--fresh-dir", required=True)
+    ap.add_argument("--names", nargs="+", default=DEFAULT_NAMES)
+    ap.add_argument("--rel-tol", type=float, default=0.05,
+                    help="default relative tolerance (fraction, default 0.05)")
+    ap.add_argument("--abs-tol", type=float, default=1e-6,
+                    help="absolute slack added to every band (default 1e-6)")
+    ap.add_argument("--tol", action="append", default=[], metavar="GLOB=REL",
+                    help="per-metric override on NAME:KEY (repeatable, last match wins)")
+    args = ap.parse_args()
+
+    overrides = []
+    for spec in args.tol:
+        glob, sep, value = spec.partition("=")
+        if not sep:
+            print(f"bad --tol {spec!r}: expected GLOB=REL", file=sys.stderr)
+            return 2
+        try:
+            overrides.append((glob, float(value)))
+        except ValueError:
+            print(f"bad --tol {spec!r}: {value!r} is not a number", file=sys.stderr)
+            return 2
+
+    failures = 0
+    checked = 0
+    for name in args.names:
+        base_path = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
+        fresh_path = os.path.join(args.fresh_dir, f"BENCH_{name}.json")
+        base = load(base_path)
+        fresh = load(fresh_path)
+        if base is None:
+            print(f"FAIL  {name}: baseline {base_path} missing or unreadable")
+            failures += 1
+            continue
+        if fresh is None:
+            print(f"FAIL  {name}: fresh run {fresh_path} missing or unreadable "
+                  "(did the bench binary run?)")
+            failures += 1
+            continue
+
+        # A workload mismatch (usually SUBSUM_BENCH_SCALE) makes every metric
+        # incomparable — report it once instead of a wall of red.
+        if base.get("workload") != fresh.get("workload"):
+            print(f"FAIL  {name}: workload mismatch — baseline {base.get('workload')} "
+                  f"vs fresh {fresh.get('workload')}; run the bench with the "
+                  "baseline's SUBSUM_BENCH_SCALE")
+            failures += 1
+            continue
+
+        base_metrics = base.get("metrics", {})
+        fresh_metrics = fresh.get("metrics", {})
+        for key, expected in sorted(base_metrics.items()):
+            checked += 1
+            qualified = f"{name}:{key}"
+            if key not in fresh_metrics:
+                print(f"FAIL  {qualified}: metric missing from fresh run")
+                failures += 1
+                continue
+            actual = fresh_metrics[key]
+            rel = rel_tol_for(qualified, overrides, args.rel_tol)
+            band = args.abs_tol + rel * abs(expected)
+            delta = actual - expected
+            if abs(delta) > band:
+                pct = (delta / expected * 100.0) if expected else float("inf")
+                print(f"FAIL  {qualified}: {actual:g} vs baseline {expected:g} "
+                      f"({pct:+.1f}%, band ±{band:g})")
+                failures += 1
+        for key in sorted(set(fresh_metrics) - set(base_metrics)):
+            print(f"note  {name}:{key}: new metric not in baseline "
+                  "(commit a regenerated baseline to start gating it)")
+
+    verdict = "FAIL" if failures else "OK"
+    print(f"{verdict}: {checked} metrics checked across {len(args.names)} benches, "
+          f"{failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,21 +76,27 @@ int main(int argc, char** argv) {
   const auto trace_arg = args.flag("trace");
   const auto max_spans = static_cast<uint32_t>(args.flag_u64("max-spans", 0));
 
-  int rc = 0;
+  // A down broker must not abort the sweep: scrape everything reachable,
+  // name each failed port, and fail the exit code only when NO broker
+  // answered (so `subsum_stats --ports ...` stays useful mid-outage).
+  size_t failed = 0;
   for (size_t i = 0; i < ports.size(); ++i) {
     try {
       if (trace_arg) {
         const uint64_t id =
             *trace_arg == "all" ? 0 : std::strtoull(trace_arg->c_str(), nullptr, 16);
-        rc |= fetch_trace(ports[i], id, max_spans);
+        fetch_trace(ports[i], id, max_spans);
       } else {
         if (ports.size() > 1) std::cout << "# broker port " << ports[i] << "\n";
-        rc |= scrape_metrics(ports[i]);
+        scrape_metrics(ports[i]);
       }
     } catch (const std::exception& e) {
-      std::cerr << "port " << ports[i] << ": " << e.what() << "\n";
-      rc = 1;
+      std::cerr << "port " << ports[i] << ": unreachable: " << e.what() << "\n";
+      ++failed;
     }
   }
-  return rc;
+  if (failed > 0) {
+    std::cerr << failed << "/" << ports.size() << " brokers failed to answer\n";
+  }
+  return failed == ports.size() ? 1 : 0;
 }

@@ -1,0 +1,249 @@
+// subsum_top — live fleet-wide summary-quality view.
+//
+//   subsum_top --ports 7000,7001,7002                # live table, 2s interval
+//              [--interval-ms N]                     # scrape period (default 2000)
+//              [--iterations N]                      # stop after N ticks (0 = forever)
+//              [--jsonl FILE]                        # append one JSON line per tick
+//              [--top K]                             # hot-broker list depth (default 3)
+//
+// Every tick scrapes each broker's Prometheus exposition (the kStats RPC,
+// via net::Client so reconnect/backoff come for free — it works through
+// the fault-injector proxy too), parses it with obs::parse_prometheus_text,
+// and renders:
+//
+//   * one row per broker: up/down, epoch, uptime, local subs, publish and
+//     walk-efficiency counters, sampled summary precision, false-positive
+//     ids, and wire-vs-model drift;
+//   * fleet aggregates: totals across live brokers, fleet precision
+//     (Σ exact / Σ candidates — NOT a mean of ratios), min/max drift, and
+//     the top-K brokers by false-positive count and by walk visit load.
+//
+// A down broker shows as "down" and is skipped in aggregates; the exit
+// code is nonzero only when the final tick reached no broker at all.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/schema.h"
+#include "net/client.h"
+#include "obs/promtext.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_top --ports P0,P1,... [--interval-ms N] [--iterations N]\n"
+    "                  [--jsonl FILE] [--top K]\n";
+
+using namespace subsum;
+
+/// The metrics one broker row is built from (absent metrics read as 0).
+struct BrokerRow {
+  uint16_t port = 0;
+  bool up = false;
+  std::string version;
+  double epoch = 0;
+  double uptime_s = 0;
+  double local_subs = 0;
+  double held_wire_bytes = 0;
+  double publishes = 0;
+  double walk_visits = 0;
+  double walk_forward = 0;
+  double walk_deliver = 0;
+  double walk_reselects = 0;
+  double sampled = 0;
+  double candidate_ids = 0;
+  double exact_ids = 0;
+  double fp_ids = 0;
+  double precision = 1.0;
+  double drift = 0;
+};
+
+double find_value(const std::vector<obs::PromSample>& samples, std::string_view name) {
+  for (const auto& s : samples) {
+    if (s.name == name) return s.value;
+  }
+  return 0;
+}
+
+BrokerRow parse_row(uint16_t port, const std::string& text) {
+  BrokerRow r;
+  r.port = port;
+  r.up = true;
+  const auto samples = obs::parse_prometheus_text(text);
+  for (const auto& s : samples) {
+    if (s.name == "subsum_build_info") {
+      if (const auto* v = s.label("version")) r.version = *v;
+    }
+  }
+  r.epoch = find_value(samples, "subsum_epoch");
+  r.uptime_s = find_value(samples, "subsum_uptime_seconds");
+  r.local_subs = find_value(samples, "subsum_local_subs");
+  r.held_wire_bytes = find_value(samples, "subsum_held_wire_bytes");
+  r.publishes = find_value(samples, "subsum_publishes_total");
+  r.walk_visits = find_value(samples, "subsum_walk_visits_total");
+  r.walk_forward = find_value(samples, "subsum_walk_forward_hops_total");
+  r.walk_deliver = find_value(samples, "subsum_walk_delivery_hops_total");
+  r.walk_reselects = find_value(samples, "subsum_walk_reselects_total");
+  r.sampled = find_value(samples, "subsum_quality_sampled_events_total");
+  r.candidate_ids = find_value(samples, "subsum_quality_candidate_ids_total");
+  r.exact_ids = find_value(samples, "subsum_quality_exact_ids_total");
+  r.fp_ids = find_value(samples, "subsum_summary_false_positive_ids_total");
+  r.precision = r.candidate_ids > 0 ? r.exact_ids / r.candidate_ids : 1.0;
+  r.drift = find_value(samples, "subsum_summary_model_drift_ratio");
+  return r;
+}
+
+void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
+  std::printf("subsum_top  tick %zu\n", tick);
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s\n",
+              "port", "up", "version", "epoch", "subs", "publishes", "visits", "fwd",
+              "deliver", "reselect", "fp_ids", "precision", "drift");
+  for (const auto& r : rows) {
+    if (!r.up) {
+      std::printf("%-6u %-5s %s\n", r.port, "down", "-");
+      continue;
+    }
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f\n",
+                r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.publishes,
+                r.walk_visits, r.walk_forward, r.walk_deliver, r.walk_reselects, r.fp_ids,
+                r.precision, r.drift);
+  }
+
+  std::vector<const BrokerRow*> live;
+  for (const auto& r : rows) {
+    if (r.up) live.push_back(&r);
+  }
+  if (live.empty()) {
+    std::printf("fleet: no broker reachable\n");
+    return;
+  }
+  double cand = 0, exact = 0, fp = 0, visits = 0, fwd = 0, del = 0, resel = 0, pubs = 0;
+  double dmin = live.front()->drift, dmax = live.front()->drift;
+  for (const auto* r : live) {
+    cand += r->candidate_ids;
+    exact += r->exact_ids;
+    fp += r->fp_ids;
+    visits += r->walk_visits;
+    fwd += r->walk_forward;
+    del += r->walk_deliver;
+    resel += r->walk_reselects;
+    pubs += r->publishes;
+    dmin = std::min(dmin, r->drift);
+    dmax = std::max(dmax, r->drift);
+  }
+  // Fleet precision weights brokers by sampled candidate ids, as eq (1)-(2)
+  // would: a ratio-of-sums, not a mean of per-broker ratios.
+  const double fleet_precision = cand > 0 ? exact / cand : 1.0;
+  std::printf(
+      "fleet: %zu/%zu up  publishes=%.0f visits=%.0f fwd=%.0f deliver=%.0f reselect=%.0f\n",
+      live.size(), rows.size(), pubs, visits, fwd, del, resel);
+  std::printf("fleet: fp_ids=%.0f precision=%.4f drift=[%.3f, %.3f]\n", fp, fleet_precision,
+              dmin, dmax);
+
+  auto print_top = [&](const char* label, auto key) {
+    auto sorted = live;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](const BrokerRow* a, const BrokerRow* b) { return key(*a) > key(*b); });
+    std::printf("top by %s:", label);
+    for (size_t i = 0; i < std::min(top_k, sorted.size()); ++i) {
+      std::printf(" %u(%.0f)", sorted[i]->port, key(*sorted[i]));
+    }
+    std::printf("\n");
+  };
+  print_top("fp_ids", [](const BrokerRow& r) { return r.fp_ids; });
+  print_top("walk visits", [](const BrokerRow& r) { return r.walk_visits; });
+}
+
+void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t tick) {
+  const auto now = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  os << "{\"tick\":" << tick << ",\"unix_s\":" << now << ",\"brokers\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (i) os << ",";
+    os << "{\"port\":" << r.port << ",\"up\":" << (r.up ? "true" : "false");
+    if (r.up) {
+      os << ",\"epoch\":" << r.epoch << ",\"uptime_s\":" << r.uptime_s
+         << ",\"local_subs\":" << r.local_subs << ",\"publishes\":" << r.publishes
+         << ",\"walk_visits\":" << r.walk_visits << ",\"walk_forward\":" << r.walk_forward
+         << ",\"walk_deliver\":" << r.walk_deliver
+         << ",\"walk_reselects\":" << r.walk_reselects << ",\"sampled\":" << r.sampled
+         << ",\"candidate_ids\":" << r.candidate_ids << ",\"exact_ids\":" << r.exact_ids
+         << ",\"fp_ids\":" << r.fp_ids << ",\"precision\":" << r.precision
+         << ",\"model_drift_ratio\":" << r.drift
+         << ",\"held_wire_bytes\":" << r.held_wire_bytes;
+    }
+    os << "}";
+  }
+  os << "]}\n";
+  os.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::vector<uint16_t> ports = args.flag_ports("ports");
+  if (ports.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const auto interval = std::chrono::milliseconds(args.flag_u64("interval-ms", 2000));
+  const uint64_t iterations = args.flag_u64("iterations", 0);
+  const size_t top_k = args.flag_u64("top", 3);
+  const auto jsonl_path = args.flag("jsonl");
+
+  std::ofstream jsonl;
+  if (jsonl_path) {
+    jsonl.open(*jsonl_path, std::ios::app);
+    if (!jsonl) {
+      std::cerr << "cannot open " << *jsonl_path << " for append\n";
+      return 2;
+    }
+  }
+
+  // kStats is schema-free, so an empty schema works against any deployment.
+  const model::Schema no_schema;
+  net::ClientOptions copts;
+  copts.connect_timeout = std::chrono::milliseconds(500);
+  copts.rpc_timeout = std::chrono::milliseconds(5000);
+  std::vector<std::unique_ptr<net::Client>> clients(ports.size());
+
+  const bool ansi = isatty(STDOUT_FILENO) != 0 && iterations != 1;
+  size_t last_live = 0;
+  for (uint64_t tick = 1; iterations == 0 || tick <= iterations; ++tick) {
+    std::vector<BrokerRow> rows;
+    rows.reserve(ports.size());
+    for (size_t i = 0; i < ports.size(); ++i) {
+      BrokerRow row;
+      row.port = ports[i];
+      try {
+        if (!clients[i]) clients[i] = std::make_unique<net::Client>(ports[i], no_schema, copts);
+        row = parse_row(ports[i], clients[i]->stats_text());
+      } catch (const std::exception&) {
+        clients[i].reset();  // rebuild the connection next tick
+      }
+      rows.push_back(std::move(row));
+    }
+    last_live = static_cast<size_t>(
+        std::count_if(rows.begin(), rows.end(), [](const BrokerRow& r) { return r.up; }));
+
+    if (ansi) std::printf("\x1b[H\x1b[2J");
+    render(rows, top_k, tick);
+    if (jsonl_path) append_jsonl(jsonl, rows, tick);
+
+    if (iterations == 0 || tick < iterations) std::this_thread::sleep_for(interval);
+  }
+  return last_live == 0 ? 1 : 0;
+}
