@@ -26,7 +26,6 @@ using namespace subsum;
 struct Fixture {
   model::Schema schema = workload::stock_schema();
   core::BrokerSummary summary;
-  core::NaiveMatcher naive;
   std::vector<model::Event> events;
 
   explicit Fixture(size_t n, double subsumption) {
@@ -37,12 +36,28 @@ struct Fixture {
                                   core::AacsMode::kCoarse);
     for (uint32_t i = 0; i < n; ++i) {
       auto sub = gen.next();
-      const model::SubId id{0, i, sub.mask()};
-      summary.add(sub, id);
-      naive.add({id, std::move(sub)});
+      summary.add(sub, model::SubId{0, i, sub.mask()});
     }
     workload::EventGenerator egen(schema, gen.pools(), {}, n * 7 + 2);
     for (int i = 0; i < 256; ++i) events.push_back(egen.next());
+  }
+};
+
+// The naive per-subscription scan stores whole subscriptions (~100x the
+// summary's footprint), so it lives in its own lazily-built fixture and is
+// only benchmarked up to N=100k; the summary fixtures stay viable at N=1M.
+struct NaiveFixture {
+  core::NaiveMatcher naive;
+
+  NaiveFixture(const model::Schema& schema, size_t n, double subsumption) {
+    workload::SubGenParams sp;
+    sp.subsumption = subsumption;
+    workload::SubscriptionGenerator gen(schema, sp, n * 7 + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto sub = gen.next();
+      const model::SubId id{0, i, sub.mask()};
+      naive.add({id, std::move(sub)});
+    }
   }
 };
 
@@ -52,6 +67,16 @@ Fixture& fixture_for(size_t n, double subsumption) {
   auto key = std::make_pair(n, static_cast<int>(subsumption * 100));
   auto& slot = cache[key];
   if (!slot) slot = std::make_unique<Fixture>(n, subsumption);
+  return *slot;
+}
+
+NaiveFixture& naive_fixture_for(size_t n, double subsumption) {
+  static std::map<std::pair<size_t, int>, std::unique_ptr<NaiveFixture>> cache;
+  auto key = std::make_pair(n, static_cast<int>(subsumption * 100));
+  auto& slot = cache[key];
+  if (!slot) {
+    slot = std::make_unique<NaiveFixture>(fixture_for(n, subsumption).schema, n, subsumption);
+  }
   return *slot;
 }
 
@@ -80,6 +105,41 @@ void BM_SummaryMatchScratch(benchmark::State& state) {
   auto& f = fixture_for(static_cast<size_t>(state.range(0)),
                         static_cast<double>(state.range(1)) / 100.0);
   core::MatchScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = core::match_into(f.summary, f.events[i++ % f.events.size()], scratch);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// The classic engine only (dense / scan / heap over the live AACS/SACS),
+// frozen index forced out of the path: the comparison point the frozen
+// rows are measured against.
+void BM_SummaryMatchClassic(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  core::MatchScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = core::match_into_unindexed(f.summary, f.events[i++ % f.events.size()], scratch);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// The frozen index with the row-combination cache bypassed: every event
+// pays the full collect + sharded counter sweep. This is the honest
+// per-event cost when the event stream never repeats a row combination.
+void BM_SummaryMatchFrozenCold(benchmark::State& state) {
+  auto& f = fixture_for(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0);
+  if (!f.summary.frozen_for_match()) {
+    state.SkipWithError("frozen index not engaged at this N");
+    return;
+  }
+  core::MatchScratch scratch;
+  scratch.use_combo_cache = false;
   size_t i = 0;
   for (auto _ : state) {
     auto m = core::match_into(f.summary, f.events[i++ % f.events.size()], scratch);
@@ -143,9 +203,11 @@ void BM_SummaryMatchTelemetry(benchmark::State& state) {
 void BM_NaiveMatch(benchmark::State& state) {
   auto& f = fixture_for(static_cast<size_t>(state.range(0)),
                         static_cast<double>(state.range(1)) / 100.0);
+  auto& nf = naive_fixture_for(static_cast<size_t>(state.range(0)),
+                               static_cast<double>(state.range(1)) / 100.0);
   size_t i = 0;
   for (auto _ : state) {
-    auto m = f.naive.match(f.events[i++ % f.events.size()]);
+    auto m = nf.naive.match(f.events[i++ % f.events.size()]);
     benchmark::DoNotOptimize(m);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
@@ -173,10 +235,16 @@ BENCHMARK(BM_SummaryMatch)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SummaryMatchScratch)
-    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->ArgsProduct({{100, 1000, 10000, 100000, 1000000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryMatchClassic)
+    ->ArgsProduct({{100000, 1000000}, {10, 90}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SummaryMatchFrozenCold)
+    ->ArgsProduct({{100000, 1000000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SummaryMatchReference)
-    ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})
+    ->ArgsProduct({{100, 1000, 10000, 100000, 1000000}, {10, 90}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SummaryMatchTelemetry)
     ->ArgsProduct({{100, 1000, 10000, 100000}, {10, 90}})

@@ -16,6 +16,10 @@ void BatchMatcher::match_batch(const BrokerSummary& summary,
   const size_t chunk = (events.size() + shards - 1) / shards;
   if (scratch_.size() < shards) scratch_.resize(shards);
 
+  // Warm the frozen index once, on this thread, so the workers do not
+  // race to build identical copies of it on their first events.
+  (void)summary.frozen_for_match();
+
   for (size_t s = 0; s < shards; ++s) {
     const size_t begin = s * chunk;
     const size_t end = std::min(begin + chunk, events.size());

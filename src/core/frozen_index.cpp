@@ -1,0 +1,372 @@
+#include "core/frozen_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "core/simd.h"
+
+namespace subsum::core {
+
+using model::AttrId;
+using model::SubId;
+
+namespace {
+
+std::atomic<uint64_t> g_build_id{0};
+
+// IndexOptions is process-global and read on the match path, so each
+// field is a relaxed atomic rather than a locked struct.
+std::atomic<size_t> g_min_id_entries{IndexOptions{}.min_id_entries};
+std::atomic<uint32_t> g_shard_count{IndexOptions{}.shard_count};
+
+// FNV-1a over the row signature, salted with the build id so entries of a
+// replaced index can never be mistaken for the new one's.
+uint64_t sig_hash(uint64_t build_id, const std::vector<uint32_t>& sig) noexcept {
+  uint64_t h = 0xcbf29ce484222325ull ^ build_id;
+  for (const uint32_t v : sig) {
+    h = (h ^ v) * 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+/// Branchless lower bound: index of the first element >= key. The select
+/// compiles to a conditional move, so the search runs at memory latency
+/// without branch mispredictions (measured faster than an Eytzinger
+/// layout here because the row arrays are small enough that the log2(n)
+/// cache lines stay resident across events; see DESIGN.md §10).
+size_t lower_bound_pos(const Pos* a, size_t n, const Pos& key) noexcept {
+  if (n == 0) return 0;
+  const Pos* base = a;
+  while (n > 1) {
+    const size_t half = n >> 1;
+    base = (base[half - 1] < key) ? base + half : base;
+    n -= half;
+  }
+  return static_cast<size_t>(base - a) + (*base < key ? 1 : 0);
+}
+
+}  // namespace
+
+IndexOptions index_options() noexcept {
+  IndexOptions opts;
+  opts.min_id_entries = g_min_id_entries.load(std::memory_order_relaxed);
+  opts.shard_count = g_shard_count.load(std::memory_order_relaxed);
+  return opts;
+}
+
+void set_index_options(const IndexOptions& opts) noexcept {
+  g_min_id_entries.store(opts.min_id_entries, std::memory_order_relaxed);
+  g_shard_count.store(opts.shard_count, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const FrozenIndex> FrozenIndex::build(const BrokerSummary& summary) {
+  std::shared_ptr<FrozenIndex> idx(new FrozenIndex());
+  idx->build_id_ = g_build_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  idx->summary_version_ = summary.version();
+  const model::Schema& schema = summary.schema();
+  idx->schema_ = &schema;
+  const size_t nattrs = schema.attr_count();
+  idx->arith_.resize(nattrs);
+  idx->strings_.resize(nattrs);
+
+  // Pass 1: the distinct ids across every row become the slot space.
+  size_t total_entries = 0;
+  std::vector<SubId> ids;
+  for (AttrId a = 0; a < nattrs; ++a) {
+    if (model::is_arithmetic(schema.type_of(a))) {
+      for (const auto& piece : summary.aacs(a).pieces()) {
+        total_entries += piece.ids.size();
+        ids.insert(ids.end(), piece.ids.begin(), piece.ids.end());
+      }
+    } else {
+      const Sacs& sacs = summary.sacs(a);
+      for (const auto& row : sacs.eq_rows()) {
+        total_entries += row.ids.size();
+        ids.insert(ids.end(), row.ids.begin(), row.ids.end());
+      }
+      for (const auto& row : sacs.pat_rows()) {
+        total_entries += row.ids.size();
+        ids.insert(ids.end(), row.ids.begin(), row.ids.end());
+      }
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() > kMaxSlots || total_entries > UINT32_MAX - 1) {
+    idx->usable_ = false;  // cached so the summary does not re-freeze per match
+    return idx;
+  }
+  idx->slot_ids_ = std::move(ids);
+
+  // Pass 2: freeze the rows. Ids within a row are sorted, and slot order
+  // equals SubId order, so every encoded row is ascending in slot.
+  std::unordered_map<SubId, uint32_t> slot_of;
+  slot_of.reserve(idx->slot_ids_.size());
+  for (uint32_t s = 0; s < idx->slot_ids_.size(); ++s) slot_of.emplace(idx->slot_ids_[s], s);
+
+  idx->arena_.reserve(total_entries);
+  const auto encode_row = [&](const std::vector<SubId>& row_ids) {
+    RowRef ref{static_cast<uint32_t>(idx->arena_.size()),
+               static_cast<uint32_t>(row_ids.size())};
+    for (const SubId& id : row_ids) {
+      const uint32_t slot = slot_of.find(id)->second;
+      const uint32_t req = static_cast<uint32_t>(id.attr_count());  // in [1, 64]
+      idx->arena_.push_back((slot << 6) | (req - 1));
+    }
+    idx->rows_.push_back(ref);
+    return ref;
+  };
+
+  for (AttrId a = 0; a < nattrs; ++a) {
+    if (model::is_arithmetic(schema.type_of(a))) {
+      ArithAttr& fa = idx->arith_[a];
+      const auto& pieces = summary.aacs(a).pieces();
+      fa.row_id_base = static_cast<uint32_t>(idx->rows_.size());
+      fa.hi.reserve(pieces.size());
+      fa.lo.reserve(pieces.size());
+      fa.rows.reserve(pieces.size());
+      for (const auto& piece : pieces) {  // sorted by lo, disjoint => hi ascending
+        fa.lo.push_back(piece.iv.lo);
+        fa.hi.push_back(piece.iv.hi);
+        fa.rows.push_back(encode_row(piece.ids));
+      }
+    } else {
+      StringAttr& fs = idx->strings_[a];
+      const Sacs& sacs = summary.sacs(a);
+      fs.eq.reserve(sacs.eq_rows().size());
+      for (const auto& row : sacs.eq_rows()) {
+        const uint32_t row_id = static_cast<uint32_t>(idx->rows_.size());
+        fs.eq.emplace(row.pattern.operand, StringRow{encode_row(row.ids), row_id});
+      }
+      fs.pats.reserve(sacs.pat_rows().size());
+      for (const auto& row : sacs.pat_rows()) {  // scan order must match find_into
+        const uint32_t row_id = static_cast<uint32_t>(idx->rows_.size());
+        fs.pats.emplace_back(row.pattern, StringRow{encode_row(row.ids), row_id});
+      }
+    }
+  }
+
+  // Pass 3: shard the slot space. Auto sizing fixes the counter window at
+  // 2^kDefaultShardShift cells (64 KiB — L1/L2-resident regardless of N);
+  // an explicit shard_count asks for at most that many tiles.
+  const size_t slots = idx->slot_ids_.size();
+  const IndexOptions opts = index_options();
+  uint32_t shift = kDefaultShardShift;
+  if (opts.shard_count > 0) {
+    shift = kMinShardShift;
+    while (shift < 26 && ((slots + (size_t{1} << shift) - 1) >> shift) > opts.shard_count) {
+      ++shift;
+    }
+  }
+  idx->shard_shift_ = shift;
+  idx->shard_count_ = slots == 0 ? 1 : static_cast<uint32_t>(((slots - 1) >> shift) + 1);
+  idx->visits_ = std::make_unique<std::atomic<uint64_t>[]>(idx->shard_count_);
+  for (uint32_t s = 0; s < idx->shard_count_; ++s) idx->visits_[s].store(0);
+  idx->shard_entries_.assign(idx->shard_count_, 0);
+  for (const uint32_t e : idx->arena_) ++idx->shard_entries_[(e >> 6) >> shift];
+  return idx;
+}
+
+size_t FrozenIndex::collect(const model::Event& event, MatchScratch& s) const {
+  s.flists.clear();
+  s.merged.clear();
+  s.sig.clear();
+  size_t collected = 0;
+  for (const auto& ea : event.attrs()) {
+    if (model::is_arithmetic(schema_->type_of(ea.attr))) {
+      const ArithAttr& fa = arith_[ea.attr];
+      const size_t n = fa.hi.size();
+      if (n == 0) continue;
+      const Pos p = Pos::at(ea.value.as_number());
+      const size_t i = lower_bound_pos(fa.hi.data(), n, p);  // == Aacs::find
+      if (i >= n || !(fa.lo[i] <= p)) continue;
+      s.sig.push_back(fa.row_id_base + static_cast<uint32_t>(i));
+      s.flists.push_back({fa.rows[i].off, fa.rows[i].len, false});
+      collected += fa.rows[i].len;
+    } else {
+      const StringAttr& fs = strings_[ea.attr];
+      const std::string& v = ea.value.as_string();
+      // Hit rows, as (off, len) pairs; s.heap is idle during collection.
+      auto& hits = s.heap;
+      hits.clear();
+      if (auto it = fs.eq.find(v); it != fs.eq.end()) {
+        s.sig.push_back(it->second.row_id);
+        hits.push_back(it->second.ref.off);
+        hits.push_back(it->second.ref.len);
+      }
+      for (const auto& [pattern, row] : fs.pats) {
+        if (pattern.matches(v)) {
+          s.sig.push_back(row.row_id);
+          hits.push_back(row.ref.off);
+          hits.push_back(row.ref.len);
+        }
+      }
+      if (hits.empty()) continue;
+      if (hits.size() == 2) {
+        s.flists.push_back({hits[0], hits[1], false});
+        collected += hits[1];
+      } else {
+        // Several rows of one attribute: union them, deduplicated, like
+        // Sacs::find_into — identical ids encode to identical entries.
+        const size_t m0 = s.merged.size();
+        for (size_t h = 0; h < hits.size(); h += 2) {
+          s.merged.insert(s.merged.end(), arena_.begin() + hits[h],
+                          arena_.begin() + hits[h] + hits[h + 1]);
+        }
+        const auto begin = s.merged.begin() + static_cast<ptrdiff_t>(m0);
+        std::sort(begin, s.merged.end());
+        s.merged.erase(std::unique(begin, s.merged.end()), s.merged.end());
+        const uint32_t len = static_cast<uint32_t>(s.merged.size() - m0);
+        s.flists.push_back({static_cast<uint32_t>(m0), len, true});
+        collected += len;
+      }
+    }
+  }
+  return collected;
+}
+
+size_t FrozenIndex::count_tiled(MatchScratch& s) const {
+  const uint32_t shift = shard_shift_;
+  const uint32_t mask = (uint32_t{1} << shift) - 1;
+  const size_t window = size_t{1} << shift;
+  if (s.dense_cells.size() < window) s.dense_cells.resize(window);
+  uint32_t* cells = s.dense_cells.data();
+
+  struct Cur {
+    const uint32_t* cur;
+    const uint32_t* end;
+    const uint32_t* seg;
+  };
+  Cur curs[64];  // k <= 64 schema attributes
+  size_t live = s.flists.size();
+  for (size_t i = 0; i < live; ++i) {
+    const uint32_t* base =
+        s.flists[i].in_merged ? s.merged.data() + s.flists[i].off : arena_.data() + s.flists[i].off;
+    curs[i] = {base, base + s.flists[i].len, base};
+  }
+
+  size_t unique = 0;
+  size_t out_n = 0;
+  uint32_t nexts[64];
+  while (live) {
+    // Block skip: jump to the lowest shard any cursor still has entries in.
+    for (size_t i = 0; i < live; ++i) nexts[i] = *curs[i].cur >> 6;
+    const uint32_t block = simd::min_u32(nexts, live) >> shift;
+    visits_[block].fetch_add(1, std::memory_order_relaxed);
+
+    // Fresh epoch per block: stale cells read as zero, so there is no
+    // window reset. The 24-bit epoch wrap (every ~16M blocks) is the one
+    // place the window is actually zero-filled.
+    if (++s.dense_epoch >= (uint32_t{1} << 24)) {
+      std::fill(s.dense_cells.begin(), s.dense_cells.end(), uint32_t{0});
+      s.dense_epoch = 1;
+    }
+    const uint32_t tag = s.dense_epoch << 8;
+    const uint64_t limit = (uint64_t{block} + 1) << (shift + 6);  // first entry past block
+
+    // Pass 1: count this block's occurrences per slot (counts <= k <= 64
+    // fit the cell's low byte).
+    for (size_t i = 0; i < live; ++i) {
+      Cur& c = curs[i];
+      c.seg = c.cur;
+      while (c.cur != c.end && *c.cur < limit) {
+        const uint32_t idx = (*c.cur >> 6) & mask;
+        const uint32_t cell = cells[idx];
+        if ((cell & ~uint32_t{0xFF}) != tag) {
+          cells[idx] = tag | 1;
+          ++unique;
+        } else {
+          cells[idx] = cell + 1;
+        }
+        ++c.cur;
+      }
+    }
+    // Pass 2: emit slots whose count equals their packed requirement
+    // (SIMD gather+compare per segment; emission suppresses duplicates).
+    for (size_t i = 0; i < live; ++i) {
+      const size_t n = static_cast<size_t>(curs[i].cur - curs[i].seg);
+      if (n == 0) continue;
+      if (s.out_slots.size() < out_n + n) s.out_slots.resize(out_n + n);
+      out_n += simd::emit_matches(curs[i].seg, n, cells, mask, tag, s.out_slots.data() + out_n);
+    }
+    for (size_t i = 0; i < live;) {
+      if (curs[i].cur == curs[i].end) {
+        curs[i] = curs[--live];
+      } else {
+        ++i;
+      }
+    }
+  }
+  s.out_slots.resize(out_n);
+  return unique;
+}
+
+void FrozenIndex::match_into(const model::Event& event, MatchScratch& s,
+                             MatchDiag* diag) const {
+  const size_t collected = collect(event, s);
+  s.out.clear();
+  MatchDiag d;
+  d.attrs_satisfied = s.flists.size();
+  d.ids_collected = collected;
+  if (s.flists.empty()) {
+    if (diag) *diag = d;
+    return;
+  }
+
+  uint64_t key = 0;
+  if (s.use_combo_cache) {
+    key = sig_hash(build_id_, s.sig);
+    if (const auto it = s.combo_cache.find(key);
+        it != s.combo_cache.end() && it->second.build_id == build_id_ &&
+        it->second.sig == s.sig) {
+      s.out.assign(it->second.out.begin(), it->second.out.end());
+      if (diag) *diag = it->second.diag;
+      return;
+    }
+  }
+
+  s.out_slots.clear();
+  if (s.flists.size() == 1) {
+    // One satisfied attribute: the matches are exactly the entries that
+    // require one attribute.
+    const MatchScratch::FrozenList& L = s.flists.front();
+    const uint32_t* e = L.in_merged ? s.merged.data() + L.off : arena_.data() + L.off;
+    s.out_slots.resize(L.len);
+    s.out_slots.resize(simd::emit_req1(e, L.len, s.out_slots.data()));
+    d.unique_ids = L.len;
+    // Shard visits for the single sweep: one bump per shard the sorted
+    // list touches, found by jumping to each shard boundary.
+    const uint32_t* p = e;
+    const uint32_t* end = e + L.len;
+    while (p != end) {
+      const uint32_t shard = (*p >> 6) >> shard_shift_;
+      visits_[shard].fetch_add(1, std::memory_order_relaxed);
+      const uint64_t limit = (uint64_t{shard} + 1) << (shard_shift_ + 6);
+      if (limit > UINT32_MAX) break;
+      p = std::lower_bound(p, end, static_cast<uint32_t>(limit));
+    }
+  } else {
+    d.unique_ids = count_tiled(s);
+    // Blocks are visited in ascending order but pass-2 emission within a
+    // block follows list order; one sort restores global slot order.
+    std::sort(s.out_slots.begin(), s.out_slots.end());
+  }
+
+  // Slot order equals SubId order, so the translated result is sorted.
+  s.out.reserve(s.out_slots.size());
+  for (const uint32_t slot : s.out_slots) s.out.push_back(slot_ids_[slot]);
+  if (diag) *diag = d;
+
+  if (s.use_combo_cache) {
+    if (s.combo_cache.size() >= kComboCacheMaxEntries) s.combo_cache.clear();
+    MatchScratch::ComboEntry& e = s.combo_cache[key];
+    e.build_id = build_id_;
+    e.sig = s.sig;
+    e.out = s.out;
+    e.diag = d;
+  }
+}
+
+}  // namespace subsum::core

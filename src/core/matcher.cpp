@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/frozen_index.h"
+
 namespace subsum::core {
 
 using model::SubId;
@@ -43,28 +45,39 @@ size_t collect_lists(const BrokerSummary& summary, const model::Event& event,
 /// Dense-counter step 2: all ids share one broker, so `local - lo` indexes
 /// a flat counter array. Two passes over the collected lists — count, then
 /// re-scan checking each id's counter against its own popcount(c3) — so
-/// the cost is O(P + memset(width)) with no sweep over the id range; the
-/// tiny match set is sorted at the end. An id's first pass-2 occurrence
-/// sees its final count; zeroing the counter on emit (popcount >= 1)
-/// suppresses re-emission. Counters fit uint8_t because an id occurs at
-/// most once per list and k <= 64 schema attributes.
+/// the cost is O(P); the tiny match set is sorted at the end. Cells are
+/// epoch-tagged `(epoch << 8) | count`: a cell from an earlier call reads
+/// as zero, so the per-event reset is one epoch bump instead of a memset
+/// of the whole width (at N=1M the memset alone was ~1 MB per event). An
+/// id's first pass-2 occurrence sees its final count; resetting the count
+/// on emit (popcount >= 1) suppresses re-emission. Counts fit the low
+/// byte because an id occurs at most once per list and k <= 64 schema
+/// attributes.
 size_t match_dense(MatchScratch& s, uint32_t lo, size_t width) {
-  if (s.dense_count.size() < width) s.dense_count.resize(width);
-  std::fill_n(s.dense_count.begin(), width, uint8_t{0});
+  if (s.dense_cells.size() < width) s.dense_cells.resize(width);  // zero-filled = stale
+  if (++s.dense_epoch >= (uint32_t{1} << 24)) {
+    std::fill(s.dense_cells.begin(), s.dense_cells.end(), uint32_t{0});
+    s.dense_epoch = 1;
+  }
+  const uint32_t tag = s.dense_epoch << 8;
   size_t unique = 0;
   for (const auto& [cur, end] : s.lists) {
     for (const SubId* p = cur; p != end; ++p) {
-      uint8_t& c = s.dense_count[p->local - lo];
-      unique += c == 0;
-      ++c;
+      uint32_t& c = s.dense_cells[p->local - lo];
+      if ((c & ~uint32_t{0xFF}) != tag) {
+        c = tag | 1;
+        ++unique;
+      } else {
+        ++c;
+      }
     }
   }
   for (const auto& [cur, end] : s.lists) {
     for (const SubId* p = cur; p != end; ++p) {
-      uint8_t& c = s.dense_count[p->local - lo];
-      if (c == p->attr_count()) {
+      uint32_t& c = s.dense_cells[p->local - lo];
+      if (c == tag + static_cast<uint32_t>(p->attr_count())) {
         s.out.push_back(*p);
-        c = 0;
+        c = tag;
       }
     }
   }
@@ -143,6 +156,20 @@ size_t match_heap(MatchScratch& s) {
 
 std::span<const SubId> match_into(const BrokerSummary& summary, const model::Event& event,
                                   MatchScratch& s, MatchDiag* diag) {
+  // Summaries past the index threshold match through the frozen sharded
+  // layout (bit-identical results); everything else — small summaries,
+  // and any summary whose index is stale pending an amortized rebuild —
+  // runs the classic engine below.
+  if (const auto idx = summary.frozen_for_match()) {
+    idx->match_into(event, s, diag);
+    return {s.out.data(), s.out.size()};
+  }
+  return match_into_unindexed(summary, event, s, diag);
+}
+
+std::span<const SubId> match_into_unindexed(const BrokerSummary& summary,
+                                            const model::Event& event, MatchScratch& s,
+                                            MatchDiag* diag) {
   const size_t collected = collect_lists(summary, event, s);
   s.out.clear();
   if (diag) {

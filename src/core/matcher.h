@@ -4,13 +4,17 @@
 //
 // Two implementations of Algorithm 1 live here:
 //
-//  * match_into() — the engine: a two-pass dense-counter fast path when
-//    every collected id belongs to one broker and the local-id range fits
-//    the gate (O(P + memset(range)), the big-N hot case), a compacting
-//    linear min-scan for k <= kScanMaxLists lists, and a binary-heap k-way
-//    merge (O(P log k)) otherwise. All working memory lives in a
-//    caller-owned MatchScratch, so steady-state matching performs zero
-//    heap allocations.
+//  * match_into() — the engine. Summaries large enough to carry a frozen
+//    index (core/frozen_index.h) dispatch to its sharded SoA + SIMD
+//    counter sweep; below the index threshold (and while an index rebuild
+//    is pending) the classic engine runs: a two-pass dense-counter fast
+//    path when every collected id belongs to one broker and the local-id
+//    range fits the gate (epoch-tagged counters, so the per-event reset
+//    is O(1), not a memset of the range), a compacting linear min-scan
+//    for k <= kScanMaxLists lists, and a binary-heap k-way merge
+//    (O(P log k)) otherwise. All working memory lives in a caller-owned
+//    MatchScratch, so steady-state matching performs zero heap
+//    allocations.
 //  * match_reference() — the original straightforward implementation,
 //    kept verbatim as the differential-testing oracle and as the "seed"
 //    comparison point in bench/bench_matching and tools/bench_json.
@@ -21,6 +25,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/summary.h"
@@ -46,6 +51,10 @@ struct MatchScratch {
   /// Matched ids of the most recent match_into() call (sorted).
   std::vector<model::SubId> out;
 
+  /// Set false to bypass the frozen index's row-combination result cache
+  /// (bench "cold" mode; correctness is identical either way).
+  bool use_combo_cache = true;
+
   // -- internals, exposed so the struct stays an aggregate --
   struct Cursor {
     const model::SubId* cur;
@@ -54,8 +63,43 @@ struct MatchScratch {
   std::vector<std::vector<model::SubId>> owned;  // reused Sacs::find_into buffers
   std::vector<Cursor> lists;                     // step-1 id list cursors
   std::vector<uint32_t> heap;                    // k-way merge heap (list indices)
-  std::vector<uint8_t> dense_count;              // fast path: per-local-id counters
+
+  /// Epoch-tagged counter cells `(epoch << 8) | count`, shared by the
+  /// legacy dense fast path and the frozen index's tiled counter window.
+  /// A cell whose epoch field differs from `dense_epoch` is logically
+  /// zero, so per-event resets cost one epoch bump instead of a memset of
+  /// the whole local-id range; the array is only zero-filled on growth
+  /// (vector zero-init) and when the 24-bit epoch wraps.
+  std::vector<uint32_t> dense_cells;
+  uint32_t dense_epoch = 0;
+
+  // -- frozen-index internals (see core/frozen_index.h) --
+  struct FrozenList {
+    uint32_t off;      // into the index arena, or into `merged`
+    uint32_t len;
+    bool in_merged;    // multi-row SACS hit, deduplicated into `merged`
+  };
+  std::vector<FrozenList> flists;     // step-1 entry lists (one per satisfied attr)
+  std::vector<uint32_t> merged;       // dedup buffer for multi-row SACS hits
+  std::vector<uint32_t> out_slots;    // emitted slots, sorted then translated to ids
+  std::vector<uint32_t> sig;          // row-combination signature (frozen row ids)
+
+  /// Row-combination result cache: two events satisfying exactly the same
+  /// summary rows have identical match sets, so repeated combinations are
+  /// answered by one lookup (keyed by the owning index's build id plus
+  /// the exact signature — a hash collision degrades to a miss).
+  struct ComboEntry {
+    uint64_t build_id = 0;
+    std::vector<uint32_t> sig;
+    std::vector<model::SubId> out;
+    MatchDiag diag;
+  };
+  std::unordered_map<uint64_t, ComboEntry> combo_cache;
 };
+
+/// Bound on combo_cache entries per scratch; the cache is cleared when it
+/// fills (simple, and a steady workload re-warms within one pass).
+inline constexpr size_t kComboCacheMaxEntries = 1024;
 
 /// Dense fast-path gate: all collected ids must share one broker and span a
 /// local-id range of at most kDenseSlack × P + kDenseMinWidth slots (the
@@ -76,6 +120,15 @@ inline constexpr size_t kScanMaxLists = 4;
 std::span<const model::SubId> match_into(const BrokerSummary& summary,
                                          const model::Event& event, MatchScratch& scratch,
                                          MatchDiag* diag = nullptr);
+
+/// match_into() restricted to the classic (unindexed) engine: the dense /
+/// scan / heap step-2 over the live AACS/SACS structures, never the frozen
+/// index. This is what match_into() dispatches to below the index
+/// threshold; exposed for differential tests and trajectory benches.
+std::span<const model::SubId> match_into_unindexed(const BrokerSummary& summary,
+                                                   const model::Event& event,
+                                                   MatchScratch& scratch,
+                                                   MatchDiag* diag = nullptr);
 
 /// Historic signature: match_into() over a per-thread scratch, copied out.
 std::vector<model::SubId> match(const BrokerSummary& summary, const model::Event& event,

@@ -3,6 +3,9 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
+
+#include "core/frozen_index.h"
 
 namespace subsum::core {
 
@@ -115,6 +118,37 @@ void export_row_occupancy(obs::MetricsRegistry& reg, const BrokerSummary& summar
       for (const auto& row : summary.sacs(id).rows()) h->observe(row.ids.size());
     }
   }
+}
+
+void export_shard_metrics(obs::MetricsRegistry& reg, const BrokerSummary& summary,
+                          std::string_view broker) {
+  const auto shards_gauge = [&] {
+    return reg.gauge(broker.empty() ? std::string("subsum_match_shards")
+                                    : obs::labeled("subsum_match_shards", "broker", broker));
+  };
+  const auto idx = summary.frozen_if_built();
+  if (!idx) {
+    shards_gauge()->set(0);
+    return;
+  }
+  shards_gauge()->set(static_cast<int64_t>(idx->shard_count()));
+  std::vector<obs::Histogram*> row_hists(idx->shard_count());
+  for (uint32_t s = 0; s < idx->shard_count(); ++s) {
+    const std::string shard = std::to_string(s);
+    // Visit deltas fold into a monotone counter, so the series survives
+    // index rebuilds (each index starts its own visit counters at 0).
+    if (const uint64_t visits = idx->drain_shard_visits(s); visits > 0) {
+      reg.counter(labeled2("subsum_match_shard_visits_total", "shard", shard, "broker", broker))
+          ->inc(visits);
+    }
+    reg.gauge(labeled2("subsum_match_shard_entries", "shard", shard, "broker", broker))
+        ->set(static_cast<int64_t>(idx->shard_entries(s)));
+    row_hists[s] =
+        reg.histogram(labeled2("subsum_summary_shard_row_ids", "shard", shard, "broker", broker));
+    row_hists[s]->reset();
+  }
+  idx->for_each_shard_row(
+      [&](uint32_t shard, uint64_t ids_in_row) { row_hists[shard]->observe(ids_in_row); });
 }
 
 double export_model_drift(obs::MetricsRegistry& reg, const BrokerSummary& summary,

@@ -125,4 +125,21 @@ double export_model_drift(obs::MetricsRegistry& reg, const BrokerSummary& summar
                           const WireConfig& wire, const PaperSizeParams& params = {},
                           std::string_view broker = {});
 
+/// Shard-balance exports for the summary's frozen match index (PR-6):
+///   subsum_match_shards                    gauge, shard count (0: no index)
+///   subsum_match_shard_visits_total        counter {shard=}, counter sweeps,
+///                                          folded from the index's drained
+///                                          visit deltas (monotone across
+///                                          rebuilds)
+///   subsum_match_shard_entries             gauge {shard=}, id entries laid
+///                                          out in the shard
+///   subsum_summary_shard_row_ids           histogram {shard=}, ids-per-row
+///                                          occupancy within the shard
+///                                          (snapshot: reset + repopulated)
+/// Uses frozen_if_built() — a scrape never triggers a freeze. Call next to
+/// export_row_occupancy on the admin/scrape path; a non-empty `broker`
+/// adds a broker="..." label.
+void export_shard_metrics(obs::MetricsRegistry& reg, const BrokerSummary& summary,
+                          std::string_view broker = {});
+
 }  // namespace subsum::core

@@ -72,6 +72,13 @@ class Sacs {
   /// All rows: equality rows first (insertion order), then pattern rows.
   [[nodiscard]] std::vector<Row> rows() const;
 
+  /// Zero-copy row access for the freeze pass (core/frozen_index.cpp):
+  /// equality rows in insertion order, pattern rows in scan order. The
+  /// frozen lookup must visit pattern rows in exactly this order to
+  /// reproduce find_into() bit for bit.
+  [[nodiscard]] const std::vector<Row>& eq_rows() const noexcept { return eq_rows_; }
+  [[nodiscard]] const std::vector<Row>& pat_rows() const noexcept { return pat_rows_; }
+
   [[nodiscard]] bool empty() const noexcept { return eq_rows_.empty() && pat_rows_.empty(); }
   [[nodiscard]] size_t nr() const noexcept { return eq_rows_.size() + pat_rows_.size(); }
 

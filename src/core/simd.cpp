@@ -1,0 +1,234 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(SUBSUM_FORCE_SCALAR) && (defined(__x86_64__) || defined(__i386__))
+#define SUBSUM_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace subsum::core::simd {
+
+namespace {
+
+Level detect() noexcept {
+#if defined(SUBSUM_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  // SSE2 is part of the x86-64 baseline; on 32-bit x86 it still needs a
+  // CPU check before we dispatch to it.
+  if (__builtin_cpu_supports("sse2")) return Level::kSse2;
+#endif
+  return Level::kScalar;
+}
+
+Level env_clamp(Level detected) noexcept {
+  const char* env = std::getenv("SUBSUM_SIMD");
+  if (!env) return detected;
+  Level wanted = detected;
+  if (std::strcmp(env, "scalar") == 0) wanted = Level::kScalar;
+  else if (std::strcmp(env, "sse2") == 0) wanted = Level::kSse2;
+  else if (std::strcmp(env, "avx2") == 0) wanted = Level::kAvx2;
+  return wanted < detected ? wanted : detected;
+}
+
+std::atomic<Level>& level_slot() noexcept {
+  static std::atomic<Level> level{env_clamp(detect())};
+  return level;
+}
+
+// ---- scalar kernels: the reference semantics --------------------------
+
+size_t emit_req1_scalar(const uint32_t* e, size_t n, uint32_t* out) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[w] = e[i] >> 6;
+    w += (e[i] & 63u) == 0;
+  }
+  return w;
+}
+
+size_t emit_matches_scalar(const uint32_t* e, size_t n, uint32_t* cells, uint32_t mask,
+                           uint32_t tag, uint32_t* out) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t slot = e[i] >> 6;
+    const uint32_t idx = slot & mask;
+    if (cells[idx] == tag + (e[i] & 63u) + 1) {
+      out[w++] = slot;
+      cells[idx] = tag;  // count 0: suppress re-emission from later lists
+    }
+  }
+  return w;
+}
+
+uint32_t min_u32_scalar(const uint32_t* v, size_t n) {
+  uint32_t m = v[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  return m;
+}
+
+#if defined(SUBSUM_SIMD_X86)
+
+// ---- SSE2 -------------------------------------------------------------
+
+size_t emit_req1_sse2(const uint32_t* e, size_t n, uint32_t* out) {
+  size_t w = 0;
+  size_t i = 0;
+  const __m128i low6 = _mm_set1_epi32(63);
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(e + i));
+    const __m128i eq = _mm_cmpeq_epi32(_mm_and_si128(v, low6), zero);
+    const int m = _mm_movemask_ps(_mm_castsi128_ps(eq));
+    if (m == 0xF) {
+      // Whole lane matches (common: a run of single-attribute subs) —
+      // store the four slots in one shot.
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + w), _mm_srli_epi32(v, 6));
+      w += 4;
+    } else if (m != 0) {
+      for (int j = 0; j < 4; ++j) {
+        out[w] = e[i + j] >> 6;
+        w += (m >> j) & 1;
+      }
+    }
+  }
+  w += emit_req1_scalar(e + i, n - i, out + w);
+  return w;
+}
+
+// ---- AVX2 (compiled with a target attribute; only dispatched to after
+// a cpuid check, so no global -mavx2 is needed) -------------------------
+
+__attribute__((target("avx2"))) size_t emit_req1_avx2(const uint32_t* e, size_t n,
+                                                      uint32_t* out) {
+  size_t w = 0;
+  size_t i = 0;
+  const __m256i low6 = _mm256_set1_epi32(63);
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + i));
+    const __m256i eq = _mm256_cmpeq_epi32(_mm256_and_si256(v, low6), zero);
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+    if (m == 0xFF) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), _mm256_srli_epi32(v, 6));
+      w += 8;
+    } else if (m != 0) {
+      for (int j = 0; j < 8; ++j) {
+        out[w] = e[i + j] >> 6;
+        w += (m >> j) & 1;
+      }
+    }
+  }
+  w += emit_req1_scalar(e + i, n - i, out + w);
+  return w;
+}
+
+__attribute__((target("avx2"))) size_t emit_matches_avx2(const uint32_t* e, size_t n,
+                                                         uint32_t* cells, uint32_t mask,
+                                                         uint32_t tag, uint32_t* out) {
+  // Gather each entry's cell and compare against tag + req in one shot;
+  // matches are rare (the match set is tiny next to P), so the per-hit
+  // suppression write stays scalar. Slots within one list are strictly
+  // increasing, so the eight gathered indexes are distinct and the lane
+  // reads cannot race the lane writes.
+  size_t w = 0;
+  size_t i = 0;
+  const __m256i low6 = _mm256_set1_epi32(63);
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+  const __m256i want_base = _mm256_set1_epi32(static_cast<int>(tag + 1));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + i));
+    const __m256i slot = _mm256_srli_epi32(v, 6);
+    const __m256i idx = _mm256_and_si256(slot, vmask);
+    const __m256i cell =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(cells), idx, 4);
+    const __m256i want = _mm256_add_epi32(_mm256_and_si256(v, low6), want_base);
+    const __m256i eq = _mm256_cmpeq_epi32(cell, want);
+    int m = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+    while (m != 0) {
+      const int j = __builtin_ctz(static_cast<unsigned>(m));
+      m &= m - 1;
+      const uint32_t s = e[i + static_cast<size_t>(j)] >> 6;
+      out[w++] = s;
+      cells[s & mask] = tag;
+    }
+  }
+  w += emit_matches_scalar(e + i, n - i, cells, mask, tag, out + w);
+  return w;
+}
+
+__attribute__((target("avx2"))) uint32_t min_u32_avx2(const uint32_t* v, size_t n) {
+  if (n < 8) return min_u32_scalar(v, n);
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_min_epu32(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  if (i < n) {
+    // Re-read the (possibly overlapping) final lane.
+    acc = _mm256_min_epu32(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + n - 8)));
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return min_u32_scalar(lanes, 8);
+}
+
+#endif  // SUBSUM_SIMD_X86
+
+}  // namespace
+
+Level detected_level() noexcept {
+  static const Level detected = detect();
+  return detected;
+}
+
+Level active_level() noexcept { return level_slot().load(std::memory_order_relaxed); }
+
+void set_level_for_test(Level level) noexcept {
+  const Level max = detected_level();
+  level_slot().store(level < max ? level : max, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+size_t emit_req1(const uint32_t* entries, size_t n, uint32_t* out) {
+#if defined(SUBSUM_SIMD_X86)
+  switch (active_level()) {
+    case Level::kAvx2: return emit_req1_avx2(entries, n, out);
+    case Level::kSse2: return emit_req1_sse2(entries, n, out);
+    case Level::kScalar: break;
+  }
+#endif
+  return emit_req1_scalar(entries, n, out);
+}
+
+size_t emit_matches(const uint32_t* entries, size_t n, uint32_t* cells, uint32_t mask,
+                    uint32_t tag, uint32_t* out) {
+#if defined(SUBSUM_SIMD_X86)
+  // SSE2 has no gather, so the vector win starts at AVX2 here.
+  if (active_level() == Level::kAvx2) {
+    return emit_matches_avx2(entries, n, cells, mask, tag, out);
+  }
+#endif
+  return emit_matches_scalar(entries, n, cells, mask, tag, out);
+}
+
+uint32_t min_u32(const uint32_t* v, size_t n) {
+#if defined(SUBSUM_SIMD_X86)
+  if (active_level() == Level::kAvx2) return min_u32_avx2(v, n);
+#endif
+  return min_u32_scalar(v, n);
+}
+
+}  // namespace subsum::core::simd

@@ -1,0 +1,68 @@
+// Runtime-dispatched SIMD kernels for the frozen matching core.
+//
+// The frozen index (core/frozen_index.h) stores id lists as packed u32
+// entries `(slot << 6) | (req - 1)` — slot is the subscription's global
+// rank, req its popcount(c3). The three hot inner loops over those entries
+// are implemented here in scalar, SSE2 and AVX2 variants behind one
+// runtime dispatch:
+//
+//  * emit_req1     — the single-list fast path: emit the slot of every
+//                    entry whose required count is 1.
+//  * emit_matches  — pass 2 of the tiled counter sweep: gather each
+//                    entry's counter cell, emit the slot when the count
+//                    equals the entry's own requirement, and clear the
+//                    count so duplicates across lists are suppressed.
+//  * min_u32       — the block-skip min over the cursors' next slots.
+//
+// Dispatch policy: the scalar kernels are the semantics; the vector
+// variants must be bit-identical (the differential suite in
+// tests/test_frozen_index.cpp pins them against each other). Detection
+// picks the widest ISA the CPU reports, an unknown architecture falls
+// back to scalar, `SUBSUM_SIMD=scalar|sse2|avx2` in the environment
+// clamps downward, and building with -DSUBSUM_FORCE_SCALAR=ON compiles
+// the vector variants out entirely (the CI leg that proves the fallback
+// keeps working).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace subsum::core::simd {
+
+enum class Level : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// The dispatch level in effect: min(detected ISA, SUBSUM_SIMD env
+/// override), computed once. Always kScalar under SUBSUM_FORCE_SCALAR.
+[[nodiscard]] Level active_level() noexcept;
+
+/// The widest level this binary can run on this CPU.
+[[nodiscard]] Level detected_level() noexcept;
+
+/// Pins the dispatch level (clamped to detected_level()) — the
+/// differential tests use this to run every kernel variant on one host.
+void set_level_for_test(Level level) noexcept;
+
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+/// Appends `e >> 6` to `out` for every entry with `(e & 63) == 0`
+/// (required count 1). `out` must have room for `n` values.
+/// Returns the number of slots written.
+size_t emit_req1(const uint32_t* entries, size_t n, uint32_t* out);
+
+/// Pass-2 emission over one list segment of a counter block. For each
+/// entry e: cell = cells[(e >> 6) & mask]; if cell == tag + (e & 63) + 1
+/// (this epoch's count equals the entry's requirement) the slot `e >> 6`
+/// is appended to `out` and the cell is reset to `tag` (count 0, same
+/// epoch) so the same subscription in a later list cannot re-emit.
+/// `out` must have room for `n` values. Returns the slots written.
+size_t emit_matches(const uint32_t* entries, size_t n, uint32_t* cells, uint32_t mask,
+                    uint32_t tag, uint32_t* out);
+
+/// Minimum of `v[0..n)`; n >= 1.
+[[nodiscard]] uint32_t min_u32(const uint32_t* v, size_t n);
+
+}  // namespace subsum::core::simd

@@ -14,6 +14,8 @@
 // consumer).
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,8 @@
 #include "model/subscription.h"
 
 namespace subsum::core {
+
+class FrozenIndex;
 
 /// Row/size statistics in the paper's symbols (table 1).
 struct SummaryStats {
@@ -45,6 +49,16 @@ class BrokerSummary {
                          AacsMode arith_mode = AacsMode::kExact);
   explicit BrokerSummary(model::Schema&&, GeneralizePolicy = GeneralizePolicy::kSafe,
                          AacsMode = AacsMode::kExact) = delete;
+
+  // The frozen-index handle is an atomic<shared_ptr>, so the special
+  // members are user-defined (out of line: FrozenIndex is incomplete
+  // here). Copies share the immutable index; the moved-from summary
+  // drops its handle.
+  BrokerSummary(const BrokerSummary& o);
+  BrokerSummary& operator=(const BrokerSummary& o);
+  BrokerSummary(BrokerSummary&& o) noexcept;
+  BrokerSummary& operator=(BrokerSummary&& o) noexcept;
+  ~BrokerSummary();
 
   /// Dissolves a subscription into the summary. The id's c3 mask must equal
   /// the subscription's attribute mask (checked, throws std::invalid_argument).
@@ -102,16 +116,50 @@ class BrokerSummary {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Monotone mutation stamp, minted from a process-global counter by
+  /// every mutator. A FrozenIndex built at version V is fresh exactly
+  /// while version() == V.
+  [[nodiscard]] uint64_t version() const noexcept { return version_; }
+
+  /// Approximate Σ id entries across all rows, maintained incrementally
+  /// (exactly refreshed on the admin-path mutators). Heuristic input to
+  /// the frozen-index threshold only.
+  [[nodiscard]] size_t approx_id_entries() const noexcept { return approx_id_entries_; }
+
+  /// The frozen index for the matching path, or null when the classic
+  /// engine should run (summary below IndexOptions::min_id_entries, too
+  /// large for the slot space, or stale pending an amortized rebuild).
+  /// Builds lazily; concurrent callers may race to build, last store
+  /// wins and both results are valid. Const because all mutation is
+  /// through atomics — safe from concurrent match paths.
+  [[nodiscard]] std::shared_ptr<const FrozenIndex> frozen_for_match() const;
+
+  /// The current index if one is built, fresh, and usable — never
+  /// builds. For exporters/introspection (scrape must not freeze).
+  [[nodiscard]] std::shared_ptr<const FrozenIndex> frozen_if_built() const;
+
   bool operator==(const BrokerSummary& o) const {
     return aacs_ == o.aacs_ && sacs_ == o.sacs_;
   }
 
  private:
+  /// Stamps a new version and resets the dirty-match rebuild counter;
+  /// called by every mutator (the stale index itself is left in place —
+  /// frozen_for_match() sees the version mismatch and sidesteps it).
+  void bump_version() noexcept;
+
   const model::Schema* schema_ = nullptr;
   GeneralizePolicy policy_ = GeneralizePolicy::kSafe;
   AacsMode arith_mode_ = AacsMode::kExact;
   std::vector<Aacs> aacs_;  // indexed by AttrId; unused slots for string attrs
   std::vector<Sacs> sacs_;  // indexed by AttrId; unused slots for arithmetic attrs
+
+  uint64_t version_ = 0;          // 0 = default-constructed, never indexed
+  size_t approx_id_entries_ = 0;  // incremental; see approx_id_entries()
+  /// Matches served by the classic engine while the index was stale;
+  /// once it crosses the rebuild threshold the next match re-freezes.
+  mutable std::atomic<uint64_t> dirty_matches_{0};
+  mutable std::atomic<std::shared_ptr<const FrozenIndex>> index_{};
 };
 
 }  // namespace subsum::core

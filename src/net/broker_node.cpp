@@ -487,6 +487,7 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
     std::lock_guard lk(mu_);
     core::export_model_drift(metrics_, held_, wire_);
     core::export_row_occupancy(metrics_, held_);
+    core::export_shard_metrics(metrics_, held_);
   }
   const std::string text = metrics_.prometheus_text();
   std::lock_guard wl(conn.write_mu);

@@ -129,6 +129,7 @@ routing::PropagationResult SimSystem::run_propagation_period() {
     const std::string label = std::to_string(b);
     core::export_model_drift(metrics_, state_.held[b], wire_, {}, label);
     core::export_row_occupancy(metrics_, state_.held[b], label);
+    core::export_shard_metrics(metrics_, state_.held[b], label);
   }
   return period;
 }

@@ -2,9 +2,10 @@
 """check_bench.py — gate the paper-figure benches against committed baselines.
 
 Compares fresh BENCH_<name>.json files (written by bench_fig8_bandwidth,
-bench_fig9_prop_hops, bench_fig10_event_hops, bench_fig11_storage and
-bench_ablations) against the baselines committed at the repo root, with a
-per-metric tolerance band:
+bench_fig9_prop_hops, bench_fig10_event_hops, bench_fig11_storage,
+bench_ablations, and tools/bench_json for the matching-core trajectory)
+against the baselines committed at the repo root, with a per-metric
+tolerance band:
 
     pass  iff  |fresh - base| <= abs_tol + rel_tol * |base|
 
@@ -34,7 +35,7 @@ import json
 import os
 import sys
 
-DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations"]
+DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations", "matching"]
 
 
 def load(path):

@@ -66,6 +66,12 @@ struct BrokerRow {
   double fp_ids = 0;
   double precision = 1.0;
   double drift = 0;
+  // Frozen matching core: shard balance from subsum_match_shard_visits_total
+  // (see core/frozen_index.h). imbalance = hottest shard / mean shard, 1.0
+  // meaning perfectly even counter-sweep load; 0 shards = index not engaged.
+  size_t shard_count = 0;
+  double shard_visits = 0;
+  double shard_imbalance = 0;
 };
 
 double find_value(const std::vector<obs::PromSample>& samples, std::string_view name) {
@@ -100,23 +106,33 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
   r.fp_ids = find_value(samples, "subsum_summary_false_positive_ids_total");
   r.precision = r.candidate_ids > 0 ? r.exact_ids / r.candidate_ids : 1.0;
   r.drift = find_value(samples, "subsum_summary_model_drift_ratio");
+  double hottest = 0;
+  for (const auto& s : samples) {
+    if (s.name != "subsum_match_shard_visits_total") continue;
+    ++r.shard_count;
+    r.shard_visits += s.value;
+    hottest = std::max(hottest, s.value);
+  }
+  if (r.shard_count > 0 && r.shard_visits > 0) {
+    r.shard_imbalance = hottest / (r.shard_visits / static_cast<double>(r.shard_count));
+  }
   return r;
 }
 
 void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   std::printf("subsum_top  tick %zu\n", tick);
-  std::printf("%-6s %-5s %-8s %-6s %-7s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s\n",
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s\n",
               "port", "up", "version", "epoch", "subs", "publishes", "visits", "fwd",
-              "deliver", "reselect", "fp_ids", "precision", "drift");
+              "deliver", "reselect", "fp_ids", "precision", "drift", "shards", "sh_imb");
   for (const auto& r : rows) {
     if (!r.up) {
       std::printf("%-6u %-5s %s\n", r.port, "down", "-");
       continue;
     }
-    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f\n",
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f\n",
                 r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.publishes,
                 r.walk_visits, r.walk_forward, r.walk_deliver, r.walk_reselects, r.fp_ids,
-                r.precision, r.drift);
+                r.precision, r.drift, r.shard_count, r.shard_imbalance);
   }
 
   std::vector<const BrokerRow*> live;
@@ -162,6 +178,7 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   };
   print_top("fp_ids", [](const BrokerRow& r) { return r.fp_ids; });
   print_top("walk visits", [](const BrokerRow& r) { return r.walk_visits; });
+  print_top("shard imbalance", [](const BrokerRow& r) { return r.shard_imbalance; });
 }
 
 void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t tick) {
@@ -182,7 +199,10 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
          << ",\"candidate_ids\":" << r.candidate_ids << ",\"exact_ids\":" << r.exact_ids
          << ",\"fp_ids\":" << r.fp_ids << ",\"precision\":" << r.precision
          << ",\"model_drift_ratio\":" << r.drift
-         << ",\"held_wire_bytes\":" << r.held_wire_bytes;
+         << ",\"held_wire_bytes\":" << r.held_wire_bytes
+         << ",\"match_shards\":" << r.shard_count
+         << ",\"shard_visits\":" << r.shard_visits
+         << ",\"shard_imbalance\":" << r.shard_imbalance;
     }
     os << "}";
   }
