@@ -16,6 +16,19 @@ std::vector<SubId> union_ids(const std::vector<SubId>& a, std::span<const SubId>
   return out;
 }
 
+/// In-place union for the coarse included-row fast path. Ids are minted in
+/// increasing order per home broker, so live insertion almost always appends
+/// past the end — O(1) amortized instead of a full reallocation (quadratic
+/// over a large build).
+void merge_ids(std::vector<SubId>& dst, std::span<const SubId> src) {
+  if (src.empty()) return;
+  if (dst.empty() || dst.back() < src.front()) {
+    dst.insert(dst.end(), src.begin(), src.end());
+    return;
+  }
+  dst = union_ids(dst, src);
+}
+
 }  // namespace
 
 void Aacs::insert(const Interval& iv, std::span<const model::SubId> ids) {
@@ -30,7 +43,7 @@ void Aacs::insert(const Interval& iv, std::span<const model::SubId> ids) {
   if (mode_ == AacsMode::kCoarse && first != pieces_.end() && first->iv.lo <= iv.lo &&
       iv.hi <= first->iv.hi) {
     // Included in an existing row: just extend its id list (paper §3.1).
-    first->ids = union_ids(first->ids, ids);
+    merge_ids(first->ids, ids);
     coalesce(static_cast<size_t>(first - pieces_.begin()),
              static_cast<size_t>(first - pieces_.begin()) + 1);
     return;

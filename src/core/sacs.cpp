@@ -9,6 +9,14 @@ namespace {
 using model::SubId;
 
 void merge_into(std::vector<SubId>& dst, std::span<const SubId> src) {
+  if (src.empty()) return;
+  if (dst.empty() || dst.back() < src.front()) {
+    // Ids are minted in increasing order per home broker, so live insertion
+    // almost always appends past the end — O(1) amortized instead of the
+    // full set_union reallocation (quadratic over a large build).
+    dst.insert(dst.end(), src.begin(), src.end());
+    return;
+  }
   std::vector<SubId> out;
   out.reserve(dst.size() + src.size());
   std::set_union(dst.begin(), dst.end(), src.begin(), src.end(), std::back_inserter(out));

@@ -26,6 +26,7 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
   merged_brokers_ = {cfg_.id};
   communicated_.assign(cfg_.graph.size(), 0);
+  peer_wants_full_.assign(cfg_.graph.size(), 0);
 
   // Pre-register every hot-path metric handle; after this, instrument code
   // only does relaxed atomic adds (obs/metrics.h).
@@ -36,6 +37,16 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   ctr_drop_ttl_ = metrics_.counter("subsum_redelivery_dropped_ttl_total");
   ctr_drop_overflow_ = metrics_.counter("subsum_redelivery_dropped_overflow_total");
   gauge_redelivery_depth_ = metrics_.gauge("subsum_redelivery_queue_depth");
+  ctr_lease_expired_ = metrics_.counter("subsum_lease_expired_total");
+  ctr_lease_renewals_ = metrics_.counter("subsum_lease_renewals_total");
+  ctr_delta_sends_ = metrics_.counter("subsum_summary_delta_sends_total");
+  ctr_full_sends_ = metrics_.counter("subsum_summary_full_sends_total");
+  ctr_delta_bytes_ = metrics_.counter("subsum_summary_delta_bytes_total");
+  ctr_full_bytes_ = metrics_.counter("subsum_summary_full_bytes_total");
+  ctr_delta_fallbacks_ = metrics_.counter("subsum_summary_full_fallback_total");
+  ctr_digest_mismatch_ = metrics_.counter("subsum_summary_digest_mismatch_total");
+  ctr_sync_requests_ = metrics_.counter("subsum_summary_sync_total");
+  ctr_shadow_expired_ = metrics_.counter("subsum_summary_shadow_expired_total");
   hist_match_ = metrics_.histogram("subsum_match_latency_us");
   hist_peer_rpc_.resize(cfg_.graph.size());
   ctr_peer_retries_.resize(cfg_.graph.size());
@@ -74,6 +85,12 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
     std::sort(merged_brokers_.begin(), merged_brokers_.end());
     merged_brokers_.erase(std::unique(merged_brokers_.begin(), merged_brokers_.end()),
                           merged_brokers_.end());
+    for (const auto& le : st.leases) {
+      if (le.id.broker != cfg_.id || le.ttl == 0) continue;
+      // Restart re-arms the full window: the owner gets one whole lease to
+      // re-attach or renew against the new incarnation before expiry.
+      leases_[le.id.local] = Lease{le.ttl, le.ttl};
+    }
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -126,7 +143,20 @@ BrokerNode::Snapshot BrokerNode::snapshot() const {
   s.held_wire_bytes = core::wire_size(held_, wire_);
   s.pending_redeliveries = pending_deliveries_.size();
   s.epoch = epoch_;
+  s.active_leases = leases_.size();
   return s;
+}
+
+uint64_t BrokerNode::held_digest() const {
+  std::lock_guard lk(mu_);
+  return core::summary_digest(held_);
+}
+
+std::map<BrokerId, uint64_t> BrokerNode::shadow_digests() const {
+  std::lock_guard lk(mu_);
+  std::map<BrokerId, uint64_t> out;
+  for (const auto& [b, sh] : shadows_) out[b] = sh.digest;
+  return out;
 }
 
 std::vector<std::byte> BrokerNode::own_summary_wire() const {
@@ -176,6 +206,15 @@ void BrokerNode::handle_connection(Socket sock) {
         case MsgKind::kSummary:
           on_summary(sock, *conn, *frame);
           break;
+        case MsgKind::kSummaryDelta:
+          on_summary_delta(sock, *conn, *frame);
+          break;
+        case MsgKind::kSummarySync:
+          on_summary_sync(sock, *conn, *frame);
+          break;
+        case MsgKind::kLeaseRenew:
+          on_lease_renew(sock, *conn, *frame);
+          break;
         case MsgKind::kEvent:
           on_event(sock, *conn, *frame);
           break;
@@ -216,6 +255,10 @@ void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn
                               const Frame& f, std::vector<uint32_t>& owned_locals) {
   util::BufReader r(f.payload);
   auto sub = get_subscription(r, cfg_.schema);
+  // Trailing v4 field: lease length in periods. Absent (v3 clients) means
+  // the broker's default; an explicit 0 requests a permanent subscription.
+  uint32_t lease = cfg_.default_lease_periods;
+  if (!r.done()) lease = static_cast<uint32_t>(r.get_varint());
   SubId id;
   {
     std::lock_guard lk(mu_);
@@ -226,10 +269,12 @@ void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn
     held_.add(sub, id);
     home_.add({id, std::move(sub)});
     subscribers_[id.local] = conn;
+    if (lease > 0) leases_[id.local] = Lease{lease, lease};
     if (store_) {
       // Durable before acked: the client may treat the ack as a promise
       // that the subscription survives kill -9.
       store_->log_subscribe(home_.subs().back());
+      if (lease > 0) store_->log_lease(id, lease);
       store_->commit();
       maybe_compact_locked();
     }
@@ -253,6 +298,11 @@ void BrokerNode::on_attach(Socket& s, const std::shared_ptr<ClientConn>& conn, c
       if (!known) continue;  // e.g. lost with a torn WAL tail: client must re-subscribe
       subscribers_[id.local] = conn;
       owned_locals.push_back(id.local);
+      // A re-attach is a liveness signal from the owner: treat it as a
+      // lease renewal so reconnecting clients never race expiry.
+      if (auto lit = leases_.find(id.local); lit != leases_.end()) {
+        lit->second.remaining = lit->second.ttl;
+      }
       ++bound;
     }
   }
@@ -268,6 +318,7 @@ void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
     home_.remove(id);
     held_.remove(id);
     subscribers_.erase(id.local);
+    if (id.broker == cfg_.id) leases_.erase(id.local);
     pending_removals_.push_back(id);
     if (store_) {
       store_->log_unsubscribe(id);
@@ -303,58 +354,294 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
   send_frame(s, MsgKind::kPublishAck, w.bytes());
 }
 
-void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
-  auto msg = decode_summary_msg(f.payload);
+void BrokerNode::ingest_full_summary(SummaryMsg msg) {
   uint64_t image_epoch = 0;
   auto incoming = core::decode_summary(msg.summary, cfg_.schema, cfg_.policy,
                                        core::AacsMode::kExact, &image_epoch);
+  std::lock_guard lk(mu_);
+  // Anti-entropy by incarnation: an announcement stamped with an epoch
+  // older than one already seen from that sender is a zombie of a
+  // pre-crash incarnation — drop it wholesale.
+  const auto from_check = peer_epochs_.observe(msg.from, image_epoch);
+  if (from_check == routing::EpochCheck::kStale) {
+    ctr_stale_->inc();
+  } else {
+    if (from_check == routing::EpochCheck::kNewer) {
+      // The sender restarted: everything we hold on its behalf is from
+      // the old incarnation. The image below carries its full current
+      // state (sends are state-based), so discard-then-merge converges.
+      held_.remove_broker(msg.from);
+      ctr_superseded_->inc();
+    }
+    for (size_t i = 0; i < msg.merged_brokers.size(); ++i) {
+      const BrokerId b = msg.merged_brokers[i];
+      if (b == cfg_.id || b == msg.from) continue;
+      const uint64_t e = i < msg.epochs.size() ? msg.epochs[i] : 0;
+      if (peer_epochs_.observe(b, e) == routing::EpochCheck::kNewer) {
+        // Transitive case: the sender aggregated b's post-restart
+        // state, so our pre-restart rows for b are superseded too. (A
+        // kStale entry is merged anyway: stale rows only cause spurious
+        // deliveries, which the owner's exact re-filter rejects, and
+        // they wash out at the next direct announcement from b.)
+        held_.remove_broker(b);
+        ctr_superseded_->inc();
+      }
+    }
+    // Mirror the sender's announced image BEFORE the removal piggyback
+    // touches it: the shadow is the base later deltas apply to and must
+    // match the sender's last_sent copy bit for bit. v3 frames carry no
+    // digest (0); computing it locally keeps them delta-upgradable if the
+    // peer upgrades mid-flight.
+    core::SummaryImage img = core::extract_image(incoming);
+    const uint64_t digest = msg.digest ? msg.digest : core::image_digest(img);
+    auto& sh = shadows_[msg.from];
+    if (sh.digest != digest || sh.version != msg.version) shadows_changed_ = true;
+    sh.image = std::move(img);
+    sh.version = msg.version;
+    sh.digest = digest;
+    sh.idle_periods = 0;
+    for (const SubId& id : msg.removals) incoming.remove(id);
+    held_.merge(incoming);
+    for (const SubId& id : msg.removals) held_.remove(id);
+    std::vector<BrokerId> merged;
+    std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
+    std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
+                   msg.merged_brokers.end(), std::back_inserter(merged));
+    merged_brokers_ = std::move(merged);
+    // The held image changed: refresh wire-vs-model drift and the
+    // per-attribute row-occupancy distributions while it is current.
+    core::export_model_drift(metrics_, held_, wire_);
+    core::export_row_occupancy(metrics_, held_);
+  }
+  if (msg.from < communicated_.size()) communicated_[msg.from] = 1;
+}
+
+void BrokerNode::on_summary(Socket& s, ClientConn& conn, const Frame& f) {
+  ingest_full_summary(decode_summary_msg(f.payload));
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kSummaryAck, {});
+}
+
+void BrokerNode::on_summary_delta(Socket& s, ClientConn& conn, const Frame& f) {
+  auto msg = decode_summary_delta_msg(f.payload);
+  core::DeltaHeader hdr;
+  const auto delta = core::decode_delta(msg.delta, cfg_.schema, &hdr);
+  bool need_full = false;
+  bool stale = false;
   {
     std::lock_guard lk(mu_);
-    // Anti-entropy by incarnation: an announcement stamped with an epoch
-    // older than one already seen from that sender is a zombie of a
-    // pre-crash incarnation — drop it wholesale.
-    const auto from_check = peer_epochs_.observe(msg.from, image_epoch);
+    const auto from_check = peer_epochs_.observe(msg.from, hdr.epoch);
     if (from_check == routing::EpochCheck::kStale) {
+      // Zombie incarnation: drop, but ack kApplied so the stale sender
+      // does not spiral into repair loops against state it cannot own.
       ctr_stale_->inc();
+      stale = true;
     } else {
       if (from_check == routing::EpochCheck::kNewer) {
-        // The sender restarted: everything we hold on its behalf is from
-        // the old incarnation. The image below carries its full current
-        // state (sends are state-based), so discard-then-merge converges.
         held_.remove_broker(msg.from);
         ctr_superseded_->inc();
+        // A new incarnation deltas against a base this side cannot hold.
+        shadows_.erase(msg.from);
       }
       for (size_t i = 0; i < msg.merged_brokers.size(); ++i) {
         const BrokerId b = msg.merged_brokers[i];
         if (b == cfg_.id || b == msg.from) continue;
         const uint64_t e = i < msg.epochs.size() ? msg.epochs[i] : 0;
         if (peer_epochs_.observe(b, e) == routing::EpochCheck::kNewer) {
-          // Transitive case: the sender aggregated b's post-restart
-          // state, so our pre-restart rows for b are superseded too. (A
-          // kStale entry is merged anyway: stale rows only cause spurious
-          // deliveries, which the owner's exact re-filter rejects, and
-          // they wash out at the next direct announcement from b.)
           held_.remove_broker(b);
           ctr_superseded_->inc();
         }
       }
-      for (const SubId& id : msg.removals) incoming.remove(id);
-      held_.merge(incoming);
-      for (const SubId& id : msg.removals) held_.remove(id);
-      std::vector<BrokerId> merged;
-      std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
-      std::set_union(merged_brokers_.begin(), merged_brokers_.end(), msg.merged_brokers.begin(),
-                     msg.merged_brokers.end(), std::back_inserter(merged));
-      merged_brokers_ = std::move(merged);
-      // The held image changed: refresh wire-vs-model drift and the
-      // per-attribute row-occupancy distributions while it is current.
-      core::export_model_drift(metrics_, held_, wire_);
-      core::export_row_occupancy(metrics_, held_);
+      auto it = shadows_.find(msg.from);
+      if (it == shadows_.end() || it->second.version != hdr.base_version ||
+          it->second.digest != hdr.base_digest) {
+        // No shadow (first contact, restart) or a different base than the
+        // diff assumes: only a full image can re-anchor this link.
+        need_full = true;
+      } else {
+        PeerShadow& sh = it->second;
+        core::apply_delta(sh.image, delta);
+        const uint64_t got = core::image_digest(sh.image);
+        if (got != hdr.new_digest) {
+          // The edits did not land on the digest the sender stamped: the
+          // link diverged. Leave the shadow as-is — the sync below
+          // replaces it wholesale.
+          ctr_digest_mismatch_->inc();
+          need_full = true;
+        } else {
+          sh.version = hdr.new_version;
+          sh.digest = got;
+          sh.idle_periods = 0;
+          if (!delta.empty()) shadows_changed_ = true;
+          // Fold the delta into held_ incrementally: additions go through
+          // row insertion now (matching must not miss them this period);
+          // removals and dropped rows are deferred to the period-boundary
+          // rebuild, which re-derives held_ from own rows + shadows.
+          bool shrank = false;
+          for (size_t a = 0; a < delta.arith.size(); ++a) {
+            const auto attr = static_cast<model::AttrId>(a);
+            for (const auto& e : delta.arith[a]) {
+              if (e.drop || !e.del.empty()) shrank = true;
+              if (!e.drop && !e.add.empty()) held_.insert_arith(attr, e.iv, e.add);
+            }
+          }
+          for (size_t a = 0; a < delta.strings.size(); ++a) {
+            const auto attr = static_cast<model::AttrId>(a);
+            for (const auto& e : delta.strings[a]) {
+              if (e.drop || !e.del.empty()) shrank = true;
+              if (!e.drop && !e.add.empty()) held_.insert_string(attr, e.pattern, e.add);
+            }
+          }
+          if (shrank) held_dirty_ = true;
+          for (const SubId& id : msg.removals) held_.remove(id);
+          std::vector<BrokerId> merged;
+          std::sort(msg.merged_brokers.begin(), msg.merged_brokers.end());
+          std::set_union(merged_brokers_.begin(), merged_brokers_.end(),
+                         msg.merged_brokers.begin(), msg.merged_brokers.end(),
+                         std::back_inserter(merged));
+          merged_brokers_ = std::move(merged);
+          core::export_model_drift(metrics_, held_, wire_);
+          core::export_row_occupancy(metrics_, held_);
+        }
+      }
     }
     if (msg.from < communicated_.size()) communicated_[msg.from] = 1;
   }
+  if (need_full && !stale) {
+    // Pull the repair BEFORE acking: when the ack (kNeedFull) reaches the
+    // sender, this side already converged — divergence never outlives the
+    // period that detected it. No deadlock: the sender's sync handler
+    // runs on its own connection thread and mu_ is never held across a
+    // network call.
+    try {
+      sync_from_peer(msg.from);
+    } catch (const PeerUnreachable&) {
+      // Sender vanished mid-announcement; the shadow stays unanchored and
+      // the next full (state-based resend) re-seeds it.
+    }
+  }
+  SummaryDeltaAckMsg ack;
+  ack.status = need_full ? SummaryDeltaAckMsg::kNeedFull : SummaryDeltaAckMsg::kApplied;
   std::lock_guard wl(conn.write_mu);
-  send_frame(s, MsgKind::kSummaryAck, {});
+  send_frame(s, MsgKind::kSummaryDeltaAck, encode(ack));
+}
+
+void BrokerNode::on_summary_sync(Socket& s, ClientConn& conn, const Frame& f) {
+  const auto req = decode_summary_sync_msg(f.payload);
+  std::vector<std::byte> payload;
+  {
+    std::lock_guard lk(mu_);
+    SummaryMsg msg;
+    msg.from = cfg_.id;
+    msg.merged_brokers = merged_brokers_;
+    msg.epochs = merged_epochs_locked();
+    // pending_removals_ stays queued: a sync is a repair pull, not this
+    // period's announcement, and removals must reach every neighbor.
+    msg.summary = core::encode_summary(held_, wire_, epoch_);
+    msg.version = held_.version();
+    core::SummaryImage img = core::extract_image(held_);
+    msg.digest = core::image_digest(img);
+    // The requester's shadow becomes exactly this image, so future deltas
+    // to it must diff against it.
+    if (req.from < cfg_.graph.size()) {
+      last_sent_[req.from] = LastSent{std::move(img), msg.version, msg.digest, 0};
+    }
+    payload = encode(msg);
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kSummarySyncAck, payload);
+}
+
+void BrokerNode::sync_from_peer(BrokerId peer) {
+  ctr_sync_requests_->inc();
+  const auto payload = encode(SummarySyncMsg{cfg_.id});
+  Frame ack = rpc_to_peer(peer, MsgKind::kSummarySync, payload, {MsgKind::kSummarySyncAck});
+  ingest_full_summary(decode_summary_msg(ack.payload));
+}
+
+void BrokerNode::on_lease_renew(Socket& s, ClientConn& conn, const Frame& f) {
+  const auto msg = decode_lease_renew_msg(f.payload);
+  uint32_t renewed = 0;
+  {
+    std::lock_guard lk(mu_);
+    for (const SubId& id : msg.ids) {
+      if (id.broker != cfg_.id) continue;
+      auto it = leases_.find(id.local);
+      if (it == leases_.end()) continue;  // permanent or already expired
+      it->second.remaining = it->second.ttl;
+      ++renewed;
+      if (store_) store_->log_lease(id, it->second.ttl);
+    }
+    if (store_ && renewed > 0) {
+      store_->commit();
+      maybe_compact_locked();
+    }
+  }
+  ctr_lease_renewals_->inc(renewed);
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kLeaseRenewAck, encode(LeaseRenewAckMsg{renewed}));
+}
+
+void BrokerNode::begin_period() {
+  std::lock_guard lk(mu_);
+  // 1. Subscription leases: every period costs one tick; a lease that hits
+  // zero expires exactly like an unsubscribe (summary rows age out, the
+  // removal piggybacks to neighbors, durable state forgets it).
+  std::vector<SubId> expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (--it->second.remaining == 0) {
+      const uint32_t local = it->first;
+      it = leases_.erase(it);
+      for (const auto& os : home_.subs()) {
+        if (os.id.broker == cfg_.id && os.id.local == local) {
+          expired.push_back(os.id);
+          break;
+        }
+      }
+    } else {
+      ++it;
+    }
+  }
+  for (const SubId& id : expired) {
+    home_.remove(id);
+    held_.remove(id);
+    subscribers_.erase(id.local);
+    pending_removals_.push_back(id);
+    held_dirty_ = true;
+    ctr_lease_expired_->inc();
+    if (store_) store_->log_unsubscribe(id);
+  }
+  if (store_ && !expired.empty()) {
+    store_->commit();
+    maybe_compact_locked();
+  }
+  // 2. Summary (shadow) leases: a peer that stopped announcing takes its
+  // mirrored rows with it at the next rebuild.
+  if (cfg_.summary_lease_periods > 0) {
+    for (auto it = shadows_.begin(); it != shadows_.end();) {
+      if (++it->second.idle_periods > cfg_.summary_lease_periods) {
+        const BrokerId gone = it->first;
+        it = shadows_.erase(it);
+        std::erase(merged_brokers_, gone);
+        held_dirty_ = true;
+        ctr_shadow_expired_->inc();
+      } else {
+        ++it;
+      }
+    }
+  }
+  // 3. Rebuild held_ = own rows + surviving shadow images when anything
+  // shrank (removals/drops are deferred to here) or a shadow changed.
+  // Quiet periods leave both flags clear, so a converged overlay is a
+  // fixed point — the convergence assertion the chaos suite keys on.
+  if (held_dirty_ || shadows_changed_) {
+    held_ = core::BrokerSummary::rebuild(cfg_.schema, cfg_.policy, home_.subs());
+    for (const auto& [b, sh] : shadows_) core::merge_into_summary(sh.image, held_);
+    held_dirty_ = false;
+    shadows_changed_ = false;
+    core::export_model_drift(metrics_, held_, wire_);
+    core::export_row_occupancy(metrics_, held_);
+  }
 }
 
 std::optional<BrokerNode::PendingSend> BrokerNode::prepare_summary_send(uint32_t iteration) {
@@ -375,14 +662,64 @@ std::optional<BrokerNode::PendingSend> BrokerNode::prepare_summary_send(uint32_t
   if (!target) return std::nullopt;
   communicated_[*target] = 1;
 
-  SummaryMsg msg;
-  msg.from = cfg_.id;
-  msg.merged_brokers = merged_brokers_;
-  msg.epochs = merged_epochs_locked();
-  msg.removals = pending_removals_;
+  PendingSend send;
+  send.to = *target;
+  send.removals = pending_removals_;
   pending_removals_.clear();
-  msg.summary = core::encode_summary(held_, wire_, epoch_);
-  return PendingSend{*target, encode(msg), std::move(msg.removals)};
+  send.image = core::extract_image(held_);
+  send.version = held_.version();
+  send.digest = core::image_digest(send.image);
+
+  SummaryMsg full;
+  full.from = cfg_.id;
+  full.merged_brokers = merged_brokers_;
+  full.epochs = merged_epochs_locked();
+  full.removals = send.removals;
+  full.summary = core::encode_summary(held_, wire_, epoch_);
+  full.version = send.version;
+  full.digest = send.digest;
+  auto full_payload = encode(full);
+
+  // Delta path: only against an acked base, never to a latched v3 peer,
+  // and never past the periodic full-refresh backstop.
+  const auto ls = last_sent_.find(*target);
+  const bool refresh_due =
+      cfg_.delta_full_refresh_every > 0 && ls != last_sent_.end() &&
+      ls->second.sends_since_full + 1 >= cfg_.delta_full_refresh_every;
+  if (cfg_.delta_announcements && ls != last_sent_.end() && !peer_wants_full_[*target] &&
+      !refresh_due) {
+    core::DeltaHeader hdr;
+    hdr.epoch = epoch_;
+    hdr.base_version = ls->second.version;
+    hdr.new_version = send.version;
+    hdr.base_digest = ls->second.digest;
+    hdr.new_digest = send.digest;
+    SummaryDeltaMsg dm;
+    dm.from = cfg_.id;
+    dm.merged_brokers = merged_brokers_;
+    dm.epochs = full.epochs;
+    dm.removals = send.removals;
+    dm.delta = core::encode_delta(core::diff_images(ls->second.image, send.image),
+                                  cfg_.schema, wire_, hdr);
+    auto delta_payload = encode(dm);
+    if (static_cast<double>(delta_payload.size()) <=
+        cfg_.delta_max_ratio * static_cast<double>(full_payload.size())) {
+      send.kind = MsgKind::kSummaryDelta;
+      send.payload = std::move(delta_payload);
+      return send;
+    }
+    // The change rate outgrew the diff: the full image is cheaper.
+    ctr_delta_fallbacks_->inc();
+  }
+  send.kind = MsgKind::kSummary;
+  send.payload = std::move(full_payload);
+  return send;
+}
+
+void BrokerNode::record_last_sent_locked(PendingSend&& send, bool was_full) {
+  LastSent& ls = last_sent_[send.to];
+  const uint32_t streak = was_full ? 0 : ls.sends_since_full + 1;
+  ls = LastSent{std::move(send.image), send.version, send.digest, streak};
 }
 
 std::vector<uint64_t> BrokerNode::merged_epochs_locked() const {
@@ -402,22 +739,84 @@ void BrokerNode::maybe_compact_locked() {
   in.merged_brokers = merged_brokers_;
   in.merged_epochs = merged_epochs_locked();
   in.held = &held_;
+  in.leases.reserve(leases_.size());
+  for (const auto& [local, lease] : leases_) {
+    for (const auto& os : home_.subs()) {
+      if (os.id.broker == cfg_.id && os.id.local == local) {
+        in.leases.push_back({os.id, lease.ttl, lease.remaining});
+        break;
+      }
+    }
+  }
   store_->write_snapshot(in);
   ctr_compactions_->inc();
 }
 
 void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
   const auto msg = decode_trigger_msg(f.payload);
-  if (msg.iteration == 1) flush_pending_deliveries();
+  if (msg.iteration == 1) {
+    begin_period();
+    flush_pending_deliveries();
+  }
   auto send = prepare_summary_send(msg.iteration);
   if (send) {
     try {
-      send_to_peer_sync(send->to, MsgKind::kSummary, send->payload, MsgKind::kSummaryAck);
+      if (send->kind == MsgKind::kSummaryDelta) {
+        Frame ack = rpc_to_peer(send->to, MsgKind::kSummaryDelta, send->payload,
+                                {MsgKind::kSummaryDeltaAck, MsgKind::kError});
+        if (ack.kind == MsgKind::kError) {
+          // A v3 peer rejects the whole kSummaryDelta frame. Latch it and
+          // resend this period's announcement as a full image — it must
+          // carry the same removals, which the peer never saw. Re-encode
+          // under the lock so the image recorded below is the one on the
+          // wire even if held_ moved meanwhile.
+          ctr_delta_fallbacks_->inc();
+          std::vector<std::byte> full_payload;
+          {
+            std::lock_guard lk(mu_);
+            peer_wants_full_[send->to] = 1;
+            SummaryMsg full;
+            full.from = cfg_.id;
+            full.merged_brokers = merged_brokers_;
+            full.epochs = merged_epochs_locked();
+            full.removals = send->removals;
+            full.summary = core::encode_summary(held_, wire_, epoch_);
+            send->image = core::extract_image(held_);
+            send->version = held_.version();
+            send->digest = core::image_digest(send->image);
+            full.version = send->version;
+            full.digest = send->digest;
+            full_payload = encode(full);
+          }
+          send_to_peer_sync(send->to, MsgKind::kSummary, full_payload, MsgKind::kSummaryAck);
+          ctr_full_sends_->inc();
+          ctr_full_bytes_->inc(full_payload.size());
+          std::lock_guard lk(mu_);
+          record_last_sent_locked(std::move(*send), /*was_full=*/true);
+        } else {
+          ctr_delta_sends_->inc();
+          ctr_delta_bytes_->inc(send->payload.size());
+          const auto st = decode_summary_delta_ack(ack.payload);
+          if (st.status == SummaryDeltaAckMsg::kApplied) {
+            std::lock_guard lk(mu_);
+            record_last_sent_locked(std::move(*send), /*was_full=*/false);
+          }
+          // kNeedFull: the receiver already pulled a full image through
+          // kSummarySync before acking, and on_summary_sync reset this
+          // peer's last_sent to that image — nothing more to record.
+        }
+      } else {
+        send_to_peer_sync(send->to, MsgKind::kSummary, send->payload, MsgKind::kSummaryAck);
+        ctr_full_sends_->inc();
+        ctr_full_bytes_->inc(send->payload.size());
+        std::lock_guard lk(mu_);
+        record_last_sent_locked(std::move(*send), /*was_full=*/true);
+      }
     } catch (const PeerUnreachable&) {
       // Dead neighbor: the summary itself is not lost — the state-based
-      // full-summary send repeats every period — but the removal
-      // piggyback must survive for a later period. Ack the trigger so
-      // the controller's round continues for live brokers.
+      // resend repeats every period — but the removal piggyback must
+      // survive for a later period. Ack the trigger so the controller's
+      // round continues for live brokers.
       std::lock_guard lk(mu_);
       pending_removals_.insert(pending_removals_.end(), send->removals.begin(),
                                send->removals.end());
@@ -476,6 +875,8 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
   metrics_.gauge("subsum_merged_brokers")->set(static_cast<int64_t>(snap.merged_brokers));
   metrics_.gauge("subsum_held_wire_bytes")->set(static_cast<int64_t>(snap.held_wire_bytes));
   metrics_.gauge("subsum_epoch")->set(static_cast<int64_t>(snap.epoch));
+  metrics_.gauge("subsum_active_leases")->set(static_cast<int64_t>(snap.active_leases));
+  metrics_.gauge("subsum_summary_digest")->set(static_cast<int64_t>(held_digest()));
   gauge_redelivery_depth_->set(static_cast<int64_t>(snap.pending_redeliveries));
   metrics_.gauge("subsum_uptime_seconds")
       ->set(std::chrono::duration_cast<std::chrono::seconds>(std::chrono::steady_clock::now() -
@@ -678,6 +1079,14 @@ void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
                                    std::span<const std::byte> payload, MsgKind ack_kind,
                                    std::optional<std::chrono::milliseconds> ack_timeout,
                                    uint64_t trace) {
+  rpc_to_peer(peer, kind, payload, {ack_kind}, ack_timeout, trace);
+}
+
+Frame BrokerNode::rpc_to_peer(BrokerId peer, MsgKind kind,
+                              std::span<const std::byte> payload,
+                              std::initializer_list<MsgKind> acceptable_acks,
+                              std::optional<std::chrono::milliseconds> ack_timeout,
+                              uint64_t trace) {
   uint16_t port;
   {
     std::lock_guard lk(mu_);
@@ -694,11 +1103,12 @@ void BrokerNode::send_to_peer_sync(BrokerId peer, MsgKind kind,
       s.set_recv_timeout(ack_timeout.value_or(cfg_.rpc.io_timeout));
       send_frame(s, kind, payload);
       auto ack = recv_frame(s);
-      if (!ack || ack->kind != ack_kind) {
+      if (!ack || std::find(acceptable_acks.begin(), acceptable_acks.end(), ack->kind) ==
+                      acceptable_acks.end()) {
         throw NetError("peer did not acknowledge message");
       }
       hist_peer_rpc_[peer]->observe(obs::now_us() - t0);
-      return;
+      return std::move(*ack);
     } catch (const NetError& e) {
       // Counted per failed attempt, whether or not budget remains; the
       // blackholed-link tests key off exactly this per-peer signal.

@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/matcher.h"
 #include "core/quality.h"
 #include "core/serialize.h"
@@ -114,6 +115,28 @@ struct BrokerConfig {
   /// 2^quality_sample_shift events (by deterministic content hash) re-run
   /// the exact local oracle next to the summary match (core/quality.h).
   uint32_t quality_sample_shift = 6;
+  // --- soft-state summaries (PROTOCOL v4) -----------------------------------
+  /// Lease length, in propagation periods, stamped on subscriptions that do
+  /// not carry their own TTL. 0 = permanent (the pre-v4 behavior). A leased
+  /// subscription whose owner neither renews (kLeaseRenew) nor re-attaches
+  /// within the window is expired at the period boundary exactly like an
+  /// unsubscribe.
+  uint32_t default_lease_periods = 0;
+  /// Announce summary changes as row deltas against the last acked image.
+  /// Full images are still sent on first contact, to v3 peers (latched on a
+  /// kError ack), on the periodic refresh below, and whenever the delta
+  /// would not pay for itself.
+  bool delta_announcements = true;
+  /// Send the full image instead when the encoded delta frame exceeds this
+  /// fraction of the full frame (counted in subsum_summary_full_fallback_total).
+  double delta_max_ratio = 0.5;
+  /// Unconditional full-image refresh every N consecutive delta sends to a
+  /// peer — an anti-entropy backstop on top of digest repair. 0 = never.
+  uint32_t delta_full_refresh_every = 16;
+  /// Age out a peer's mirrored summary after this many periods without an
+  /// announcement from it (its rows leave held_ at the next rebuild).
+  /// 0 = mirrors never expire.
+  uint32_t summary_lease_periods = 0;
 };
 
 class BrokerNode {
@@ -145,8 +168,18 @@ class BrokerNode {
     size_t held_wire_bytes = 0;
     size_t pending_redeliveries = 0;
     uint64_t epoch = 0;  // 0 when ephemeral (no data dir)
+    size_t active_leases = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Order-independent content digest of the held summary (core/delta.h).
+  /// The anti-entropy convergence criterion for tests: after quiet periods,
+  /// a receiver's shadow digest for a sender equals the sender's announced
+  /// digest link by link.
+  [[nodiscard]] uint64_t held_digest() const;
+
+  /// Per-sender digests of the mirrored (shadow) images this broker holds.
+  [[nodiscard]] std::map<overlay::BrokerId, uint64_t> shadow_digests() const;
 
   /// This incarnation's epoch; 0 when the broker is ephemeral.
   [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
@@ -192,6 +225,9 @@ class BrokerNode {
   void on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f);
   void on_publish(Socket& s, ClientConn& conn, const Frame& f);
   void on_summary(Socket& s, ClientConn& conn, const Frame& f);
+  void on_summary_delta(Socket& s, ClientConn& conn, const Frame& f);
+  void on_summary_sync(Socket& s, ClientConn& conn, const Frame& f);
+  void on_lease_renew(Socket& s, ClientConn& conn, const Frame& f);
   void on_event(Socket& s, ClientConn& conn, const Frame& f);
   void on_deliver(Socket& s, ClientConn& conn, const Frame& f);
   void on_trigger(Socket& s, ClientConn& conn, const Frame& f);
@@ -218,6 +254,32 @@ class BrokerNode {
                          std::optional<std::chrono::milliseconds> ack_timeout = {},
                          uint64_t trace = 0);
 
+  /// Generalized peer RPC: like send_to_peer_sync but returns the ack
+  /// frame, and any kind in `acceptable_acks` completes the call instead
+  /// of triggering a retry. Lets the delta path treat a peer's kError
+  /// (v3: unknown frame kind) as a negotiation signal rather than a fault.
+  Frame rpc_to_peer(overlay::BrokerId peer, MsgKind kind,
+                    std::span<const std::byte> payload,
+                    std::initializer_list<MsgKind> acceptable_acks,
+                    std::optional<std::chrono::milliseconds> ack_timeout = {},
+                    uint64_t trace = 0);
+
+  /// Shared full-image ingest for kSummary frames and kSummarySync acks:
+  /// epoch anti-entropy, shadow refresh, merge, Merged_Brokers union.
+  void ingest_full_summary(SummaryMsg msg);
+
+  /// Period-boundary soft-state maintenance, run at trigger iteration 1:
+  /// decrements and expires subscription leases, ages out silent peers'
+  /// shadow images, and — when either (or a received delta's removals)
+  /// dirtied the held state — rebuilds held_ as own-table rows plus the
+  /// surviving shadow images.
+  void begin_period();
+
+  /// Anti-entropy pull: fetches `peer`'s full image over kSummarySync and
+  /// ingests it. Called on a delta base/digest mismatch, BEFORE the delta
+  /// ack goes out, so divergence heals within the same period.
+  void sync_from_peer(overlay::BrokerId peer);
+
   /// Failed kDeliver payloads, re-tried at the start of each propagation
   /// period until their ttl expires (at-most-once: bounded, in-memory).
   struct PendingDelivery {
@@ -230,14 +292,23 @@ class BrokerNode {
   void queue_redelivery(PendingDelivery pd);
   void flush_pending_deliveries();
 
-  /// Builds the SummaryMsg for this period under `mu_`, choosing the
-  /// eligible neighbor; returns nullopt when there is nothing to send.
+  /// Builds this period's announcement under `mu_`, choosing the eligible
+  /// neighbor and full-vs-delta encoding; returns nullopt when there is
+  /// nothing to send. The announced image rides along so the sender can
+  /// install it as the peer's delta base once the ack lands.
   struct PendingSend {
     overlay::BrokerId to = 0;
+    MsgKind kind = MsgKind::kSummary;
     std::vector<std::byte> payload;
     std::vector<model::SubId> removals;  // re-queued if the send fails
+    core::SummaryImage image;            // the image this payload announces
+    uint64_t version = 0;
+    uint64_t digest = 0;
   };
   std::optional<PendingSend> prepare_summary_send(uint32_t iteration);
+
+  /// Installs `send`'s image as the peer's delta base. Caller holds mu_.
+  void record_last_sent_locked(PendingSend&& send, bool was_full);
 
   /// Compacts to a snapshot when the WAL has grown past the threshold.
   /// Caller must hold mu_. No-op for ephemeral brokers.
@@ -258,12 +329,40 @@ class BrokerNode {
   std::vector<std::thread> handlers_;
   std::vector<std::weak_ptr<ClientConn>> conns_;  // for shutdown on stop()
 
+  /// Per-sender mirror of the last announced image: the base a delta from
+  /// that sender applies to, and the unit of soft-state aging.
+  struct PeerShadow {
+    core::SummaryImage image;
+    uint64_t version = 0;
+    uint64_t digest = 0;
+    uint32_t idle_periods = 0;  // periods since the sender last announced
+  };
+  /// Per-neighbor copy of the image we last announced (and the peer
+  /// acked): the base the next outgoing delta is diffed against.
+  struct LastSent {
+    core::SummaryImage image;
+    uint64_t version = 0;
+    uint64_t digest = 0;
+    uint32_t sends_since_full = 0;
+  };
+  /// Soft-state subscription lease, keyed by local id in leases_.
+  struct Lease {
+    uint32_t ttl = 0;        // periods granted per renewal
+    uint32_t remaining = 0;  // periods left; expires when it hits 0
+  };
+
   mutable std::mutex mu_;
   core::NaiveMatcher home_;                      // exact table, maps ids->subs
   core::BrokerSummary held_;                     // own + everything received
   std::vector<overlay::BrokerId> merged_brokers_;
   std::vector<model::SubId> pending_removals_;
   std::vector<char> communicated_;               // per neighbor id, this period
+  std::map<overlay::BrokerId, PeerShadow> shadows_;  // guarded by mu_
+  std::map<overlay::BrokerId, LastSent> last_sent_;  // guarded by mu_
+  std::vector<char> peer_wants_full_;  // latched when a peer kErrors a delta (v3)
+  bool held_dirty_ = false;       // rows were removed: rebuild at the boundary
+  bool shadows_changed_ = false;  // a shadow image changed since the rebuild
+  std::map<uint32_t, Lease> leases_;  // local id -> lease; guarded by mu_
   uint32_t next_local_ = 0;
   uint64_t publish_seq_ = 0;
   std::atomic<uint64_t> rpc_seq_{0};  // jitter seed stream for peer RPCs
@@ -292,6 +391,16 @@ class BrokerNode {
   obs::Counter* ctr_drop_ttl_ = nullptr;        // subsum_redelivery_dropped_ttl_total
   obs::Counter* ctr_drop_overflow_ = nullptr;   // subsum_redelivery_dropped_overflow_total
   obs::Gauge* gauge_redelivery_depth_ = nullptr;  // subsum_redelivery_queue_depth
+  obs::Counter* ctr_lease_expired_ = nullptr;    // subsum_lease_expired_total
+  obs::Counter* ctr_lease_renewals_ = nullptr;   // subsum_lease_renewals_total
+  obs::Counter* ctr_delta_sends_ = nullptr;      // subsum_summary_delta_sends_total
+  obs::Counter* ctr_full_sends_ = nullptr;       // subsum_summary_full_sends_total
+  obs::Counter* ctr_delta_bytes_ = nullptr;      // subsum_summary_delta_bytes_total
+  obs::Counter* ctr_full_bytes_ = nullptr;       // subsum_summary_full_bytes_total
+  obs::Counter* ctr_delta_fallbacks_ = nullptr;  // subsum_summary_full_fallback_total
+  obs::Counter* ctr_digest_mismatch_ = nullptr;  // subsum_summary_digest_mismatch_total
+  obs::Counter* ctr_sync_requests_ = nullptr;    // subsum_summary_sync_total
+  obs::Counter* ctr_shadow_expired_ = nullptr;   // subsum_summary_shadow_expired_total
   obs::Histogram* hist_match_ = nullptr;        // subsum_match_latency_us
   std::vector<obs::Histogram*> hist_peer_rpc_;  // subsum_peer_rpc_latency_us{peer="N"}
   std::vector<obs::Counter*> ctr_peer_retries_;  // subsum_peer_rpc_retries_total{peer="N"}

@@ -175,6 +175,27 @@ model::SubId Client::subscribe(const model::Subscription& sub) {
   return id;
 }
 
+model::SubId Client::subscribe(const model::Subscription& sub, uint32_t lease_periods) {
+  util::BufWriter w;
+  put_subscription(w, sub);
+  // Trailing v4 field; explicit 0 pins the subscription permanent even
+  // when the broker defaults new subscriptions to leased.
+  w.put_varint(lease_periods);
+  const Frame f = rpc(MsgKind::kSubscribe, w.bytes(), MsgKind::kSubscribeAck);
+  const model::SubId id = decode_subscribe_ack(f.payload).id;
+  std::lock_guard lk(mu_);
+  owned_.push_back(id);
+  return id;
+}
+
+uint32_t Client::renew_leases(const std::vector<model::SubId>& ids) {
+  const Frame f =
+      rpc(MsgKind::kLeaseRenew, encode(LeaseRenewMsg{ids}), MsgKind::kLeaseRenewAck);
+  return decode_lease_renew_ack(f.payload).renewed;
+}
+
+uint32_t Client::renew_leases() { return renew_leases(owned_subscriptions()); }
+
 void Client::unsubscribe(model::SubId id) {
   util::BufWriter w;
   put_sub_id(w, id);

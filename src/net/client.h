@@ -58,6 +58,19 @@ class Client {
   /// Registers a subscription; blocks for the broker's ack.
   model::SubId subscribe(const model::Subscription& sub);
 
+  /// Registers a subscription with an explicit soft-state lease (v4):
+  /// unless renewed (renew_leases) or re-attached within `lease_periods`
+  /// propagation periods, the broker expires it like an unsubscribe.
+  /// An explicit 0 pins it permanent even against a broker that defaults
+  /// new subscriptions to leased.
+  model::SubId subscribe(const model::Subscription& sub, uint32_t lease_periods);
+
+  /// Resets the lease window on the given owned subscriptions (or, with no
+  /// argument, on everything this client owns). Returns how many ids had a
+  /// live lease to refresh; permanent subscriptions never count.
+  uint32_t renew_leases(const std::vector<model::SubId>& ids);
+  uint32_t renew_leases();
+
   /// Removes a subscription; blocks for the ack.
   void unsubscribe(model::SubId id);
 

@@ -5,9 +5,11 @@
 namespace subsum::net {
 
 Cluster::Cluster(const model::Schema& schema, const overlay::Graph& graph,
-                 core::GeneralizePolicy policy, RpcPolicy rpc, std::string data_dir)
+                 core::GeneralizePolicy policy, RpcPolicy rpc, std::string data_dir,
+                 ConfigTweak tweak)
     : schema_(&schema), graph_(graph), policy_(policy), rpc_(rpc),
-      data_dir_(std::move(data_dir)) {
+      data_dir_(std::move(data_dir)), tweak_(std::move(tweak)) {
+  overrides_.resize(graph_.size());
   nodes_.reserve(graph_.size());
   for (overlay::BrokerId b = 0; b < graph_.size(); ++b) {
     nodes_.push_back(std::make_unique<BrokerNode>(make_config(b)));
@@ -63,10 +65,13 @@ BrokerConfig Cluster::make_config(overlay::BrokerId b) const {
   cfg.policy = policy_;
   cfg.rpc = rpc_;
   if (!data_dir_.empty()) cfg.data_dir = data_dir_ + "/broker-" + std::to_string(b);
+  if (tweak_) tweak_(cfg);
+  if (b < overrides_.size() && overrides_[b]) overrides_[b](cfg);
   return cfg;
 }
 
-void Cluster::restart(overlay::BrokerId b) {
+void Cluster::restart(overlay::BrokerId b, ConfigTweak tweak) {
+  if (tweak) overrides_.at(b) = std::move(tweak);
   if (alive(b)) return;
   nodes_.at(b).reset();  // release the old port before rebinding
   BrokerConfig cfg = make_config(b);

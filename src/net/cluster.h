@@ -10,6 +10,7 @@
 // reports them instead of aborting.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -29,12 +30,18 @@ struct PropagationReport {
 
 class Cluster {
  public:
+  /// Per-broker configuration hook, applied to the generated BrokerConfig
+  /// before the node starts (both initial construction and restarts).
+  using ConfigTweak = std::function<void(BrokerConfig&)>;
+
   /// `data_dir`, when non-empty, makes every broker durable: broker b
   /// stores its WAL/snapshot/epoch under <data_dir>/broker-<b>, and
   /// restart(b) recovers from it instead of coming back empty.
+  /// `tweak`, when set, customizes every broker's config (lease defaults,
+  /// delta knobs, ...) at construction and on every restart.
   Cluster(const model::Schema& schema, const overlay::Graph& graph,
           core::GeneralizePolicy policy = core::GeneralizePolicy::kSafe,
-          RpcPolicy rpc = {}, std::string data_dir = {});
+          RpcPolicy rpc = {}, std::string data_dir = {}, ConfigTweak tweak = {});
   ~Cluster() { stop(); }
 
   Cluster(const Cluster&) = delete;
@@ -63,7 +70,12 @@ class Cluster {
   /// reconnect and re-subscribe); with one, it crash-recovers its
   /// subscription set and summaries from disk, and reconnecting clients
   /// re-attach their existing subscriptions.
-  void restart(overlay::BrokerId b);
+  ///
+  /// `tweak`, when set, becomes broker b's persistent config override: it
+  /// is applied (after the cluster-wide tweak) to this restart and every
+  /// later one — e.g. shrink lease windows or force full-image
+  /// announcements on a single node without rebuilding the cluster.
+  void restart(overlay::BrokerId b, ConfigTweak tweak = {});
 
   [[nodiscard]] bool alive(overlay::BrokerId b) const { return !nodes_.at(b)->stopped(); }
 
@@ -75,9 +87,11 @@ class Cluster {
   core::GeneralizePolicy policy_;
   RpcPolicy rpc_;
   std::string data_dir_;  // empty = ephemeral brokers
+  ConfigTweak tweak_;     // cluster-wide; applied before per-node overrides
   [[nodiscard]] BrokerConfig make_config(overlay::BrokerId b) const;
   std::vector<uint16_t> ports_;  // fixed for the cluster's lifetime
   std::vector<std::unique_ptr<BrokerNode>> nodes_;
+  std::vector<ConfigTweak> overrides_;  // per node, set by restart(b, tweak)
 };
 
 }  // namespace subsum::net

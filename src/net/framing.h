@@ -22,6 +22,8 @@ enum class MsgKind : uint8_t {
   kNotify = 7,
   kAttach = 8,  // re-bind recovered subscription ids after reconnect
   kAttachAck = 9,
+  kLeaseRenew = 10,  // refresh the soft-state lease on owned subscriptions
+  kLeaseRenewAck = 11,
   // broker <-> broker
   kSummary = 16,
   kSummaryAck = 17,
@@ -29,6 +31,10 @@ enum class MsgKind : uint8_t {
   kEventAck = 19,
   kDeliver = 20,  // event + matched ids to the owner broker
   kDeliverAck = 21,
+  kSummaryDelta = 22,  // v4: row edits against an (epoch, version) base
+  kSummaryDeltaAck = 23,
+  kSummarySync = 24,  // v4: anti-entropy repair — request a full image
+  kSummarySyncAck = 25,
   // control plane
   kTrigger = 32,  // run propagation iteration i
   kTriggerAck = 33,

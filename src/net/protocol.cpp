@@ -129,6 +129,10 @@ std::vector<std::byte> encode(const SummaryMsg& m) {
   put_sub_ids(w, m.removals);
   w.put_varint(m.summary.size());
   w.put_bytes(m.summary);
+  // v4 trailing fields; v3 decoders stop at the summary bytes and ignore
+  // them, v3 frames leave them at 0.
+  w.put_u64(m.version);
+  w.put_u64(m.digest);
   return std::move(w).take();
 }
 
@@ -143,7 +147,88 @@ SummaryMsg decode_summary_msg(std::span<const std::byte> b) {
   const uint64_t len = r.get_varint();
   const auto bytes = r.get_bytes(len);
   m.summary.assign(bytes.begin(), bytes.end());
+  if (r.remaining() >= 16) {  // absent in v3 frames -> 0
+    m.version = r.get_u64();
+    m.digest = r.get_u64();
+  }
   return m;
+}
+
+std::vector<std::byte> encode(const SummaryDeltaMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.from);
+  w.put_varint(m.merged_brokers.size());
+  for (auto id : m.merged_brokers) w.put_u32(id);
+  for (size_t i = 0; i < m.merged_brokers.size(); ++i) {
+    w.put_u64(i < m.epochs.size() ? m.epochs[i] : 0);
+  }
+  put_sub_ids(w, m.removals);
+  w.put_varint(m.delta.size());
+  w.put_bytes(m.delta);
+  return std::move(w).take();
+}
+
+SummaryDeltaMsg decode_summary_delta_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  SummaryDeltaMsg m;
+  m.from = r.get_u32();
+  const uint64_t nb = r.get_varint();
+  for (uint64_t i = 0; i < nb; ++i) m.merged_brokers.push_back(r.get_u32());
+  for (uint64_t i = 0; i < nb; ++i) m.epochs.push_back(r.get_u64());
+  m.removals = get_sub_ids(r);
+  const uint64_t len = r.get_varint();
+  const auto bytes = r.get_bytes(len);
+  m.delta.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
+std::vector<std::byte> encode(const SummaryDeltaAckMsg& m) {
+  util::BufWriter w;
+  w.put_u8(m.status);
+  return std::move(w).take();
+}
+
+SummaryDeltaAckMsg decode_summary_delta_ack(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  SummaryDeltaAckMsg m;
+  m.status = r.get_u8();
+  if (m.status > SummaryDeltaAckMsg::kNeedFull) {
+    throw util::DecodeError("bad delta-ack status");
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const SummarySyncMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.from);
+  return std::move(w).take();
+}
+
+SummarySyncMsg decode_summary_sync_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {r.get_u32()};
+}
+
+std::vector<std::byte> encode(const LeaseRenewMsg& m) {
+  util::BufWriter w;
+  put_sub_ids(w, m.ids);
+  return std::move(w).take();
+}
+
+LeaseRenewMsg decode_lease_renew_msg(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {get_sub_ids(r)};
+}
+
+std::vector<std::byte> encode(const LeaseRenewAckMsg& m) {
+  util::BufWriter w;
+  w.put_u32(m.renewed);
+  return std::move(w).take();
+}
+
+LeaseRenewAckMsg decode_lease_renew_ack(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  return {r.get_u32()};
 }
 
 std::vector<std::byte> encode(const EventMsg& m, const model::Schema& schema) {

@@ -43,6 +43,35 @@ struct SummaryMsg {
   std::vector<uint64_t> epochs;           // aligned with merged_brokers; 0 = ephemeral
   std::vector<model::SubId> removals;     // maintenance piggyback
   std::vector<std::byte> summary;         // core/serialize wire format
+  /// v4 trailing fields: the sender's summary version and image digest at
+  /// encode time, used to seed the receiver's shadow for later delta
+  /// bases. Absent (0) on frames from v3 peers.
+  uint64_t version = 0;
+  uint64_t digest = 0;
+};
+
+/// v4 delta announcement: same envelope as SummaryMsg, but the payload is a
+/// core/delta wire blob (its DeltaHeader carries epoch, base/new versions
+/// and digests).
+struct SummaryDeltaMsg {
+  overlay::BrokerId from = 0;
+  std::vector<overlay::BrokerId> merged_brokers;
+  std::vector<uint64_t> epochs;
+  std::vector<model::SubId> removals;
+  std::vector<std::byte> delta;  // core/delta wire format
+};
+
+/// Delta-ack status: whether the receiver's shadow landed on the digest the
+/// sender stamped. kNeedFull receivers follow up with kSummarySync.
+struct SummaryDeltaAckMsg {
+  enum Status : uint8_t { kApplied = 0, kNeedFull = 1 };
+  uint8_t status = kApplied;
+};
+
+/// Anti-entropy repair request: "send me your full current image". The ack
+/// payload is an encoded SummaryMsg (version/digest stamped).
+struct SummarySyncMsg {
+  overlay::BrokerId from = 0;  // requester, so the sender can reset last_sent
 };
 
 /// Sent by a reconnecting client to re-bind subscription ids it already
@@ -54,6 +83,16 @@ struct AttachMsg {
 
 struct AttachAckMsg {
   uint32_t bound = 0;  // how many of the requested ids the broker knew
+};
+
+/// Refreshes the soft-state lease on subscriptions this client owns; each
+/// listed id gets its remaining lifetime reset to its full TTL.
+struct LeaseRenewMsg {
+  std::vector<model::SubId> ids;
+};
+
+struct LeaseRenewAckMsg {
+  uint32_t renewed = 0;  // how many ids had a live lease to refresh
 };
 
 struct EventMsg {
@@ -97,6 +136,21 @@ SubscribeAckMsg decode_subscribe_ack(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const SummaryMsg& m);
 SummaryMsg decode_summary_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const SummaryDeltaMsg& m);
+SummaryDeltaMsg decode_summary_delta_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const SummaryDeltaAckMsg& m);
+SummaryDeltaAckMsg decode_summary_delta_ack(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const SummarySyncMsg& m);
+SummarySyncMsg decode_summary_sync_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const LeaseRenewMsg& m);
+LeaseRenewMsg decode_lease_renew_msg(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const LeaseRenewAckMsg& m);
+LeaseRenewAckMsg decode_lease_renew_ack(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const EventMsg& m, const model::Schema& schema);
 EventMsg decode_event_msg(std::span<const std::byte> b, const model::Schema& schema);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/delta.h"
 #include "siena/covering.h"
 
 namespace subsum::sim {
@@ -73,7 +74,21 @@ SubId SimSystem::subscribe(BrokerId broker, model::Subscription sub) {
   return id;
 }
 
+SubId SimSystem::subscribe(BrokerId broker, model::Subscription sub, uint32_t lease_periods) {
+  const SubId id = subscribe(broker, std::move(sub));
+  if (lease_periods > 0) leases_[id] = Lease{lease_periods, lease_periods};
+  return id;
+}
+
+bool SimSystem::renew_lease(SubId id) {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  it->second.remaining = it->second.ttl;
+  return true;
+}
+
 void SimSystem::unsubscribe(SubId id) {
+  leases_.erase(id);
   // Promote subscriptions this root was covering before it disappears.
   if (const auto it = covered_by_.find(id); it != covered_by_.end()) {
     const std::vector<SubId> orphans = std::move(it->second);
@@ -100,6 +115,22 @@ void SimSystem::unsubscribe(SubId id) {
 }
 
 routing::PropagationResult SimSystem::run_propagation_period() {
+  // Soft state first: every period costs each lease one tick; expiry is an
+  // unsubscribe in all but name, so the removal rides this same period's
+  // maintenance piggyback.
+  std::vector<SubId> lease_expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (--it->second.remaining == 0) {
+      lease_expired.push_back(it->first);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const SubId& id : lease_expired) unsubscribe(id);
+  if (!lease_expired.empty()) {
+    metrics_.counter("subsum_lease_expired_total")->inc(lease_expired.size());
+  }
   // Maintenance: apply pending removals to every broker's held state (they
   // ride along the period's summary messages; bytes charged below).
   for (auto& held : state_.held) {
@@ -266,6 +297,10 @@ size_t SimSystem::summary_storage_bytes() const {
   size_t n = 0;
   for (const auto& held : state_.held) n += core::wire_size(held, wire_);
   return n;
+}
+
+uint64_t SimSystem::held_digest(BrokerId b) const {
+  return core::summary_digest(state_.held.at(b));
 }
 
 }  // namespace subsum::sim

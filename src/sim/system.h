@@ -86,6 +86,18 @@ class SimSystem {
   /// run_propagation_period().
   model::SubId subscribe(overlay::BrokerId broker, model::Subscription sub);
 
+  /// subscribe() with a soft-state lease (mirrors the net layer's v4
+  /// semantics): unless renewed within `lease_periods` propagation
+  /// periods, the subscription is expired — exactly like unsubscribe() —
+  /// at the start of a period, counted in subsum_lease_expired_total.
+  /// 0 = permanent.
+  model::SubId subscribe(overlay::BrokerId broker, model::Subscription sub,
+                         uint32_t lease_periods);
+
+  /// Resets a leased subscription's window to its full TTL. Returns false
+  /// when the id has no live lease (permanent, expired, or unknown).
+  bool renew_lease(model::SubId id);
+
   /// Removes a subscription. Remote summary copies are cleaned up at the
   /// next propagation period (the paper leaves maintenance scheduling open;
   /// see DESIGN.md).
@@ -140,6 +152,10 @@ class SimSystem {
   /// storage metric for our approach).
   [[nodiscard]] size_t summary_storage_bytes() const;
 
+  /// Order-independent content digest of broker b's held summary
+  /// (core/delta.h) — the same convergence witness the net layer exposes.
+  [[nodiscard]] uint64_t held_digest(overlay::BrokerId b) const;
+
   [[nodiscard]] const core::WireConfig& wire() const noexcept { return wire_; }
 
   /// Span log of recent publishes (empty unless SystemConfig::trace).
@@ -171,9 +187,15 @@ class SimSystem {
   core::WireConfig wire_;
   Accounting acct_;
 
+  struct Lease {
+    uint32_t ttl = 0;
+    uint32_t remaining = 0;
+  };
+
   std::vector<core::NaiveMatcher> home_;          // exact tables per broker
   std::vector<core::BrokerSummary> delta_;        // this period's new subs
   std::vector<model::SubId> pending_removals_;
+  std::map<model::SubId, Lease> leases_;          // soft-state subscriptions
   std::vector<uint32_t> next_local_;              // per-broker c2 allocator
   routing::PropagationResult state_;              // cumulative held summaries
   /// combine_subsumption bookkeeping: propagated root -> covered local subs.

@@ -20,6 +20,7 @@ namespace {
 constexpr char kSnapshotMagic[8] = {'S', 'S', 'U', 'M', 'S', 'N', 'P', '2'};
 constexpr uint8_t kRecSubscribe = 1;
 constexpr uint8_t kRecUnsubscribe = 2;
+constexpr uint8_t kRecLease = 3;  // (sub_id, ttl): grant or renewal
 
 std::optional<std::vector<std::byte>> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -127,6 +128,18 @@ DurableState BrokerStore::open() {
             }
             const auto own_image = r.get_bytes(r.get_varint());
             const auto held_image = r.get_bytes(r.get_varint());
+            // Optional trailing lease section (v4 soft state); snapshots
+            // written before it decode with no leases.
+            if (!r.done()) {
+              const uint64_t nleases = r.get_varint();
+              for (uint64_t i = 0; i < nleases; ++i) {
+                LeaseEntry le;
+                le.id = net::get_sub_id(r);
+                le.ttl = static_cast<uint32_t>(r.get_varint());
+                le.remaining = static_cast<uint32_t>(r.get_varint());
+                st.leases.push_back(le);
+              }
+            }
             if (!r.done()) throw util::DecodeError("trailing bytes after snapshot");
             // Cross-check: the own-summary image must equal, bit for bit,
             // what the existing rebuild path derives from the persisted
@@ -175,7 +188,15 @@ DurableState BrokerStore::open() {
       } else if (kind == kRecUnsubscribe) {
         const model::SubId id = net::get_sub_id(r);
         std::erase_if(st.subs, [&](const auto& os) { return os.id == id; });
+        std::erase_if(st.leases, [&](const LeaseEntry& le) { return le.id == id; });
         st.held->remove(id);
+      } else if (kind == kRecLease) {
+        LeaseEntry le;
+        le.id = net::get_sub_id(r);
+        le.ttl = static_cast<uint32_t>(r.get_varint());
+        le.remaining = le.ttl;  // restart re-arms the full lease window
+        std::erase_if(st.leases, [&](const LeaseEntry& e) { return e.id == le.id; });
+        st.leases.push_back(le);
       }
       // Unknown kinds: skip (forward compatibility), the CRC already
       // guaranteed the record is intact.
@@ -210,6 +231,14 @@ void BrokerStore::log_unsubscribe(model::SubId id) {
   util::BufWriter w;
   w.put_u8(kRecUnsubscribe);
   net::put_sub_id(w, id);
+  wal_->append(w.bytes());
+}
+
+void BrokerStore::log_lease(model::SubId id, uint32_t ttl_periods) {
+  util::BufWriter w;
+  w.put_u8(kRecLease);
+  net::put_sub_id(w, id);
+  w.put_varint(ttl_periods);
   wal_->append(w.bytes());
 }
 
@@ -248,6 +277,15 @@ std::vector<std::byte> BrokerStore::encode_snapshot(const SnapshotInput& in) con
   const auto held = core::encode_summary(*in.held, wire_, epoch_);
   w.put_varint(held.size());
   w.put_bytes(held);
+  // v4 trailing lease section: pre-v4 readers rejected trailing bytes, so
+  // this rides behind everything they parsed; the current reader treats it
+  // as optional.
+  w.put_varint(in.leases.size());
+  for (const auto& le : in.leases) {
+    net::put_sub_id(w, le.id);
+    w.put_varint(le.ttl);
+    w.put_varint(le.remaining);
+  }
   return std::move(w).take();
 }
 

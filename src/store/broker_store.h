@@ -45,6 +45,15 @@
 
 namespace subsum::store {
 
+/// One persisted subscription lease (v4 soft state). `remaining` is
+/// re-armed to the full ttl on recovery: the owner gets one whole lease
+/// window to renew or re-attach against the new incarnation.
+struct LeaseEntry {
+  model::SubId id;
+  uint32_t ttl = 0;        // periods granted per renewal
+  uint32_t remaining = 0;  // periods left at snapshot time
+};
+
 /// Everything recovery reconstructed from the data directory.
 struct DurableState {
   /// This incarnation's epoch (already bumped past every persisted value).
@@ -60,6 +69,8 @@ struct DurableState {
   /// Held merged summary: snapshot image + WAL tail applied; on fallback,
   /// rebuilt from `subs` alone (peer state heals via resends).
   std::optional<core::BrokerSummary> held;
+  /// Live subscription leases (snapshot section + WAL lease records).
+  std::vector<LeaseEntry> leases;
 
   // Diagnostics for tests and logs.
   bool wal_torn = false;          // a torn/corrupt log tail was discarded
@@ -85,6 +96,8 @@ class BrokerStore {
   /// Appends a record (not yet durable — commit() the batch).
   void log_subscribe(const model::OwnedSubscription& os);
   void log_unsubscribe(model::SubId id);
+  /// Records a lease grant or renewal for `id` (v4 soft state).
+  void log_lease(model::SubId id, uint32_t ttl_periods);
 
   /// fsync: the records appended since the last commit become durable.
   void commit();
@@ -96,6 +109,7 @@ class BrokerStore {
     std::vector<overlay::BrokerId> merged_brokers;
     std::vector<uint64_t> merged_epochs;
     const core::BrokerSummary* held = nullptr;
+    std::vector<LeaseEntry> leases;
   };
 
   /// Compaction: atomically replaces the snapshot and truncates the log.

@@ -65,6 +65,27 @@ double Rng::range_f64(double lo, double hi) noexcept {
 
 bool Rng::chance(double p) noexcept { return uniform01() < p; }
 
+uint64_t Rng::poisson(double mean) noexcept {
+  if (!(mean > 0.0)) return 0;
+  if (mean < 30.0) {
+    // Knuth: count uniforms until their product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    uint64_t k = 0;
+    do {
+      ++k;
+      prod *= uniform01();
+    } while (prod > limit);
+    return k - 1;
+  }
+  // Normal approximation via Box-Muller; fine at these means for workloads.
+  const double u1 = std::max(uniform01(), 0x1.0p-53);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = mean + std::sqrt(mean) * z;
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(v));
+}
+
 std::string Rng::ascii_lower(size_t len) {
   std::string s(len, 'a');
   for (auto& c : s) c = static_cast<char>('a' + below(26));

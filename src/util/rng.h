@@ -38,6 +38,11 @@ class Rng {
   /// Bernoulli trial.
   bool chance(double p) noexcept;
 
+  /// Poisson-distributed count with the given mean. Knuth's product
+  /// method below mean 30, normal approximation (rounded, clamped at 0)
+  /// above — deterministic for a given generator state either way.
+  uint64_t poisson(double mean) noexcept;
+
   /// Random lowercase ASCII string of the given length.
   std::string ascii_lower(size_t len);
 

@@ -1,0 +1,24 @@
+#include "workload/churn.h"
+
+namespace subsum::workload {
+
+ChurnStream::ChurnStream(const model::Schema& schema, SubGenParams gen, ChurnParams churn,
+                         uint64_t seed)
+    : gen_(schema, gen, seed), churn_(churn), rng_(seed ^ 0xC0FFEE5EED5ULL) {}
+
+ChurnPeriod ChurnStream::next_period() {
+  ChurnPeriod p;
+  p.flash_crowd = rng_.chance(churn_.flash_crowd_prob);
+  const double mult = p.flash_crowd ? churn_.flash_crowd_mult : 1.0;
+  const uint64_t subs = rng_.poisson(churn_.subscribe_rate * mult);
+  p.unsubscribes = static_cast<size_t>(rng_.poisson(churn_.unsubscribe_rate * mult));
+  p.subscribes.reserve(subs);
+  for (uint64_t i = 0; i < subs; ++i) p.subscribes.push_back(gen_.next());
+  return p;
+}
+
+size_t ChurnStream::pick_victim_index(size_t live_count) {
+  return live_count == 0 ? 0 : static_cast<size_t>(rng_.below(live_count));
+}
+
+}  // namespace subsum::workload

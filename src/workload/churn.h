@@ -1,0 +1,58 @@
+// Subscription-churn workload (soft-state summaries, PROTOCOL v4): a
+// Poisson subscribe/unsubscribe process per propagation period, with
+// optional flash-crowd periods where both rates spike by a multiplier.
+// Everything is derived from one seed — the subscription contents, the
+// per-period counts, the flash-crowd schedule AND the unsubscribe victim
+// choices — so a churn run replays identically across the sim, the net
+// cluster and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/sub_gen.h"
+
+namespace subsum::workload {
+
+struct ChurnParams {
+  /// Mean NEW subscriptions per propagation period (Poisson).
+  double subscribe_rate = 100.0;
+  /// Mean unsubscribes per period (Poisson); capped by the live count.
+  double unsubscribe_rate = 100.0;
+  /// Probability a period is a flash crowd: both rates are multiplied by
+  /// `flash_crowd_mult` for that period only.
+  double flash_crowd_prob = 0.0;
+  double flash_crowd_mult = 10.0;
+};
+
+/// One period's worth of churn, drawn from ChurnStream::next_period().
+struct ChurnPeriod {
+  std::vector<model::Subscription> subscribes;
+  /// How many live subscriptions to remove this period; pick each victim
+  /// with ChurnStream::pick_victim_index over the caller's live list.
+  size_t unsubscribes = 0;
+  bool flash_crowd = false;
+};
+
+class ChurnStream {
+ public:
+  ChurnStream(const model::Schema& schema, SubGenParams gen, ChurnParams churn, uint64_t seed);
+
+  /// Draws the next period: Poisson counts (flash-crowd adjusted) and the
+  /// generated subscriptions to add.
+  ChurnPeriod next_period();
+
+  /// Deterministic victim choice: a uniform index into the caller's
+  /// current live list. Call once per unsubscribe, removing the victim
+  /// before the next call, and distributed replays agree victim by victim.
+  size_t pick_victim_index(size_t live_count);
+
+  [[nodiscard]] SubscriptionGenerator& generator() noexcept { return gen_; }
+
+ private:
+  SubscriptionGenerator gen_;
+  ChurnParams churn_;
+  util::Rng rng_;  // period counts + victim picks; independent of gen_'s
+};
+
+}  // namespace subsum::workload

@@ -129,4 +129,14 @@ model::Subscription SubscriptionGenerator::next() {
   return model::Subscription(*schema_, std::move(cs));
 }
 
+std::vector<size_t> churn_permutation(size_t n, uint64_t seed) {
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  util::Rng rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  return order;
+}
+
 }  // namespace subsum::workload

@@ -74,4 +74,10 @@ class SubscriptionGenerator {
   uint64_t fresh_counter_ = 0;
 };
 
+/// Deterministic Fisher-Yates permutation of {0, .., n-1}: the order in
+/// which previously issued subscriptions are unsubscribed (and possibly
+/// re-subscribed) by churn workloads. Same (n, seed) gives the same order
+/// on every platform, so distributed churn runs stay reproducible.
+std::vector<size_t> churn_permutation(size_t n, uint64_t seed);
+
 }  // namespace subsum::workload

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/delta.h"
 #include "net/cluster.h"
 #include "overlay/topologies.h"
 #include "util/bytes.h"
@@ -110,6 +111,35 @@ std::vector<std::pair<MsgKind, std::vector<std::byte>>> valid_payloads(
   out.emplace_back(MsgKind::kSubscribeAck, encode(SubscribeAckMsg{id}));
   out.emplace_back(MsgKind::kAttachAck, encode(AttachAckMsg{1}));
   out.emplace_back(MsgKind::kError, std::vector<std::byte>{});
+
+  // v4 soft-state frames (PROTOCOL v4): a structurally valid delta
+  // announcement, a sync request, and lease renewals — plus their acks,
+  // which are client/peer-bound and must be harmless as unknowns.
+  {
+    core::BrokerSummary grown = summary;
+    const auto sub2 = SubscriptionBuilder(s).where("symbol", Op::kEq, "probe2").build();
+    grown.add(sub2, SubId{1, 1, sub2.mask()});
+    const core::SummaryImage base = core::extract_image(summary);
+    const core::SummaryImage target = core::extract_image(grown);
+    core::DeltaHeader hdr;
+    hdr.base_version = 1;
+    hdr.new_version = 2;
+    hdr.base_digest = core::image_digest(base);
+    hdr.new_digest = core::image_digest(target);
+    SummaryDeltaMsg dm;
+    dm.from = 1;
+    dm.merged_brokers = {1};
+    dm.epochs = {0};
+    dm.removals = {id};
+    dm.delta = core::encode_delta(core::diff_images(base, target), s, wire, hdr);
+    out.emplace_back(MsgKind::kSummaryDelta, encode(dm));
+  }
+  out.emplace_back(MsgKind::kSummarySync, encode(SummarySyncMsg{1}));
+  out.emplace_back(MsgKind::kLeaseRenew, encode(LeaseRenewMsg{{id}}));
+  out.emplace_back(MsgKind::kSummaryDeltaAck,
+                   encode(SummaryDeltaAckMsg{SummaryDeltaAckMsg::kApplied}));
+  out.emplace_back(MsgKind::kSummarySyncAck, encode(sm));
+  out.emplace_back(MsgKind::kLeaseRenewAck, encode(LeaseRenewAckMsg{1}));
   return out;
 }
 

@@ -1,0 +1,194 @@
+// Subscription leases end-to-end (PROTOCOL v4 soft state): TTL'd
+// subscriptions expire at period boundaries unless renewed or re-attached,
+// expiry acts exactly like an unsubscribe (removal piggyback included),
+// lease deadlines survive broker restart re-armed to a full window, and
+// Cluster::restart applies per-node config overrides.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "net/cluster.h"
+#include "overlay/topologies.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using model::EventBuilder;
+using model::Op;
+using model::Schema;
+using model::SubId;
+using model::SubscriptionBuilder;
+
+Schema schema_v() { return workload::stock_schema(); }
+
+RpcPolicy tight_policy() {
+  RpcPolicy p;
+  p.connect_timeout = 250ms;
+  p.io_timeout = 1000ms;
+  p.backoff = {5ms, 40ms, 2};
+  return p;
+}
+
+std::string scratch_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = ::testing::TempDir() + "subsum_lease/" +
+                          info->test_suite_name() + "." + info->name();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Lease, ExpiresAtPeriodBoundaryLikeAnUnsubscribe) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "ttl").build(), 2);
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u);
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 1u);
+
+  // Period 1: remaining 2 -> 1, still live and propagated to broker 0.
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u);
+
+  // Period 2: lease hits zero at the boundary — expired before the
+  // announcement, so the removal piggybacks to broker 0 the same period.
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 0u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 1u);
+
+  // An event that would have matched is no longer delivered.
+  auto pub = cluster.connect(0);
+  pub->publish(EventBuilder(s).set("symbol", "ttl").build());
+  EXPECT_FALSE(client->next_notification(300ms).has_value());
+}
+
+TEST(Lease, RenewalResetsTheFullWindow) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "renew").build(), 2);
+
+  for (int period = 0; period < 5; ++period) {
+    ASSERT_TRUE(cluster.run_propagation_period().complete());
+    EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u) << "period " << period;
+    EXPECT_EQ(client->renew_leases(), 1u);
+  }
+  EXPECT_GE(cluster.node(1).metrics().counter_value("subsum_lease_renewals_total"), 5u);
+
+  // Stop renewing: two more periods exhaust the window.
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 1u);
+}
+
+TEST(Lease, ZeroLeaseIsPermanent) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "perm").build());
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "perm2").build(), 0);
+  for (int period = 0; period < 4; ++period) {
+    ASSERT_TRUE(cluster.run_propagation_period().complete());
+  }
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 2u);
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 0u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 0u);
+}
+
+TEST(Lease, BrokerDefaultLeaseAppliesToPlainSubscribes) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy(), {},
+                  [](BrokerConfig& cfg) { cfg.default_lease_periods = 1; });
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "dflt").build());
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 1u);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 1u);
+}
+
+TEST(Lease, SurvivesRestartWithTheWindowReArmed) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy(),
+                  scratch_dir());
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "dur").build(), 3);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());  // remaining 3 -> 2
+
+  cluster.kill(1);
+  cluster.restart(1);
+  std::this_thread::sleep_for(50ms);
+
+  // Recovery re-arms the lease to its full TTL: the owner gets one whole
+  // window to re-attach or renew against the new incarnation. Had the
+  // pre-crash remaining (2) been kept, the sub would die two periods in.
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u);
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 1u);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 1u);
+}
+
+TEST(Lease, AttachCountsAsRenewal) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy());
+  auto client = cluster.connect(1);
+  const SubId id =
+      client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "att").build(), 2);
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(cluster.run_propagation_period().complete());
+    // A raw kAttach each period (what a reconnecting client sends): binds
+    // the id AND refreshes its lease to the full window.
+    Socket raw = connect_local(cluster.port_of(1), 500ms);
+    raw.set_recv_timeout(2000ms);
+    send_frame(raw, MsgKind::kAttach, encode(AttachMsg{{id}}));
+    const auto ack = recv_frame(raw);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->kind, MsgKind::kAttachAck);
+  }
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 1u);
+  EXPECT_EQ(cluster.node(1).metrics().counter_value("subsum_lease_expired_total"), 0u);
+}
+
+// Satellite: Cluster::restart accepts a per-node config override that
+// sticks for that node (including across LATER restarts), applied on top
+// of the cluster-wide tweak.
+TEST(Lease, RestartConfigOverridePersists) {
+  const Schema s = schema_v();
+  Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe, tight_policy(),
+                  scratch_dir());
+
+  cluster.kill(1);
+  cluster.restart(1, [](BrokerConfig& cfg) { cfg.default_lease_periods = 1; });
+  std::this_thread::sleep_for(50ms);
+
+  auto client = cluster.connect(1);
+  client->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "ovr").build());
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 1u);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+
+  // A second restart WITHOUT a tweak keeps the override.
+  cluster.kill(1);
+  cluster.restart(1);
+  std::this_thread::sleep_for(50ms);
+  auto client2 = cluster.connect(1);
+  client2->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "ovr2").build());
+  EXPECT_EQ(cluster.node(1).snapshot().active_leases, 1u);
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  EXPECT_EQ(cluster.node(1).snapshot().local_subs, 0u);
+}
+
+}  // namespace
+}  // namespace subsum::net

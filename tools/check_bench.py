@@ -35,7 +35,7 @@ import json
 import os
 import sys
 
-DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations", "matching"]
+DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations", "matching", "churn"]
 
 
 def load(path):

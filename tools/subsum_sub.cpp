@@ -11,6 +11,13 @@
 // across broker outages: the client reconnects and re-attaches its
 // subscriptions, so a crash-recovered broker (subsum_broker --data-dir)
 // resumes notifying without a re-subscribe.
+//
+// Soft state (PROTOCOL v4): --lease N subscribes with an N-period lease —
+// the broker expires the subscription at the Nth propagation boundary
+// unless it is renewed or re-attached. --renew 1 sends a kLeaseRenew for
+// every owned subscription once a second, keeping the lease alive for
+// exactly as long as this process runs: kill the subscriber and its state
+// ages out of the fleet on its own.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -26,7 +33,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_sub --config FILE --port BROKER_PORT [--count N] "
-    "[--retry 1] 'SUBSCRIPTION'...\n";
+    "[--retry 1] [--lease PERIODS] [--renew 1] 'SUBSCRIPTION'...\n";
 
 std::atomic<bool> g_stop{false};
 void on_signal(int) { g_stop = true; }
@@ -53,12 +60,14 @@ int main(int argc, char** argv) {
   try {
     net::Client client(static_cast<uint16_t>(args.required_u64("port", kUsage)),
                        spec.schema);
+    const auto lease = static_cast<uint32_t>(args.flag_u64("lease", 0));
     for (const auto& text : args.positional()) {
       const auto sub = model::parse_subscription(spec.schema, text);
-      const auto id = client.subscribe(sub);
+      const auto id = lease > 0 ? client.subscribe(sub, lease) : client.subscribe(sub);
       // endl: scripts tail the redirected log to know the subscription
       // landed, so the line must not sit in a full buffer.
       std::cout << "subscribed " << id.to_string() << ": " << sub.to_string(spec.schema)
+                << (lease > 0 ? " (lease " + std::to_string(lease) + " periods)" : "")
                 << std::endl;
     }
 
@@ -66,7 +75,17 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     uint64_t remaining = args.flag_u64("count", 0);
     const bool retry = args.flag_u64("retry", 0) != 0;
+    const bool renew = args.flag_u64("renew", 0) != 0;
+    auto next_renew = std::chrono::steady_clock::now() + 1s;
     while (!g_stop) {
+      if (renew && std::chrono::steady_clock::now() >= next_renew) {
+        next_renew = std::chrono::steady_clock::now() + 1s;
+        try {
+          client.renew_leases();
+        } catch (const net::NetError&) {
+          if (!retry) throw;  // with --retry the next poll reconnects
+        }
+      }
       std::optional<net::NotifyMsg> note;
       try {
         note = client.next_notification(250ms);

@@ -11,9 +11,11 @@
 // the fault-injector proxy too), parses it with obs::parse_prometheus_text,
 // and renders:
 //
-//   * one row per broker: up/down, epoch, uptime, local subs, publish and
-//     walk-efficiency counters, sampled summary precision, false-positive
-//     ids, and wire-vs-model drift;
+//   * one row per broker: up/down, epoch, uptime, local subs, lease
+//     population and expiries, publish and walk-efficiency counters,
+//     sampled summary precision, false-positive ids, wire-vs-model drift,
+//     and the soft-state announcement mix (delta sends, full sends,
+//     kSummarySync repair pulls);
 //   * fleet aggregates: totals across live brokers, fleet precision
 //     (Σ exact / Σ candidates — NOT a mean of ratios), min/max drift, and
 //     the top-K brokers by false-positive count and by walk visit load.
@@ -60,6 +62,16 @@ struct BrokerRow {
   double walk_forward = 0;
   double walk_deliver = 0;
   double walk_reselects = 0;
+  // Soft-state health (PROTOCOL v4): lease population/expiries and the
+  // delta-announcement machinery — a nonzero steady-state sync or mismatch
+  // rate means links keep diverging and repairing instead of staying in
+  // lockstep.
+  double active_leases = 0;
+  double lease_expired = 0;
+  double delta_sends = 0;
+  double full_sends = 0;
+  double digest_mismatch = 0;
+  double sync_pulls = 0;
   double sampled = 0;
   double candidate_ids = 0;
   double exact_ids = 0;
@@ -100,6 +112,12 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
   r.walk_forward = find_value(samples, "subsum_walk_forward_hops_total");
   r.walk_deliver = find_value(samples, "subsum_walk_delivery_hops_total");
   r.walk_reselects = find_value(samples, "subsum_walk_reselects_total");
+  r.active_leases = find_value(samples, "subsum_active_leases");
+  r.lease_expired = find_value(samples, "subsum_lease_expired_total");
+  r.delta_sends = find_value(samples, "subsum_summary_delta_sends_total");
+  r.full_sends = find_value(samples, "subsum_summary_full_sends_total");
+  r.digest_mismatch = find_value(samples, "subsum_summary_digest_mismatch_total");
+  r.sync_pulls = find_value(samples, "subsum_summary_sync_total");
   r.sampled = find_value(samples, "subsum_quality_sampled_events_total");
   r.candidate_ids = find_value(samples, "subsum_quality_candidate_ids_total");
   r.exact_ids = find_value(samples, "subsum_quality_exact_ids_total");
@@ -121,18 +139,20 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
 
 void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   std::printf("subsum_top  tick %zu\n", tick);
-  std::printf("%-6s %-5s %-8s %-6s %-7s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s\n",
-              "port", "up", "version", "epoch", "subs", "publishes", "visits", "fwd",
-              "deliver", "reselect", "fp_ids", "precision", "drift", "shards", "sh_imb");
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s\n",
+              "port", "up", "version", "epoch", "subs", "leases", "expird", "publishes",
+              "visits", "fwd", "deliver", "reselect", "fp_ids", "precision", "drift",
+              "shards", "sh_imb", "dsend", "fsend", "sync");
   for (const auto& r : rows) {
     if (!r.up) {
       std::printf("%-6u %-5s %s\n", r.port, "down", "-");
       continue;
     }
-    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f\n",
-                r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.publishes,
-                r.walk_visits, r.walk_forward, r.walk_deliver, r.walk_reselects, r.fp_ids,
-                r.precision, r.drift, r.shard_count, r.shard_imbalance);
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f\n",
+                r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.active_leases,
+                r.lease_expired, r.publishes, r.walk_visits, r.walk_forward, r.walk_deliver,
+                r.walk_reselects, r.fp_ids, r.precision, r.drift, r.shard_count,
+                r.shard_imbalance, r.delta_sends, r.full_sends, r.sync_pulls);
   }
 
   std::vector<const BrokerRow*> live;
@@ -144,6 +164,7 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
     return;
   }
   double cand = 0, exact = 0, fp = 0, visits = 0, fwd = 0, del = 0, resel = 0, pubs = 0;
+  double leases = 0, expired = 0, dsend = 0, fsend = 0, mism = 0, syncs = 0;
   double dmin = live.front()->drift, dmax = live.front()->drift;
   for (const auto* r : live) {
     cand += r->candidate_ids;
@@ -154,6 +175,12 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
     del += r->walk_deliver;
     resel += r->walk_reselects;
     pubs += r->publishes;
+    leases += r->active_leases;
+    expired += r->lease_expired;
+    dsend += r->delta_sends;
+    fsend += r->full_sends;
+    mism += r->digest_mismatch;
+    syncs += r->sync_pulls;
     dmin = std::min(dmin, r->drift);
     dmax = std::max(dmax, r->drift);
   }
@@ -165,6 +192,10 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
       live.size(), rows.size(), pubs, visits, fwd, del, resel);
   std::printf("fleet: fp_ids=%.0f precision=%.4f drift=[%.3f, %.3f]\n", fp, fleet_precision,
               dmin, dmax);
+  std::printf(
+      "fleet: leases=%.0f expired=%.0f delta_sends=%.0f full_sends=%.0f mismatches=%.0f "
+      "syncs=%.0f\n",
+      leases, expired, dsend, fsend, mism, syncs);
 
   auto print_top = [&](const char* label, auto key) {
     auto sorted = live;
@@ -200,6 +231,11 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
          << ",\"fp_ids\":" << r.fp_ids << ",\"precision\":" << r.precision
          << ",\"model_drift_ratio\":" << r.drift
          << ",\"held_wire_bytes\":" << r.held_wire_bytes
+         << ",\"active_leases\":" << r.active_leases
+         << ",\"lease_expired\":" << r.lease_expired
+         << ",\"delta_sends\":" << r.delta_sends << ",\"full_sends\":" << r.full_sends
+         << ",\"digest_mismatches\":" << r.digest_mismatch
+         << ",\"sync_pulls\":" << r.sync_pulls
          << ",\"match_shards\":" << r.shard_count
          << ",\"shard_visits\":" << r.shard_visits
          << ",\"shard_imbalance\":" << r.shard_imbalance;
