@@ -1,0 +1,271 @@
+// Overload-governor bench (net/governor.h): admission, degradation-ladder,
+// and circuit-breaker behavior under a simulated publish storm, plus a
+// small live-broker smoke with a stalled consumer.
+//
+// The gate this feeds (tools/check_bench.py "overload"): the simulated
+// sections drive the governor with EXPLICIT timestamps and a synthetic
+// fan-out model, so every admission count, shed count, peak byte, and
+// breaker transition is exact arithmetic — those metrics are gated tight.
+// The two invariants that must never drift: `*.control_sheds` stays 0
+// (control-plane traffic is never shed at any rung) and `*.budget_ok`
+// stays 1 (accounted bytes never exceed the memory budget). The live
+// section runs a real broker with a real stalled socket; its wall-clock
+// metric gets a wide band in CI (machine speed), while its delivery count
+// stays tight (a healthy consumer must receive every event of the storm).
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "net/cluster.h"
+#include "net/governor.h"
+#include "obs/metrics.h"
+#include "overlay/topologies.h"
+#include "stats/stats.h"
+#include "util/bytes.h"
+#include "workload/stock_schema.h"
+
+namespace {
+
+using namespace subsum;
+using namespace std::chrono_literals;
+
+// --- 1. admission schedule ---------------------------------------------------
+// Offered load 2x the configured rate: the token bucket must admit exactly
+// burst + rate * window and stamp exact refill hints on every refusal.
+void bench_admission(stats::Table& table, bench::JsonReport& report) {
+  constexpr uint64_t kRate = 1000, kBurst = 100;
+  constexpr uint64_t kOffered = 3000;
+  constexpr uint64_t kSpacingUs = 500;  // 2000 offers/s against 1000/s
+  net::TokenBucket bucket(kRate, kBurst);
+  uint64_t admitted = 0, rejected = 0, max_retry_ms = 0;
+  for (uint64_t i = 0; i < kOffered; ++i) {
+    uint64_t retry_ms = 0;
+    if (bucket.try_acquire(i * kSpacingUs, &retry_ms)) {
+      ++admitted;
+    } else {
+      ++rejected;
+      if (retry_ms > max_retry_ms) max_retry_ms = retry_ms;
+    }
+  }
+  table.row({"admission", std::to_string(kOffered), std::to_string(admitted),
+             std::to_string(rejected), std::to_string(max_retry_ms) + "ms max hint"});
+  report.metric("admission.offered", static_cast<double>(kOffered));
+  report.metric("admission.admitted", static_cast<double>(admitted));
+  report.metric("admission.rejected", static_cast<double>(rejected));
+  report.metric("admission.max_retry_ms", static_cast<double>(max_retry_ms));
+}
+
+// --- 2. degradation ladder under a fan-out storm -----------------------------
+// Synthetic broker: 4 subscriber queues (one permanently stalled), a
+// redelivery buffer for a down peer, and per-event probe/trace work — all
+// pushed through the real Governor's budget accounting and shed gates.
+void bench_ladder(stats::Table& table, bench::JsonReport& report, size_t scale) {
+  net::GovernorConfig cfg;
+  cfg.memory_budget_bytes = 1u << 20;       // 1 MiB global budget
+  cfg.conn_queue_max_bytes = 256u << 10;    // per-connection drop-oldest cap
+  obs::MetricsRegistry m;
+  net::Governor gov(cfg, /*peers=*/0, m);
+  using Shed = net::Governor::Shed;
+
+  constexpr size_t kConsumers = 4;          // consumer 0 never drains
+  constexpr size_t kFrameBytes = 8u << 10;
+  constexpr size_t kRedeliveryCap = 640u << 10;
+  const size_t frames = 300 * scale;
+
+  struct Queue {
+    std::deque<size_t> q;
+    size_t bytes = 0;
+  };
+  std::vector<Queue> queues(kConsumers);
+  std::deque<size_t> redelivery;
+  size_t redelivery_bytes = 0;
+  uint64_t dropped = 0;
+  int max_rung = 0;
+
+  for (size_t e = 0; e < frames; ++e) {
+    // The per-event observability work the broker sheds first.
+    if (gov.shedding(Shed::kProbe)) gov.count_shed(Shed::kProbe);
+    if (gov.shedding(Shed::kTrace)) gov.count_shed(Shed::kTrace);
+    // One redelivery queued for a down peer, budget-capped drop-front.
+    if (gov.shedding(Shed::kRedelivery)) {
+      gov.count_shed(Shed::kRedelivery);
+    } else {
+      redelivery.push_back(kFrameBytes);
+      redelivery_bytes += kFrameBytes;
+      gov.add_usage(kFrameBytes);
+      while (redelivery_bytes > kRedeliveryCap) {
+        redelivery_bytes -= redelivery.front();
+        gov.sub_usage(redelivery.front());
+        redelivery.pop_front();
+      }
+    }
+    // Fan the event out; drop-oldest on the stalled consumer's full queue.
+    for (auto& qu : queues) {
+      while (qu.bytes + kFrameBytes > cfg.conn_queue_max_bytes) {
+        qu.bytes -= qu.q.front();
+        gov.sub_usage(qu.q.front());
+        qu.q.pop_front();
+        gov.count_shed(Shed::kNotify);
+        ++dropped;
+      }
+      qu.q.push_back(kFrameBytes);
+      qu.bytes += kFrameBytes;
+      gov.add_usage(kFrameBytes);
+    }
+    // Healthy consumers drain between events; consumer 0 is stalled.
+    for (size_t c = 1; c < kConsumers; ++c) {
+      while (!queues[c].q.empty()) {
+        queues[c].bytes -= queues[c].q.front();
+        gov.sub_usage(queues[c].q.front());
+        queues[c].q.pop_front();
+      }
+    }
+    if (gov.rung() > max_rung) max_rung = gov.rung();
+  }
+
+  const bool budget_ok = gov.peak_usage() <= cfg.memory_budget_bytes;
+  table.row({"ladder storm", std::to_string(frames) + " ev",
+             std::to_string(gov.peak_usage()) + " B peak",
+             "rung<=" + std::to_string(max_rung),
+             std::to_string(dropped) + " dropped"});
+  report.metric("ladder.frames", static_cast<double>(frames));
+  report.metric("ladder.peak_usage_bytes", static_cast<double>(gov.peak_usage()));
+  report.metric("ladder.max_rung", static_cast<double>(max_rung));
+  report.metric("ladder.budget_ok", budget_ok ? 1.0 : 0.0);
+  report.metric("ladder.dropped_frames", static_cast<double>(dropped));
+  report.metric("shed.probe", static_cast<double>(gov.shed_count(Shed::kProbe)));
+  report.metric("shed.trace", static_cast<double>(gov.shed_count(Shed::kTrace)));
+  report.metric("shed.redelivery",
+                static_cast<double>(gov.shed_count(Shed::kRedelivery)));
+  report.metric("shed.notify", static_cast<double>(gov.shed_count(Shed::kNotify)));
+  report.metric("ladder.control_sheds",
+                static_cast<double>(gov.shed_count(Shed::kControl)));
+}
+
+// --- 3. circuit-breaker schedule ---------------------------------------------
+// A peer down for 500ms, RPCs attempted every 10ms: the breaker opens after
+// 4 terminal failures, fails fast through each cooldown, burns one probe
+// per cooldown, and recloses on the first probe after the peer returns.
+void bench_breaker(stats::Table& table, bench::JsonReport& report) {
+  net::CircuitBreaker br(/*open_after=*/4, /*cooldown=*/150ms);
+  constexpr uint64_t kDownUntilUs = 500'000;
+  uint64_t fastfails = 0, probe_failures = 0, attempts = 0;
+  uint64_t reclose_us = 0;
+  for (uint64_t t = 0; t <= 1'000'000; t += 10'000) {
+    if (!br.allow(t)) {
+      ++fastfails;
+      continue;
+    }
+    ++attempts;
+    const bool was_half_open = br.state() == net::CircuitBreaker::State::kHalfOpen;
+    if (t < kDownUntilUs) {
+      br.on_failure(t);
+      if (was_half_open) ++probe_failures;
+    } else {
+      br.on_success();
+      if (reclose_us == 0) reclose_us = t;
+      break;
+    }
+  }
+  table.row({"breaker", std::to_string(attempts) + " attempts",
+             std::to_string(fastfails) + " fast-fails",
+             std::to_string(probe_failures) + " failed probes",
+             "reclosed @" + std::to_string(reclose_us / 1000) + "ms"});
+  report.metric("breaker.fastfails", static_cast<double>(fastfails));
+  report.metric("breaker.probe_failures", static_cast<double>(probe_failures));
+  report.metric("breaker.reclose_ms", static_cast<double>(reclose_us / 1000));
+}
+
+// --- 4. live smoke: real broker, stalled consumer ----------------------------
+// One broker, one healthy subscriber, one raw socket that subscribes and
+// never reads again. The healthy subscriber must receive the whole storm;
+// control traffic is never shed and the budget holds. Only wall_ms is
+// machine-dependent (wide band in CI).
+void bench_live(stats::Table& table, bench::JsonReport& report) {
+  using model::EventBuilder;
+  using model::Op;
+  using model::SubscriptionBuilder;
+  const auto s = workload::stock_schema();
+  net::RpcPolicy rpc;
+  rpc.connect_timeout = 500ms;
+  rpc.io_timeout = 2000ms;
+  net::Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, rpc, {},
+                       [](net::BrokerConfig& cfg) {
+                         cfg.governor.conn_queue_max_bytes = 1u << 20;
+                         cfg.governor.write_stall_timeout = 500ms;
+                       });
+
+  net::Socket stalled = net::connect_local(cluster.port_of(0));
+  {
+    util::BufWriter w;
+    net::put_subscription(
+        w, SubscriptionBuilder(s).where("symbol", Op::kEq, "storm").build());
+    w.put_varint(0);  // permanent
+    net::send_frame(stalled, net::MsgKind::kSubscribe, w.bytes());
+    (void)net::recv_frame(stalled);  // ack; then never read again
+  }
+  auto healthy = cluster.connect(0);
+  healthy->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "storm").build());
+  auto publisher = cluster.connect(0);
+
+  constexpr int kEvents = 40;
+  const std::string blob(8u << 10, 'b');
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    publisher->publish(EventBuilder(s)
+                           .set("symbol", "storm")
+                           .set("exchange", blob)
+                           .set("volume", int64_t{i})
+                           .build());
+  }
+  int received = 0;
+  while (received < kEvents) {
+    const auto note = healthy->next_notification(received == 0 ? 5000ms : 2000ms);
+    if (!note.has_value()) break;
+    ++received;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const net::Governor& gov = cluster.node(0).governor();
+  const bool budget_ok = gov.peak_usage() <= gov.config().memory_budget_bytes;
+  table.row({"live storm", std::to_string(kEvents) + " ev",
+             std::to_string(received) + " received",
+             budget_ok ? "budget ok" : "BUDGET BLOWN",
+             stats::fmt(wall_ms) + "ms"});
+  report.metric("live.events", static_cast<double>(kEvents));
+  report.metric("live.healthy_received", static_cast<double>(received));
+  report.metric("live.budget_ok", budget_ok ? 1.0 : 0.0);
+  report.metric("live.control_sheds",
+                static_cast<double>(gov.shed_count(net::Governor::Shed::kControl)));
+  report.metric("live.wall_ms", wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  const size_t scale = bench::bench_scale();
+  std::cout << "Overload governor: admission, ladder, breaker, live storm\n\n";
+  stats::Table table({"section", "volume", "outcome", "policy", "detail"});
+  bench::JsonReport report("overload");
+  report.meta("unit", "admissions / shed counts / bytes (wall_ms: live only)");
+  report.meta("scale", static_cast<double>(scale));
+
+  bench_admission(table, report);
+  bench_ladder(table, report, scale);
+  bench_breaker(table, report);
+  bench_live(table, report);
+
+  table.print(std::cout);
+  report.write();
+  std::cout << "\npaper check: overload sheds observability before data and data "
+               "before control; accounted bytes never exceed the budget\n";
+  return 0;
+}

@@ -55,6 +55,8 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
     hist_peer_rpc_[b] = metrics_.histogram("subsum_peer_rpc_latency_us" + label);
     ctr_peer_retries_[b] = metrics_.counter("subsum_peer_rpc_retries_total" + label);
   }
+  governor_ = std::make_unique<Governor>(cfg_.governor, cfg_.graph.size(), metrics_);
+  ctr_slow_disconnect_ = metrics_.counter("subsum_slow_consumer_disconnects_total");
   // Incarnation identity for fleet collectors: constant-1 build_info with
   // the version baked into a label, plus uptime/epoch gauges (refreshed on
   // every kStats scrape) so rows can be keyed by (broker, incarnation).
@@ -178,6 +180,32 @@ void BrokerNode::accept_loop() {
 }
 
 void BrokerNode::handle_connection(Socket sock) {
+  if (cfg_.governor.write_stall_timeout.count() > 0) {
+    // Bounds EVERY outbound write on this connection (acks included): a
+    // consumer that stalls a single write past the deadline is cut off,
+    // because a mid-frame timeout leaves the stream unframeable anyway.
+    sock.set_send_timeout(cfg_.governor.write_stall_timeout);
+  }
+  if (cfg_.governor.conn_sndbuf_bytes > 0) {
+    try {
+      sock.set_send_buffer(cfg_.governor.conn_sndbuf_bytes);
+    } catch (const NetError&) {
+      // Best-effort: an unclamped buffer only weakens backpressure.
+    }
+  }
+  if (!governor_->try_acquire_connection()) {
+    try {
+      send_frame(sock, MsgKind::kError,
+                 encode(ErrorMsg{ErrorMsg::kOverCapacity, governor_->retry_after_hint()}));
+    } catch (const NetError&) {
+      // Refusal is best-effort; the close itself is the message.
+    }
+    return;
+  }
+  struct ConnSlot {
+    Governor* g;
+    ~ConnSlot() { g->release_connection(); }
+  } slot{governor_.get()};
   auto conn = std::make_shared<ClientConn>();
   conn->sock = &sock;
   {
@@ -185,6 +213,7 @@ void BrokerNode::handle_connection(Socket sock) {
     std::erase_if(conns_, [](const std::weak_ptr<ClientConn>& w) { return w.expired(); });
     conns_.push_back(conn);
   }
+  std::thread writer([this, conn] { writer_loop(conn); });
   std::vector<uint32_t> owned_locals;  // subscriptions registered on this conn
   try {
     while (true) {
@@ -245,10 +274,108 @@ void BrokerNode::handle_connection(Socket sock) {
     for (uint32_t local : owned_locals) subscribers_.erase(local);
   }
   {
+    std::lock_guard qk(conn->q_mu);
+    conn->writer_stop = true;
+  }
+  conn->q_cv.notify_all();
+  if (writer.joinable()) writer.join();
+  {
     // write_mu orders this against stop()'s shutdown_both on conn->sock.
     std::lock_guard wl(conn->write_mu);
     conn->sock = nullptr;
   }
+}
+
+void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
+                                std::vector<std::byte> payload) {
+  const auto& g = cfg_.governor;
+  size_t dropped_bytes = 0;
+  size_t added = 0;
+  {
+    std::lock_guard qk(conn->q_mu);
+    if (conn->writer_stop) {
+      // Consumer already cut off (slow-consumer disconnect or teardown)
+      // but still racing in the subscriber map: the frame is dropped.
+      governor_->count_shed(Governor::Shed::kNotify);
+      return;
+    }
+    if (payload.size() > g.conn_queue_max_bytes) {
+      // Cannot fit even into an empty queue: shed it outright.
+      governor_->count_shed(Governor::Shed::kNotify);
+      return;
+    }
+    // Drop-oldest: a consumer this far behind prefers fresh events over a
+    // complete-but-stale backlog (and pub/sub makes no delivery promise to
+    // a subscriber that stopped reading).
+    while (!conn->outq.empty() &&
+           (conn->outq_bytes + payload.size() > g.conn_queue_max_bytes ||
+            conn->outq.size() >= g.conn_queue_max_frames)) {
+      dropped_bytes += conn->outq.front().size();
+      conn->outq_bytes -= conn->outq.front().size();
+      conn->outq.pop_front();
+      governor_->count_shed(Governor::Shed::kNotify);
+    }
+    added = payload.size();
+    conn->outq_bytes += added;
+    conn->outq.push_back(std::move(payload));
+    governor_->observe_queue(conn->outq.size(), conn->outq_bytes);
+  }
+  // Budget accounting outside q_mu: the governor is internally atomic and
+  // the rung only needs to be eventually exact.
+  if (added > dropped_bytes) {
+    governor_->add_usage(added - dropped_bytes);
+  } else if (dropped_bytes > added) {
+    governor_->sub_usage(dropped_bytes - added);
+  }
+  conn->q_cv.notify_one();
+}
+
+void BrokerNode::writer_loop(std::shared_ptr<ClientConn> conn) {
+  for (;;) {
+    std::vector<std::byte> payload;
+    {
+      std::unique_lock qk(conn->q_mu);
+      conn->q_cv.wait(qk, [&] { return conn->writer_stop || !conn->outq.empty(); });
+      if (conn->writer_stop) break;
+      payload = std::move(conn->outq.front());
+      conn->outq.pop_front();
+      conn->outq_bytes -= payload.size();
+    }
+    governor_->sub_usage(payload.size());
+    try {
+      std::lock_guard wl(conn->write_mu);
+      if (!conn->sock) break;
+      send_frame(*conn->sock, MsgKind::kNotify, payload);
+    } catch (const NetError&) {
+      // The send stalled past write_stall_timeout (or the socket died).
+      // A timeout may have cut the frame mid-stream, so the connection is
+      // unframeable: disconnect — the slow-consumer terminal policy. The
+      // handler thread sees the shutdown and tears the connection down.
+      governor_->count_slow_disconnect();
+      ctr_slow_disconnect_->inc();
+      std::lock_guard wl(conn->write_mu);
+      if (conn->sock) conn->sock->shutdown_both();
+      break;
+    }
+  }
+  // Whatever never made it out leaves the global budget with the writer.
+  size_t leftover = 0;
+  {
+    std::lock_guard qk(conn->q_mu);
+    conn->writer_stop = true;  // late enqueues become no-ops
+    for (const auto& p : conn->outq) leftover += p.size();
+    conn->outq.clear();
+    conn->outq_bytes = 0;
+  }
+  if (leftover) governor_->sub_usage(leftover);
+}
+
+void BrokerNode::record_span(const obs::Span& sp) {
+  if (governor_->shedding(Governor::Shed::kTrace)) {
+    governor_->count_shed(Governor::Shed::kTrace);
+    return;
+  }
+  trace_ring_.append(sp);
 }
 
 void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn,
@@ -260,24 +387,39 @@ void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn
   uint32_t lease = cfg_.default_lease_periods;
   if (!r.done()) lease = static_cast<uint32_t>(r.get_varint());
   SubId id;
+  bool rejected = false;
   {
     std::lock_guard lk(mu_);
     if (next_local_ >= cfg_.max_subs_per_broker) {
       throw NetError("broker exceeded max outstanding subscriptions");
     }
-    id = SubId{cfg_.id, next_local_++, sub.mask()};
-    held_.add(sub, id);
-    home_.add({id, std::move(sub)});
-    subscribers_[id.local] = conn;
-    if (lease > 0) leases_[id.local] = Lease{lease, lease};
-    if (store_) {
-      // Durable before acked: the client may treat the ack as a promise
-      // that the subscription survives kill -9.
-      store_->log_subscribe(home_.subs().back());
-      if (lease > 0) store_->log_lease(id, lease);
-      store_->commit();
-      maybe_compact_locked();
+    if (!governor_->admit_subscription(home_.size())) {
+      rejected = true;
+    } else {
+        id = SubId{cfg_.id, next_local_++, sub.mask()};
+      held_.add(sub, id);
+      home_.add({id, std::move(sub)});
+      subscribers_[id.local] = conn;
+      if (lease > 0) leases_[id.local] = Lease{lease, lease};
+      if (store_) {
+        // Durable before acked: the client may treat the ack as a promise
+        // that the subscription survives kill -9.
+        store_->log_subscribe(home_.subs().back());
+        if (lease > 0) store_->log_lease(id, lease);
+        store_->commit();
+        maybe_compact_locked();
+      }
     }
+  }
+  if (rejected) {
+    // Governor capacity refusal: explicit kError with a retry-after hint
+    // (the broker did NOT act), unlike the id-space exhaustion above which
+    // is permanent and kills the connection.
+    governor_->count_rejected_subscription();
+    std::lock_guard wl(conn->write_mu);
+    send_frame(s, MsgKind::kError,
+               encode(ErrorMsg{ErrorMsg::kOverCapacity, governor_->retry_after_hint()}));
+    return;
   }
   owned_locals.push_back(id.local);
   std::lock_guard wl(conn->write_mu);
@@ -331,6 +473,15 @@ void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
 }
 
 void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
+  // Admission first, before any decode or walk work: under overload the
+  // cheapest possible path is the rejection.
+  if (const auto adm = governor_->admit_publish(); !adm.ok) {
+    std::lock_guard wl(conn.write_mu);
+    send_frame(s, MsgKind::kError,
+               encode(ErrorMsg{adm.shed ? ErrorMsg::kShedding : ErrorMsg::kThrottled,
+                               adm.retry_after_ms}));
+    return;
+  }
   util::BufReader r(f.payload);
   EventMsg msg;
   msg.origin = cfg_.id;
@@ -837,8 +988,8 @@ void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
   if (msg.trace) {
     // The owner-side deliver span: together with the sender's spans this
     // closes the publish -> deliver causal chain across brokers.
-    trace_ring_.append({msg.trace, cfg_.id, obs::Phase::kDeliver, msg.examined_at,
-                        obs::now_us(), f.payload.size()});
+    record_span({msg.trace, cfg_.id, obs::Phase::kDeliver, msg.examined_at,
+                 obs::now_us(), f.payload.size()});
   }
   // Exact re-filter against the home table, then notify the owning client
   // connections, grouped per connection.
@@ -857,9 +1008,7 @@ void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
     }
   }
   for (auto& [client, ids] : per_conn) {
-    const auto payload = encode(NotifyMsg{std::move(ids), msg.event}, cfg_.schema);
-    std::lock_guard wl(client->write_mu);
-    if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
+    enqueue_notify(client, encode(NotifyMsg{std::move(ids), msg.event}, cfg_.schema));
   }
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kDeliverAck, {});
@@ -878,6 +1027,13 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
   metrics_.gauge("subsum_active_leases")->set(static_cast<int64_t>(snap.active_leases));
   metrics_.gauge("subsum_summary_digest")->set(static_cast<int64_t>(held_digest()));
   gauge_redelivery_depth_->set(static_cast<int64_t>(snap.pending_redeliveries));
+  metrics_.gauge("subsum_health_rung")->set(governor_->rung());
+  metrics_.gauge("subsum_outbound_usage_bytes")
+      ->set(static_cast<int64_t>(governor_->usage()));
+  metrics_.gauge("subsum_outbound_peak_bytes")
+      ->set(static_cast<int64_t>(governor_->peak_usage()));
+  metrics_.gauge("subsum_governor_connections")
+      ->set(static_cast<int64_t>(governor_->connections()));
   metrics_.gauge("subsum_uptime_seconds")
       ->set(std::chrono::duration_cast<std::chrono::seconds>(std::chrono::steady_clock::now() -
                                                              started_at_)
@@ -911,8 +1067,8 @@ void BrokerNode::on_trace(Socket& s, ClientConn& conn, const Frame& f) {
 void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
   const uint64_t trace = msg.trace;
   if (trace) {
-    trace_ring_.append({trace, cfg_.id, obs::Phase::kRecv, obs::Span::kNoPeer,
-                        obs::now_us(), frame_bytes});
+    record_span({trace, cfg_.id, obs::Phase::kRecv, obs::Span::kNoPeer,
+                 obs::now_us(), frame_bytes});
   }
   walk_metrics_.visits->inc();  // this broker examines the event
   // Snapshot what we need under the lock; all networking happens after.
@@ -929,19 +1085,25 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
     // lose matches, so exact ⊆ summary-local). Sampled events also get a
     // match_into-vs-match_reference differential run on the held summary.
     if (probe_.should_sample(msg.event)) {
-      const size_t local_candidates = static_cast<size_t>(std::count_if(
-          matched.begin(), matched.end(),
-          [this](const SubId& id) { return id.broker == cfg_.id; }));
-      const size_t local_exact = home_.match(msg.event).size();
-      const bool diverged = core::match_reference(held_, msg.event) != matched;
-      probe_.record(local_candidates, local_exact, diverged);
+      if (governor_->shedding(Governor::Shed::kProbe)) {
+        // Rung 1: the shadow sample (an extra exact match + reference
+        // run) is the first thing to go under pressure.
+        governor_->count_shed(Governor::Shed::kProbe);
+      } else {
+        const size_t local_candidates = static_cast<size_t>(std::count_if(
+            matched.begin(), matched.end(),
+            [this](const SubId& id) { return id.broker == cfg_.id; }));
+        const size_t local_exact = home_.match(msg.event).size();
+        const bool diverged = core::match_reference(held_, msg.event) != matched;
+        probe_.record(local_candidates, local_exact, diverged);
+      }
     }
   }
   if (trace) {
     // bytes carries the matched-id count for match spans (there is no
     // frame to account).
-    trace_ring_.append({trace, cfg_.id, obs::Phase::kMatch, obs::Span::kNoPeer,
-                        obs::now_us(), matched.size()});
+    record_span({trace, cfg_.id, obs::Phase::kMatch, obs::Span::kNoPeer,
+                 obs::now_us(), matched.size()});
   }
 
   // Owners already in the incoming BROCLI were handled upstream.
@@ -971,13 +1133,11 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
         }
       }
       for (auto& [client, cids] : per_conn) {
-        const auto payload = encode(NotifyMsg{std::move(cids), dm.event}, cfg_.schema);
-        std::lock_guard wl(client->write_mu);
-        if (client->sock) send_frame(*client->sock, MsgKind::kNotify, payload);
+        enqueue_notify(client, encode(NotifyMsg{std::move(cids), dm.event}, cfg_.schema));
       }
       if (trace) {
-        trace_ring_.append({trace, cfg_.id, obs::Phase::kDeliver, cfg_.id,
-                            obs::now_us(), id_count});
+        record_span({trace, cfg_.id, obs::Phase::kDeliver, cfg_.id,
+                     obs::now_us(), id_count});
       }
     } else {
       auto payload = encode(dm, cfg_.schema);
@@ -986,8 +1146,8 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
         send_to_peer_sync(owner, MsgKind::kDeliver, payload, MsgKind::kDeliverAck, {}, trace);
         walk_metrics_.delivery_hops->inc();
         if (trace) {
-          trace_ring_.append({trace, cfg_.id, obs::Phase::kDeliver, owner,
-                              obs::now_us(), frame_size});
+          record_span({trace, cfg_.id, obs::Phase::kDeliver, owner,
+                       obs::now_us(), frame_size});
         }
       } catch (const PeerUnreachable&) {
         // The owner is down: keep the delivery for the redelivery pass so
@@ -1019,8 +1179,8 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
       send_to_peer_sync(*next, MsgKind::kEvent, payload, MsgKind::kEventAck, ack_budget, trace);
       walk_metrics_.forward_hops->inc();
       if (trace) {
-        trace_ring_.append({trace, cfg_.id, obs::Phase::kForward, *next,
-                            obs::now_us(), payload.size()});
+        record_span({trace, cfg_.id, obs::Phase::kForward, *next,
+                     obs::now_us(), payload.size()});
       }
       return;
     } catch (const PeerUnreachable&) {
@@ -1033,8 +1193,16 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
 }
 
 void BrokerNode::queue_redelivery(PendingDelivery pd) {
+  if (governor_->shedding(Governor::Shed::kRedelivery)) {
+    // Rung 3: redeliveries are best-effort (TTL-bounded) by contract, so
+    // under pressure new ones are dropped before touching the queue.
+    governor_->count_shed(Governor::Shed::kRedelivery);
+    return;
+  }
+  governor_->add_usage(pd.payload.size());
   std::lock_guard lk(mu_);
   if (pending_deliveries_.size() >= kMaxPendingDeliveries) {
+    governor_->sub_usage(pending_deliveries_.front().payload.size());
     pending_deliveries_.pop_front();
     ctr_drop_overflow_->inc();
   }
@@ -1050,12 +1218,17 @@ void BrokerNode::flush_pending_deliveries() {
     gauge_redelivery_depth_->set(0);
   }
   if (work.empty()) return;
+  // The swapped-out batch leaves the budget; survivors re-enter through
+  // queue_redelivery below.
+  size_t batch_bytes = 0;
+  for (const auto& pd : work) batch_bytes += pd.payload.size();
+  governor_->sub_usage(batch_bytes);
   std::vector<char> down(cfg_.graph.size(), 0);  // short-circuit per owner
   for (auto& pd : work) {
     if (!down[pd.owner]) {
       if (pd.trace) {
-        trace_ring_.append({pd.trace, cfg_.id, obs::Phase::kRedeliver, pd.owner,
-                            obs::now_us(), pd.payload.size()});
+        record_span({pd.trace, cfg_.id, obs::Phase::kRedeliver, pd.owner,
+                     obs::now_us(), pd.payload.size()});
       }
       try {
         send_to_peer_sync(pd.owner, MsgKind::kDeliver, pd.payload, MsgKind::kDeliverAck, {},
@@ -1093,6 +1266,18 @@ Frame BrokerNode::rpc_to_peer(BrokerId peer, MsgKind kind,
     if (peer_ports_.size() != cfg_.graph.size()) throw NetError("peer ports not configured");
     port = peer_ports_.at(peer);
   }
+  // Circuit-break only the latency-sensitive data plane (walk forwards and
+  // deliveries): a fast PeerUnreachable lets the walk re-select around a
+  // sick peer without burning its RPC deadline. Control-plane sends
+  // (summaries, deltas, anti-entropy) keep probing every period — their
+  // cadence IS the period clock, and their success is what closes the
+  // breaker early; this is the breaker-shaped face of "control traffic is
+  // never shed".
+  const bool data_plane = kind == MsgKind::kEvent || kind == MsgKind::kDeliver;
+  if (data_plane && !governor_->breaker_allow(peer)) {
+    throw PeerUnreachable(peer, "broker " + std::to_string(peer) +
+                                    " skipped: circuit breaker open");
+  }
   util::Backoff backoff(cfg_.rpc.backoff,
                         (uint64_t{cfg_.id} << 32) ^ rpc_seq_.fetch_add(1));
   for (;;) {
@@ -1108,18 +1293,22 @@ Frame BrokerNode::rpc_to_peer(BrokerId peer, MsgKind kind,
         throw NetError("peer did not acknowledge message");
       }
       hist_peer_rpc_[peer]->observe(obs::now_us() - t0);
+      governor_->breaker_success(peer);
       return std::move(*ack);
     } catch (const NetError& e) {
       // Counted per failed attempt, whether or not budget remains; the
       // blackholed-link tests key off exactly this per-peer signal.
       ctr_peer_retries_[peer]->inc();
       if (trace) {
-        trace_ring_.append({trace, cfg_.id, obs::Phase::kRetry, peer,
-                            obs::now_us(), payload.size()});
+        record_span({trace, cfg_.id, obs::Phase::kRetry, peer,
+                     obs::now_us(), payload.size()});
       }
       std::optional<std::chrono::milliseconds> delay;
       if (!stopping_) delay = backoff.next_delay();
       if (!delay) {
+        // Terminal: only exhausted-budget failures feed the breaker, so
+        // one flaky attempt never trips it — N whole RPCs must fail.
+        governor_->breaker_failure(peer);
         throw PeerUnreachable(peer, "broker " + std::to_string(peer) +
                                         " unreachable: " + e.what());
       }

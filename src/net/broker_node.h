@@ -61,6 +61,7 @@
 #include "core/serialize.h"
 #include "model/schema.h"
 #include "net/framing.h"
+#include "net/governor.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -137,6 +138,12 @@ struct BrokerConfig {
   /// announcement from it (its rows leave held_ at the next rebuild).
   /// 0 = mirrors never expire.
   uint32_t summary_lease_periods = 0;
+  // --- overload governor (net/governor.h) -----------------------------------
+  /// Backpressure, admission control, peer circuit breakers, and the
+  /// degradation ladder. Defaults are permissive (no rate limit, no
+  /// connection cap) so existing deployments see only the new bounded
+  /// outbound queues and breakers.
+  GovernorConfig governor;
 };
 
 class BrokerNode {
@@ -208,14 +215,38 @@ class BrokerNode {
   /// restarts.
   [[nodiscard]] std::vector<std::byte> own_summary_wire() const;
 
+  /// The overload governor: budget usage, shed counters, breaker states.
+  [[nodiscard]] const Governor& governor() const noexcept { return *governor_; }
+
  private:
   struct ClientConn {
     Socket* sock = nullptr;  // valid while the handler thread runs
-    std::mutex write_mu;
+    std::mutex write_mu;     // serializes direct (ack) writes with the writer
+    /// Bounded outbound data queue (encoded kNotify payloads), drained by
+    /// this connection's writer thread. Overflow drops the OLDEST frames
+    /// (a consumer this far behind prefers fresh events); a single write
+    /// stalling past GovernorConfig::write_stall_timeout disconnects.
+    std::mutex q_mu;
+    std::condition_variable q_cv;
+    std::deque<std::vector<std::byte>> outq;
+    size_t outq_bytes = 0;
+    bool writer_stop = false;
   };
 
   void accept_loop();
   void handle_connection(Socket sock);
+
+  /// Queues one kNotify payload on `conn`, enforcing the per-connection
+  /// byte/frame budgets (drop-oldest) and the global governor accounting.
+  void enqueue_notify(const std::shared_ptr<ClientConn>& conn,
+                      std::vector<std::byte> payload);
+  /// Per-connection writer: drains outq under the write deadline; a
+  /// stalled or dead consumer is disconnected (slow-consumer policy).
+  void writer_loop(std::shared_ptr<ClientConn> conn);
+
+  /// Trace-span sink, shed-gated by the degradation ladder (rung >= 2
+  /// drops spans instead of appending).
+  void record_span(const obs::Span& sp);
 
   // Frame handlers; `conn` is this connection's shared write handle.
   void on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn, const Frame& f,
@@ -404,6 +435,12 @@ class BrokerNode {
   obs::Histogram* hist_match_ = nullptr;        // subsum_match_latency_us
   std::vector<obs::Histogram*> hist_peer_rpc_;  // subsum_peer_rpc_latency_us{peer="N"}
   std::vector<obs::Counter*> ctr_peer_retries_;  // subsum_peer_rpc_retries_total{peer="N"}
+
+  // Overload protection (net/governor.h). The governor keeps its own
+  // steady-clock timing and atomics, so policy is identical with telemetry
+  // compiled out; the registry handles above only mirror its decisions.
+  std::unique_ptr<Governor> governor_;
+  obs::Counter* ctr_slow_disconnect_ = nullptr;  // subsum_slow_consumer_disconnects_total
 };
 
 }  // namespace subsum::net

@@ -1,12 +1,18 @@
 #include "net/client.h"
 
+#include <limits>
+
 namespace subsum::net {
 
 Client::Client(uint16_t port, const model::Schema& schema, ClientOptions opts)
     : schema_(&schema),
       port_(port),
       opts_(opts),
-      sock_(connect_local(port, opts_.connect_timeout)) {
+      sock_(connect_local(port, opts_.connect_timeout)),
+      reconnect_backoff_(
+          util::BackoffPolicy{opts.backoff.base, opts.backoff.cap,
+                              std::numeric_limits<int>::max()},
+          port) {
   if (opts_.rpc_timeout.count() > 0) sock_.set_send_timeout(opts_.rpc_timeout);
   reader_ = std::thread([this] { reader_loop(); });
 }
@@ -74,6 +80,11 @@ void Client::reconnect() {
     closed_ = false;
     reply_.reset();
   }
+  {
+    // Back in contact: the next outage starts its pacing from base again.
+    std::lock_guard bk(backoff_mu_);
+    reconnect_backoff_.reset();
+  }
   reader_ = std::thread([this] { reader_loop(); });
 }
 
@@ -104,7 +115,35 @@ Frame Client::rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expe
     std::lock_guard lk(mu_);
     seq = rpc_seq_++;
   }
-  util::Backoff backoff(opts_.backoff, port_ ^ (seq << 16));
+  util::Backoff throttle_backoff(opts_.backoff, port_ ^ (seq << 16));
+  int reconnect_failures = 0;
+  for (;;) {
+    Frame f = rpc_attempt(kind, payload, reconnect_failures);
+    if (f.kind == expected_ack) return f;
+    if (f.kind != MsgKind::kError) throw NetError("unexpected reply kind");
+    const ErrorMsg err = decode_error_msg(f.payload);
+    if (err.code == ErrorMsg::kGeneric || expected_ack == MsgKind::kError) {
+      throw NetError("broker rejected request");
+    }
+    // Admission rejection: the broker explicitly did NOT act, so retrying
+    // is safe — and the retry-after hint raises the backoff floor, so a
+    // fleet of rejected clients drains back in at the broker's pace
+    // instead of hammering it.
+    const auto hint = std::min(std::chrono::milliseconds(err.retry_after_ms),
+                               opts_.retry_after_ceiling);
+    const auto delay = throttle_backoff.next_delay(hint);
+    if (!delay) {
+      throw Throttled(err.code, err.retry_after_ms,
+                      "broker admission control rejected request (code " +
+                          std::to_string(err.code) + ", retry after " +
+                          std::to_string(err.retry_after_ms) + "ms)");
+    }
+    std::this_thread::sleep_for(*delay);
+  }
+}
+
+Frame Client::rpc_attempt(MsgKind kind, std::span<const std::byte> payload,
+                          int& reconnect_failures) {
   for (;;) {
     {
       std::unique_lock lk(mu_);
@@ -119,13 +158,18 @@ Frame Client::rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expe
       }
     }
     // Dead but reconnectable: nothing has been sent yet, so retrying is
-    // safe. Pace attempts with the backoff budget.
+    // safe. The delay sequence persists across rpc calls (reconnect-storm
+    // fix); the attempt budget is per call.
     try {
       reconnect();
     } catch (const NetError&) {
-      const auto delay = backoff.next_delay();
-      if (!delay) throw;
-      std::this_thread::sleep_for(*delay);
+      if (++reconnect_failures >= opts_.backoff.max_attempts) throw;
+      std::chrono::milliseconds delay;
+      {
+        std::lock_guard bk(backoff_mu_);
+        delay = reconnect_backoff_.next_delay().value_or(opts_.backoff.cap);
+      }
+      std::this_thread::sleep_for(delay);
     }
   }
 
@@ -161,7 +205,6 @@ Frame Client::rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expe
   if (!reply_) throw NetError("connection closed awaiting reply");
   Frame f = std::move(*reply_);
   reply_.reset();
-  if (f.kind != expected_ack) throw NetError("unexpected reply kind");
   return f;
 }
 

@@ -43,6 +43,26 @@ struct ClientOptions {
   bool auto_reconnect = true;
   util::BackoffPolicy backoff{std::chrono::milliseconds{20},
                               std::chrono::milliseconds{500}, 3};
+  /// Ceiling on any server retry-after hint this client will honor. A
+  /// shedding broker's hint raises the backoff delay to at least the hint
+  /// (util::Backoff::next_delay(floor)), clamped here so a bogus hint
+  /// cannot park the client forever.
+  std::chrono::milliseconds retry_after_ceiling{5000};
+};
+
+/// An RPC was explicitly rejected by broker admission control (a kError
+/// reply with a non-generic ErrorMsg code) and the client's retry budget is
+/// spent. The broker did NOT act on the request.
+class Throttled : public NetError {
+ public:
+  Throttled(uint8_t code, uint32_t retry_after_ms, const std::string& what)
+      : NetError(what), code_(code), retry_after_ms_(retry_after_ms) {}
+  [[nodiscard]] uint8_t code() const noexcept { return code_; }
+  [[nodiscard]] uint32_t retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  uint8_t code_;
+  uint32_t retry_after_ms_;
 };
 
 class Client {
@@ -108,6 +128,11 @@ class Client {
 
  private:
   Frame rpc(MsgKind kind, std::span<const std::byte> payload, MsgKind expected_ack);
+  /// One send/await-reply round, reconnecting first if the connection is
+  /// dead (paced by the persistent reconnect backoff; budgeted per rpc()
+  /// call via `reconnect_failures`). Returns whatever frame replied.
+  Frame rpc_attempt(MsgKind kind, std::span<const std::byte> payload,
+                    int& reconnect_failures);
   void reader_loop();
   /// Re-establishes the connection if it is dead; single attempt, throws
   /// NetError on failure. No-op when the connection is healthy.
@@ -129,7 +154,15 @@ class Client {
   std::optional<Frame> reply_;
   std::deque<NotifyMsg> notifications_;
   std::vector<model::SubId> owned_;  // re-attached on reconnect
-  uint64_t rpc_seq_ = 0;  // jitter seed stream for reconnect backoff
+  uint64_t rpc_seq_ = 0;  // jitter seed stream for throttle-retry backoff
+
+  /// Reconnect pacing persists ACROSS rpc calls (reset only on a successful
+  /// reconnect), so a poller retrying against a dead broker climbs to the
+  /// policy cap instead of restarting from base each call — the reconnect-
+  /// storm fix. The per-call retry BUDGET still comes from
+  /// opts_.backoff.max_attempts; this object only supplies delays.
+  std::mutex backoff_mu_;
+  util::Backoff reconnect_backoff_;
 };
 
 }  // namespace subsum::net

@@ -1,8 +1,22 @@
 #include "net/fault_injector.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace subsum::net {
+
+uint64_t FaultInjector::now_us() noexcept {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void FaultInjector::stall_reads(std::chrono::milliseconds d) noexcept {
+  stall_until_us_.store(now_us() + static_cast<uint64_t>(std::max<int64_t>(0, d.count())) * 1000);
+}
+
+bool FaultInjector::stalled() const noexcept { return now_us() < stall_until_us_.load(); }
 
 FaultInjector::FaultInjector(uint16_t target_port)
     : target_port_(target_port), listener_(0) {
@@ -25,6 +39,14 @@ void FaultInjector::accept_loop() {
     auto conn = std::make_shared<Conn>();
     conn->down = std::move(*down);
     conn->up = std::move(up);
+    // Clamp both receive windows so a stall window produces backpressure
+    // after tens of KB, not the many MB kernel autotuning would absorb on
+    // loopback. Harmless for the other modes: the pumps read actively.
+    try {
+      conn->down.set_recv_buffer(64u << 10);
+      conn->up.set_recv_buffer(64u << 10);
+    } catch (const NetError&) {
+    }
     std::lock_guard lk(mu_);
     if (stopping_) break;
     std::erase_if(conns_, [](const std::weak_ptr<Conn>& w) { return w.expired(); });
@@ -37,17 +59,56 @@ void FaultInjector::accept_loop() {
 void FaultInjector::pump(const std::shared_ptr<Conn>& conn, bool upstream) {
   Socket& src = upstream ? conn->down : conn->up;
   Socket& dst = upstream ? conn->up : conn->down;
+  const size_t dir = upstream ? 0 : 1;
   std::byte buf[4096];
   try {
     for (;;) {
       const size_t n = src.recv_some(buf);
       if (n == 0) break;
+      // A stall window holds this chunk and stops further reads: bytes
+      // pile up in the kernel until the writer into this path blocks —
+      // real backpressure, not a simulated drop. Checked after recv
+      // because a pump parked in recv_some when the stall starts still
+      // wakes with the first chunk; it must not forward it early. Sliced
+      // sleeps keep stop() responsive.
+      while (!stopping_ && now_us() < stall_until_us_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (stopping_) break;
       switch (mode_.load()) {
         case Mode::kBlackhole:
           continue;  // swallow silently, in both directions
         case Mode::kDelay:
           std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_.load()));
           break;
+        case Mode::kThrottle: {
+          // Pace so that cumulative forwarded bytes track bytes_per_sec,
+          // with optional seeded per-chunk jitter (deterministic given the
+          // seed and the chunk sequence).
+          if (conn->pace_start_us[dir] == 0) {
+            conn->pace_start_us[dir] = now_us();
+            conn->pace_rng[dir] = util::Rng(seed_.load() ^ (dir + 1));
+          }
+          conn->paced_bytes[dir] += n;
+          const uint64_t bps = throttle_bps_.load();
+          uint64_t target_us = conn->paced_bytes[dir] * 1'000'000 / bps;
+          if (seed_.load() != 0) {
+            // ±25% of this chunk's nominal duration.
+            const uint64_t chunk_us = n * 1'000'000 / bps;
+            const uint64_t span = chunk_us / 2;
+            if (span > 0) {
+              target_us += conn->pace_rng[dir].below(span + 1);
+              target_us -= span / 2;
+            }
+          }
+          const uint64_t deadline = conn->pace_start_us[dir] + target_us;
+          while (!stopping_ && now_us() < deadline) {
+            const uint64_t left = deadline - now_us();
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(std::min<uint64_t>(left, 10'000)));
+          }
+          break;
+        }
         case Mode::kTruncate:
           if (upstream) {
             const size_t limit = truncate_after_.load();

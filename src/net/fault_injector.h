@@ -9,6 +9,15 @@
 //   kTruncate   forward only the first `truncate_after` bytes of the
 //               client->server stream, then hard-close both ends
 //               (mid-frame cut)
+//   kThrottle   forward at `throttle(bytes_per_sec)` — pacing is computed
+//               from byte counts on the steady clock, with optional
+//               per-chunk jitter drawn from set_seed() (deterministic
+//               given the seed and chunk sequence)
+//
+// stall_reads(duration) is orthogonal to the mode: every pump simply stops
+// reading its source for the window, so the kernel buffers fill and REAL
+// TCP backpressure propagates to whoever writes into the proxied path —
+// the tool for simulating a consumer that stops draining its socket.
 //
 // Point a broker's peer-port entry (BrokerNode::set_peer_ports) or a
 // client at port() to interpose on that path. Mode changes apply to new
@@ -25,12 +34,13 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "util/rng.h"
 
 namespace subsum::net {
 
 class FaultInjector {
  public:
-  enum class Mode : uint8_t { kPass = 0, kDelay, kDrop, kBlackhole, kTruncate };
+  enum class Mode : uint8_t { kPass = 0, kDelay, kDrop, kBlackhole, kTruncate, kThrottle };
 
   explicit FaultInjector(uint16_t target_port);
   ~FaultInjector();
@@ -46,6 +56,26 @@ class FaultInjector {
   void set_delay(std::chrono::milliseconds d) noexcept { delay_ms_.store(d.count()); }
   void set_truncate_after(size_t bytes) noexcept { truncate_after_.store(bytes); }
 
+  /// Switches to kThrottle: both directions forwarded at ~bytes_per_sec.
+  void throttle(uint64_t bytes_per_sec) noexcept {
+    throttle_bps_.store(bytes_per_sec == 0 ? 1 : bytes_per_sec);
+    mode_.store(Mode::kThrottle);
+  }
+
+  /// Seeds the throttle's per-chunk pacing jitter (±25%). 0 (the default)
+  /// disables jitter; either way pacing is deterministic for a given seed
+  /// and chunk sequence.
+  void set_seed(uint64_t seed) noexcept { seed_.store(seed); }
+
+  /// Pauses ALL proxied reads for `d` from now: kernel buffers upstream of
+  /// the proxy fill and the writer side experiences genuine TCP
+  /// backpressure (a stalled consumer). Forwarding resumes by itself when
+  /// the window passes; calling again extends or shortens the window.
+  void stall_reads(std::chrono::milliseconds d) noexcept;
+
+  /// Whether a stall_reads() window is currently in force.
+  [[nodiscard]] bool stalled() const noexcept;
+
   /// Hard-closes every connection currently proxied (both ends see a
   /// reset/EOF) without changing the mode.
   void sever_connections();
@@ -60,16 +90,27 @@ class FaultInjector {
     Socket down;  // accepted client side
     Socket up;    // connection to the real target
     std::atomic<size_t> sent_up{0};
+    // Throttle pacing state, indexed by direction (0 = upstream pump,
+    // 1 = downstream pump); each slot is touched by exactly one thread.
+    uint64_t pace_start_us[2] = {0, 0};
+    uint64_t paced_bytes[2] = {0, 0};
+    util::Rng pace_rng[2]{util::Rng(0), util::Rng(0)};
   };
 
   void accept_loop();
   void pump(const std::shared_ptr<Conn>& conn, bool upstream);
+
+  /// µs since an arbitrary steady-clock origin; pacing/stall arithmetic.
+  static uint64_t now_us() noexcept;
 
   uint16_t target_port_;
   Listener listener_;
   std::atomic<Mode> mode_{Mode::kPass};
   std::atomic<int64_t> delay_ms_{0};
   std::atomic<size_t> truncate_after_{0};
+  std::atomic<uint64_t> throttle_bps_{1};
+  std::atomic<uint64_t> seed_{0};
+  std::atomic<uint64_t> stall_until_us_{0};
   std::atomic<uint64_t> forwarded_{0};
   std::atomic<bool> stopping_{false};
 

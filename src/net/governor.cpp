@@ -1,0 +1,263 @@
+#include "net/governor.h"
+
+#include <algorithm>
+
+namespace subsum::net {
+
+// --- TokenBucket -------------------------------------------------------------
+
+TokenBucket::TokenBucket(uint64_t rate_per_sec, uint64_t burst) noexcept
+    : rate_(rate_per_sec),
+      capacity_((burst > 0 ? burst : rate_per_sec) * 1'000'000),
+      micro_tokens_(capacity_) {}
+
+bool TokenBucket::try_acquire(uint64_t now_us, uint64_t* retry_after_ms) noexcept {
+  if (rate_ == 0) return true;
+  std::lock_guard lk(mu_);
+  if (now_us > last_us_) {
+    // Accrual: `rate_` micro-tokens per µs (= rate_ tokens per second).
+    const uint64_t accrued = (now_us - last_us_) * rate_;
+    micro_tokens_ = std::min(capacity_, micro_tokens_ + accrued);
+    last_us_ = now_us;
+  }
+  if (micro_tokens_ >= 1'000'000) {
+    micro_tokens_ -= 1'000'000;
+    return true;
+  }
+  if (retry_after_ms) {
+    const uint64_t deficit = 1'000'000 - micro_tokens_;
+    const uint64_t wait_us = (deficit + rate_ - 1) / rate_;
+    *retry_after_ms = std::max<uint64_t>(1, (wait_us + 999) / 1000);
+  }
+  return false;
+}
+
+// --- CircuitBreaker ----------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(uint32_t open_after,
+                               std::chrono::milliseconds cooldown) noexcept
+    : open_after_(open_after),
+      cooldown_us_(static_cast<uint64_t>(std::max<int64_t>(0, cooldown.count())) * 1000) {}
+
+bool CircuitBreaker::allow(uint64_t now_us) noexcept {
+  if (open_after_ == 0) return true;
+  std::lock_guard lk(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us - opened_at_us_ < cooldown_us_) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() noexcept {
+  if (open_after_ == 0) return;
+  std::lock_guard lk(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::on_failure(uint64_t now_us) noexcept {
+  if (open_after_ == 0) return;
+  std::lock_guard lk(mu_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open, cooldown restarted.
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+    return;
+  }
+  if (++consecutive_failures_ >= open_after_) {
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const noexcept {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+// --- Governor ----------------------------------------------------------------
+
+namespace {
+constexpr const char* kShedClassNames[6] = {"probe",  "trace",  "redelivery",
+                                            "publish", "notify", "control"};
+}  // namespace
+
+Governor::Governor(GovernorConfig cfg, size_t peers, obs::MetricsRegistry& m)
+    : cfg_(cfg), publish_bucket_(cfg.publish_rate_per_sec, cfg.publish_burst) {
+  breakers_.reserve(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    breakers_.push_back(
+        std::make_unique<CircuitBreaker>(cfg_.breaker_open_after, cfg_.breaker_cooldown));
+  }
+  gauge_rung_ = m.gauge("subsum_health_rung");
+  gauge_usage_ = m.gauge("subsum_outbound_usage_bytes");
+  for (size_t c = 0; c < 6; ++c) {
+    ctr_shed_[c] = m.counter(obs::labeled("subsum_shed_total", "class", kShedClassNames[c]));
+  }
+  ctr_rejected_publish_ = m.counter("subsum_governor_rejected_publishes_total");
+  ctr_rejected_subscribe_ = m.counter("subsum_governor_rejected_subscribes_total");
+  ctr_rejected_connection_ = m.counter("subsum_governor_rejected_connections_total");
+  ctr_breaker_fastfail_ = m.counter("subsum_circuit_fastfail_total");
+  hist_queue_depth_ = m.histogram("subsum_outbound_queue_depth");
+  hist_queue_bytes_ = m.histogram("subsum_outbound_queue_bytes");
+  gauge_breaker_.resize(peers);
+  for (size_t b = 0; b < peers; ++b) {
+    gauge_breaker_[b] =
+        m.gauge(obs::labeled("subsum_peer_circuit_state", "peer", std::to_string(b)));
+  }
+}
+
+uint64_t Governor::steady_now_us() noexcept {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+int Governor::rung() const noexcept {
+  if (cfg_.memory_budget_bytes == 0) return 0;
+  const auto used = usage_bytes_.load(std::memory_order_relaxed);
+  // Integer thresholds of usage/budget: 50% / 65% / 80% / 95%.
+  const uint64_t pct = used * 100 / cfg_.memory_budget_bytes;
+  if (pct >= 95) return 4;
+  if (pct >= 80) return 3;
+  if (pct >= 65) return 2;
+  if (pct >= 50) return 1;
+  return 0;
+}
+
+bool Governor::shedding(Shed c) const noexcept {
+  switch (c) {
+    case Shed::kProbe:
+      return rung() >= 1;
+    case Shed::kTrace:
+      return rung() >= 2;
+    case Shed::kRedelivery:
+      return rung() >= 3;
+    case Shed::kPublish:
+      return rung() >= 4;
+    case Shed::kNotify:   // per-connection drop-oldest, not a ladder rung
+    case Shed::kControl:  // never shed, by design
+      return false;
+  }
+  return false;
+}
+
+void Governor::count_shed(Shed c) noexcept {
+  const auto i = static_cast<size_t>(c);
+  shed_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  ctr_shed_[i]->inc();
+}
+
+uint64_t Governor::shed_count(Shed c) const noexcept {
+  return shed_counts_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+}
+
+void Governor::add_usage(size_t bytes) noexcept {
+  const uint64_t now = usage_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  gauge_usage_->set(static_cast<int64_t>(now));
+  refresh_rung_gauge();
+}
+
+void Governor::sub_usage(size_t bytes) noexcept {
+  const uint64_t now = usage_bytes_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  gauge_usage_->set(static_cast<int64_t>(now));
+  refresh_rung_gauge();
+}
+
+void Governor::observe_queue(size_t depth, size_t bytes) noexcept {
+  hist_queue_depth_->observe(depth);
+  hist_queue_bytes_->observe(bytes);
+}
+
+void Governor::refresh_rung_gauge() noexcept { gauge_rung_->set(rung()); }
+
+Governor::Admission Governor::admit_publish() noexcept {
+  if (shedding(Shed::kPublish)) {
+    count_shed(Shed::kPublish);
+    ctr_rejected_publish_->inc();
+    return {false, true, retry_after_hint()};
+  }
+  uint64_t wait_ms = 0;
+  if (!publish_bucket_.try_acquire(steady_now_us(), &wait_ms)) {
+    ctr_rejected_publish_->inc();
+    return {false, false, static_cast<uint32_t>(std::min<uint64_t>(wait_ms, UINT32_MAX))};
+  }
+  return {true, false, 0};
+}
+
+bool Governor::admit_subscription(uint64_t current) const noexcept {
+  return cfg_.max_subscriptions == 0 || current < cfg_.max_subscriptions;
+}
+
+void Governor::count_rejected_subscription() noexcept { ctr_rejected_subscribe_->inc(); }
+
+bool Governor::try_acquire_connection() noexcept {
+  for (;;) {
+    uint64_t cur = connections_.load(std::memory_order_relaxed);
+    if (cfg_.max_connections != 0 && cur >= cfg_.max_connections) {
+      ctr_rejected_connection_->inc();
+      return false;
+    }
+    if (connections_.compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void Governor::release_connection() noexcept {
+  connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Governor::breaker_allow(overlay::BrokerId peer) noexcept {
+  if (peer >= breakers_.size()) return true;
+  const bool ok = breakers_[peer]->allow(steady_now_us());
+  if (!ok) {
+    fastfails_.fetch_add(1, std::memory_order_relaxed);
+    ctr_breaker_fastfail_->inc();
+  }
+  set_breaker_gauge(peer);
+  return ok;
+}
+
+void Governor::breaker_success(overlay::BrokerId peer) noexcept {
+  if (peer >= breakers_.size()) return;
+  breakers_[peer]->on_success();
+  set_breaker_gauge(peer);
+}
+
+void Governor::breaker_failure(overlay::BrokerId peer) noexcept {
+  if (peer >= breakers_.size()) return;
+  breakers_[peer]->on_failure(steady_now_us());
+  set_breaker_gauge(peer);
+}
+
+CircuitBreaker::State Governor::breaker_state(overlay::BrokerId peer) const noexcept {
+  if (peer >= breakers_.size()) return CircuitBreaker::State::kClosed;
+  return breakers_[peer]->state();
+}
+
+uint64_t Governor::breaker_fastfails() const noexcept {
+  return fastfails_.load(std::memory_order_relaxed);
+}
+
+void Governor::set_breaker_gauge(overlay::BrokerId peer) noexcept {
+  gauge_breaker_[peer]->set(static_cast<int64_t>(breakers_[peer]->state()));
+}
+
+}  // namespace subsum::net

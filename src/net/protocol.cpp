@@ -1,5 +1,7 @@
 #include "net/protocol.h"
 
+#include <algorithm>
+
 namespace subsum::net {
 
 using model::AttrType;
@@ -116,6 +118,31 @@ std::vector<std::byte> encode(const SubscribeAckMsg& m) {
 SubscribeAckMsg decode_subscribe_ack(std::span<const std::byte> b) {
   util::BufReader r(b);
   return {get_sub_id(r)};
+}
+
+std::vector<std::byte> encode(const ErrorMsg& m) {
+  util::BufWriter w;
+  w.put_u8(m.code);
+  w.put_varint(m.retry_after_ms);
+  return std::move(w).take();
+}
+
+ErrorMsg decode_error_msg(std::span<const std::byte> b) {
+  // Tolerant by design: kError long predates this payload, so anything a
+  // pre-governor peer sends (empty) — or a truncation — reads as generic.
+  ErrorMsg m;
+  try {
+    util::BufReader r(b);
+    if (r.done()) return m;
+    m.code = r.get_u8();
+    if (!r.done()) {
+      m.retry_after_ms =
+          static_cast<uint32_t>(std::min<uint64_t>(r.get_varint(), UINT32_MAX));
+    }
+  } catch (const util::DecodeError&) {
+    return ErrorMsg{};
+  }
+  return m;
 }
 
 std::vector<std::byte> encode(const SummaryMsg& m) {

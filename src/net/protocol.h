@@ -37,6 +37,22 @@ struct SubscribeAckMsg {
   model::SubId id;
 };
 
+/// kError payload (optional — pre-governor brokers send kError with an
+/// empty payload, which decodes as {kGeneric, 0}; v3/v4 clients that never
+/// look at the payload see a plain error, so no protocol version bump).
+/// Non-generic codes mean the broker explicitly did NOT act on the request
+/// and the client may retry after retry_after_ms.
+struct ErrorMsg {
+  enum Code : uint8_t {
+    kGeneric = 0,       // unknown frame kind / malformed request
+    kThrottled = 1,     // publish token bucket empty
+    kOverCapacity = 2,  // subscription/connection cap reached
+    kShedding = 3,      // degradation ladder is rejecting this class
+  };
+  uint8_t code = kGeneric;
+  uint32_t retry_after_ms = 0;  // 0 = no hint
+};
+
 struct SummaryMsg {
   overlay::BrokerId from = 0;
   std::vector<overlay::BrokerId> merged_brokers;
@@ -133,6 +149,10 @@ struct TriggerMsg {
 
 std::vector<std::byte> encode(const SubscribeAckMsg& m);
 SubscribeAckMsg decode_subscribe_ack(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const ErrorMsg& m);
+/// Tolerant: an empty or truncated payload decodes as {kGeneric, 0}.
+ErrorMsg decode_error_msg(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const SummaryMsg& m);
 SummaryMsg decode_summary_msg(std::span<const std::byte> b);

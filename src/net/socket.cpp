@@ -47,6 +47,20 @@ void Socket::set_recv_timeout(std::chrono::milliseconds d) {
   set_sock_timeout(fd_, SO_RCVTIMEO, d, "setsockopt(SO_RCVTIMEO)");
 }
 
+void Socket::set_recv_buffer(size_t bytes) {
+  const int v = static_cast<int>(bytes);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &v, sizeof v) < 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+void Socket::set_send_buffer(size_t bytes) {
+  const int v = static_cast<int>(bytes);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &v, sizeof v) < 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+}
+
 void Socket::send_all(std::span<const std::byte> data) {
   size_t sent = 0;
   while (sent < data.size()) {

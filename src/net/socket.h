@@ -51,6 +51,16 @@ class Socket {
     set_recv_timeout(d);
   }
 
+  /// Clamps SO_RCVBUF (disables receive autotuning). Backpressure tests use
+  /// this to bound how much a non-reading peer's kernel will absorb — with
+  /// default autotuning, loopback swallows many MB before a writer blocks.
+  void set_recv_buffer(size_t bytes);
+
+  /// Clamps SO_SNDBUF (disables send autotuning). The broker applies this
+  /// to accepted connections so a stalled consumer backpressures the
+  /// user-space queue instead of parking megabytes in the kernel.
+  void set_send_buffer(size_t bytes);
+
   /// Writes the whole buffer; throws NetError on failure.
   void send_all(std::span<const std::byte> data);
 

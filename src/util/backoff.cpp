@@ -19,6 +19,17 @@ std::optional<std::chrono::milliseconds> Backoff::next_delay() noexcept {
   return prev_;
 }
 
+std::optional<std::chrono::milliseconds> Backoff::next_delay(
+    std::chrono::milliseconds floor) noexcept {
+  auto d = next_delay();
+  if (!d) return d;
+  if (*d < floor) {
+    prev_ = floor;  // jitter state follows the hint, not the collapsed delay
+    return floor;
+  }
+  return d;
+}
+
 void Backoff::reset() noexcept {
   rng_ = Rng(seed_);
   prev_ = policy_.base;

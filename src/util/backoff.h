@@ -39,6 +39,14 @@ class Backoff {
   /// have been handed out. Every returned delay is in [base, cap].
   std::optional<std::chrono::milliseconds> next_delay() noexcept;
 
+  /// Like next_delay(), but the result is raised to at least `floor` — a
+  /// server-supplied retry-after hint. The floor deliberately overrides
+  /// the policy cap (the server knows when it will accept work again), and
+  /// the raised value feeds the decorrelated-jitter state, so subsequent
+  /// delays grow from the hint instead of collapsing back to base.
+  /// Callers cap the hint themselves (e.g. ClientOptions::retry_after_ceiling).
+  std::optional<std::chrono::milliseconds> next_delay(std::chrono::milliseconds floor) noexcept;
+
   /// Tries started so far (1 after construction: the first is underway).
   [[nodiscard]] int attempts_started() const noexcept { return attempt_; }
 

@@ -1,0 +1,146 @@
+// Chaos suite (ctest label "chaos"; CI job chaos-overload runs -R Overload):
+// graceful degradation under a publish storm with a stalled consumer. A
+// subscriber on the fig-7 tree stops draining its socket (FaultInjector
+// stall_reads: real TCP backpressure, not a simulated drop) while a
+// publisher storms 10x the steady rate. The governor must bound every
+// queue (peak accounted bytes under budget), keep healthy subscribers
+// receiving, shed ONLY data-plane classes — the control-plane shed counter
+// stays zero on every broker — and, once the stall lifts, converge every
+// summary link within two quiet periods.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/fault_injector.h"
+#include "net/governor.h"
+#include "overlay/topologies.h"
+#include "util/rng.h"
+#include "workload/stock_schema.h"
+
+namespace subsum::net {
+namespace {
+
+using namespace std::chrono_literals;
+using model::EventBuilder;
+using model::Op;
+using model::Schema;
+using model::SubscriptionBuilder;
+using overlay::BrokerId;
+
+RpcPolicy tight_policy() {
+  RpcPolicy p;
+  p.connect_timeout = 200ms;
+  p.io_timeout = 1000ms;
+  p.backoff = {5ms, 40ms, 2};
+  return p;
+}
+
+ClientOptions tight_client() {
+  ClientOptions o;
+  o.connect_timeout = 500ms;
+  o.rpc_timeout = 30000ms;
+  o.backoff = {5ms, 40ms, 4};
+  return o;
+}
+
+TEST(OverloadChaos, StormWithStalledConsumerDegradesGracefullyAndConverges) {
+  const Schema s = workload::stock_schema();
+  const overlay::Graph g = overlay::fig7_tree();
+  const size_t n = g.size();
+  constexpr size_t kBudget = 1u << 20;
+  Cluster cluster(s, g, core::GeneralizePolicy::kSafe, tight_policy(), {},
+                  [](BrokerConfig& cfg) {
+                    cfg.governor.conn_queue_max_bytes = 128u << 10;
+                    cfg.governor.write_stall_timeout = 500ms;
+                    cfg.governor.memory_budget_bytes = kBudget;
+                    // Bound kernel-side buffering so the stalled proxy
+                    // backpressures the writer within tens of KB.
+                    cfg.governor.conn_sndbuf_bytes = 64u << 10;
+                  });
+
+  // Stalled consumer: a real client whose whole connection runs through a
+  // fault-injector proxy. Subscribing happens while the path is healthy;
+  // then the proxy stops draining and the broker-side writer faces genuine
+  // TCP backpressure.
+  const BrokerId stall_broker = 2;
+  auto inj = std::make_unique<FaultInjector>(cluster.port_of(stall_broker));
+  auto stalled = std::make_unique<Client>(inj->port(), s, tight_client());
+  stalled->subscribe(
+      SubscriptionBuilder(s).where("symbol", Op::kEq, "storm").build());
+
+  // Healthy subscribers on other brokers, matching the same storm.
+  std::vector<std::unique_ptr<Client>> healthy;
+  const std::vector<BrokerId> healthy_brokers = {0, 4, 6};
+  for (BrokerId b : healthy_brokers) {
+    auto c = cluster.connect(b, tight_client());
+    c->subscribe(SubscriptionBuilder(s).where("symbol", Op::kEq, "storm").build());
+    healthy.push_back(std::move(c));
+  }
+  // One propagation period spreads the summaries so remote walks route.
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+
+  // Storm: 10x the steady rate (no pacing at all), big payloads, while the
+  // stalled consumer's proxy refuses to drain for the whole storm.
+  inj->stall_reads(20'000ms);
+  ASSERT_TRUE(inj->stalled());
+  auto publisher = cluster.connect(1, tight_client());
+  const std::string blob(16u << 10, 's');
+  constexpr int kEvents = 60;
+  for (int i = 0; i < kEvents; ++i) {
+    publisher->publish(EventBuilder(s)
+                           .set("symbol", "storm")
+                           .set("exchange", blob)
+                           .set("volume", int64_t{i})
+                           .build());
+  }
+
+  // Healthy subscribers kept receiving through the storm (drop-oldest may
+  // cost a transient backlog, never a starvation).
+  for (size_t h = 0; h < healthy.size(); ++h) {
+    int got = 0;
+    while (got < kEvents) {
+      const auto note = healthy[h]->next_notification(got == 0 ? 5000ms : 2000ms);
+      if (!note.has_value()) break;
+      ++got;
+    }
+    EXPECT_GE(got, kEvents / 2)
+        << "healthy subscriber on broker " << healthy_brokers[h] << " starved";
+  }
+
+  // Queue accounting stayed under the global budget on every broker, and
+  // control traffic was never shed anywhere.
+  uint64_t notify_sheds = 0;
+  for (BrokerId b = 0; b < n; ++b) {
+    const Governor& gov = cluster.node(b).governor();
+    EXPECT_LE(gov.peak_usage(), kBudget) << "broker " << b << " blew its budget";
+    EXPECT_EQ(gov.shed_count(Governor::Shed::kControl), 0u)
+        << "broker " << b << " shed control traffic";
+    notify_sheds += gov.shed_count(Governor::Shed::kNotify);
+  }
+  // The stalled consumer actually forced the slow-consumer policy to act.
+  EXPECT_GT(notify_sheds, 0u);
+
+  // Heal: lift the stall, drop the stalled client (its connection may
+  // already have been cut by the write deadline), and require full summary
+  // convergence within two quiet periods — overload must not have wounded
+  // the control plane.
+  inj->stall_reads(0ms);
+  stalled->close();
+  stalled.reset();
+  inj->stop();
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  ASSERT_TRUE(cluster.run_propagation_period().complete());
+  for (BrokerId receiver = 0; receiver < n; ++receiver) {
+    for (const auto& [sender, shadow_digest] : cluster.node(receiver).shadow_digests()) {
+      EXPECT_EQ(shadow_digest, cluster.node(sender).held_digest())
+          << "link " << sender << " -> " << receiver << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subsum::net

@@ -111,6 +111,8 @@ std::vector<std::pair<MsgKind, std::vector<std::byte>>> valid_payloads(
   out.emplace_back(MsgKind::kSubscribeAck, encode(SubscribeAckMsg{id}));
   out.emplace_back(MsgKind::kAttachAck, encode(AttachAckMsg{1}));
   out.emplace_back(MsgKind::kError, std::vector<std::byte>{});
+  // Governor admission rejection: kError with a retry-after payload.
+  out.emplace_back(MsgKind::kError, encode(ErrorMsg{ErrorMsg::kThrottled, 250}));
 
   // v4 soft-state frames (PROTOCOL v4): a structurally valid delta
   // announcement, a sync request, and lease renewals — plus their acks,

@@ -35,7 +35,8 @@ import json
 import os
 import sys
 
-DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations", "matching", "churn"]
+DEFAULT_NAMES = ["fig8", "fig9", "fig10", "fig11", "ablations", "matching", "churn",
+                 "overload"]
 
 
 def load(path):

@@ -31,7 +31,42 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_broker --config FILE --id N --port P --peers P0,P1,...\n"
-    "                     [--propagate-every SECONDS] [--data-dir DIR]\n";
+    "                     [--propagate-every SECONDS] [--data-dir DIR]\n"
+    "overload governor (0 = unlimited unless noted):\n"
+    "  [--publish-rate N]         publish admissions/sec (token bucket)\n"
+    "  [--publish-burst N]        bucket burst (0 = one second of rate)\n"
+    "  [--max-connections N]      concurrent connection cap\n"
+    "  [--max-subscriptions N]    local subscription cap\n"
+    "  [--retry-after-ms N]       hint stamped on capacity rejections\n"
+    "  [--conn-queue-bytes N]     per-connection outbound queue cap\n"
+    "  [--conn-queue-frames N]    per-connection outbound frame cap\n"
+    "  [--write-stall-ms N]       slow-consumer disconnect deadline\n"
+    "  [--conn-sndbuf-bytes N]    SO_SNDBUF clamp on accepted connections\n"
+    "  [--memory-budget-bytes N]  global budget driving the shed ladder\n"
+    "  [--breaker-open-after N]   terminal failures opening a peer breaker\n"
+    "  [--breaker-cooldown-ms N]  breaker cooldown before a half-open probe\n";
+
+/// Governor knobs, each defaulting to the GovernorConfig default.
+subsum::net::GovernorConfig governor_from_args(const subsum::tools::Args& args) {
+  subsum::net::GovernorConfig g;
+  g.publish_rate_per_sec = args.flag_u64("publish-rate", g.publish_rate_per_sec);
+  g.publish_burst = args.flag_u64("publish-burst", g.publish_burst);
+  g.max_connections = args.flag_u64("max-connections", g.max_connections);
+  g.max_subscriptions = args.flag_u64("max-subscriptions", g.max_subscriptions);
+  g.retry_after = std::chrono::milliseconds(
+      args.flag_u64("retry-after-ms", static_cast<uint64_t>(g.retry_after.count())));
+  g.conn_queue_max_bytes = args.flag_u64("conn-queue-bytes", g.conn_queue_max_bytes);
+  g.conn_queue_max_frames = args.flag_u64("conn-queue-frames", g.conn_queue_max_frames);
+  g.write_stall_timeout = std::chrono::milliseconds(args.flag_u64(
+      "write-stall-ms", static_cast<uint64_t>(g.write_stall_timeout.count())));
+  g.conn_sndbuf_bytes = args.flag_u64("conn-sndbuf-bytes", g.conn_sndbuf_bytes);
+  g.memory_budget_bytes = args.flag_u64("memory-budget-bytes", g.memory_budget_bytes);
+  g.breaker_open_after = static_cast<uint32_t>(
+      args.flag_u64("breaker-open-after", g.breaker_open_after));
+  g.breaker_cooldown = std::chrono::milliseconds(args.flag_u64(
+      "breaker-cooldown-ms", static_cast<uint64_t>(g.breaker_cooldown.count())));
+  return g;
+}
 
 std::atomic<bool> g_stop{false};
 
@@ -69,6 +104,7 @@ int main(int argc, char** argv) {
   cfg.port = port;
   cfg.rpc = rpc;
   if (auto dir = args.flag("data-dir")) cfg.data_dir = *dir;
+  cfg.governor = governor_from_args(args);
 
   try {
     net::BrokerNode node(std::move(cfg));

@@ -78,6 +78,15 @@ struct BrokerRow {
   double fp_ids = 0;
   double precision = 1.0;
   double drift = 0;
+  // Overload health (net/governor.h): degradation-ladder rung, accounted
+  // outbound bytes, shed totals (control sheds broken out — any nonzero
+  // value there is a bug worth paging on), and slow-consumer disconnects.
+  double health_rung = 0;
+  double queue_bytes = 0;
+  double sheds = 0;          // all classes summed
+  double control_sheds = 0;  // must stay 0
+  double slow_disconnects = 0;
+  double rejected_publishes = 0;
   // Frozen matching core: shard balance from subsum_match_shard_visits_total
   // (see core/frozen_index.h). imbalance = hottest shard / mean shard, 1.0
   // meaning perfectly even counter-sweep load; 0 shards = index not engaged.
@@ -124,8 +133,18 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
   r.fp_ids = find_value(samples, "subsum_summary_false_positive_ids_total");
   r.precision = r.candidate_ids > 0 ? r.exact_ids / r.candidate_ids : 1.0;
   r.drift = find_value(samples, "subsum_summary_model_drift_ratio");
+  r.health_rung = find_value(samples, "subsum_health_rung");
+  r.queue_bytes = find_value(samples, "subsum_outbound_usage_bytes");
+  r.slow_disconnects = find_value(samples, "subsum_slow_consumer_disconnects_total");
+  r.rejected_publishes = find_value(samples, "subsum_governor_rejected_publishes_total");
   double hottest = 0;
   for (const auto& s : samples) {
+    if (s.name == "subsum_shed_total") {
+      r.sheds += s.value;
+      if (const auto* cls = s.label("class"); cls && *cls == "control") {
+        r.control_sheds += s.value;
+      }
+    }
     if (s.name != "subsum_match_shard_visits_total") continue;
     ++r.shard_count;
     r.shard_visits += s.value;
@@ -139,20 +158,22 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
 
 void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   std::printf("subsum_top  tick %zu\n", tick);
-  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s\n",
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s %-4s %-8s %-6s %-6s\n",
               "port", "up", "version", "epoch", "subs", "leases", "expird", "publishes",
               "visits", "fwd", "deliver", "reselect", "fp_ids", "precision", "drift",
-              "shards", "sh_imb", "dsend", "fsend", "sync");
+              "shards", "sh_imb", "dsend", "fsend", "sync", "rung", "qbytes", "shed",
+              "slowdc");
   for (const auto& r : rows) {
     if (!r.up) {
       std::printf("%-6u %-5s %s\n", r.port, "down", "-");
       continue;
     }
-    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f\n",
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f %-4.0f %-8.0f %-6.0f %-6.0f\n",
                 r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.active_leases,
                 r.lease_expired, r.publishes, r.walk_visits, r.walk_forward, r.walk_deliver,
                 r.walk_reselects, r.fp_ids, r.precision, r.drift, r.shard_count,
-                r.shard_imbalance, r.delta_sends, r.full_sends, r.sync_pulls);
+                r.shard_imbalance, r.delta_sends, r.full_sends, r.sync_pulls, r.health_rung,
+                r.queue_bytes, r.sheds, r.slow_disconnects);
   }
 
   std::vector<const BrokerRow*> live;
@@ -165,8 +186,15 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   }
   double cand = 0, exact = 0, fp = 0, visits = 0, fwd = 0, del = 0, resel = 0, pubs = 0;
   double leases = 0, expired = 0, dsend = 0, fsend = 0, mism = 0, syncs = 0;
+  double sheds = 0, ctl_sheds = 0, qbytes = 0, slowdc = 0, rej_pubs = 0, max_rung = 0;
   double dmin = live.front()->drift, dmax = live.front()->drift;
   for (const auto* r : live) {
+    sheds += r->sheds;
+    ctl_sheds += r->control_sheds;
+    qbytes += r->queue_bytes;
+    slowdc += r->slow_disconnects;
+    rej_pubs += r->rejected_publishes;
+    max_rung = std::max(max_rung, r->health_rung);
     cand += r->candidate_ids;
     exact += r->exact_ids;
     fp += r->fp_ids;
@@ -196,6 +224,11 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
       "fleet: leases=%.0f expired=%.0f delta_sends=%.0f full_sends=%.0f mismatches=%.0f "
       "syncs=%.0f\n",
       leases, expired, dsend, fsend, mism, syncs);
+  std::printf(
+      "fleet: rung<=%.0f queue_bytes=%.0f sheds=%.0f control_sheds=%.0f "
+      "slow_disconnects=%.0f rejected_publishes=%.0f%s\n",
+      max_rung, qbytes, sheds, ctl_sheds, slowdc, rej_pubs,
+      ctl_sheds > 0 ? "  ** CONTROL-PLANE SHED: BUG **" : "");
 
   auto print_top = [&](const char* label, auto key) {
     auto sorted = live;
@@ -236,6 +269,11 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
          << ",\"delta_sends\":" << r.delta_sends << ",\"full_sends\":" << r.full_sends
          << ",\"digest_mismatches\":" << r.digest_mismatch
          << ",\"sync_pulls\":" << r.sync_pulls
+         << ",\"health_rung\":" << r.health_rung
+         << ",\"queue_bytes\":" << r.queue_bytes << ",\"sheds\":" << r.sheds
+         << ",\"control_sheds\":" << r.control_sheds
+         << ",\"slow_disconnects\":" << r.slow_disconnects
+         << ",\"rejected_publishes\":" << r.rejected_publishes
          << ",\"match_shards\":" << r.shard_count
          << ",\"shard_visits\":" << r.shard_visits
          << ",\"shard_imbalance\":" << r.shard_imbalance;
