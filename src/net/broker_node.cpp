@@ -24,6 +24,13 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
       walk_metrics_(metrics_),
       started_at_(std::chrono::steady_clock::now()) {
   if (cfg_.id >= cfg_.graph.size()) throw std::invalid_argument("broker id outside graph");
+  if (cfg_.governor.write_stall_timeout.count() <= 0) {
+    // An unbounded write deadline is unsupported: a writer blocked forever
+    // in send_frame holds conn->write_mu, and connection teardown and
+    // stop() both serialize behind that mutex — one dead consumer would
+    // deadlock broker shutdown. 0 therefore clamps to the default.
+    cfg_.governor.write_stall_timeout = GovernorConfig{}.write_stall_timeout;
+  }
   merged_brokers_ = {cfg_.id};
   communicated_.assign(cfg_.graph.size(), 0);
   peer_wants_full_.assign(cfg_.graph.size(), 0);
@@ -180,12 +187,11 @@ void BrokerNode::accept_loop() {
 }
 
 void BrokerNode::handle_connection(Socket sock) {
-  if (cfg_.governor.write_stall_timeout.count() > 0) {
-    // Bounds EVERY outbound write on this connection (acks included): a
-    // consumer that stalls a single write past the deadline is cut off,
-    // because a mid-frame timeout leaves the stream unframeable anyway.
-    sock.set_send_timeout(cfg_.governor.write_stall_timeout);
-  }
+  // Bounds EVERY outbound write on this connection (acks included): a
+  // consumer that stalls a single write past the deadline is cut off,
+  // because a mid-frame timeout leaves the stream unframeable anyway.
+  // Always > 0 — the constructor clamps an unsupported 0 to the default.
+  sock.set_send_timeout(cfg_.governor.write_stall_timeout);
   if (cfg_.governor.conn_sndbuf_bytes > 0) {
     try {
       sock.set_send_buffer(cfg_.governor.conn_sndbuf_bytes);
@@ -289,8 +295,6 @@ void BrokerNode::handle_connection(Socket sock) {
 void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
                                 std::vector<std::byte> payload) {
   const auto& g = cfg_.governor;
-  size_t dropped_bytes = 0;
-  size_t added = 0;
   {
     std::lock_guard qk(conn->q_mu);
     if (conn->writer_stop) {
@@ -307,6 +311,7 @@ void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
     // Drop-oldest: a consumer this far behind prefers fresh events over a
     // complete-but-stale backlog (and pub/sub makes no delivery promise to
     // a subscriber that stopped reading).
+    size_t dropped_bytes = 0;
     while (!conn->outq.empty() &&
            (conn->outq_bytes + payload.size() > g.conn_queue_max_bytes ||
             conn->outq.size() >= g.conn_queue_max_frames)) {
@@ -315,17 +320,15 @@ void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
       conn->outq.pop_front();
       governor_->count_shed(Governor::Shed::kNotify);
     }
-    added = payload.size();
-    conn->outq_bytes += added;
+    if (dropped_bytes) governor_->sub_usage(dropped_bytes);
+    // Invariant: every frame in outq has already been added to the budget
+    // before it became visible, so the matching sub_usage (writer pop,
+    // drop-oldest above, or the drain on writer exit) can never run first
+    // and wrap the unsigned usage counter.
+    governor_->add_usage(payload.size());
+    conn->outq_bytes += payload.size();
     conn->outq.push_back(std::move(payload));
     governor_->observe_queue(conn->outq.size(), conn->outq_bytes);
-  }
-  // Budget accounting outside q_mu: the governor is internally atomic and
-  // the rung only needs to be eventually exact.
-  if (added > dropped_bytes) {
-    governor_->add_usage(added - dropped_bytes);
-  } else if (dropped_bytes > added) {
-    governor_->sub_usage(dropped_bytes - added);
   }
   conn->q_cv.notify_one();
 }

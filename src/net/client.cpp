@@ -1,8 +1,22 @@
 #include "net/client.h"
 
 #include <limits>
+#include <random>
 
 namespace subsum::net {
+
+namespace {
+
+// Seeding from the port alone would hand every client of one broker the
+// same decorrelated-jitter schedule — a fleet reconnecting in lockstep is
+// exactly the retry storm the backoff exists to avoid. Mix per-process and
+// per-instance entropy in so schedules decorrelate across clients.
+uint64_t backoff_seed(const void* self, uint16_t port) {
+  return (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+         reinterpret_cast<uintptr_t>(self) ^ port;
+}
+
+}  // namespace
 
 Client::Client(uint16_t port, const model::Schema& schema, ClientOptions opts)
     : schema_(&schema),
@@ -12,7 +26,7 @@ Client::Client(uint16_t port, const model::Schema& schema, ClientOptions opts)
       reconnect_backoff_(
           util::BackoffPolicy{opts.backoff.base, opts.backoff.cap,
                               std::numeric_limits<int>::max()},
-          port) {
+          backoff_seed(this, port)) {
   if (opts_.rpc_timeout.count() > 0) sock_.set_send_timeout(opts_.rpc_timeout);
   reader_ = std::thread([this] { reader_loop(); });
 }

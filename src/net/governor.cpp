@@ -16,8 +16,13 @@ bool TokenBucket::try_acquire(uint64_t now_us, uint64_t* retry_after_ms) noexcep
   std::lock_guard lk(mu_);
   if (now_us > last_us_) {
     // Accrual: `rate_` micro-tokens per µs (= rate_ tokens per second).
-    const uint64_t accrued = (now_us - last_us_) * rate_;
-    micro_tokens_ = std::min(capacity_, micro_tokens_ + accrued);
+    // The elapsed span is clamped to the time that fills an empty bucket —
+    // any longer interval fills it to capacity anyway — which bounds the
+    // multiply against uint64 overflow (the first call sees last_us_ == 0
+    // against a since-boot steady-clock timestamp).
+    const uint64_t fill_us = capacity_ / rate_ + 1;
+    const uint64_t elapsed = std::min(now_us - last_us_, fill_us);
+    micro_tokens_ = std::min(capacity_, micro_tokens_ + elapsed * rate_);
     last_us_ = now_us;
   }
   if (micro_tokens_ >= 1'000'000) {

@@ -72,7 +72,9 @@ struct GovernorConfig {
   /// Deadline for any single outbound write (covers acks too, via the
   /// socket send timeout). A write that stalls past it disconnects the
   /// connection: the frame boundary is lost mid-stream, and a consumer
-  /// this far behind is not coming back.
+  /// this far behind is not coming back. 0 (unbounded) is unsupported —
+  /// a writer blocked forever under conn->write_mu would deadlock broker
+  /// shutdown — so BrokerNode clamps <= 0 back to this default.
   std::chrono::milliseconds write_stall_timeout{2000};
   /// Kernel send-buffer clamp (SO_SNDBUF) on accepted connections. The
   /// byte budget above only bounds user-space queues; without this clamp

@@ -40,7 +40,7 @@ constexpr char kUsage[] =
     "  [--retry-after-ms N]       hint stamped on capacity rejections\n"
     "  [--conn-queue-bytes N]     per-connection outbound queue cap\n"
     "  [--conn-queue-frames N]    per-connection outbound frame cap\n"
-    "  [--write-stall-ms N]       slow-consumer disconnect deadline\n"
+    "  [--write-stall-ms N]       slow-consumer disconnect deadline (0 clamps to default)\n"
     "  [--conn-sndbuf-bytes N]    SO_SNDBUF clamp on accepted connections\n"
     "  [--memory-budget-bytes N]  global budget driving the shed ladder\n"
     "  [--breaker-open-after N]   terminal failures opening a peer breaker\n"
