@@ -13,6 +13,8 @@
 #include "bench_common.h"
 #include "core/batch_matcher.h"
 #include "core/matcher.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/stats.h"
@@ -177,24 +179,35 @@ void BM_BatchMatch(benchmark::State& state) {
 
 // Telemetry-overhead guard: the scratch path plus exactly the
 // instrumentation BrokerNode::walk_step wraps around it — a now_us()
-// timing pair feeding a log2-bucket histogram, and one pre-registered
-// counter handle. Compare against BM_SummaryMatchScratch in a default
-// build, and against the same binary built with -DSUBSUM_NO_TELEMETRY=ON
-// (where all of it compiles out); the delta budget is <3%.
+// timing pair feeding an exemplar-retaining log2-bucket histogram plus
+// the labeled stage histogram (both observe_ex with a live trace id), one
+// pre-registered counter handle, and a flight-recorder breadcrumb at the
+// cadence of a governor edge (1 per 4096 matches, far above real rates).
+// Compare against BM_SummaryMatchScratch in a default build, and against
+// the same binary built with -DSUBSUM_NO_TELEMETRY=ON (where all of it
+// compiles out); the delta budget is <3%.
 void BM_SummaryMatchTelemetry(benchmark::State& state) {
   auto& f = fixture_for(static_cast<size_t>(state.range(0)),
                         static_cast<double>(state.range(1)) / 100.0);
   core::MatchScratch scratch;
   obs::MetricsRegistry metrics;
-  obs::Histogram* hist = metrics.histogram("subsum_match_latency_us");
+  obs::Histogram* hist = metrics.histogram_ex("subsum_match_latency_us");
+  obs::StageSet stages(metrics);
+  obs::FlightRecorder flight(0, 1024);
   stats::Counters counters;
   stats::Counters::Handle* matched = counters.handle("events_matched");
   size_t i = 0;
   for (auto _ : state) {
+    const uint64_t trace = obs::mint_trace_id(0, i, 42);
     const uint64_t t0 = obs::now_us();
     auto m = core::match_into(f.summary, f.events[i++ % f.events.size()], scratch);
-    hist->observe(obs::now_us() - t0);
+    const uint64_t dt = obs::now_us() - t0;
+    hist->observe_ex(dt, trace);
+    stages.observe(obs::Stage::kMatch, dt, trace);
     matched->inc(m.size());
+    if ((i & 0xfff) == 0) {
+      flight.record(obs::FrKind::kRungChange, 0, 1, i, trace);
+    }
     benchmark::DoNotOptimize(m);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));

@@ -20,6 +20,8 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
       listener_(cfg_.port),
       held_(cfg_.schema, cfg_.policy),
       trace_ring_(cfg_.trace_capacity),
+      flight_(cfg_.id, cfg_.flight_capacity),
+      stages_(metrics_),
       probe_(metrics_, core::SampleConfig{cfg_.quality_sample_shift}),
       walk_metrics_(metrics_),
       started_at_(std::chrono::steady_clock::now()) {
@@ -54,7 +56,8 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   ctr_digest_mismatch_ = metrics_.counter("subsum_summary_digest_mismatch_total");
   ctr_sync_requests_ = metrics_.counter("subsum_summary_sync_total");
   ctr_shadow_expired_ = metrics_.counter("subsum_summary_shadow_expired_total");
-  hist_match_ = metrics_.histogram("subsum_match_latency_us");
+  hist_match_ = metrics_.histogram_ex("subsum_match_latency_us");
+  gauge_trace_dropped_ = metrics_.gauge("subsum_trace_spans_dropped_total");
   hist_peer_rpc_.resize(cfg_.graph.size());
   ctr_peer_retries_.resize(cfg_.graph.size());
   for (BrokerId b = 0; b < cfg_.graph.size(); ++b) {
@@ -64,6 +67,8 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   }
   governor_ = std::make_unique<Governor>(cfg_.governor, cfg_.graph.size(), metrics_);
   ctr_slow_disconnect_ = metrics_.counter("subsum_slow_consumer_disconnects_total");
+  log_.configure(cfg_.log_level, cfg_.log_sink, cfg_.id, cfg_.log_max_lines_per_sec);
+  governor_->set_observer(&flight_, &log_);
   // Incarnation identity for fleet collectors: constant-1 build_info with
   // the version baked into a label, plus uptime/epoch gauges (refreshed on
   // every kStats scrape) so rows can be keyed by (broker, incarnation).
@@ -75,7 +80,8 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
     // no client or peer ever observes a half-recovered broker.
     store_ = std::make_unique<store::BrokerStore>(cfg_.data_dir, cfg_.schema, cfg_.policy, wire_);
     store_->set_metrics(metrics_.histogram("subsum_wal_fsync_us"),
-                        metrics_.histogram("subsum_snapshot_us"));
+                        metrics_.histogram("subsum_snapshot_us"),
+                        stages_.hist(obs::Stage::kWalFsync));
     store::DurableState st = store_->open();
     epoch_ = st.epoch;
     next_local_ = st.next_local;
@@ -101,10 +107,27 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
       leases_[le.id.local] = Lease{le.ttl, le.ttl};
     }
   }
+  // Incarnation breadcrumbs: every dump opens with what this process knew
+  // about its own birth, so a timeline stands alone without the log.
+  flight_.record(obs::FrKind::kStart, 0, 0, epoch_);
+  if (recovery_.wal_torn) flight_.record(obs::FrKind::kWalTruncateHeal);
+  if (epoch_ > 0) flight_.record(obs::FrKind::kEpochBump, 0, 0, epoch_);
+  if (log_.enabled(obs::LogLevel::kInfo)) {
+    log_.log(obs::LogLevel::kInfo, "broker", "started", 0,
+             {{"epoch", static_cast<int64_t>(epoch_)},
+              {"recovered", recovery_.recovered ? 1 : 0},
+              {"wal_torn", recovery_.wal_torn ? 1 : 0}});
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 BrokerNode::~BrokerNode() { stop(); }
+
+std::string BrokerNode::flight_dump_path() const {
+  if (!cfg_.flight_dump_path.empty()) return cfg_.flight_dump_path;
+  if (!cfg_.data_dir.empty()) return cfg_.data_dir + "/flight.bin";
+  return {};
+}
 
 void BrokerNode::set_peer_ports(std::vector<uint16_t> ports) {
   std::lock_guard lk(mu_);
@@ -141,6 +164,16 @@ void BrokerNode::stop() {
   }
   for (auto& t : handlers) {
     if (t.joinable()) t.join();
+  }
+  // Black-box persistence: the shutdown record itself lands in the dump,
+  // so a post-mortem can tell clean stops from kills (no file at all) and
+  // crashes (kFatalSignal via install_fatal_dump).
+  flight_.record(obs::FrKind::kShutdown);
+  if (const std::string path = flight_dump_path(); !path.empty()) {
+    flight_.dump_to(path);
+  }
+  if (log_.enabled(obs::LogLevel::kInfo)) {
+    log_.log(obs::LogLevel::kInfo, "broker", "stopped");
   }
 }
 
@@ -265,6 +298,9 @@ void BrokerNode::handle_connection(Socket sock) {
         case MsgKind::kTrace:
           on_trace(sock, *conn, *frame);
           break;
+        case MsgKind::kDump:
+          on_dump(sock, *conn, *frame);
+          break;
         default:
           send_frame(sock, MsgKind::kError, {});
           break;
@@ -293,7 +329,7 @@ void BrokerNode::handle_connection(Socket sock) {
 }
 
 void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
-                                std::vector<std::byte> payload) {
+                                std::vector<std::byte> payload, uint64_t trace) {
   const auto& g = cfg_.governor;
   {
     std::lock_guard qk(conn->q_mu);
@@ -312,22 +348,33 @@ void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
     // complete-but-stale backlog (and pub/sub makes no delivery promise to
     // a subscriber that stopped reading).
     size_t dropped_bytes = 0;
+    uint32_t dropped_frames = 0;
     while (!conn->outq.empty() &&
            (conn->outq_bytes + payload.size() > g.conn_queue_max_bytes ||
             conn->outq.size() >= g.conn_queue_max_frames)) {
-      dropped_bytes += conn->outq.front().size();
-      conn->outq_bytes -= conn->outq.front().size();
+      dropped_bytes += conn->outq.front().payload.size();
+      conn->outq_bytes -= conn->outq.front().payload.size();
       conn->outq.pop_front();
+      ++dropped_frames;
       governor_->count_shed(Governor::Shed::kNotify);
     }
-    if (dropped_bytes) governor_->sub_usage(dropped_bytes);
+    if (dropped_bytes) {
+      governor_->sub_usage(dropped_bytes);
+      flight_.record(obs::FrKind::kDropOldest, dropped_frames, 0, dropped_bytes,
+                     trace);
+      if (log_.enabled(obs::LogLevel::kWarn)) {
+        log_.log(obs::LogLevel::kWarn, "writer", "drop-oldest shed", trace,
+                 {{"frames", dropped_frames},
+                  {"bytes", static_cast<int64_t>(dropped_bytes)}});
+      }
+    }
     // Invariant: every frame in outq has already been added to the budget
     // before it became visible, so the matching sub_usage (writer pop,
     // drop-oldest above, or the drain on writer exit) can never run first
     // and wrap the unsigned usage counter.
     governor_->add_usage(payload.size());
     conn->outq_bytes += payload.size();
-    conn->outq.push_back(std::move(payload));
+    conn->outq.push_back(QueuedFrame{std::move(payload), obs::now_us(), trace});
     governor_->observe_queue(conn->outq.size(), conn->outq_bytes);
   }
   conn->q_cv.notify_one();
@@ -335,20 +382,24 @@ void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
 
 void BrokerNode::writer_loop(std::shared_ptr<ClientConn> conn) {
   for (;;) {
-    std::vector<std::byte> payload;
+    QueuedFrame qf;
     {
       std::unique_lock qk(conn->q_mu);
       conn->q_cv.wait(qk, [&] { return conn->writer_stop || !conn->outq.empty(); });
       if (conn->writer_stop) break;
-      payload = std::move(conn->outq.front());
+      qf = std::move(conn->outq.front());
       conn->outq.pop_front();
-      conn->outq_bytes -= payload.size();
+      conn->outq_bytes -= qf.payload.size();
     }
-    governor_->sub_usage(payload.size());
+    governor_->sub_usage(qf.payload.size());
+    stages_.observe(obs::Stage::kOutboundQueue, obs::now_us() - qf.enqueued_us,
+                    qf.trace);
     try {
+      const uint64_t t0 = obs::now_us();
       std::lock_guard wl(conn->write_mu);
       if (!conn->sock) break;
-      send_frame(*conn->sock, MsgKind::kNotify, payload);
+      send_frame(*conn->sock, MsgKind::kNotify, qf.payload);
+      stages_.observe(obs::Stage::kWriterFlush, obs::now_us() - t0, qf.trace);
     } catch (const NetError&) {
       // The send stalled past write_stall_timeout (or the socket died).
       // A timeout may have cut the frame mid-stream, so the connection is
@@ -356,8 +407,23 @@ void BrokerNode::writer_loop(std::shared_ptr<ClientConn> conn) {
       // handler thread sees the shutdown and tears the connection down.
       governor_->count_slow_disconnect();
       ctr_slow_disconnect_->inc();
+      size_t queued = 0;
+      int fd = -1;
+      {
+        std::lock_guard qk(conn->q_mu);
+        queued = conn->outq_bytes;
+      }
       std::lock_guard wl(conn->write_mu);
-      if (conn->sock) conn->sock->shutdown_both();
+      if (conn->sock) {
+        fd = conn->sock->fd();
+        conn->sock->shutdown_both();
+      }
+      flight_.record(obs::FrKind::kSlowConsumer, static_cast<uint32_t>(fd), 0,
+                     queued, qf.trace);
+      if (log_.enabled(obs::LogLevel::kWarn)) {
+        log_.log(obs::LogLevel::kWarn, "writer", "slow consumer disconnected",
+                 qf.trace, {{"fd", fd}, {"queued_bytes", static_cast<int64_t>(queued)}});
+      }
       break;
     }
   }
@@ -366,7 +432,7 @@ void BrokerNode::writer_loop(std::shared_ptr<ClientConn> conn) {
   {
     std::lock_guard qk(conn->q_mu);
     conn->writer_stop = true;  // late enqueues become no-ops
-    for (const auto& p : conn->outq) leftover += p.size();
+    for (const auto& p : conn->outq) leftover += p.payload.size();
     conn->outq.clear();
     conn->outq_bytes = 0;
   }
@@ -476,9 +542,13 @@ void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
 }
 
 void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
+  // Event ingress: everything to the ack folds into the e2e stage.
+  const uint64_t t_in = obs::now_us();
   // Admission first, before any decode or walk work: under overload the
   // cheapest possible path is the rejection.
-  if (const auto adm = governor_->admit_publish(); !adm.ok) {
+  const auto adm = governor_->admit_publish();
+  const uint64_t t_admitted = obs::now_us();
+  if (!adm.ok) {
     std::lock_guard wl(conn.write_mu);
     send_frame(s, MsgKind::kError,
                encode(ErrorMsg{adm.shed ? ErrorMsg::kShedding : ErrorMsg::kThrottled,
@@ -489,6 +559,7 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
   EventMsg msg;
   msg.origin = cfg_.id;
   msg.event = get_event(r, cfg_.schema);
+  const uint64_t t_decoded = obs::now_us();
   msg.brocli = make_bitmap(cfg_.graph.size());
   {
     std::lock_guard lk(mu_);
@@ -499,9 +570,15 @@ void BrokerNode::on_publish(Socket& s, ClientConn& conn, const Frame& f) {
   // ignore the payload).
   msg.trace = obs::mint_trace_id(cfg_.id, msg.seq, obs::now_us());
   const uint64_t trace = msg.trace;
+  stages_.observe(obs::Stage::kAdmission, t_admitted - t_in, trace);
+  stages_.observe(obs::Stage::kIngressDecode, t_decoded - t_admitted, trace);
   ctr_publishes_->inc();
   walk_metrics_.walks->inc();  // a walk is rooted at the publish edge
   walk_step(std::move(msg), f.payload.size());
+  // Broker-observed e2e: publish ingress until the synchronous walk (all
+  // deliveries included) finished. The exemplar makes a p99 spike here one
+  // `subsum_stats --trace` away from its span chain.
+  stages_.observe(obs::Stage::kE2e, obs::now_us() - t_in, trace);
   util::BufWriter w;
   w.put_u64(trace);
   std::lock_guard wl(conn.write_mu);
@@ -738,6 +815,7 @@ void BrokerNode::on_lease_renew(Socket& s, ClientConn& conn, const Frame& f) {
 
 void BrokerNode::begin_period() {
   std::lock_guard lk(mu_);
+  flight_.record(obs::FrKind::kPeriodBegin, 0, 0, ++period_seq_);
   // 1. Subscription leases: every period costs one tick; a lease that hits
   // zero expires exactly like an unsubscribe (summary rows age out, the
   // removal piggybacks to neighbors, durable state forgets it).
@@ -763,6 +841,11 @@ void BrokerNode::begin_period() {
     pending_removals_.push_back(id);
     held_dirty_ = true;
     ctr_lease_expired_->inc();
+    flight_.record(obs::FrKind::kLeaseExpired, id.local, id.broker);
+    if (log_.enabled(obs::LogLevel::kInfo)) {
+      log_.log(obs::LogLevel::kInfo, "lease", "subscription lease expired", 0,
+               {{"local", id.local}, {"owner", id.broker}});
+    }
     if (store_) store_->log_unsubscribe(id);
   }
   if (store_ && !expired.empty()) {
@@ -981,7 +1064,10 @@ void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
 }
 
 void BrokerNode::on_event(Socket& s, ClientConn& conn, const Frame& f) {
-  walk_step(decode_event_msg(f.payload, cfg_.schema), f.payload.size());
+  const uint64_t t0 = obs::now_us();
+  auto msg = decode_event_msg(f.payload, cfg_.schema);
+  stages_.observe(obs::Stage::kIngressDecode, obs::now_us() - t0, msg.trace);
+  walk_step(std::move(msg), f.payload.size());
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kEventAck, {});
 }
@@ -1011,7 +1097,8 @@ void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
     }
   }
   for (auto& [client, ids] : per_conn) {
-    enqueue_notify(client, encode(NotifyMsg{std::move(ids), msg.event}, cfg_.schema));
+    enqueue_notify(client, encode(NotifyMsg{std::move(ids), msg.event}, cfg_.schema),
+                   msg.trace);
   }
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kDeliverAck, {});
@@ -1037,6 +1124,7 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
       ->set(static_cast<int64_t>(governor_->peak_usage()));
   metrics_.gauge("subsum_governor_connections")
       ->set(static_cast<int64_t>(governor_->connections()));
+  gauge_trace_dropped_->set(static_cast<int64_t>(trace_ring_.dropped()));
   metrics_.gauge("subsum_uptime_seconds")
       ->set(std::chrono::duration_cast<std::chrono::seconds>(std::chrono::steady_clock::now() -
                                                              started_at_)
@@ -1067,6 +1155,20 @@ void BrokerNode::on_trace(Socket& s, ClientConn& conn, const Frame& f) {
   send_frame(s, MsgKind::kTraceAck, payload);
 }
 
+void BrokerNode::on_dump(Socket& s, ClientConn& conn, const Frame&) {
+  // Serve the ring as the dump file format, verbatim: the on-disk and
+  // over-the-wire shapes are identical, so tools/subsum_blackbox reads
+  // both. The request itself is recorded — a dump that shows its own
+  // collection is self-dating.
+  flight_.record(obs::FrKind::kDump);
+  const auto bytes = flight_.serialize();
+  if (const std::string path = flight_dump_path(); !path.empty()) {
+    flight_.dump_to(path);  // best-effort: the RPC reply is the contract
+  }
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kDumpAck, bytes);
+}
+
 void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
   const uint64_t trace = msg.trace;
   if (trace) {
@@ -1081,7 +1183,9 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
     std::lock_guard lk(mu_);
     const uint64_t t0 = obs::now_us();
     matched = core::match(held_, msg.event);
-    hist_match_->observe(obs::now_us() - t0);
+    const uint64_t dt = obs::now_us() - t0;
+    hist_match_->observe_ex(dt, trace);
+    stages_.observe(obs::Stage::kMatch, dt, trace);
     merged = merged_brokers_;
     // Shadow-sampled quality probe: a broker can verify exactly only its
     // OWN subscriptions (the home table is the oracle; summaries never
@@ -1136,7 +1240,8 @@ void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
         }
       }
       for (auto& [client, cids] : per_conn) {
-        enqueue_notify(client, encode(NotifyMsg{std::move(cids), dm.event}, cfg_.schema));
+        enqueue_notify(client, encode(NotifyMsg{std::move(cids), dm.event}, cfg_.schema),
+                       trace);
       }
       if (trace) {
         record_span({trace, cfg_.id, obs::Phase::kDeliver, cfg_.id,
@@ -1295,7 +1400,9 @@ Frame BrokerNode::rpc_to_peer(BrokerId peer, MsgKind kind,
                       acceptable_acks.end()) {
         throw NetError("peer did not acknowledge message");
       }
-      hist_peer_rpc_[peer]->observe(obs::now_us() - t0);
+      const uint64_t dt = obs::now_us() - t0;
+      hist_peer_rpc_[peer]->observe(dt);
+      if (data_plane) stages_.observe(obs::Stage::kRouteHop, dt, trace);
       governor_->breaker_success(peer);
       return std::move(*ack);
     } catch (const NetError& e) {

@@ -64,6 +64,9 @@
 #include "net/governor.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/latency.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/graph.h"
@@ -144,6 +147,18 @@ struct BrokerConfig {
   /// connection cap) so existing deployments see only the new bounded
   /// outbound queues and breakers.
   GovernorConfig governor;
+  // --- observability (obs/) -------------------------------------------------
+  /// Flight-recorder ring capacity (state-transition records retained).
+  size_t flight_capacity = 1024;
+  /// Where stop() and the kDump RPC write the flight-recorder dump file.
+  /// Empty with a data_dir set => "<data_dir>/flight.bin"; empty without
+  /// a data_dir => no file is written (kDump still serves the bytes).
+  std::string flight_dump_path;
+  /// Structured logging (obs/log.h). kOff (the default) keeps the broker
+  /// exactly as silent as before.
+  obs::LogLevel log_level = obs::LogLevel::kOff;
+  std::FILE* log_sink = nullptr;  // null = stderr; must outlive the node
+  uint64_t log_max_lines_per_sec = 200;
 };
 
 class BrokerNode {
@@ -200,6 +215,22 @@ class BrokerNode {
   /// Recent spans (publish walks, deliveries, retries); served by kTrace.
   [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept { return trace_ring_; }
 
+  /// Black-box state-transition ring (rung changes, breaker flips, sheds,
+  /// lease expiries, ...); dumped on stop(), fatal signal, and kDump.
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const noexcept {
+    return flight_;
+  }
+  /// Mutable handle for obs::install_fatal_dump (the handler appends a
+  /// fatal-signal record before dumping).
+  [[nodiscard]] obs::FlightRecorder& flight_recorder() noexcept { return flight_; }
+
+  /// Where dumps go: cfg.flight_dump_path, or "<data_dir>/flight.bin"
+  /// when a data dir is set; empty = file dumps disabled.
+  [[nodiscard]] std::string flight_dump_path() const;
+
+  /// Structured logger (configured from BrokerConfig; kOff by default).
+  [[nodiscard]] obs::Logger& log() noexcept { return log_; }
+
   /// What recovery found in the data directory (all false when ephemeral
   /// or the directory was empty).
   struct RecoveryInfo {
@@ -219,6 +250,14 @@ class BrokerNode {
   [[nodiscard]] const Governor& governor() const noexcept { return *governor_; }
 
  private:
+  /// One queued outbound data frame; the enqueue timestamp and trace id
+  /// feed the outbound_queue / writer_flush stage histograms.
+  struct QueuedFrame {
+    std::vector<std::byte> payload;
+    uint64_t enqueued_us = 0;
+    uint64_t trace = 0;
+  };
+
   struct ClientConn {
     Socket* sock = nullptr;  // valid while the handler thread runs
     std::mutex write_mu;     // serializes direct (ack) writes with the writer
@@ -228,7 +267,7 @@ class BrokerNode {
     /// stalling past GovernorConfig::write_stall_timeout disconnects.
     std::mutex q_mu;
     std::condition_variable q_cv;
-    std::deque<std::vector<std::byte>> outq;
+    std::deque<QueuedFrame> outq;
     size_t outq_bytes = 0;
     bool writer_stop = false;
   };
@@ -238,8 +277,9 @@ class BrokerNode {
 
   /// Queues one kNotify payload on `conn`, enforcing the per-connection
   /// byte/frame budgets (drop-oldest) and the global governor accounting.
+  /// `trace` rides along for the outbound-queue stage histograms.
   void enqueue_notify(const std::shared_ptr<ClientConn>& conn,
-                      std::vector<std::byte> payload);
+                      std::vector<std::byte> payload, uint64_t trace);
   /// Per-connection writer: drains outq under the write deadline; a
   /// stalled or dead consumer is disconnected (slow-consumer policy).
   void writer_loop(std::shared_ptr<ClientConn> conn);
@@ -264,6 +304,7 @@ class BrokerNode {
   void on_trigger(Socket& s, ClientConn& conn, const Frame& f);
   void on_stats(Socket& s, ClientConn& conn, const Frame& f);
   void on_trace(Socket& s, ClientConn& conn, const Frame& f);
+  void on_dump(Socket& s, ClientConn& conn, const Frame& f);
 
   /// One step of the BROCLI walk executed at this broker. Mutates the
   /// bitmap in `msg`, performs deliveries and the onward forward (both
@@ -396,6 +437,7 @@ class BrokerNode {
   std::map<uint32_t, Lease> leases_;  // local id -> lease; guarded by mu_
   uint32_t next_local_ = 0;
   uint64_t publish_seq_ = 0;
+  uint64_t period_seq_ = 0;  // propagation periods seen; guarded by mu_
   std::atomic<uint64_t> rpc_seq_{0};  // jitter seed stream for peer RPCs
   std::deque<PendingDelivery> pending_deliveries_;
   std::vector<uint16_t> peer_ports_;
@@ -412,6 +454,10 @@ class BrokerNode {
   // registration lock. All internally synchronized.
   obs::MetricsRegistry metrics_;
   obs::TraceRing trace_ring_;
+  obs::FlightRecorder flight_;  // black-box incident ring (ctor-initialized)
+  obs::Logger log_;             // structured JSONL (kOff unless configured)
+  obs::StageSet stages_;        // per-stage latency histograms w/ exemplars
+  obs::Gauge* gauge_trace_dropped_ = nullptr;  // subsum_trace_spans_dropped_total
   core::QualityProbe probe_;          // shadow-sampled FP probe (quality.h)
   routing::WalkMetrics walk_metrics_;  // BROCLI walk-efficiency counters
   std::chrono::steady_clock::time_point started_at_;  // for subsum_uptime_seconds

@@ -286,6 +286,11 @@ std::vector<obs::Span> Client::fetch_trace(uint64_t trace, uint32_t max_spans) {
   return decode_trace_reply(f.payload).spans;
 }
 
+std::vector<std::byte> Client::flight_dump() {
+  Frame f = rpc(MsgKind::kDump, {}, MsgKind::kDumpAck);
+  return std::move(f.payload);
+}
+
 std::optional<NotifyMsg> Client::next_notification(std::chrono::milliseconds timeout) {
   {
     std::unique_lock lk(mu_);

@@ -107,6 +107,11 @@ class Client {
   /// spans; max_spans 0 = uncapped, otherwise the newest N.
   std::vector<obs::Span> fetch_trace(uint64_t trace = 0, uint32_t max_spans = 0);
 
+  /// Pulls the broker's flight-recorder dump (kDump). The bytes are the
+  /// dump FILE format verbatim — feed them to obs::decode_dump() or write
+  /// them to disk for tools/subsum_blackbox.
+  std::vector<std::byte> flight_dump();
+
   /// Next queued notification, waiting up to `timeout`. Returns nullopt on
   /// a genuine timeout. Once the connection is closed and the queue is
   /// drained, makes one reconnect (+ attach) attempt when auto_reconnect

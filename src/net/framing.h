@@ -42,6 +42,8 @@ enum class MsgKind : uint8_t {
   kStatsAck = 35,
   kTrace = 36,   // TraceRequestMsg; ack carries recent spans (obs/trace.h)
   kTraceAck = 37,
+  kDump = 38,    // empty request; ack carries a flight-recorder dump
+  kDumpAck = 39,  //   (obs/flight_recorder.h file format, verbatim)
   kError = 63,
 };
 

@@ -122,6 +122,12 @@ Governor::Governor(GovernorConfig cfg, size_t peers, obs::MetricsRegistry& m)
     gauge_breaker_[b] =
         m.gauge(obs::labeled("subsum_peer_circuit_state", "peer", std::to_string(b)));
   }
+  last_breaker_ = std::make_unique<std::atomic<uint8_t>[]>(peers);
+}
+
+void Governor::set_observer(obs::FlightRecorder* flight, obs::Logger* log) noexcept {
+  flight_ = flight;
+  log_ = log;
 }
 
 uint64_t Governor::steady_now_us() noexcept {
@@ -190,7 +196,27 @@ void Governor::observe_queue(size_t depth, size_t bytes) noexcept {
   hist_queue_bytes_->observe(bytes);
 }
 
-void Governor::refresh_rung_gauge() noexcept { gauge_rung_->set(rung()); }
+void Governor::refresh_rung_gauge() noexcept {
+  const int r = rung();
+  gauge_rung_->set(r);
+  // Edge-detect rung transitions for the flight recorder: the CAS makes
+  // exactly one racing accountant own each transition.
+  int prev = last_rung_.load(std::memory_order_relaxed);
+  if (r != prev &&
+      last_rung_.compare_exchange_strong(prev, r, std::memory_order_relaxed)) {
+    const auto used = usage_bytes_.load(std::memory_order_relaxed);
+    if (flight_ != nullptr) {
+      flight_->record(obs::FrKind::kRungChange, static_cast<uint32_t>(prev),
+                      static_cast<uint32_t>(r), used);
+    }
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+      log_->log(obs::LogLevel::kWarn, "governor", "degradation rung change", 0,
+                {{"old", prev},
+                 {"new", r},
+                 {"usage_bytes", static_cast<int64_t>(used)}});
+    }
+  }
+}
 
 Governor::Admission Governor::admit_publish() noexcept {
   if (shedding(Shed::kPublish)) {
@@ -262,7 +288,19 @@ uint64_t Governor::breaker_fastfails() const noexcept {
 }
 
 void Governor::set_breaker_gauge(overlay::BrokerId peer) noexcept {
-  gauge_breaker_[peer]->set(static_cast<int64_t>(breakers_[peer]->state()));
+  const auto st = static_cast<uint8_t>(breakers_[peer]->state());
+  gauge_breaker_[peer]->set(st);
+  uint8_t prev = last_breaker_[peer].load(std::memory_order_relaxed);
+  if (st != prev &&
+      last_breaker_[peer].compare_exchange_strong(prev, st, std::memory_order_relaxed)) {
+    if (flight_ != nullptr) {
+      flight_->record(obs::FrKind::kBreakerFlip, peer, st, prev);
+    }
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+      log_->log(obs::LogLevel::kWarn, "governor", "peer circuit breaker flip", 0,
+                {{"peer", peer}, {"old", prev}, {"new", st}});
+    }
+  }
 }
 
 }  // namespace subsum::net

@@ -44,6 +44,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "overlay/graph.h"
 
@@ -236,6 +238,13 @@ class Governor {
   /// µs on the process-wide steady clock (independent of SUBSUM_NO_TELEMETRY).
   static uint64_t steady_now_us() noexcept;
 
+  /// Incident observers: rung changes and breaker flips are edge-detected
+  /// here (the policy's own state machine) and recorded to the flight
+  /// recorder / logger. Either may be null; call before traffic. Policy
+  /// decisions never read these — they are write-only breadcrumbs, so the
+  /// ladder behaves identically under -DSUBSUM_NO_TELEMETRY.
+  void set_observer(obs::FlightRecorder* flight, obs::Logger* log) noexcept;
+
  private:
   void refresh_rung_gauge() noexcept;
   void set_breaker_gauge(overlay::BrokerId peer) noexcept;
@@ -243,6 +252,10 @@ class Governor {
   GovernorConfig cfg_;
   TokenBucket publish_bucket_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  obs::FlightRecorder* flight_ = nullptr;  // not owned; see set_observer
+  obs::Logger* log_ = nullptr;             // not owned
+  std::atomic<int> last_rung_{0};
+  std::unique_ptr<std::atomic<uint8_t>[]> last_breaker_;  // per-peer state
   std::atomic<uint64_t> usage_bytes_{0};
   std::atomic<uint64_t> peak_bytes_{0};
   std::atomic<uint64_t> connections_{0};

@@ -1,0 +1,34 @@
+#include "obs/latency.h"
+
+namespace subsum::obs {
+
+std::string_view to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kIngressDecode:
+      return "ingress_decode";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kWalFsync:
+      return "wal_fsync";
+    case Stage::kMatch:
+      return "match";
+    case Stage::kRouteHop:
+      return "route_hop";
+    case Stage::kOutboundQueue:
+      return "outbound_queue";
+    case Stage::kWriterFlush:
+      return "writer_flush";
+    case Stage::kE2e:
+      return "e2e";
+  }
+  return "?";
+}
+
+StageSet::StageSet(MetricsRegistry& m) {
+  for (size_t i = 0; i < kStageCount; ++i) {
+    hists_[i] = m.histogram_ex(
+        labeled("subsum_stage_latency_us", "stage", to_string(static_cast<Stage>(i))));
+  }
+}
+
+}  // namespace subsum::obs

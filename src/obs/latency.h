@@ -1,0 +1,64 @@
+// Stage-decomposed end-to-end latency: every event's life at a broker is
+// split into named stages, each feeding one labeled histogram
+// (`subsum_stage_latency_us{stage="..."}`) with exemplars enabled — the
+// high buckets retain the most recent trace id that landed there, so a
+// p99 spike in any stage is one `subsum_stats --trace <id>` away from its
+// full causal span chain.
+//
+// Stages, in event order:
+//   ingress_decode  wire frame -> model::Event (on_publish / on_event)
+//   admission       governor admission check on publish
+//   wal_fsync       BrokerStore::commit() fsync (durable brokers only)
+//   match           merged-summary match (walk_step)
+//   route_hop       one successful peer RPC round trip (kEvent / kDeliver)
+//   outbound_queue  dwell time in a connection's outbound queue
+//   writer_flush    the writer thread's send_frame() for one data frame
+//   e2e             publish ingress -> walk complete (broker-observed)
+//
+// The registration helper pre-registers every stage at construction so the
+// observe path is a pointer index plus Histogram::observe_ex — no lookups,
+// no locks, and it all compiles out under -DSUBSUM_NO_TELEMETRY.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace subsum::obs {
+
+enum class Stage : uint8_t {
+  kIngressDecode = 0,
+  kAdmission,
+  kWalFsync,
+  kMatch,
+  kRouteHop,
+  kOutboundQueue,
+  kWriterFlush,
+  kE2e,
+};
+
+inline constexpr size_t kStageCount = 8;
+
+/// "ingress_decode", "admission", ... (stable exposition label values).
+std::string_view to_string(Stage s) noexcept;
+
+/// Pre-registered per-stage histograms over one registry.
+class StageSet {
+ public:
+  explicit StageSet(MetricsRegistry& m);
+
+  void observe(Stage s, uint64_t us, uint64_t trace = 0) noexcept {
+    hists_[static_cast<size_t>(s)]->observe_ex(us, trace);
+  }
+
+  [[nodiscard]] Histogram* hist(Stage s) const noexcept {
+    return hists_[static_cast<size_t>(s)];
+  }
+
+ private:
+  std::array<Histogram*, kStageCount> hists_{};
+};
+
+}  // namespace subsum::obs

@@ -1,0 +1,134 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <string>
+
+namespace subsum::obs {
+
+namespace {
+
+uint64_t wall_us() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t steady_us() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view s) noexcept {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void json_escape(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void Logger::configure(LogLevel min_level, std::FILE* sink, uint32_t broker,
+                       uint64_t max_lines_per_sec) noexcept {
+  min_level_.store(static_cast<uint8_t>(min_level), std::memory_order_relaxed);
+  sink_ = sink != nullptr ? sink : stderr;
+  broker_ = broker;
+  max_per_sec_ = max_lines_per_sec ? max_lines_per_sec : 1;
+}
+
+void Logger::log(LogLevel l, std::string_view component, std::string_view msg,
+                 uint64_t trace, std::initializer_list<LogKv> kv) {
+#ifndef SUBSUM_NO_TELEMETRY
+  if (!enabled(l) || l == LogLevel::kOff) return;
+
+  std::string line;
+  line.reserve(128);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"ts_us\":%" PRIu64 ",\"level\":\"", wall_us());
+  line += buf;
+  line += to_string(l);
+  std::snprintf(buf, sizeof buf, "\",\"broker\":%u,\"component\":\"", broker_);
+  line += buf;
+  json_escape(component, line);
+  line += "\",\"msg\":\"";
+  json_escape(msg, line);
+  line += '"';
+  if (trace != 0) {
+    std::snprintf(buf, sizeof buf, ",\"trace\":\"%016" PRIx64 "\"", trace);
+    line += buf;
+  }
+  for (const LogKv& e : kv) {
+    line += ",\"";
+    json_escape(e.key, line);
+    std::snprintf(buf, sizeof buf, "\":%" PRId64, e.value);
+    line += buf;
+  }
+  line += "}\n";
+
+  const uint64_t now = steady_us();
+  std::lock_guard lk(mu_);
+  if (now - window_start_us_ >= 1000000) {
+    if (window_suppressed_ > 0) {
+      char sup[160];
+      const int n = std::snprintf(
+          sup, sizeof sup,
+          "{\"ts_us\":%" PRIu64 ",\"level\":\"info\",\"broker\":%u,"
+          "\"component\":\"log\",\"msg\":\"rate limited\","
+          "\"suppressed\":%" PRIu64 "}\n",
+          wall_us(), broker_, window_suppressed_);
+      std::fwrite(sup, 1, static_cast<size_t>(n), sink_);
+    }
+    window_start_us_ = now;
+    window_count_ = 0;
+    window_suppressed_ = 0;
+  }
+  if (window_count_ >= max_per_sec_) {
+    ++window_suppressed_;
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++window_count_;
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+#else
+  (void)l; (void)component; (void)msg; (void)trace; (void)kv;
+#endif
+}
+
+}  // namespace subsum::obs

@@ -1,0 +1,94 @@
+// Structured logging: leveled, rate-limited JSONL with trace-id
+// correlation. One line per event, fixed leading fields:
+//
+//   {"ts_us":1722970000123456,"level":"warn","broker":3,
+//    "component":"governor","msg":"rung change","trace":"00ab...",
+//    "old":1,"new":3}
+//
+// ts_us is wall-clock microseconds (correlates with flight-recorder dump
+// anchors); "trace" appears only for trace-correlated events and uses the
+// same 16-hex-digit form as span JSONL, so a log line, a span chain, and
+// an exemplar all name the same id.
+//
+// The default level is kOff — a broker is silent unless `subsum_broker
+// --log-level` (or a test) turns logging on, preserving the pre-existing
+// behavior of every tool and test. A token-window rate limit (per second,
+// process-wide) bounds the cost of pathological event storms; suppressed
+// lines are counted and surfaced in a summary line when the window rolls.
+//
+// Under -DSUBSUM_NO_TELEMETRY log() compiles to a no-op and enabled() to
+// false, so call sites (and their argument construction, when guarded by
+// enabled()) vanish.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string_view>
+
+namespace subsum::obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// "debug", "info", "warn", "error", "off" (stable wire names).
+std::string_view to_string(LogLevel l) noexcept;
+
+/// Inverse of to_string(); unknown names parse to kOff.
+LogLevel parse_log_level(std::string_view s) noexcept;
+
+/// One structured key/value (integers only — counts, ids, bytes).
+struct LogKv {
+  std::string_view key;
+  int64_t value = 0;
+};
+
+class Logger {
+ public:
+  Logger() = default;
+
+  /// Reconfigures the sink. Call before the broker serves traffic; the
+  /// sink must outlive the logger (stderr or a process-lifetime FILE*).
+  void configure(LogLevel min_level, std::FILE* sink, uint32_t broker,
+                 uint64_t max_lines_per_sec = 200) noexcept;
+
+  /// Cheap level gate — use to skip argument construction entirely.
+  [[nodiscard]] bool enabled(LogLevel l) const noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    return static_cast<uint8_t>(l) >=
+           min_level_.load(std::memory_order_relaxed);
+#else
+    (void)l;
+    return false;
+#endif
+  }
+
+  void log(LogLevel l, std::string_view component, std::string_view msg,
+           uint64_t trace = 0, std::initializer_list<LogKv> kv = {});
+
+  [[nodiscard]] uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint8_t> min_level_{static_cast<uint8_t>(LogLevel::kOff)};
+  std::FILE* sink_ = stderr;
+  uint32_t broker_ = 0;
+  uint64_t max_per_sec_ = 200;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+
+  std::mutex mu_;                  // rate window + line write
+  uint64_t window_start_us_ = 0;   // steady clock
+  uint64_t window_count_ = 0;
+  uint64_t window_suppressed_ = 0;
+};
+
+/// JSON string-escapes `s` (quotes, backslashes, control chars) into `out`.
+void json_escape(std::string_view s, std::string& out);
+
+}  // namespace subsum::obs

@@ -48,6 +48,19 @@ std::array<uint64_t, Histogram::kBuckets + 1> Histogram::snapshot() const noexce
   return out;
 }
 
+void Histogram::enable_exemplars() {
+  if (exemplars_.load(std::memory_order_acquire) != nullptr) return;
+  exemplars_owned_ = std::make_unique<ExemplarSlot[]>(kBuckets + 1);
+  exemplars_.store(exemplars_owned_.get(), std::memory_order_release);
+}
+
+Histogram::Exemplar Histogram::exemplar(size_t bucket) const noexcept {
+  const ExemplarSlot* ex = exemplars_.load(std::memory_order_acquire);
+  if (ex == nullptr || bucket > kBuckets) return {};
+  return {ex[bucket].trace.load(std::memory_order_relaxed),
+          ex[bucket].value.load(std::memory_order_relaxed)};
+}
+
 void Histogram::reset() noexcept {
   for (size_t i = 0; i <= kBuckets; ++i) buckets_[i].store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -88,6 +101,12 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
   }
   return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram_ex(std::string_view name) {
+  Histogram* h = histogram(name);
+  h->enable_exemplars();
+  return h;
 }
 
 uint64_t MetricsRegistry::counter_value(std::string_view name) const {
@@ -150,7 +169,18 @@ std::string MetricsRegistry::prometheus_text() const {
       if (counts[i] == 0) continue;  // elide empty buckets; +Inf emitted below
       cum += counts[i];
       os << fam << "_bucket" << with_le(labels, std::to_string(Histogram::bucket_bound(i)))
-         << " " << cum << "\n";
+         << " " << cum;
+      // OpenMetrics-style exemplar: the most recent trace that landed in
+      // this bucket. Trailing comment, so 0.0.4-only parsers still read
+      // the value (strtod stops at the space).
+      if (const auto ex = h->exemplar(i); ex.trace != 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, " # {trace_id=\"%016llx\"} %llu",
+                      static_cast<unsigned long long>(ex.trace),
+                      static_cast<unsigned long long>(ex.value));
+        os << buf;
+      }
+      os << "\n";
     }
     os << fam << "_bucket" << with_le(labels, "+Inf") << " " << h->count() << "\n";
     os << fam << "_sum" << labels << " " << h->sum() << "\n";

@@ -107,9 +107,21 @@ class FGauge {
 /// bit-width is i (upper bound 2^i - ... effectively le 2^(i-1) for i>=1;
 /// bucket 0 counts zeros). Quantiles are reported as the upper bound of
 /// the bucket containing the requested rank.
+///
+/// Histograms registered with exemplars enabled additionally keep, per
+/// bucket, the most recent (trace id, value) pair observed there via
+/// observe_ex() — so a p99 bucket always names a concrete trace that can
+/// be resolved to its span chain (`subsum_stats --trace`). Exposition
+/// appends them OpenMetrics-style: `..._bucket{le="X"} N # {trace_id="…"} v`.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
+
+  /// One bucket's retained exemplar; trace == 0 means "none yet".
+  struct Exemplar {
+    uint64_t trace = 0;
+    uint64_t value = 0;
+  };
 
   void observe(uint64_t v) noexcept {
 #ifndef SUBSUM_NO_TELEMETRY
@@ -120,6 +132,36 @@ class Histogram {
     (void)v;
 #endif
   }
+
+  /// observe() plus exemplar retention: the value's bucket remembers this
+  /// trace id (last writer wins; relaxed stores, so a reader may pair a
+  /// torn trace/value across two concurrent observes — acceptable for a
+  /// debugging breadcrumb). trace 0 (untraced) records no exemplar.
+  void observe_ex(uint64_t v, uint64_t trace) noexcept {
+#ifndef SUBSUM_NO_TELEMETRY
+    const size_t b = bucket_of(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    if (trace != 0) {
+      if (ExemplarSlot* ex = exemplars_.load(std::memory_order_acquire)) {
+        ex[b].value.store(v, std::memory_order_relaxed);
+        ex[b].trace.store(trace, std::memory_order_relaxed);
+      }
+    }
+#else
+    (void)v;
+    (void)trace;
+#endif
+  }
+
+  /// Allocates the per-bucket exemplar slots (idempotent). Call at
+  /// registration time, i.e. before the histogram is observed from other
+  /// threads; until called, observe_ex() degrades to observe().
+  void enable_exemplars();
+
+  /// The exemplar retained by bucket i, or {0, 0} when none/disabled.
+  [[nodiscard]] Exemplar exemplar(size_t bucket) const noexcept;
 
   [[nodiscard]] uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
   [[nodiscard]] uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
@@ -147,9 +189,18 @@ class Histogram {
   }
 
  private:
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace{0};
+    std::atomic<uint64_t> value{0};
+  };
+
   std::array<std::atomic<uint64_t>, kBuckets + 1> buckets_{};  // [0..64]
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  // Lazily allocated by enable_exemplars(); published with release so a
+  // relaxed observer that wins the race simply skips the exemplar.
+  std::atomic<ExemplarSlot*> exemplars_{nullptr};
+  std::unique_ptr<ExemplarSlot[]> exemplars_owned_;
 };
 
 /// Owns named metrics; handles stay valid for the registry's lifetime.
@@ -163,6 +214,9 @@ class MetricsRegistry {
   Gauge* gauge(std::string_view name);
   FGauge* fgauge(std::string_view name);
   Histogram* histogram(std::string_view name);
+  /// Get-or-register with exemplar slots enabled (enables them on an
+  /// already-registered histogram too).
+  Histogram* histogram_ex(std::string_view name);
 
   /// Current value of a counter, 0 when never registered (test helper).
   [[nodiscard]] uint64_t counter_value(std::string_view name) const;

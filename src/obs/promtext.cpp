@@ -101,11 +101,36 @@ std::vector<PromSample> parse_prometheus_text(std::string_view text) {
     }
     const std::string_view rest = trim(line.substr(pos));
     if (rest.empty()) continue;
-    // `value [timestamp]` — strtod stops at the first space by itself.
+    // `value [timestamp] [# {labels} exemplar-value]` — strtod stops at
+    // the first space by itself, so the suffixes never corrupt the value.
     const std::string value_str(rest);
     char* end = nullptr;
     s.value = std::strtod(value_str.c_str(), &end);
     if (end == value_str.c_str()) continue;  // not a number
+    // Optional exemplar: `# {k="v",...} value`. Best-effort — anything
+    // malformed past the '#' leaves the sample exemplar-free.
+    const size_t hash = rest.find('#', static_cast<size_t>(end - value_str.c_str()));
+    if (hash != std::string_view::npos) {
+      size_t p = hash + 1;
+      while (p < rest.size() && is_space(rest[p])) ++p;
+      if (p < rest.size() && rest[p] == '{') {
+        ++p;
+        std::vector<std::pair<std::string, std::string>> exlabels;
+        if (parse_labels(rest, p, exlabels)) {
+          for (const auto& [k, v] : exlabels) {
+            if (k == "trace_id") s.exemplar_trace = v;
+          }
+          const std::string exval(trim(rest.substr(p)));
+          char* exend = nullptr;
+          const double ev = std::strtod(exval.c_str(), &exend);
+          if (exend != exval.c_str() && !s.exemplar_trace.empty()) {
+            s.exemplar_value = ev;
+          } else {
+            s.exemplar_trace.clear();  // no value or no trace_id: drop it
+          }
+        }
+      }
+    }
     out.push_back(std::move(s));
   }
   return out;

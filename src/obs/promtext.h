@@ -26,6 +26,11 @@ struct PromSample {
   std::string name;  // metric name without the label block
   std::vector<std::pair<std::string, std::string>> labels;  // unescaped, in order
   double value = 0;
+  /// OpenMetrics-style exemplar suffix (` # {trace_id="…"} v`), as emitted
+  /// by MetricsRegistry on histogram bucket lines. Empty trace = none. A
+  /// malformed exemplar is dropped without invalidating the sample.
+  std::string exemplar_trace;  // label value of trace_id, verbatim (hex)
+  double exemplar_value = 0;
 
   /// Value of a label, or nullptr when absent.
   [[nodiscard]] const std::string* label(std::string_view key) const noexcept;

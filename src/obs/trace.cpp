@@ -35,6 +35,7 @@ void TraceRing::append(const Span& s) {
   } else {
     ring_[next_] = s;
     next_ = (next_ + 1) % capacity_;
+    ++dropped_;
   }
   ++appended_;
 #else
@@ -64,6 +65,16 @@ std::vector<Span> TraceRing::for_trace(uint64_t trace) const {
 uint64_t TraceRing::appended() const {
   std::lock_guard lk(mu_);
   return appended_;
+}
+
+uint64_t TraceRing::retained() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
 }
 
 void TraceRing::clear() {

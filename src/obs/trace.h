@@ -70,6 +70,14 @@ class TraceRing {
   /// Spans ever appended (including overwritten ones).
   [[nodiscard]] uint64_t appended() const;
 
+  /// Spans currently retained (== min(appended since clear, capacity)).
+  [[nodiscard]] uint64_t retained() const;
+
+  /// Spans lost to overwrite-oldest since construction: appended() minus
+  /// everything still retained. Exported as
+  /// `subsum_trace_spans_dropped_total` so silent span loss is visible.
+  [[nodiscard]] uint64_t dropped() const;
+
   void clear();
 
  private:
@@ -78,6 +86,7 @@ class TraceRing {
   size_t capacity_;
   size_t next_ = 0;       // ring_[next_] is the oldest once wrapped
   uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;  // overwritten spans (not cleared ones)
 };
 
 /// One span per line:

@@ -115,6 +115,10 @@ void SimSystem::unsubscribe(SubId id) {
 }
 
 routing::PropagationResult SimSystem::run_propagation_period() {
+  // Virtual-time black box: one second of virtual time per period keeps
+  // flight-recorder dumps byte-identical across identical runs.
+  const uint64_t vt_us = ++period_seq_ * 1'000'000;
+  flight_.record_at(vt_us, obs::FrKind::kPeriodBegin, 0, 0, period_seq_);
   // Soft state first: every period costs each lease one tick; expiry is an
   // unsubscribe in all but name, so the removal rides this same period's
   // maintenance piggyback.
@@ -127,7 +131,10 @@ routing::PropagationResult SimSystem::run_propagation_period() {
       ++it;
     }
   }
-  for (const SubId& id : lease_expired) unsubscribe(id);
+  for (const SubId& id : lease_expired) {
+    flight_.record_at(vt_us, obs::FrKind::kLeaseExpired, id.local, id.broker);
+    unsubscribe(id);
+  }
   if (!lease_expired.empty()) {
     metrics_.counter("subsum_lease_expired_total")->inc(lease_expired.size());
   }

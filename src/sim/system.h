@@ -24,6 +24,7 @@
 #include "core/serialize.h"
 #include "model/event.h"
 #include "model/subscription.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "overlay/graph.h"
@@ -161,6 +162,14 @@ class SimSystem {
   /// Span log of recent publishes (empty unless SystemConfig::trace).
   [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept { return trace_ring_; }
 
+  /// Virtual-time flight recorder: period boundaries and lease expiries,
+  /// stamped with deterministic virtual timestamps (period * 1s), so two
+  /// identical runs produce byte-identical serialize() output — the sim's
+  /// reproducibility witness for the black-box format.
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const noexcept {
+    return flight_;
+  }
+
   /// The system's metrics registry: walk-efficiency counters
   /// (subsum_walk_*), the shadow-sampled quality probe (subsum_quality_*,
   /// subsum_summary_false_positive_ids_total, subsum_summary_precision)
@@ -202,7 +211,9 @@ class SimSystem {
   std::map<model::SubId, std::vector<model::SubId>> covered_by_;
   std::unique_ptr<util::ThreadPool> publish_pool_;  // lazily built default pool
   obs::TraceRing trace_ring_;   // publish spans, event order (cfg_.trace)
+  obs::FlightRecorder flight_{0, 1024, /*virtual_time=*/true};
   uint64_t publish_seq_ = 0;    // deterministic trace-id stream
+  uint64_t period_seq_ = 0;     // virtual clock for flight_ stamps
   obs::MetricsRegistry metrics_;        // declared before the handle holders below
   routing::WalkMetrics walk_metrics_;   // BROCLI walk-efficiency counters
   core::QualityProbe probe_;            // shadow-sampled FP probe

@@ -243,13 +243,15 @@ void BrokerStore::log_lease(model::SubId id, uint32_t ttl_periods) {
 }
 
 void BrokerStore::commit() {
-  if (!fsync_us_) {
+  if (!fsync_us_ && !stage_fsync_us_) {
     wal_->sync();
     return;
   }
   const uint64_t t0 = obs::now_us();
   wal_->sync();
-  fsync_us_->observe(obs::now_us() - t0);
+  const uint64_t dt = obs::now_us() - t0;
+  if (fsync_us_) fsync_us_->observe(dt);
+  if (stage_fsync_us_) stage_fsync_us_->observe(dt);
 }
 
 uint64_t BrokerStore::wal_records() const noexcept {

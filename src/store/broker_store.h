@@ -116,11 +116,15 @@ class BrokerStore {
   void write_snapshot(const SnapshotInput& in);
 
   /// Telemetry hooks (obs/metrics.h): commit() observes its fsync latency
-  /// into `fsync_us`, write_snapshot() its duration into `snapshot_us`.
-  /// Either may be null (the default): no timing happens.
-  void set_metrics(obs::Histogram* fsync_us, obs::Histogram* snapshot_us) noexcept {
+  /// into `fsync_us` (and, when given, the stage-decomposed duplicate
+  /// `stage_fsync_us` — subsum_stage_latency_us{stage="wal_fsync"}),
+  /// write_snapshot() its duration into `snapshot_us`. Any may be null
+  /// (the default): no timing happens.
+  void set_metrics(obs::Histogram* fsync_us, obs::Histogram* snapshot_us,
+                   obs::Histogram* stage_fsync_us = nullptr) noexcept {
     fsync_us_ = fsync_us;
     snapshot_us_ = snapshot_us;
+    stage_fsync_us_ = stage_fsync_us;
   }
 
   [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
@@ -140,8 +144,9 @@ class BrokerStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t epoch_ = 0;
   uint64_t wal_base_records_ = 0;  // records already in the log at open()
-  obs::Histogram* fsync_us_ = nullptr;     // not owned; see set_metrics
-  obs::Histogram* snapshot_us_ = nullptr;  // not owned
+  obs::Histogram* fsync_us_ = nullptr;        // not owned; see set_metrics
+  obs::Histogram* snapshot_us_ = nullptr;     // not owned
+  obs::Histogram* stage_fsync_us_ = nullptr;  // not owned
 };
 
 }  // namespace subsum::store

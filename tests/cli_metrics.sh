@@ -3,9 +3,21 @@
 # subsum_stats. Asserts the Prometheus exposition is well-formed (TYPE
 # lines, match-latency buckets), counters are monotonic across scrapes,
 # and one publish produces a complete publish->deliver trace with spans
-# from at least two brokers.
+# from at least two brokers. Then the observability layer end to end:
+# stage-latency histograms whose bucket exemplars resolve to span chains,
+# structured JSONL logs, flight-recorder dumps over the kDump RPC
+# (subsum_blackbox) and on clean shutdown, and subsum_top --once as a
+# scriptable health probe (exit nonzero once a broker is down).
 # Usage: cli_metrics.sh <build_dir>
 set -u
+
+# Every assertion below reads recorded telemetry (counters, exemplars, log
+# lines, flight timelines); a -DSUBSUM_NO_TELEMETRY build records none of it.
+# CMake sets the env var for that configuration and SKIP_RETURN_CODE=77.
+if [[ -n "${SUBSUM_NO_TELEMETRY:-}" ]]; then
+  echo "SKIP: telemetry compiled out (SUBSUM_NO_TELEMETRY)"
+  exit 77
+fi
 
 BUILD=${1:?usage: cli_metrics.sh <build_dir>}
 WORK=$(mktemp -d)
@@ -27,7 +39,11 @@ for attempt in 1 2 3 4 5; do
     EXTRA=""
     [ "$i" = 0 ] && EXTRA="--propagate-every 1"
     "$BUILD/tools/subsum_broker" --config "$WORK/deploy.conf" --id "$i" \
-        --port $((BASE+i)) --peers "$PORTS" $EXTRA > "$WORK/broker$i.log" 2>&1 &
+        --port $((BASE+i)) --peers "$PORTS" $EXTRA \
+        --flight-dump "$WORK/flight$i.bin" \
+        --log-level info --log-file "$WORK/broker$i.jsonl" \
+        > "$WORK/broker$i.log" 2>&1 &
+    BPID[$i]=$!
   done
 
   started=1
@@ -134,6 +150,77 @@ PUB2=$(awk '/^subsum_publishes_total/ {s += $2} END {print s}' "$WORK/scrape2.tx
 CNT1=$(awk '/^subsum_match_latency_us_count/ {s += $2} END {print s}' "$WORK/scrape1.txt")
 CNT2=$(awk '/^subsum_match_latency_us_count/ {s += $2} END {print s}' "$WORK/scrape2.txt")
 [ "$CNT2" -gt "$CNT1" ] || { echo "match count not monotonic: $CNT1 -> $CNT2"; exit 1; }
+
+# --- stage-decomposed latency + exemplars -----------------------------------
+grep -q '^# TYPE subsum_stage_latency_us histogram' "$WORK/scrape2.txt" \
+    || { echo "missing stage latency histogram"; exit 1; }
+for stage in ingress_decode match e2e; do
+  grep -q "^subsum_stage_latency_us_bucket{stage=\"$stage\"" "$WORK/scrape2.txt" \
+      || { echo "missing stage=$stage histogram"; cat "$WORK/scrape2.txt"; exit 1; }
+done
+# A populated bucket carries an exemplar trace id...
+EXEMPLAR=$(grep '^subsum_stage_latency_us_bucket' "$WORK/scrape2.txt" \
+    | grep -o 'trace_id="[0-9a-f]*"' | head -1 | cut -d'"' -f2)
+[ -n "$EXEMPLAR" ] || { echo "no stage bucket carries an exemplar"; cat "$WORK/scrape2.txt"; exit 1; }
+# ...and that id resolves to a span chain on some broker (the exemplar
+# workflow: p99 spike -> trace id -> spans).
+: > "$WORK/exemplar.jsonl"
+for i in 0 1 2; do
+  timeout 30 "$BUILD/tools/subsum_stats" --port $((BASE+i)) --trace "$EXEMPLAR" \
+      >> "$WORK/exemplar.jsonl" 2>&1 || { echo "exemplar trace fetch failed"; exit 1; }
+done
+grep -q "\"trace\":\"$EXEMPLAR\"" "$WORK/exemplar.jsonl" \
+    || { echo "exemplar trace $EXEMPLAR resolved to no spans"; cat "$WORK/exemplar.jsonl"; exit 1; }
+# Trace-ring drop accounting is exported.
+grep -q '^subsum_trace_spans_dropped_total' "$WORK/scrape2.txt" \
+    || { echo "missing trace-spans-dropped gauge"; exit 1; }
+
+# --- structured logs: JSONL with fixed leading fields ------------------------
+grep -q '"level":"info".*"broker":0.*"msg":"started"' "$WORK/broker0.jsonl" \
+    || { echo "broker 0 logged no structured start line"; cat "$WORK/broker0.jsonl"; exit 1; }
+
+# --- flight recorder over the wire: subsum_blackbox pulls via kDump ----------
+mkdir -p "$WORK/fr"
+timeout 30 "$BUILD/tools/subsum_blackbox" --ports "$PORTS" --out-dir "$WORK/fr" \
+    > "$WORK/blackbox1.txt" 2>&1 \
+    || { echo "subsum_blackbox --ports failed"; cat "$WORK/blackbox1.txt"; exit 1; }
+grep -q '^# broker 0:' "$WORK/blackbox1.txt" \
+    || { echo "blackbox printed no per-broker header"; cat "$WORK/blackbox1.txt"; exit 1; }
+grep -q 'broker 0 start' "$WORK/blackbox1.txt" \
+    || { echo "timeline missing broker 0 start record"; cat "$WORK/blackbox1.txt"; exit 1; }
+grep -q 'period-begin' "$WORK/blackbox1.txt" \
+    || { echo "timeline missing propagation periods"; cat "$WORK/blackbox1.txt"; exit 1; }
+grep -q 'dump' "$WORK/blackbox1.txt" \
+    || { echo "kDump service not recorded"; cat "$WORK/blackbox1.txt"; exit 1; }
+for i in 0 1 2; do
+  [ -s "$WORK/fr/broker-$i.flight.bin" ] \
+      || { echo "blackbox --out-dir saved no dump for broker $i"; exit 1; }
+done
+
+# --- subsum_top --once: healthy fleet probe exits 0 --------------------------
+timeout 30 "$BUILD/tools/subsum_top" --ports "$PORTS" --once > "$WORK/once1.txt" 2>&1
+RC=$?
+[ "$RC" = 0 ] || { echo "subsum_top --once reported unhealthy fleet (rc=$RC)"; cat "$WORK/once1.txt"; exit 1; }
+grep -c '^broker port=.* up' "$WORK/once1.txt" | grep -q '^3$' \
+    || { echo "--once did not list 3 brokers up"; cat "$WORK/once1.txt"; exit 1; }
+
+# --- clean shutdown writes the black box; --once now exits nonzero -----------
+kill -TERM "${BPID[2]}" 2>/dev/null
+for _ in $(seq 1 50); do kill -0 "${BPID[2]}" 2>/dev/null || break; sleep 0.1; done
+kill -0 "${BPID[2]}" 2>/dev/null && { echo "broker 2 ignored SIGTERM"; exit 1; }
+[ -s "$WORK/flight2.bin" ] || { echo "broker 2 left no flight dump"; exit 1; }
+timeout 30 "$BUILD/tools/subsum_blackbox" "$WORK/flight2.bin" > "$WORK/blackbox2.txt" 2>&1 \
+    || { echo "on-disk dump unreadable"; cat "$WORK/blackbox2.txt"; exit 1; }
+grep -q 'broker 2 shutdown' "$WORK/blackbox2.txt" \
+    || { echo "dump timeline missing shutdown record"; cat "$WORK/blackbox2.txt"; exit 1; }
+grep -q '"msg":"stopped"' "$WORK/broker2.jsonl" \
+    || { echo "broker 2 logged no stop line"; cat "$WORK/broker2.jsonl"; exit 1; }
+
+timeout 30 "$BUILD/tools/subsum_top" --ports "$PORTS" --once > "$WORK/once2.txt" 2>&1
+RC=$?
+[ "$RC" != 0 ] || { echo "--once exited 0 with a broker down"; cat "$WORK/once2.txt"; exit 1; }
+grep -q '^broker port=.* down' "$WORK/once2.txt" \
+    || { echo "--once did not flag the dead broker"; cat "$WORK/once2.txt"; exit 1; }
 
 echo "cli metrics test passed"
 exit 0

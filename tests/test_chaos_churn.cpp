@@ -197,9 +197,11 @@ TEST(ChurnChaos, ShadowDigestsConvergeAfterKillRestartAndBlackhole) {
     lease_expired += m.counter_value("subsum_lease_expired_total");
     divergence += m.counter_value("subsum_quality_engine_divergence_total");
   }
+#ifndef SUBSUM_NO_TELEMETRY
   EXPECT_GT(delta_sends, 0u);
   EXPECT_GE(syncs, 1u);
   EXPECT_GT(lease_expired, 0u);
+#endif
   EXPECT_EQ(divergence, 0u);
 }
 

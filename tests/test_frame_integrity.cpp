@@ -108,6 +108,8 @@ std::vector<std::pair<MsgKind, std::vector<std::byte>>> valid_payloads(
   out.emplace_back(MsgKind::kTrigger, encode(TriggerMsg{1}));
   out.emplace_back(MsgKind::kStats, std::vector<std::byte>{});
   out.emplace_back(MsgKind::kTrace, encode(TraceRequestMsg{7, 8}));
+  out.emplace_back(MsgKind::kDump, std::vector<std::byte>{});
+  out.emplace_back(MsgKind::kDumpAck, std::vector<std::byte>{});
   out.emplace_back(MsgKind::kSubscribeAck, encode(SubscribeAckMsg{id}));
   out.emplace_back(MsgKind::kAttachAck, encode(AttachAckMsg{1}));
   out.emplace_back(MsgKind::kError, std::vector<std::byte>{});

@@ -3,6 +3,7 @@
 // minting.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -14,9 +15,19 @@
 namespace subsum::obs {
 namespace {
 
+// Tests that assert on recorded values cannot run when the mutation paths are
+// compiled out; registration/exposition shape tests still do.
+#ifdef SUBSUM_NO_TELEMETRY
+#define SKIP_WITHOUT_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (SUBSUM_NO_TELEMETRY)"
+#else
+#define SKIP_WITHOUT_TELEMETRY() (void)0
+#endif
+
 // --- Counter / Gauge --------------------------------------------------------
 
 TEST(Metrics, CounterAndGaugeBasics) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   Counter* c = reg.counter("subsum_things_total");
   c->inc();
@@ -42,6 +53,7 @@ TEST(Metrics, HandlesAreStable) {
 }
 
 TEST(Metrics, CounterIsThreadSafe) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   Counter* c = reg.counter("n");
   std::vector<std::thread> ts;
@@ -80,6 +92,7 @@ TEST(Histogram, BucketBoundIsInclusiveUpperEdge) {
 }
 
 TEST(Histogram, CountSumAndSnapshot) {
+  SKIP_WITHOUT_TELEMETRY();
   Histogram h;
   h.observe(0);
   h.observe(1);
@@ -97,6 +110,7 @@ TEST(Histogram, CountSumAndSnapshot) {
 }
 
 TEST(Histogram, QuantileReturnsBucketUpperBound) {
+  SKIP_WITHOUT_TELEMETRY();
   Histogram h;
   EXPECT_EQ(h.quantile(0.5), 0u);  // empty
   for (int i = 0; i < 90; ++i) h.observe(3);    // bucket 2, bound 3
@@ -108,6 +122,7 @@ TEST(Histogram, QuantileReturnsBucketUpperBound) {
 }
 
 TEST(Metrics, FGaugeStoresFractionsAndExposesAsGauge) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   FGauge* g = reg.fgauge("subsum_ratio");
   EXPECT_EQ(g->value(), 0.0);
@@ -127,6 +142,7 @@ TEST(Histogram, EmptyQuantileIsZeroAtEveryQ) {
 }
 
 TEST(Histogram, ResetReturnsToEmptyState) {
+  SKIP_WITHOUT_TELEMETRY();
   Histogram h;
   h.observe(100);
   h.observe(~uint64_t{0});
@@ -161,6 +177,7 @@ TEST(Labels, UnescapeInvertsEscape) {
 }
 
 TEST(Labels, RoundTripThroughExpositionAndParser) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   const std::string gnarly = "quote:\" slash:\\ newline:\n tail";
   reg.counter(labeled("subsum_rt_total", "path", gnarly))->inc(5);
@@ -197,6 +214,7 @@ TEST(Promtext, ParsesValuesLabelsAndSkipsCommentsAndGarbage) {
 // --- Prometheus exposition --------------------------------------------------
 
 TEST(Exposition, CountersGaugesAndTypeLines) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   reg.counter("subsum_publishes_total")->inc(3);
   reg.gauge("subsum_queue_depth")->set(-2);
@@ -208,6 +226,7 @@ TEST(Exposition, CountersGaugesAndTypeLines) {
 }
 
 TEST(Exposition, LabeledSeriesShareOneTypeLine) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   reg.counter("subsum_rpc_total{peer=\"0\"}")->inc(1);
   reg.counter("subsum_rpc_total{peer=\"1\"}")->inc(2);
@@ -225,6 +244,7 @@ TEST(Exposition, LabeledSeriesShareOneTypeLine) {
 }
 
 TEST(Exposition, HistogramExpandsToCumulativeBuckets) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   Histogram* h = reg.histogram("subsum_lat_us");
   h->observe(1);
@@ -251,6 +271,7 @@ TEST(Exposition, EmptyHistogramStillHasInfBucket) {
 }
 
 TEST(Exposition, LabeledHistogramKeepsLabelOnEverySeries) {
+  SKIP_WITHOUT_TELEMETRY();
   MetricsRegistry reg;
   reg.histogram("subsum_rpc_us{peer=\"3\"}")->observe(2);
   const std::string text = reg.prometheus_text();
@@ -258,6 +279,123 @@ TEST(Exposition, LabeledHistogramKeepsLabelOnEverySeries) {
   EXPECT_NE(text.find("subsum_rpc_us_bucket{peer=\"3\",le=\"3\"} 1\n"), std::string::npos);
   EXPECT_NE(text.find("subsum_rpc_us_sum{peer=\"3\"} 2\n"), std::string::npos);
   EXPECT_NE(text.find("subsum_rpc_us_count{peer=\"3\"} 1\n"), std::string::npos);
+}
+
+// --- Exemplars --------------------------------------------------------------
+
+TEST(Exemplar, ObserveExRetainsNewestTracePerBucket) {
+  SKIP_WITHOUT_TELEMETRY();
+  Histogram h;
+  h.enable_exemplars();
+  h.observe_ex(3, 0xAAAA);   // bucket 2
+  h.observe_ex(3, 0xBBBB);   // same bucket: newest wins
+  h.observe_ex(100, 0xCCCC); // bucket 7
+  h.observe_ex(5, 0);        // trace 0 = untraced: must not clobber
+  const auto b2 = h.exemplar(Histogram::bucket_of(3));
+  EXPECT_EQ(b2.trace, 0xBBBBu);
+  EXPECT_EQ(b2.value, 3u);
+  const auto b7 = h.exemplar(Histogram::bucket_of(100));
+  EXPECT_EQ(b7.trace, 0xCCCCu);
+  EXPECT_EQ(h.exemplar(40).trace, 0u);  // untouched bucket: none
+}
+
+TEST(Exemplar, DisabledHistogramReturnsNone) {
+  SKIP_WITHOUT_TELEMETRY();
+  Histogram h;
+  h.observe_ex(3, 0xAAAA);  // no enable_exemplars(): observation still counts
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.exemplar(Histogram::bucket_of(3)).trace, 0u);
+}
+
+TEST(Exemplar, ExposedOnBucketLinesAndParsedBack) {
+  SKIP_WITHOUT_TELEMETRY();
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram_ex("subsum_stage_latency_us{stage=\"match\"}");
+  h->observe_ex(100, 0x12abcdef);
+  const std::string text = reg.prometheus_text();
+  // The bucket line carries the OpenMetrics-style exemplar suffix.
+  EXPECT_NE(text.find("# {trace_id=\"0000000012abcdef\"} 100"), std::string::npos);
+  const auto samples = parse_prometheus_text(text);
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.name != "subsum_stage_latency_us_bucket" || s.exemplar_trace.empty()) continue;
+    found = true;
+    EXPECT_EQ(s.exemplar_trace, "0000000012abcdef");
+    EXPECT_EQ(s.exemplar_value, 100.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Exemplar, PlainObserveKeepsExpositionUnchanged) {
+  SKIP_WITHOUT_TELEMETRY();
+  // A 0.0.4-only consumer must see byte-identical output for histograms
+  // that never carried an exemplar.
+  MetricsRegistry reg;
+  reg.histogram("subsum_plain_us")->observe(2);
+  const std::string text = reg.prometheus_text();
+  EXPECT_EQ(text.find(" # {"), std::string::npos);
+  EXPECT_NE(text.find("subsum_plain_us_bucket{le=\"3\"} 1\n"), std::string::npos);
+}
+
+// --- Promtext edge cases ----------------------------------------------------
+
+TEST(Promtext, ToleratesCrlfLineEndings) {
+  const auto samples = parse_prometheus_text(
+      "# TYPE x counter\r\n"
+      "x 3\r\n"
+      "y{a=\"1\"} 4.5\r\n");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "x");
+  EXPECT_EQ(samples[0].value, 3.0);
+  ASSERT_NE(samples[1].label("a"), nullptr);
+  EXPECT_EQ(*samples[1].label("a"), "1");
+}
+
+TEST(Promtext, ParsesNanAndInfGaugeValues) {
+  const auto samples = parse_prometheus_text(
+      "a NaN\n"
+      "b +Inf\n"
+      "c -Inf\n");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_TRUE(std::isnan(samples[0].value));
+  EXPECT_TRUE(std::isinf(samples[1].value));
+  EXPECT_GT(samples[1].value, 0);
+  EXPECT_TRUE(std::isinf(samples[2].value));
+  EXPECT_LT(samples[2].value, 0);
+}
+
+TEST(Promtext, TruncatedExpositionNeverThrows) {
+  // Cut a real exposition at every byte offset: the parser must keep every
+  // intact line and never crash on the torn tail.
+  MetricsRegistry reg;
+  reg.counter(labeled("subsum_cut_total", "k", "va\"l"))->inc(3);
+  reg.histogram_ex("subsum_cut_us")->observe_ex(9, 0x1234);
+  const std::string text = reg.prometheus_text();
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    const auto samples = parse_prometheus_text(text.substr(0, cut));
+    for (const auto& s : samples) EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST(Promtext, MalformedLinesAreSkippedNotFatal) {
+  const auto samples = parse_prometheus_text(
+      "ok 1\n"
+      "{orphan=\"labels\"} 2\n"      // no metric name
+      "unterminated{a=\"b 3\n"        // unclosed label quote
+      "no_value{a=\"b\"}\n"           // missing value
+      "trailing{a=\"b\"} \n"          // empty value
+      "exemplar_no_value{le=\"1\"} 2 # {trace_id=\"ff\"}\n"  // dangling exemplar
+      "ok2 4\n");
+  // The well-formed lines survive; each malformed one is dropped.
+  ASSERT_GE(samples.size(), 3u);
+  EXPECT_EQ(samples.front().name, "ok");
+  EXPECT_EQ(samples.back().name, "ok2");
+  for (const auto& s : samples) {
+    if (s.name == "exemplar_no_value") {
+      // Value parses; the valueless exemplar is discarded, not fatal.
+      EXPECT_TRUE(s.exemplar_trace.empty());
+    }
+  }
 }
 
 // --- TraceRing --------------------------------------------------------------
@@ -272,6 +410,7 @@ Span make_span(uint64_t trace, uint64_t t) {
 }
 
 TEST(TraceRing, AppendAndSnapshotInOrder) {
+  SKIP_WITHOUT_TELEMETRY();
   TraceRing ring(8);
   for (uint64_t i = 0; i < 3; ++i) ring.append(make_span(7, i));
   const auto spans = ring.snapshot();
@@ -282,6 +421,7 @@ TEST(TraceRing, AppendAndSnapshotInOrder) {
 }
 
 TEST(TraceRing, OverwritesOldestWhenFull) {
+  SKIP_WITHOUT_TELEMETRY();
   TraceRing ring(4);
   for (uint64_t i = 0; i < 10; ++i) ring.append(make_span(7, i));
   const auto spans = ring.snapshot();
@@ -292,7 +432,23 @@ TEST(TraceRing, OverwritesOldestWhenFull) {
   EXPECT_EQ(ring.appended(), 10u);
 }
 
+TEST(TraceRing, CountsSilentOverwritesAsDrops) {
+  SKIP_WITHOUT_TELEMETRY();
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 3; ++i) ring.append(make_span(7, i));
+  EXPECT_EQ(ring.dropped(), 0u);  // still under capacity
+  EXPECT_EQ(ring.retained(), 3u);
+  for (uint64_t i = 3; i < 10; ++i) ring.append(make_span(7, i));
+  EXPECT_EQ(ring.dropped(), 6u);  // 10 appended, 4 retained
+  EXPECT_EQ(ring.retained(), 4u);
+  ring.clear();
+  // clear() is an operator action, not data loss: drops are cumulative.
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.retained(), 0u);
+}
+
 TEST(TraceRing, ForTraceFiltersAndClearEmpties) {
+  SKIP_WITHOUT_TELEMETRY();
   TraceRing ring(8);
   ring.append(make_span(1, 0));
   ring.append(make_span(2, 1));

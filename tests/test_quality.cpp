@@ -26,6 +26,13 @@
 namespace subsum {
 namespace {
 
+#ifdef SUBSUM_NO_TELEMETRY
+#define SKIP_WITHOUT_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (SUBSUM_NO_TELEMETRY)"
+#else
+#define SKIP_WITHOUT_TELEMETRY() (void)0
+#endif
+
 using model::SubId;
 using overlay::BrokerId;
 
@@ -69,6 +76,7 @@ TEST(SampleConfig, Shift0IsEverythingAndFractionRoughlyScales) {
 // --- QualityProbe counters --------------------------------------------------
 
 TEST(QualityProbe, CountersPrecisionAndClamp) {
+  SKIP_WITHOUT_TELEMETRY();
   obs::MetricsRegistry reg;
   const core::QualityProbe probe(reg, core::SampleConfig{0});
   EXPECT_EQ(probe.precision(), 1.0);  // before any sample
@@ -109,6 +117,7 @@ TEST(QualityProbe, NoTelemetryCompilesTheOracleBranchOut) {
 /// tight windows inside it — coarse AACS absorbs the windows into the wide
 /// row and over-approximates.
 TEST(QualityProbe, FpCounterMatchesCoarseAacsOracle) {
+  SKIP_WITHOUT_TELEMETRY();
   const auto schema = workload::stock_schema();
   const auto price = schema.id_of("price");
   core::BrokerSummary summary(schema, core::GeneralizePolicy::kSafe,
@@ -153,6 +162,7 @@ TEST(QualityProbe, FpCounterMatchesCoarseAacsOracle) {
 /// Reduced ablation-(c) workload: skewed string equalities/prefixes under
 /// kAggressive generalization — the summary trades rows for string FPs.
 TEST(QualityProbe, FpCounterMatchesAggressiveSacsOracle) {
+  SKIP_WITHOUT_TELEMETRY();
   const auto schema = workload::stock_schema();
   const auto symbol = schema.id_of("symbol");
   core::BrokerSummary summary(schema, core::GeneralizePolicy::kAggressive,
@@ -200,6 +210,7 @@ TEST(QualityProbe, FpCounterMatchesAggressiveSacsOracle) {
 // --- WalkMetrics ------------------------------------------------------------
 
 TEST(WalkMetrics, FoldAccumulatesRouteResults) {
+  SKIP_WITHOUT_TELEMETRY();
   obs::MetricsRegistry reg;
   const routing::WalkMetrics wm(reg);
   routing::RouteResult r;
@@ -232,6 +243,7 @@ core::BrokerSummary small_summary(const model::Schema& schema) {
 }
 
 TEST(QualityExports, ModelDriftGaugesAndRatio) {
+  SKIP_WITHOUT_TELEMETRY();
   const auto schema = workload::stock_schema();
   const auto summary = small_summary(schema);
   const core::WireConfig wire{model::SubIdCodec(24, 1000, schema.attr_count()), 4};
@@ -347,6 +359,7 @@ TEST(SimQuality, SampledSetIsDeterministicAcrossShardings) {
 }
 
 TEST(SimQuality, ExpositionCarriesWalkQualityAndPerBrokerSeries) {
+  SKIP_WITHOUT_TELEMETRY();
   sim::SimSystem sys(quality_cfg());
   subscribe_workload(sys);
   const auto events = quality_events(sys.schema(), 32);

@@ -18,6 +18,13 @@
 namespace subsum {
 namespace {
 
+#ifdef SUBSUM_NO_TELEMETRY
+#define SKIP_WITHOUT_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (SUBSUM_NO_TELEMETRY)"
+#else
+#define SKIP_WITHOUT_TELEMETRY() (void)0
+#endif
+
 using namespace std::chrono_literals;
 using model::EventBuilder;
 using model::Op;
@@ -50,6 +57,7 @@ std::string run_scenario() {
 }
 
 TEST(SimTrace, TwoRunsProduceByteIdenticalSpanLogs) {
+  SKIP_WITHOUT_TELEMETRY();
   const std::string a = run_scenario();
   const std::string b = run_scenario();
   EXPECT_FALSE(a.empty());
@@ -57,6 +65,7 @@ TEST(SimTrace, TwoRunsProduceByteIdenticalSpanLogs) {
 }
 
 TEST(SimTrace, WalkPhasesAppearInCausalOrder) {
+  SKIP_WITHOUT_TELEMETRY();
   sim::SimSystem sys(traced_config());
   const auto sub =
       SubscriptionBuilder(sys.schema()).where("symbol", Op::kEq, "OTE").build();
@@ -128,6 +137,7 @@ net::RpcPolicy tight_policy() {
 }
 
 TEST(ClusterTrace, PublishReturnsTraceAndSpansSpanBrokers) {
+  SKIP_WITHOUT_TELEMETRY();
   const Schema s = workload::stock_schema();
   net::Cluster cluster(s, overlay::line(3));
   auto c2 = cluster.connect(2);
@@ -169,6 +179,7 @@ TEST(ClusterTrace, PublishReturnsTraceAndSpansSpanBrokers) {
 }
 
 TEST(ClusterTrace, FetchAllAndMaxSpansCap) {
+  SKIP_WITHOUT_TELEMETRY();
   const Schema s = workload::stock_schema();
   net::Cluster cluster(s, overlay::Graph(1));
   auto client = cluster.connect(0);
@@ -187,6 +198,7 @@ TEST(ClusterTrace, FetchAllAndMaxSpansCap) {
 }
 
 TEST(ClusterTrace, BlackholedPeerGetsRetrySpansAndCounters) {
+  SKIP_WITHOUT_TELEMETRY();
   const Schema s = workload::stock_schema();
   net::Cluster cluster(s, overlay::line(2), core::GeneralizePolicy::kSafe,
                        tight_policy());
@@ -230,6 +242,7 @@ TEST(ClusterTrace, BlackholedPeerGetsRetrySpansAndCounters) {
 }
 
 TEST(ClusterTrace, StatsRpcReturnsPrometheusText) {
+  SKIP_WITHOUT_TELEMETRY();
   const Schema s = workload::stock_schema();
   net::Cluster cluster(s, overlay::Graph(1));
   auto client = cluster.connect(0);

@@ -1,0 +1,118 @@
+// subsum_blackbox — read flight-recorder dumps and print one merged,
+// human-readable incident timeline across brokers.
+//
+//   subsum_blackbox dump1.bin [dump2.bin ...]        # read dump files
+//                   [--ports P0,P1,...]              # pull live dumps (kDump RPC)
+//                   [--out-dir DIR]                  # save pulled dumps as
+//                                                    #   DIR/broker-<id>.flight.bin
+//
+// Files and live pulls can be mixed; every decodable dump contributes its
+// records to the single timeline (obs::format_timeline), sorted by
+// wall-anchored time so lines from different brokers interleave in causal
+// order. A torn dump (crash mid-write) is read up to its last intact
+// record and flagged; an unreadable file (bad magic/header) is reported
+// and skipped. Exit code: 0 when at least one dump was read, 1 when none
+// was, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/schema.h"
+#include "net/client.h"
+#include "obs/flight_recorder.h"
+#include "tool_args.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: subsum_blackbox [FILE ...] [--ports P0,P1,...] [--out-dir DIR]\n";
+
+using namespace subsum;
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const auto* p = reinterpret_cast<const std::byte*>(raw.data());
+  return {p, p + raw.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  const std::vector<uint16_t> ports = args.flag_ports("ports");
+  const auto out_dir = args.flag("out-dir");
+  if (args.positional().empty() && ports.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::vector<obs::FrDump> dumps;
+
+  for (const std::string& path : args.positional()) {
+    const auto bytes = read_file(path);
+    if (bytes.empty()) {
+      std::fprintf(stderr, "subsum_blackbox: cannot read %s\n", path.c_str());
+      continue;
+    }
+    auto dump = obs::decode_dump(bytes);
+    if (!dump) {
+      std::fprintf(stderr, "subsum_blackbox: %s: not a flight-recorder dump\n",
+                   path.c_str());
+      continue;
+    }
+    if (dump->truncated) {
+      std::fprintf(stderr,
+                   "subsum_blackbox: %s: torn tail, read %zu intact records\n",
+                   path.c_str(), dump->records.size());
+    }
+    dumps.push_back(std::move(*dump));
+  }
+
+  if (!ports.empty()) {
+    // kDump is schema-free, like kStats: an empty schema works anywhere.
+    const model::Schema no_schema;
+    net::ClientOptions copts;
+    copts.connect_timeout = std::chrono::milliseconds(500);
+    copts.rpc_timeout = std::chrono::milliseconds(5000);
+    copts.auto_reconnect = false;
+    for (uint16_t port : ports) {
+      try {
+        net::Client c(port, no_schema, copts);
+        const auto bytes = c.flight_dump();
+        auto dump = obs::decode_dump(bytes);
+        if (!dump) {
+          std::fprintf(stderr, "subsum_blackbox: port %u: bad dump reply\n", port);
+          continue;
+        }
+        if (out_dir) {
+          const std::string path =
+              *out_dir + "/broker-" + std::to_string(dump->broker) + ".flight.bin";
+          std::ofstream out(path, std::ios::binary | std::ios::trunc);
+          out.write(reinterpret_cast<const char*>(bytes.data()),
+                    static_cast<std::streamsize>(bytes.size()));
+          if (!out) std::fprintf(stderr, "subsum_blackbox: cannot write %s\n", path.c_str());
+        }
+        dumps.push_back(std::move(*dump));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "subsum_blackbox: port %u: %s\n", port, e.what());
+      }
+    }
+  }
+
+  if (dumps.empty()) {
+    std::fprintf(stderr, "subsum_blackbox: no readable dumps\n");
+    return 1;
+  }
+  for (const auto& d : dumps) {
+    std::printf("# broker %u: %zu records (%llu appended)%s\n", d.broker,
+                d.records.size(), static_cast<unsigned long long>(d.appended),
+                d.truncated ? " [truncated]" : "");
+  }
+  std::fputs(obs::format_timeline(dumps).c_str(), stdout);
+  return 0;
+}

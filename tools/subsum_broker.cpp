@@ -44,7 +44,15 @@ constexpr char kUsage[] =
     "  [--conn-sndbuf-bytes N]    SO_SNDBUF clamp on accepted connections\n"
     "  [--memory-budget-bytes N]  global budget driving the shed ladder\n"
     "  [--breaker-open-after N]   terminal failures opening a peer breaker\n"
-    "  [--breaker-cooldown-ms N]  breaker cooldown before a half-open probe\n";
+    "  [--breaker-cooldown-ms N]  breaker cooldown before a half-open probe\n"
+    "observability (obs/):\n"
+    "  [--log-level LVL]          structured JSONL logging: debug|info|warn|error\n"
+    "                             (default off — the broker stays silent)\n"
+    "  [--log-file FILE]          log sink (append; default stderr)\n"
+    "  [--log-rate N]             max log lines/sec before rate limiting (default 200)\n"
+    "  [--flight-capacity N]      flight-recorder ring size (default 1024)\n"
+    "  [--flight-dump FILE]       dump path for stop/fatal-signal/kDump\n"
+    "                             (default <data-dir>/flight.bin when durable)\n";
 
 /// Governor knobs, each defaulting to the GovernorConfig default.
 subsum::net::GovernorConfig governor_from_args(const subsum::tools::Args& args) {
@@ -105,10 +113,31 @@ int main(int argc, char** argv) {
   cfg.rpc = rpc;
   if (auto dir = args.flag("data-dir")) cfg.data_dir = *dir;
   cfg.governor = governor_from_args(args);
+  cfg.flight_capacity = args.flag_u64("flight-capacity", cfg.flight_capacity);
+  if (auto path = args.flag("flight-dump")) cfg.flight_dump_path = *path;
+  std::FILE* log_file = nullptr;
+  if (auto lvl = args.flag("log-level")) cfg.log_level = obs::parse_log_level(*lvl);
+  if (auto path = args.flag("log-file")) {
+    log_file = std::fopen(path->c_str(), "a");
+    if (!log_file) {
+      std::cerr << "cannot open log file " << *path << "\n";
+      return 2;
+    }
+    cfg.log_sink = log_file;  // outlives the node: closed at process exit
+  }
+  cfg.log_max_lines_per_sec = args.flag_u64("log-rate", cfg.log_max_lines_per_sec);
 
   try {
     net::BrokerNode node(std::move(cfg));
     node.set_peer_ports(peers);
+    // Crash black box: on SIGSEGV/SIGABRT/... the handler appends a
+    // fatal-signal record and dumps the ring before re-raising, so a
+    // post-mortem reads the transitions that preceded death.
+    static std::string fatal_path;  // must outlive the handler
+    fatal_path = node.flight_dump_path();
+    if (!fatal_path.empty()) {
+      obs::install_fatal_dump(&node.flight_recorder(), fatal_path.c_str());
+    }
     std::cout << "broker " << id << " (degree " << spec.graph.degree(id)
               << ") listening on 127.0.0.1:" << node.port();
     if (node.epoch() > 0) {

@@ -5,6 +5,13 @@
 //              [--iterations N]                      # stop after N ticks (0 = forever)
 //              [--jsonl FILE]                        # append one JSON line per tick
 //              [--top K]                             # hot-broker list depth (default 3)
+//              [--once]                              # single health probe (see below)
+//
+// --once scrapes each broker exactly once, prints one plain line per broker
+// (no TTY table, no ANSI), and exits nonzero when any broker is down or the
+// control-plane-shed alarm fires (subsum_shed_total{class="control"} > 0 —
+// "control traffic is never shed" is a hard invariant). Built for CI health
+// gates and cron probes.
 //
 // Every tick scrapes each broker's Prometheus exposition (the kStats RPC,
 // via net::Client so reconnect/backoff come for free — it works through
@@ -44,7 +51,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_top --ports P0,P1,... [--interval-ms N] [--iterations N]\n"
-    "                  [--jsonl FILE] [--top K]\n";
+    "                  [--jsonl FILE] [--top K] [--once]\n";
 
 using namespace subsum;
 
@@ -87,6 +94,10 @@ struct BrokerRow {
   double control_sheds = 0;  // must stay 0
   double slow_disconnects = 0;
   double rejected_publishes = 0;
+  // Trace-ring overflow: spans silently overwritten (oldest-first) since
+  // start. A climbing value means the ring is undersized for the publish
+  // rate and trace chains are losing their tails.
+  double trace_drops = 0;
   // Frozen matching core: shard balance from subsum_match_shard_visits_total
   // (see core/frozen_index.h). imbalance = hottest shard / mean shard, 1.0
   // meaning perfectly even counter-sweep load; 0 shards = index not engaged.
@@ -137,6 +148,7 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
   r.queue_bytes = find_value(samples, "subsum_outbound_usage_bytes");
   r.slow_disconnects = find_value(samples, "subsum_slow_consumer_disconnects_total");
   r.rejected_publishes = find_value(samples, "subsum_governor_rejected_publishes_total");
+  r.trace_drops = find_value(samples, "subsum_trace_spans_dropped_total");
   double hottest = 0;
   for (const auto& s : samples) {
     if (s.name == "subsum_shed_total") {
@@ -158,22 +170,22 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
 
 void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   std::printf("subsum_top  tick %zu\n", tick);
-  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s %-4s %-8s %-6s %-6s\n",
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s %-4s %-8s %-6s %-6s %-6s\n",
               "port", "up", "version", "epoch", "subs", "leases", "expird", "publishes",
               "visits", "fwd", "deliver", "reselect", "fp_ids", "precision", "drift",
               "shards", "sh_imb", "dsend", "fsend", "sync", "rung", "qbytes", "shed",
-              "slowdc");
+              "slowdc", "trdrop");
   for (const auto& r : rows) {
     if (!r.up) {
       std::printf("%-6u %-5s %s\n", r.port, "down", "-");
       continue;
     }
-    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f %-4.0f %-8.0f %-6.0f %-6.0f\n",
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f %-4.0f %-8.0f %-6.0f %-6.0f %-6.0f\n",
                 r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.active_leases,
                 r.lease_expired, r.publishes, r.walk_visits, r.walk_forward, r.walk_deliver,
                 r.walk_reselects, r.fp_ids, r.precision, r.drift, r.shard_count,
                 r.shard_imbalance, r.delta_sends, r.full_sends, r.sync_pulls, r.health_rung,
-                r.queue_bytes, r.sheds, r.slow_disconnects);
+                r.queue_bytes, r.sheds, r.slow_disconnects, r.trace_drops);
   }
 
   std::vector<const BrokerRow*> live;
@@ -274,6 +286,7 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
          << ",\"control_sheds\":" << r.control_sheds
          << ",\"slow_disconnects\":" << r.slow_disconnects
          << ",\"rejected_publishes\":" << r.rejected_publishes
+         << ",\"trace_spans_dropped\":" << r.trace_drops
          << ",\"match_shards\":" << r.shard_count
          << ",\"shard_visits\":" << r.shard_visits
          << ",\"shard_imbalance\":" << r.shard_imbalance;
@@ -287,14 +300,15 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
 }  // namespace
 
 int main(int argc, char** argv) {
-  const tools::Args args(argc, argv);
+  const tools::Args args(argc, argv, {"once"});
   const std::vector<uint16_t> ports = args.flag_ports("ports");
   if (ports.empty()) {
     std::cerr << kUsage;
     return 2;
   }
+  const bool once = args.flag_bool("once");
   const auto interval = std::chrono::milliseconds(args.flag_u64("interval-ms", 2000));
-  const uint64_t iterations = args.flag_u64("iterations", 0);
+  const uint64_t iterations = once ? 1 : args.flag_u64("iterations", 0);
   const size_t top_k = args.flag_u64("top", 3);
   const auto jsonl_path = args.flag("jsonl");
 
@@ -314,8 +328,9 @@ int main(int argc, char** argv) {
   copts.rpc_timeout = std::chrono::milliseconds(5000);
   std::vector<std::unique_ptr<net::Client>> clients(ports.size());
 
-  const bool ansi = isatty(STDOUT_FILENO) != 0 && iterations != 1;
+  const bool ansi = isatty(STDOUT_FILENO) != 0 && iterations != 1 && !once;
   size_t last_live = 0;
+  bool control_shed_alarm = false;
   for (uint64_t tick = 1; iterations == 0 || tick <= iterations; ++tick) {
     std::vector<BrokerRow> rows;
     rows.reserve(ports.size());
@@ -332,6 +347,27 @@ int main(int argc, char** argv) {
     }
     last_live = static_cast<size_t>(
         std::count_if(rows.begin(), rows.end(), [](const BrokerRow& r) { return r.up; }));
+    control_shed_alarm = std::any_of(rows.begin(), rows.end(), [](const BrokerRow& r) {
+      return r.control_sheds > 0;
+    });
+
+    if (once) {
+      // Health-gate mode: one plain line per broker, machine-grepable.
+      for (const auto& r : rows) {
+        if (!r.up) {
+          std::printf("broker port=%u down\n", r.port);
+          continue;
+        }
+        std::printf(
+            "broker port=%u up rung=%.0f sheds=%.0f control_sheds=%.0f "
+            "slow_disconnects=%.0f trace_drops=%.0f\n",
+            r.port, r.health_rung, r.sheds, r.control_sheds, r.slow_disconnects,
+            r.trace_drops);
+      }
+      if (control_shed_alarm) std::printf("ALARM: control-plane shed (invariant violated)\n");
+      if (jsonl_path) append_jsonl(jsonl, rows, tick);
+      break;
+    }
 
     if (ansi) std::printf("\x1b[H\x1b[2J");
     render(rows, top_k, tick);
@@ -339,5 +375,6 @@ int main(int argc, char** argv) {
 
     if (iterations == 0 || tick < iterations) std::this_thread::sleep_for(interval);
   }
+  if (once) return (last_live < ports.size() || control_shed_alarm) ? 1 : 0;
   return last_live == 0 ? 1 : 0;
 }

@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,19 +16,31 @@ namespace subsum::tools {
 
 class Args {
  public:
-  Args(int argc, char** argv) {
+  /// `bool_flags` names flags that take no value (e.g. --once): their
+  /// presence stores "1" without consuming the next argv entry.
+  Args(int argc, char** argv, std::initializer_list<const char*> bool_flags = {}) {
+    const std::set<std::string> bools(bool_flags.begin(), bool_flags.end());
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (bools.contains(key)) {
+          flags_[key] = "1";
+          continue;
+        }
         if (i + 1 >= argc) {
           std::cerr << "missing value for " << a << "\n";
           std::exit(2);
         }
-        flags_[a.substr(2)] = argv[++i];
+        flags_[key] = argv[++i];
       } else {
         positional_.push_back(a);
       }
     }
+  }
+
+  [[nodiscard]] bool flag_bool(const std::string& key) const {
+    return flags_.contains(key);
   }
 
   [[nodiscard]] std::optional<std::string> flag(const std::string& key) const {
