@@ -303,6 +303,28 @@ size_t FrozenIndex::count_tiled(MatchScratch& s) const {
   return unique;
 }
 
+size_t FrozenIndex::memory_bytes() const noexcept {
+  size_t total = sizeof(FrozenIndex);
+  total += slot_ids_.capacity() * sizeof(model::SubId);
+  total += arena_.capacity() * sizeof(uint32_t);
+  total += rows_.capacity() * sizeof(RowRef);
+  total += shard_entries_.capacity() * sizeof(uint64_t);
+  if (visits_) total += size_t{shard_count_} * sizeof(std::atomic<uint64_t>);
+  for (const auto& a : arith_) {
+    total += a.hi.capacity() * sizeof(Pos) + a.lo.capacity() * sizeof(Pos) +
+             a.rows.capacity() * sizeof(RowRef);
+  }
+  for (const auto& sa : strings_) {
+    // Hash-map overhead is approximated as one bucket pointer plus the
+    // node per element; operand strings count their heap storage.
+    for (const auto& [operand, row] : sa.eq) {
+      total += sizeof(void*) * 2 + sizeof(StringRow) + operand.capacity();
+    }
+    total += sa.pats.capacity() * sizeof(sa.pats[0]);
+  }
+  return total;
+}
+
 void FrozenIndex::match_into(const model::Event& event, MatchScratch& s,
                              MatchDiag* diag) const {
   const size_t collected = collect(event, s);

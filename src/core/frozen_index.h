@@ -101,6 +101,11 @@ class FrozenIndex {
   void match_into(const model::Event& event, MatchScratch& scratch, MatchDiag* diag) const;
 
   // -- introspection / observability ------------------------------------
+  /// Estimated resident bytes of the frozen arrays (slot table, entry
+  /// arena, row refs, string maps, visit counters). Feeds the
+  /// kIndexArenas line of the memory-attribution registry
+  /// (obs/memacct.h); an estimate, not an allocator audit.
+  [[nodiscard]] size_t memory_bytes() const noexcept;
   [[nodiscard]] size_t slot_count() const noexcept { return slot_ids_.size(); }
   [[nodiscard]] size_t entry_count() const noexcept { return arena_.size(); }
   [[nodiscard]] uint32_t shard_shift() const noexcept { return shard_shift_; }

@@ -1,7 +1,11 @@
 #include "net/broker_node.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
+
+#include "core/frozen_index.h"
 
 #ifndef SUBSUM_VERSION_STRING
 #define SUBSUM_VERSION_STRING "dev"
@@ -67,6 +71,34 @@ BrokerNode::BrokerNode(BrokerConfig cfg)
   }
   governor_ = std::make_unique<Governor>(cfg_.governor, cfg_.graph.size(), metrics_);
   ctr_slow_disconnect_ = metrics_.counter("subsum_slow_consumer_disconnects_total");
+  // Resource attribution + profiling handles. The constructing thread is
+  // usually the process main / controller thread — register it as such.
+  memacct_.bind_metrics(metrics_);
+  procgauges_.bind_metrics(metrics_);
+  for (size_t i = 0; i < obs::kThreadRoleCount; ++i) {
+    const auto role = to_string(static_cast<obs::ThreadRole>(i));
+    ctr_cpu_samples_[i] =
+        metrics_.counter(obs::labeled("subsum_cpu_samples_total", "thread_role", role));
+    gauge_duty_[i] =
+        metrics_.fgauge(obs::labeled("subsum_thread_duty_cycle", "thread_role", role));
+  }
+  last_duty_scrape_ = started_at_;
+  obs::Profiler::register_thread(obs::ThreadRole::kMain);
+  obs::Profiler::instance().set_ring_capacity(cfg_.profile_ring_capacity);
+  // Continuous profiling: an explicit config rate wins; otherwise the
+  // SUBSUM_PROFILE_HZ environment arms every broker in the process (how
+  // the chaos CI jobs get folded-stack artifacts without touching each
+  // scenario). Folded stacks land next to flight.bin at stop().
+  uint32_t profile_hz = cfg_.profile_hz;
+  if (profile_hz == 0) {
+    if (const char* env = std::getenv("SUBSUM_PROFILE_HZ")) {
+      const long v = std::atol(env);
+      if (v > 0) profile_hz = static_cast<uint32_t>(v);
+    }
+  }
+  if (profile_hz > 0) {
+    profiler_started_ = obs::Profiler::instance().start(profile_hz);
+  }
   log_.configure(cfg_.log_level, cfg_.log_sink, cfg_.id, cfg_.log_max_lines_per_sec);
   governor_->set_observer(&flight_, &log_);
   // Incarnation identity for fleet collectors: constant-1 build_info with
@@ -165,6 +197,22 @@ void BrokerNode::stop() {
   for (auto& t : handlers) {
     if (t.joinable()) t.join();
   }
+  // The profiler is process-wide; only the node that armed it disarms it
+  // (captured samples stay drainable for post-stop inspection) and dumps
+  // the folded stacks beside the flight recorder's black box.
+  if (profiler_started_) {
+    auto& prof = obs::Profiler::instance();
+    prof.stop();
+    if (!cfg_.data_dir.empty()) {
+      const std::string folded = prof.folded();
+      if (!folded.empty()) {
+        if (std::FILE* f = std::fopen((cfg_.data_dir + "/profile.folded").c_str(), "w")) {
+          std::fwrite(folded.data(), 1, folded.size(), f);
+          std::fclose(f);
+        }
+      }
+    }
+  }
   // Black-box persistence: the shutdown record itself lands in the dump,
   // so a post-mortem can tell clean stops from kills (no file at all) and
   // crashes (kFatalSignal via install_fatal_dump).
@@ -209,6 +257,7 @@ std::vector<std::byte> BrokerNode::own_summary_wire() const {
 }
 
 void BrokerNode::accept_loop() {
+  obs::Profiler::register_thread(obs::ThreadRole::kAccept);
   while (!stopping_) {
     auto sock = listener_.accept();
     if (!sock) break;
@@ -220,6 +269,7 @@ void BrokerNode::accept_loop() {
 }
 
 void BrokerNode::handle_connection(Socket sock) {
+  obs::Profiler::register_thread(obs::ThreadRole::kConn);
   // Bounds EVERY outbound write on this connection (acks included): a
   // consumer that stalls a single write past the deadline is cut off,
   // because a mid-frame timeout leaves the stream unframeable anyway.
@@ -301,6 +351,9 @@ void BrokerNode::handle_connection(Socket sock) {
         case MsgKind::kDump:
           on_dump(sock, *conn, *frame);
           break;
+        case MsgKind::kProfile:
+          on_profile(sock, *conn, *frame);
+          break;
         default:
           send_frame(sock, MsgKind::kError, {});
           break;
@@ -381,6 +434,7 @@ void BrokerNode::enqueue_notify(const std::shared_ptr<ClientConn>& conn,
 }
 
 void BrokerNode::writer_loop(std::shared_ptr<ClientConn> conn) {
+  obs::Profiler::register_thread(obs::ThreadRole::kWriter);
   for (;;) {
     QueuedFrame qf;
     {
@@ -475,8 +529,11 @@ void BrokerNode::on_subscribe(Socket& s, const std::shared_ptr<ClientConn>& conn
         // that the subscription survives kill -9.
         store_->log_subscribe(home_.subs().back());
         if (lease > 0) store_->log_lease(id, lease);
-        store_->commit();
-        maybe_compact_locked();
+        {
+          obs::Profiler::ScopedRole fsync_role(obs::ThreadRole::kFsync);
+          store_->commit();
+          maybe_compact_locked();
+        }
       }
     }
   }
@@ -533,8 +590,11 @@ void BrokerNode::on_unsubscribe(Socket& s, ClientConn& conn, const Frame& f) {
     pending_removals_.push_back(id);
     if (store_) {
       store_->log_unsubscribe(id);
-      store_->commit();
-      maybe_compact_locked();
+      {
+        obs::Profiler::ScopedRole fsync_role(obs::ThreadRole::kFsync);
+        store_->commit();
+        maybe_compact_locked();
+      }
     }
   }
   std::lock_guard wl(conn.write_mu);
@@ -804,8 +864,11 @@ void BrokerNode::on_lease_renew(Socket& s, ClientConn& conn, const Frame& f) {
       if (store_) store_->log_lease(id, it->second.ttl);
     }
     if (store_ && renewed > 0) {
-      store_->commit();
-      maybe_compact_locked();
+      {
+        obs::Profiler::ScopedRole fsync_role(obs::ThreadRole::kFsync);
+        store_->commit();
+        maybe_compact_locked();
+      }
     }
   }
   ctr_lease_renewals_->inc(renewed);
@@ -849,8 +912,11 @@ void BrokerNode::begin_period() {
     if (store_) store_->log_unsubscribe(id);
   }
   if (store_ && !expired.empty()) {
-    store_->commit();
-    maybe_compact_locked();
+    {
+      obs::Profiler::ScopedRole fsync_role(obs::ThreadRole::kFsync);
+      store_->commit();
+      maybe_compact_locked();
+    }
   }
   // 2. Summary (shadow) leases: a peer that stopped announcing takes its
   // mirrored rows with it at the next rebuild.
@@ -994,6 +1060,9 @@ void BrokerNode::on_trigger(Socket& s, ClientConn& conn, const Frame& f) {
   if (msg.iteration == 1) {
     begin_period();
     flush_pending_deliveries();
+    // Period boundaries re-measure attribution even without a scraper, so
+    // the ladder reacts to summary/index growth within one period.
+    refresh_memory_accounting();
   }
   auto send = prepare_summary_send(msg.iteration);
   if (send) {
@@ -1104,6 +1173,63 @@ void BrokerNode::on_deliver(Socket& s, ClientConn& conn, const Frame& f) {
   send_frame(s, MsgKind::kDeliverAck, {});
 }
 
+namespace {
+/// Estimated resident bytes of one mirrored summary image (rows, id
+/// vectors, pattern operands). An estimate, not an allocator audit.
+uint64_t image_bytes(const core::SummaryImage& im) noexcept {
+  uint64_t b = sizeof(im);
+  for (const auto& rows : im.arith) {
+    b += rows.capacity() * sizeof(core::SummaryImage::ArithRow);
+    for (const auto& r : rows) b += r.ids.capacity() * sizeof(model::SubId);
+  }
+  for (const auto& rows : im.strings) {
+    b += rows.capacity() * sizeof(core::SummaryImage::StringRow);
+    for (const auto& r : rows) {
+      b += r.ids.capacity() * sizeof(model::SubId) + r.pattern.operand.capacity();
+    }
+  }
+  return b;
+}
+}  // namespace
+
+void BrokerNode::refresh_memory_accounting() {
+  using obs::MemComponent;
+  uint64_t index_b = 0, held_b = 0, shadow_b = 0, wal_b = 0, snap_b = 0;
+  uint64_t redeliver_b = 0;
+  {
+    std::lock_guard lk(mu_);
+    held_b = core::wire_size(held_, wire_);
+    if (const auto idx = held_.frozen_if_built()) index_b = idx->memory_bytes();
+    for (const auto& [b, sh] : shadows_) shadow_b += image_bytes(sh.image);
+    // The last_sent_ delta bases are full images this broker retains too.
+    for (const auto& [b, ls] : last_sent_) shadow_b += image_bytes(ls.image);
+    if (store_) {
+      wal_b = store_->wal_bytes();
+      snap_b = store_->last_snapshot_bytes();
+    }
+    for (const auto& pd : pending_deliveries_) redeliver_b += pd.payload.size();
+  }
+  memacct_.set(MemComponent::kIndexArenas, index_b);
+  memacct_.set(MemComponent::kHeldSummary, held_b);
+  memacct_.set(MemComponent::kShadowSummaries, shadow_b);
+  memacct_.set(MemComponent::kWalBuffers, wal_b);
+  memacct_.set(MemComponent::kSnapshotBuffers, snap_b);
+  memacct_.set(MemComponent::kRedeliveryQueue, redeliver_b);
+  memacct_.set(MemComponent::kOutboundQueues, governor_->usage());
+  memacct_.set(MemComponent::kTraceRing,
+               cfg_.trace_capacity * sizeof(obs::Span));
+  memacct_.set(MemComponent::kFlightRing,
+               flight_.capacity() * sizeof(obs::FrRecord));
+  // Exemplar retention: the stage histograms plus the match histogram each
+  // keep one small slot per bucket (estimated at 32 bytes/slot).
+  memacct_.set(MemComponent::kExemplarSlots,
+               (obs::kStageCount + 1) * (obs::Histogram::kBuckets + 1) * 32);
+  memacct_.set(MemComponent::kProfilerRing, obs::Profiler::instance().ring_bytes());
+  // Feed the degradation ladder everything its own outbound/redelivery
+  // accounting does not already stream in (double-count free).
+  governor_->set_external_bytes(memacct_.governor_external_bytes());
+}
+
 void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
   // Refresh the level gauges from a consistent snapshot, then serve the
   // whole registry as Prometheus text (v3; the v2 varint triple is gone —
@@ -1137,6 +1263,36 @@ void BrokerNode::on_stats(Socket& s, ClientConn& conn, const Frame&) {
     core::export_row_occupancy(metrics_, held_);
     core::export_shard_metrics(metrics_, held_);
   }
+  refresh_memory_accounting();
+  procgauges_.refresh();
+  {
+    // Profiler mirrors: cumulative per-role sample counters, and duty
+    // cycle as each role's CPU-seconds delta over the wall-clock delta
+    // since the previous scrape (busy cores per role).
+    auto& prof = obs::Profiler::instance();
+    metrics_.gauge("subsum_profiler_running")->set(prof.running() ? 1 : 0);
+    metrics_.gauge("subsum_profiler_samples")
+        ->set(static_cast<int64_t>(prof.samples_total()));
+    metrics_.gauge("subsum_profiler_dropped_samples")
+        ->set(static_cast<int64_t>(prof.dropped_total()));
+    double cpu[obs::kThreadRoleCount];
+    prof.cpu_seconds(cpu);
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard sk(scrape_mu_);
+    const double wall = std::chrono::duration<double>(now - last_duty_scrape_).count();
+    for (size_t i = 0; i < obs::kThreadRoleCount; ++i) {
+      const uint64_t n = prof.samples_for(static_cast<obs::ThreadRole>(i));
+      if (n > last_cpu_samples_[i]) ctr_cpu_samples_[i]->inc(n - last_cpu_samples_[i]);
+      last_cpu_samples_[i] = n;
+      // Sub-50ms re-scrapes keep the previous reading: a duty cycle from a
+      // near-zero wall delta is all noise.
+      if (wall > 0.05) {
+        gauge_duty_[i]->set((cpu[i] - last_cpu_sec_[i]) / wall);
+        last_cpu_sec_[i] = cpu[i];
+      }
+    }
+    if (wall > 0.05) last_duty_scrape_ = now;
+  }
   const std::string text = metrics_.prometheus_text();
   std::lock_guard wl(conn.write_mu);
   send_frame(s, MsgKind::kStatsAck,
@@ -1169,7 +1325,41 @@ void BrokerNode::on_dump(Socket& s, ClientConn& conn, const Frame&) {
   send_frame(s, MsgKind::kDumpAck, bytes);
 }
 
+void BrokerNode::on_profile(Socket& s, ClientConn& conn, const Frame& f) {
+  // Control plane, like kStats/kDump: never shed. The sampler is
+  // process-wide, so on an in-process cluster any node's kProfile drives
+  // the same instance; under -DSUBSUM_NO_TELEMETRY every action reports a
+  // stopped profiler with empty folded stacks (wire format intact).
+  const auto req = decode_profile_request(f.payload);
+  auto& prof = obs::Profiler::instance();
+  ProfileReplyMsg reply;
+  switch (req.action) {
+    case ProfileRequestMsg::kStart:
+      prof.start(req.hz ? req.hz : obs::kDefaultProfileHz);
+      break;
+    case ProfileRequestMsg::kStop:
+      prof.stop();
+      break;
+    case ProfileRequestMsg::kFetch:
+      reply.folded = prof.folded();
+      break;
+    case ProfileRequestMsg::kStatus:
+    default:
+      break;
+  }
+  reply.running = prof.running() ? 1 : 0;
+  reply.hz = prof.running() ? prof.hz() : 0;
+  reply.samples = prof.samples_total();
+  reply.dropped = prof.dropped_total();
+  const auto payload = encode(reply);
+  std::lock_guard wl(conn.write_mu);
+  send_frame(s, MsgKind::kProfileAck, payload);
+}
+
 void BrokerNode::walk_step(EventMsg msg, size_t frame_bytes) {
+  // Samples taken while this conn thread executes the walk attribute to
+  // the walk role — the "is matching/forwarding the bottleneck" signal.
+  obs::Profiler::ScopedRole walk_role(obs::ThreadRole::kWalk);
   const uint64_t trace = msg.trace;
   if (trace) {
     record_span({trace, cfg_.id, obs::Phase::kRecv, obs::Span::kNoPeer,

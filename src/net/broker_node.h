@@ -67,7 +67,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/latency.h"
 #include "obs/log.h"
+#include "obs/memacct.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "overlay/graph.h"
 #include "routing/event_router.h"
@@ -159,6 +161,16 @@ struct BrokerConfig {
   obs::LogLevel log_level = obs::LogLevel::kOff;
   std::FILE* log_sink = nullptr;  // null = stderr; must outlive the node
   uint64_t log_max_lines_per_sec = 200;
+  /// Arm the sampling CPU profiler (obs/profiler.h) at this rate from
+  /// startup; 0 = registered-but-idle (arm later via the kProfile RPC, or
+  /// fleet-wide via the SUBSUM_PROFILE_HZ environment — how the chaos CI
+  /// jobs collect folded-stack artifacts). The profiler is process-wide,
+  /// so in an in-process cluster the first node to start it wins; the node
+  /// that started it stops it and, when durable, dumps profile.folded
+  /// into its data_dir beside flight.bin.
+  uint32_t profile_hz = 0;
+  /// Sample-ring capacity handed to the profiler before arming.
+  size_t profile_ring_capacity = obs::Profiler::kDefaultRingCapacity;
 };
 
 class BrokerNode {
@@ -249,6 +261,16 @@ class BrokerNode {
   /// The overload governor: budget usage, shed counters, breaker states.
   [[nodiscard]] const Governor& governor() const noexcept { return *governor_; }
 
+  /// Recomputes per-component memory attribution (obs/memacct.h) from the
+  /// live owners — frozen index, held/shadow images, WAL/snapshot bytes,
+  /// queues, rings — and pushes the governor-external sum into the
+  /// degradation ladder. Called on every kStats scrape and at each period
+  /// boundary; tests call it directly for deterministic rung assertions.
+  void refresh_memory_accounting();
+
+  /// The component byte ledger (read-side for tests and subsum_top).
+  [[nodiscard]] const obs::MemAccount& mem_account() const noexcept { return memacct_; }
+
  private:
   /// One queued outbound data frame; the enqueue timestamp and trace id
   /// feed the outbound_queue / writer_flush stage histograms.
@@ -305,6 +327,7 @@ class BrokerNode {
   void on_stats(Socket& s, ClientConn& conn, const Frame& f);
   void on_trace(Socket& s, ClientConn& conn, const Frame& f);
   void on_dump(Socket& s, ClientConn& conn, const Frame& f);
+  void on_profile(Socket& s, ClientConn& conn, const Frame& f);
 
   /// One step of the BROCLI walk executed at this broker. Mutates the
   /// bitmap in `msg`, performs deliveries and the onward forward (both
@@ -487,6 +510,19 @@ class BrokerNode {
   // compiled out; the registry handles above only mirror its decisions.
   std::unique_ptr<Governor> governor_;
   obs::Counter* ctr_slow_disconnect_ = nullptr;  // subsum_slow_consumer_disconnects_total
+
+  // Continuous profiling & resource attribution (obs/profiler.h,
+  // obs/memacct.h). The byte ledger exists in both builds (it feeds
+  // governor policy); only the gauge mirrors compile out.
+  obs::MemAccount memacct_;
+  obs::ProcessGauges procgauges_;
+  bool profiler_started_ = false;  // this node armed the process profiler
+  std::mutex scrape_mu_;           // guards the per-scrape delta state below
+  obs::Counter* ctr_cpu_samples_[obs::kThreadRoleCount] = {};  // subsum_cpu_samples_total{thread_role}
+  obs::FGauge* gauge_duty_[obs::kThreadRoleCount] = {};  // subsum_thread_duty_cycle{thread_role}
+  uint64_t last_cpu_samples_[obs::kThreadRoleCount] = {};
+  double last_cpu_sec_[obs::kThreadRoleCount] = {};
+  std::chrono::steady_clock::time_point last_duty_scrape_{};
 };
 
 }  // namespace subsum::net

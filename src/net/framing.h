@@ -44,6 +44,8 @@ enum class MsgKind : uint8_t {
   kTraceAck = 37,
   kDump = 38,    // empty request; ack carries a flight-recorder dump
   kDumpAck = 39,  //   (obs/flight_recorder.h file format, verbatim)
+  kProfile = 40,  // ProfileRequestMsg: start/stop/fetch the CPU profiler
+  kProfileAck = 41,  //   ack carries ProfileReplyMsg (folded stacks)
   kError = 63,
 };
 

@@ -108,6 +108,9 @@ Governor::Governor(GovernorConfig cfg, size_t peers, obs::MetricsRegistry& m)
   }
   gauge_rung_ = m.gauge("subsum_health_rung");
   gauge_usage_ = m.gauge("subsum_outbound_usage_bytes");
+  gauge_ladder_ = m.gauge("subsum_governor_memory_bytes");
+  gauge_budget_ = m.gauge("subsum_memory_budget_bytes");
+  gauge_budget_->set(static_cast<int64_t>(cfg_.memory_budget_bytes));
   for (size_t c = 0; c < 6; ++c) {
     ctr_shed_[c] = m.counter(obs::labeled("subsum_shed_total", "class", kShedClassNames[c]));
   }
@@ -138,7 +141,10 @@ uint64_t Governor::steady_now_us() noexcept {
 
 int Governor::rung() const noexcept {
   if (cfg_.memory_budget_bytes == 0) return 0;
-  const auto used = usage_bytes_.load(std::memory_order_relaxed);
+  // Queue bytes (the add_usage/sub_usage stream) PLUS the injected
+  // per-component accounting: the ladder reacts to the broker's measured
+  // memory, not just what it has queued for slow consumers.
+  const auto used = ladder_bytes();
   // Integer thresholds of usage/budget: 50% / 65% / 80% / 95%.
   const uint64_t pct = used * 100 / cfg_.memory_budget_bytes;
   if (pct >= 95) return 4;
@@ -182,12 +188,20 @@ void Governor::add_usage(size_t bytes) noexcept {
          !peak_bytes_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
   gauge_usage_->set(static_cast<int64_t>(now));
+  gauge_ladder_->set(static_cast<int64_t>(ladder_bytes()));
   refresh_rung_gauge();
 }
 
 void Governor::sub_usage(size_t bytes) noexcept {
   const uint64_t now = usage_bytes_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
   gauge_usage_->set(static_cast<int64_t>(now));
+  gauge_ladder_->set(static_cast<int64_t>(ladder_bytes()));
+  refresh_rung_gauge();
+}
+
+void Governor::set_external_bytes(uint64_t bytes) noexcept {
+  external_bytes_.store(bytes, std::memory_order_relaxed);
+  gauge_ladder_->set(static_cast<int64_t>(ladder_bytes()));
   refresh_rung_gauge();
 }
 
@@ -204,7 +218,7 @@ void Governor::refresh_rung_gauge() noexcept {
   int prev = last_rung_.load(std::memory_order_relaxed);
   if (r != prev &&
       last_rung_.compare_exchange_strong(prev, r, std::memory_order_relaxed)) {
-    const auto used = usage_bytes_.load(std::memory_order_relaxed);
+    const auto used = ladder_bytes();
     if (flight_ != nullptr) {
       flight_->record(obs::FrKind::kRungChange, static_cast<uint32_t>(prev),
                       static_cast<uint32_t>(r), used);

@@ -183,6 +183,21 @@ class Governor {
   [[nodiscard]] size_t usage() const noexcept {
     return usage_bytes_.load(std::memory_order_relaxed);
   }
+  /// Injects the summed per-component memory accounting (obs/memacct.h)
+  /// for everything the add_usage/sub_usage stream does NOT cover —
+  /// frozen-index arenas, summary images, WAL/snapshot buffers, telemetry
+  /// rings. The ladder degrades on usage() + external, i.e. on measured
+  /// broker memory, not outbound-queue bytes alone. Deterministic for
+  /// tests: nothing is read from the OS — callers push readings.
+  void set_external_bytes(uint64_t bytes) noexcept;
+  [[nodiscard]] uint64_t external_bytes() const noexcept {
+    return external_bytes_.load(std::memory_order_relaxed);
+  }
+  /// The degradation ladder's input: usage() + external_bytes().
+  [[nodiscard]] uint64_t ladder_bytes() const noexcept {
+    return usage_bytes_.load(std::memory_order_relaxed) +
+           external_bytes_.load(std::memory_order_relaxed);
+  }
   /// High-water mark of usage() since construction.
   [[nodiscard]] size_t peak_usage() const noexcept {
     return peak_bytes_.load(std::memory_order_relaxed);
@@ -257,6 +272,7 @@ class Governor {
   std::atomic<int> last_rung_{0};
   std::unique_ptr<std::atomic<uint8_t>[]> last_breaker_;  // per-peer state
   std::atomic<uint64_t> usage_bytes_{0};
+  std::atomic<uint64_t> external_bytes_{0};  // memacct components, pushed
   std::atomic<uint64_t> peak_bytes_{0};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> fastfails_{0};
@@ -267,6 +283,8 @@ class Governor {
   // policy).
   obs::Gauge* gauge_rung_ = nullptr;            // subsum_health_rung
   obs::Gauge* gauge_usage_ = nullptr;           // subsum_outbound_usage_bytes
+  obs::Gauge* gauge_ladder_ = nullptr;          // subsum_governor_memory_bytes
+  obs::Gauge* gauge_budget_ = nullptr;          // subsum_memory_budget_bytes
   obs::Counter* ctr_shed_[6] = {};              // subsum_shed_total{class=...}
   obs::Counter* ctr_rejected_publish_ = nullptr;
   obs::Counter* ctr_rejected_subscribe_ = nullptr;

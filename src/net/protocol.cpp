@@ -367,6 +367,42 @@ TraceRequestMsg decode_trace_request(std::span<const std::byte> b) {
   return m;
 }
 
+std::vector<std::byte> encode(const ProfileRequestMsg& m) {
+  util::BufWriter w;
+  w.put_u8(m.action);
+  w.put_u32(m.hz);
+  return std::move(w).take();
+}
+
+ProfileRequestMsg decode_profile_request(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  ProfileRequestMsg m;
+  m.action = r.get_u8();
+  m.hz = r.get_u32();
+  return m;
+}
+
+std::vector<std::byte> encode(const ProfileReplyMsg& m) {
+  util::BufWriter w(32 + m.folded.size());
+  w.put_u8(m.running);
+  w.put_u32(m.hz);
+  w.put_u64(m.samples);
+  w.put_u64(m.dropped);
+  w.put_string(m.folded);
+  return std::move(w).take();
+}
+
+ProfileReplyMsg decode_profile_reply(std::span<const std::byte> b) {
+  util::BufReader r(b);
+  ProfileReplyMsg m;
+  m.running = r.get_u8();
+  m.hz = r.get_u32();
+  m.samples = r.get_u64();
+  m.dropped = r.get_u64();
+  m.folded = r.get_string();
+  return m;
+}
+
 std::vector<std::byte> encode(const TraceReplyMsg& m) {
   util::BufWriter w;
   w.put_varint(m.spans.size());

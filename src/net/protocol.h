@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "model/event.h"
@@ -128,6 +129,29 @@ struct DeliverMsg {
   uint64_t trace = 0;  // trailing v3 field; 0 from v2 peers
 };
 
+/// Admin RPC: drive the sampling CPU profiler (obs/profiler.h). Added
+/// without a version bump, like kDump: pre-profiler brokers answer
+/// kError, and NO_TELEMETRY brokers answer a stopped profiler with empty
+/// folded stacks — both of which clients must tolerate.
+struct ProfileRequestMsg {
+  enum Action : uint8_t {
+    kStatus = 0,  // report state only
+    kStart = 1,   // arm sampling at `hz` (0 = the broker's default, 97)
+    kStop = 2,    // disarm sampling; captured samples stay fetchable
+    kFetch = 3,   // drain + symbolize: the reply carries folded stacks
+  };
+  uint8_t action = kStatus;
+  uint32_t hz = 0;
+};
+
+struct ProfileReplyMsg {
+  uint8_t running = 0;
+  uint32_t hz = 0;          // active rate; 0 when stopped
+  uint64_t samples = 0;     // captured since process start
+  uint64_t dropped = 0;     // lost to ring overwrite before a drain
+  std::string folded;       // collapsed stacks (kFetch only; else empty)
+};
+
 /// Admin RPC: fetch recent spans from a broker's trace ring.
 struct TraceRequestMsg {
   uint64_t trace = 0;      // 0 = all retained spans
@@ -192,6 +216,12 @@ AttachAckMsg decode_attach_ack(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const TraceRequestMsg& m);
 TraceRequestMsg decode_trace_request(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const ProfileRequestMsg& m);
+ProfileRequestMsg decode_profile_request(std::span<const std::byte> b);
+
+std::vector<std::byte> encode(const ProfileReplyMsg& m);
+ProfileReplyMsg decode_profile_reply(std::span<const std::byte> b);
 
 std::vector<std::byte> encode(const TraceReplyMsg& m);
 TraceReplyMsg decode_trace_reply(std::span<const std::byte> b);

@@ -1,0 +1,166 @@
+#include "obs/memacct.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace subsum::obs {
+
+std::string_view to_string(MemComponent c) noexcept {
+  switch (c) {
+    case MemComponent::kIndexArenas:
+      return "index_arenas";
+    case MemComponent::kHeldSummary:
+      return "held_summary";
+    case MemComponent::kShadowSummaries:
+      return "shadow_summaries";
+    case MemComponent::kWalBuffers:
+      return "wal_buffers";
+    case MemComponent::kSnapshotBuffers:
+      return "snapshot_buffers";
+    case MemComponent::kOutboundQueues:
+      return "outbound_queues";
+    case MemComponent::kRedeliveryQueue:
+      return "redelivery_queue";
+    case MemComponent::kTraceRing:
+      return "trace_ring";
+    case MemComponent::kFlightRing:
+      return "flight_ring";
+    case MemComponent::kExemplarSlots:
+      return "exemplar_slots";
+    case MemComponent::kProfilerRing:
+      return "profiler_ring";
+  }
+  return "unknown";
+}
+
+void MemAccount::bind_metrics(MetricsRegistry& m) {
+  for (size_t i = 0; i < kMemComponentCount; ++i) {
+    const auto c = static_cast<MemComponent>(i);
+    gauges_[i] = m.gauge(labeled("subsum_mem_bytes", "component", to_string(c)));
+    gauges_[i]->set(static_cast<int64_t>(bytes_[i].load(std::memory_order_relaxed)));
+  }
+}
+
+void MemAccount::set(MemComponent c, uint64_t bytes) noexcept {
+  const auto i = static_cast<size_t>(c);
+  bytes_[i].store(bytes, std::memory_order_relaxed);
+  if (gauges_[i] != nullptr) gauges_[i]->set(static_cast<int64_t>(bytes));
+}
+
+void MemAccount::add(MemComponent c, int64_t delta) noexcept {
+  const auto i = static_cast<size_t>(c);
+  const uint64_t now =
+      bytes_[i].fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed) +
+      static_cast<uint64_t>(delta);
+  if (gauges_[i] != nullptr) gauges_[i]->set(static_cast<int64_t>(now));
+}
+
+uint64_t MemAccount::get(MemComponent c) const noexcept {
+  return bytes_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+}
+
+uint64_t MemAccount::total() const noexcept {
+  uint64_t sum = 0;
+  for (const auto& b : bytes_) sum += b.load(std::memory_order_relaxed);
+  return sum;
+}
+
+uint64_t MemAccount::governor_external_bytes() const noexcept {
+  // Growth components only. The queues are excluded because the governor
+  // already streams them through add_usage/sub_usage (counting them here
+  // would double-bill), and the fixed-capacity rings + exemplar slots are
+  // excluded because they are config-sized baseline allocations: charging
+  // them would put small-budget deployments permanently on the ladder at
+  // idle, turning a degradation signal into a constant tax.
+  return get(MemComponent::kIndexArenas) + get(MemComponent::kHeldSummary) +
+         get(MemComponent::kShadowSummaries) + get(MemComponent::kWalBuffers) +
+         get(MemComponent::kSnapshotBuffers);
+}
+
+ProcessStats read_process_stats() noexcept {
+  ProcessStats ps;
+#if defined(__linux__)
+  const long page = sysconf(_SC_PAGESIZE);
+  const long ticks = sysconf(_SC_CLK_TCK);
+  if (page <= 0 || ticks <= 0) return ps;
+
+  // /proc/self/statm: "size resident shared ..." in pages.
+  {
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr) return ps;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2) return ps;
+    ps.rss_bytes = static_cast<uint64_t>(resident) * static_cast<uint64_t>(page);
+  }
+
+  // /proc/self/stat: field 2 is "(comm)" and may contain spaces, so parse
+  // from the LAST ')'. utime/stime are fields 14/15, num_threads field 20
+  // (1-based), i.e. 12/13/18 counting from the field after "(comm) S".
+  {
+    std::FILE* f = std::fopen("/proc/self/stat", "r");
+    if (f == nullptr) return ps;
+    char buf[1024];
+    const size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    const char* p = std::strrchr(buf, ')');
+    if (p == nullptr) return ps;
+    ++p;  // now at " S ppid ..."
+    unsigned long long utime = 0, stime = 0;
+    long long num_threads = 0;
+    // After ')': state(1) ppid(2) pgrp(3) session(4) tty(5) tpgid(6)
+    // flags(7) minflt(8) cminflt(9) majflt(10) cmajflt(11) utime(12)
+    // stime(13) cutime(14) cstime(15) priority(16) nice(17) threads(18).
+    const int got = std::sscanf(
+        p, " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu %*d %*d %*d %*d %lld",
+        &utime, &stime, &num_threads);
+    if (got != 3) return ps;
+    ps.utime_sec = static_cast<double>(utime) / static_cast<double>(ticks);
+    ps.stime_sec = static_cast<double>(stime) / static_cast<double>(ticks);
+    ps.threads = num_threads > 0 ? static_cast<uint64_t>(num_threads) : 0;
+  }
+
+  // /proc/self/fd: one entry per open descriptor (minus . and ..).
+  {
+    DIR* d = opendir("/proc/self/fd");
+    if (d == nullptr) return ps;
+    uint64_t count = 0;
+    while (const dirent* e = readdir(d)) {
+      if (e->d_name[0] != '.') ++count;
+    }
+    closedir(d);
+    ps.open_fds = count > 0 ? count - 1 : 0;  // exclude the opendir fd itself
+  }
+
+  ps.ok = true;
+#endif
+  return ps;
+}
+
+void ProcessGauges::bind_metrics(MetricsRegistry& m) {
+  rss_ = m.gauge("subsum_process_rss_bytes");
+  cpu_user_ = m.fgauge(labeled("subsum_process_cpu_seconds_total", "mode", "user"));
+  cpu_sys_ = m.fgauge(labeled("subsum_process_cpu_seconds_total", "mode", "sys"));
+  fds_ = m.gauge("subsum_process_open_fds");
+  threads_ = m.gauge("subsum_process_threads");
+}
+
+void ProcessGauges::refresh() noexcept {
+  if (rss_ == nullptr) return;
+  const ProcessStats ps = read_process_stats();
+  if (!ps.ok) return;
+  rss_->set(static_cast<int64_t>(ps.rss_bytes));
+  cpu_user_->set(ps.utime_sec);
+  cpu_sys_->set(ps.stime_sec);
+  fds_->set(static_cast<int64_t>(ps.open_fds));
+  threads_->set(static_cast<int64_t>(ps.threads));
+}
+
+}  // namespace subsum::obs

@@ -1,0 +1,509 @@
+#include "obs/profiler.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace subsum::obs {
+
+std::string_view to_string(ThreadRole r) noexcept {
+  switch (r) {
+    case ThreadRole::kMain:
+      return "main";
+    case ThreadRole::kAccept:
+      return "accept";
+    case ThreadRole::kConn:
+      return "conn";
+    case ThreadRole::kWriter:
+      return "writer";
+    case ThreadRole::kWalk:
+      return "walk";
+    case ThreadRole::kFsync:
+      return "fsync";
+    case ThreadRole::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+std::vector<std::pair<std::string, uint64_t>> parse_folded(std::string_view text) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp == 0 || sp + 1 >= line.size()) continue;
+    uint64_t count = 0;
+    const auto* first = line.data() + sp + 1;
+    const auto [p, ec] = std::from_chars(first, line.data() + line.size(), count);
+    if (ec != std::errc{} || p != line.data() + line.size()) continue;
+    out.emplace_back(std::string(line.substr(0, sp)), count);
+  }
+  return out;
+}
+
+}  // namespace subsum::obs
+
+#ifndef SUBSUM_NO_TELEMETRY
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+// Linux extensions for tid-directed timer signals; defined defensively for
+// libcs that hide them.
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+
+namespace subsum::obs {
+
+namespace {
+
+constexpr size_t kMaxThreads = 512;
+
+/// One registered thread. A slot is live while tid != 0; it is claimed and
+/// released under g_mu, so the readers that iterate slots (arm/disarm,
+/// cpu_seconds) always see live pthread handles.
+struct ThreadRec {
+  std::atomic<pid_t> tid{0};
+  std::atomic<uint8_t> base_role{static_cast<uint8_t>(ThreadRole::kOther)};
+  pthread_t pthread{};
+  uintptr_t stack_lo = 0;  // 0/0 = unknown: leaf-only capture
+  uintptr_t stack_hi = 0;
+  bool timer_armed = false;  // guarded by g_mu
+  timer_t timer{};
+};
+
+/// One captured sample, packed for the seqlock protocol: all fields are
+/// relaxed atomics so a reader racing the handler is well-defined; the seq
+/// validation around the reads discards torn values.
+struct SampleSlot {
+  std::atomic<uint64_t> seq{0};  // 2*ticket+1 while writing, 2*ticket+2 done
+  std::atomic<uint8_t> role{0};
+  std::atomic<uint8_t> nframes{0};
+  std::atomic<uintptr_t> pc[Profiler::kMaxFrames] = {};
+};
+
+std::mutex g_mu;  // registry + lifecycle + drain; NEVER taken by the handler
+ThreadRec g_threads[kMaxThreads];
+std::atomic<bool> g_running{false};
+std::atomic<uint32_t> g_hz{0};
+std::unique_ptr<SampleSlot[]> g_ring;  // allocated before g_running flips on
+size_t g_capacity = Profiler::kDefaultRingCapacity;  // guarded by g_mu pre-start
+size_t g_requested_capacity = Profiler::kDefaultRingCapacity;
+std::atomic<uint64_t> g_appended{0};
+uint64_t g_drained = 0;  // reader cursor; guarded by g_mu
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<uint64_t> g_role_samples[kThreadRoleCount] = {};
+double g_retired_cpu_sec[kThreadRoleCount] = {};  // guarded by g_mu
+bool g_handler_installed = false;                 // guarded by g_mu
+
+thread_local ThreadRec* t_rec = nullptr;
+thread_local uint8_t t_role = static_cast<uint8_t>(ThreadRole::kOther);
+
+pid_t sys_gettid() noexcept { return static_cast<pid_t>(::syscall(SYS_gettid)); }
+
+double thread_cpu_seconds(pthread_t th) noexcept {
+  clockid_t clk;
+  if (pthread_getcpuclockid(th, &clk) != 0) return 0.0;
+  timespec ts{};
+  if (clock_gettime(clk, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Walks the frame-pointer chain from the interrupted context. Async-
+/// signal-safe: bounded, stack-range-checked loads only. Uninstrumented
+/// (no_sanitize) because the chain legitimately reads saved-rbp/ret slots
+/// that the sanitizers did not see stored through this pointer.
+#if defined(__clang__) || defined(__GNUC__)
+__attribute__((no_sanitize("address", "thread", "undefined")))
+#endif
+unsigned
+capture_backtrace(void* uctx, uintptr_t lo, uintptr_t hi,
+                  uintptr_t pcs[Profiler::kMaxFrames]) noexcept {
+  uintptr_t pc = 0;
+  uintptr_t fp = 0;
+#if defined(__linux__) && defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(uctx);
+  pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__linux__) && defined(__aarch64__)
+  const auto* uc = static_cast<const ucontext_t*>(uctx);
+  pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uctx;
+  pc = reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  fp = reinterpret_cast<uintptr_t>(__builtin_frame_address(0));
+#endif
+  unsigned n = 0;
+  if (pc != 0) pcs[n++] = pc;
+  // Frame layout (x86-64 and aarch64 alike with frame pointers): [fp] =
+  // caller's fp, [fp + word] = return address. The chain must stay inside
+  // the thread's stack and move strictly upward, which bounds the loop and
+  // keeps every load inside mapped memory.
+  constexpr uintptr_t kWord = sizeof(uintptr_t);
+  while (n < Profiler::kMaxFrames && fp >= lo && fp + 2 * kWord <= hi &&
+         (fp & (kWord - 1)) == 0) {
+    const uintptr_t next = *reinterpret_cast<const uintptr_t*>(fp);
+    const uintptr_t ret = *reinterpret_cast<const uintptr_t*>(fp + kWord);
+    if (ret < 0x1000) break;
+    pcs[n++] = ret;
+    if (next <= fp) break;
+    fp = next;
+  }
+  return n;
+}
+
+void append_sample(uint8_t role, const uintptr_t* pcs, unsigned n) noexcept {
+  SampleSlot* ring = g_ring.get();
+  const size_t cap = g_capacity;
+  if (ring == nullptr || cap == 0) return;
+  const uint64_t ticket = g_appended.fetch_add(1, std::memory_order_relaxed);
+  SampleSlot& s = ring[ticket % cap];
+  s.seq.store(2 * ticket + 1, std::memory_order_release);
+  s.role.store(role, std::memory_order_relaxed);
+  s.nframes.store(static_cast<uint8_t>(n), std::memory_order_relaxed);
+  for (unsigned i = 0; i < n; ++i) s.pc[i].store(pcs[i], std::memory_order_relaxed);
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+  if (role < kThreadRoleCount) {
+    g_role_samples[role].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+extern "C" void subsum_sigprof_handler(int, siginfo_t*, void* uctx) {
+  const int saved_errno = errno;
+  // Acquire pairs with the release store of g_running in start(): a
+  // handler that observes running also observes the ring allocation.
+  if (t_rec != nullptr && g_running.load(std::memory_order_acquire)) {
+    uintptr_t pcs[Profiler::kMaxFrames];
+    const unsigned n = capture_backtrace(uctx, t_rec->stack_lo, t_rec->stack_hi, pcs);
+    if (n > 0) append_sample(t_role, pcs, n);
+  }
+  errno = saved_errno;
+}
+
+/// Arms a per-thread CPU-clock timer for `rec`. Caller holds g_mu and
+/// g_hz is set. Failure (exotic kernels, clock refusal) leaves the thread
+/// unsampled — never fatal.
+void arm_timer_locked(ThreadRec& rec) noexcept {
+  if (rec.timer_armed) return;
+  clockid_t clk;
+  if (pthread_getcpuclockid(rec.pthread, &clk) != 0) return;
+  struct sigevent sev;
+  std::memset(&sev, 0, sizeof sev);
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+#if defined(sigev_notify_thread_id)
+  sev.sigev_notify_thread_id = rec.tid.load(std::memory_order_relaxed);
+#else
+  sev._sigev_un._tid = rec.tid.load(std::memory_order_relaxed);
+#endif
+  timer_t t;
+  if (timer_create(clk, &sev, &t) != 0) return;
+  const uint32_t hz = g_hz.load(std::memory_order_relaxed);
+  const long ns = 1'000'000'000L / static_cast<long>(hz);
+  itimerspec its{};
+  its.it_interval.tv_sec = ns / 1'000'000'000L;
+  its.it_interval.tv_nsec = ns % 1'000'000'000L;
+  its.it_value = its.it_interval;
+  if (timer_settime(t, 0, &its, nullptr) != 0) {
+    timer_delete(t);
+    return;
+  }
+  rec.timer = t;
+  rec.timer_armed = true;
+}
+
+void disarm_timer_locked(ThreadRec& rec) noexcept {
+  if (!rec.timer_armed) return;
+  timer_delete(rec.timer);
+  rec.timer_armed = false;
+}
+
+void stack_bounds(uintptr_t* lo, uintptr_t* hi) noexcept {
+  *lo = 0;
+  *hi = 0;
+#if defined(__linux__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* base = nullptr;
+  size_t size = 0;
+  if (pthread_attr_getstack(&attr, &base, &size) == 0 && base != nullptr && size > 0) {
+    *lo = reinterpret_cast<uintptr_t>(base);
+    *hi = *lo + size;
+  }
+  pthread_attr_destroy(&attr);
+#endif
+}
+
+/// Thread-exit hook: retires the thread's CPU total into its role's
+/// accumulator and frees the slot (and timer) under g_mu.
+struct ThreadGuard {
+  bool registered = false;
+  ~ThreadGuard() {
+    if (!registered || t_rec == nullptr) return;
+    std::lock_guard lk(g_mu);
+    disarm_timer_locked(*t_rec);
+    const double cpu = thread_cpu_seconds(t_rec->pthread);
+    const uint8_t role = t_rec->base_role.load(std::memory_order_relaxed);
+    if (role < kThreadRoleCount) g_retired_cpu_sec[role] += cpu;
+    t_rec->tid.store(0, std::memory_order_relaxed);
+    t_rec = nullptr;
+  }
+};
+thread_local ThreadGuard t_guard;
+
+// --- symbolization (off the signal path, under g_mu) -------------------------
+
+std::unordered_map<uintptr_t, std::string>& sym_cache() {
+  static std::unordered_map<uintptr_t, std::string> cache;
+  return cache;
+}
+
+/// Folded-frame sanitization: flamegraph semantics reserve ';' (frame
+/// separator) and the final ' ' (count separator).
+std::string sanitize_frame(std::string s) {
+  // Function name only: template/parameter noise bloats folded keys.
+  if (const size_t paren = s.find('('); paren != std::string::npos) s.resize(paren);
+  for (char& c : s) {
+    if (c == ';' || std::isspace(static_cast<unsigned char>(c)) != 0) c = '_';
+  }
+  if (s.empty()) s = "?";
+  return s;
+}
+
+std::string symbolize(uintptr_t pc, bool return_address) {
+  // Return addresses point AFTER the call; back up one byte so the lookup
+  // lands inside the calling function, not a successor.
+  const uintptr_t addr = return_address && pc > 0 ? pc - 1 : pc;
+  auto& cache = sym_cache();
+  if (const auto it = cache.find(addr); it != cache.end()) return it->second;
+
+  std::string name;
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(addr), &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = 0;
+      char* dem = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      name = sanitize_frame(status == 0 && dem != nullptr ? dem : info.dli_sname);
+      std::free(dem);
+    } else if (info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      char buf[256];
+      std::snprintf(buf, sizeof buf, "%s+0x%zx", base != nullptr ? base + 1 : info.dli_fname,
+                    static_cast<size_t>(addr - reinterpret_cast<uintptr_t>(info.dli_fbase)));
+      name = sanitize_frame(buf);
+    }
+  }
+  if (name.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%zx", static_cast<size_t>(addr));
+    name = buf;
+  }
+  cache.emplace(addr, name);
+  return name;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() noexcept {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::register_thread(ThreadRole role) noexcept {
+  t_role = static_cast<uint8_t>(role);
+  if (t_rec != nullptr) {  // idempotent: just update the roles
+    t_rec->base_role.store(t_role, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard lk(g_mu);
+  for (auto& rec : g_threads) {
+    pid_t expected = 0;
+    if (!rec.tid.compare_exchange_strong(expected, sys_gettid(),
+                                         std::memory_order_relaxed)) {
+      continue;
+    }
+    rec.base_role.store(t_role, std::memory_order_relaxed);
+    rec.pthread = pthread_self();
+    stack_bounds(&rec.stack_lo, &rec.stack_hi);
+    rec.timer_armed = false;
+    t_rec = &rec;
+    t_guard.registered = true;
+    if (g_running.load(std::memory_order_relaxed)) arm_timer_locked(rec);
+    return;
+  }
+  // Registry full: the thread runs unprofiled (t_rec stays null).
+}
+
+Profiler::ScopedRole::ScopedRole(ThreadRole r) noexcept : prev_(t_role) {
+  t_role = static_cast<uint8_t>(r);
+}
+
+Profiler::ScopedRole::~ScopedRole() { t_role = prev_; }
+
+bool Profiler::start(uint32_t hz) noexcept {
+  if (hz == 0) return false;
+  std::lock_guard lk(g_mu);
+  if (g_running.load(std::memory_order_relaxed)) return false;
+  if (g_ring == nullptr || g_capacity != g_requested_capacity) {
+    // Retire (never free) a replaced ring: a straggler SIGPROF delivered
+    // between the previous stop() and this start() may still hold the old
+    // pointer. Rings are resized rarely; the leak is bounded and deliberate.
+    static std::vector<std::unique_ptr<SampleSlot[]>> graveyard;
+    if (g_ring != nullptr) graveyard.push_back(std::move(g_ring));
+    g_capacity = g_requested_capacity;
+    g_ring = std::make_unique<SampleSlot[]>(g_capacity);
+    g_appended.store(0, std::memory_order_relaxed);
+    g_drained = 0;
+  }
+  if (!g_handler_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_sigaction = subsum_sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) return false;
+    g_handler_installed = true;
+  }
+  g_hz.store(hz, std::memory_order_relaxed);
+  g_running.store(true, std::memory_order_release);
+  for (auto& rec : g_threads) {
+    if (rec.tid.load(std::memory_order_relaxed) != 0) arm_timer_locked(rec);
+  }
+  return true;
+}
+
+void Profiler::stop() noexcept {
+  std::lock_guard lk(g_mu);
+  if (!g_running.load(std::memory_order_relaxed)) return;
+  g_running.store(false, std::memory_order_release);
+  for (auto& rec : g_threads) {
+    if (rec.tid.load(std::memory_order_relaxed) != 0) disarm_timer_locked(rec);
+  }
+  // The handler stays installed (it checks g_running); a straggler timer
+  // signal in flight lands on a no-op.
+}
+
+bool Profiler::running() const noexcept { return g_running.load(std::memory_order_relaxed); }
+
+uint32_t Profiler::hz() const noexcept {
+  return running() ? g_hz.load(std::memory_order_relaxed) : 0;
+}
+
+void Profiler::set_ring_capacity(size_t samples) noexcept {
+  if (samples == 0) return;
+  std::lock_guard lk(g_mu);
+  g_requested_capacity = samples;
+}
+
+uint64_t Profiler::samples_total() const noexcept {
+  return g_appended.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::samples_for(ThreadRole r) const noexcept {
+  return g_role_samples[static_cast<size_t>(r)].load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::dropped_total() const noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::ring_bytes() const noexcept {
+  std::lock_guard lk(g_mu);
+  return g_ring != nullptr ? g_capacity * sizeof(SampleSlot) : 0;
+}
+
+uint64_t Profiler::thread_count() const noexcept {
+  uint64_t n = 0;
+  for (const auto& rec : g_threads) {
+    if (rec.tid.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+void Profiler::cpu_seconds(double* out) const noexcept {
+  std::lock_guard lk(g_mu);
+  for (size_t i = 0; i < kThreadRoleCount; ++i) out[i] = g_retired_cpu_sec[i];
+  // A live thread's CPU lands on the role it registered with; ScopedRole
+  // excursions (walk, fsync on conn threads) are attributed by the SAMPLE
+  // mix instead — duty cycle answers "which threads are busy", the
+  // flamegraph answers "doing what".
+  for (const auto& rec : g_threads) {
+    if (rec.tid.load(std::memory_order_relaxed) == 0) continue;
+    const uint8_t role = rec.base_role.load(std::memory_order_relaxed);
+    if (role < kThreadRoleCount) out[role] += thread_cpu_seconds(rec.pthread);
+  }
+}
+
+std::string Profiler::folded() {
+  std::lock_guard lk(g_mu);
+  if (g_ring == nullptr) return {};
+  const uint64_t appended = g_appended.load(std::memory_order_acquire);
+  uint64_t begin = g_drained;
+  const uint64_t low = appended > g_capacity ? appended - g_capacity : 0;
+  if (begin < low) {
+    // The writer lapped the reader: those samples are gone.
+    g_dropped.fetch_add(low - begin, std::memory_order_relaxed);
+    begin = low;
+  }
+  std::map<std::string, uint64_t> agg;
+  std::string key;
+  for (uint64_t t = begin; t < appended; ++t) {
+    SampleSlot& s = g_ring[t % g_capacity];
+    if (s.seq.load(std::memory_order_acquire) != 2 * t + 2) {
+      // Torn or already overwritten by a racing writer.
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const uint8_t role = s.role.load(std::memory_order_relaxed);
+    unsigned n = s.nframes.load(std::memory_order_relaxed);
+    if (n > kMaxFrames) n = kMaxFrames;
+    uintptr_t pcs[kMaxFrames];
+    for (unsigned i = 0; i < n; ++i) pcs[i] = s.pc[i].load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != 2 * t + 2) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    key.assign(to_string(static_cast<ThreadRole>(
+        role < kThreadRoleCount ? role : static_cast<uint8_t>(ThreadRole::kOther))));
+    // pcs[0] is the leaf; folded stacks list root-first.
+    for (unsigned i = n; i-- > 0;) {
+      key += ';';
+      key += symbolize(pcs[i], /*return_address=*/i != 0);
+    }
+    ++agg[key];
+  }
+  g_drained = appended;
+  std::string out;
+  for (const auto& [stack, count] : agg) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace subsum::obs
+
+#endif  // SUBSUM_NO_TELEMETRY

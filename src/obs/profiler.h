@@ -1,0 +1,193 @@
+// Always-available sampling CPU profiler: answers "where does this broker
+// burn CPU, right now, in production" without restarting it.
+//
+// Mechanism: every registered thread gets a POSIX per-thread CPU-time
+// timer (timer_create on its pthread CPU clock, SIGEV_THREAD_ID) firing
+// SIGPROF at a configurable Hz OF THAT THREAD'S CPU TIME — an idle thread
+// is never interrupted, so sample counts are proportional to actual CPU
+// burn per thread, exactly the attribution the flamegraph needs. The
+// handler captures a frame-pointer backtrace (bounded, stack-range
+// checked, no libc calls) into a wait-free sample ring reusing the
+// flight-recorder per-slot seqlock pattern: one relaxed fetch_add claims
+// a ticket, seq = 2t+1 while writing / 2t+2 done, and a racing reader
+// discards torn slots instead of blocking the handler.
+//
+// Everything expensive is lazy and off the signal path: symbolization
+// (dladdr + demangle, cached) and aggregation happen in folded(), which
+// drains the ring into collapsed/folded stacks —
+//
+//     role;outer_frame;...;leaf_frame count\n
+//
+// — the format flamegraph.pl / speedscope consume directly. The leading
+// frame is the thread's ROLE (accept|conn|writer|walk|fsync|main), set by
+// register_thread()/ScopedRole at the thread's entry point, so samples
+// attribute to broker subsystems even where symbols are unavailable.
+//
+// Duty cycle: cpu_seconds() reads every registered thread's CPU clock
+// (plus totals retired at thread exit), per role. Deltas over wall time
+// give each role's busy fraction in cores — the "is the walk thread the
+// bottleneck" gauge.
+//
+// Process-wide by necessity (signal handlers are), hence the singleton.
+// Registration is cheap and always available ("armed"); sampling costs
+// nothing until start(). Under -DSUBSUM_NO_TELEMETRY the whole mechanism
+// compiles out: every call is an inert inline no-op, start() refuses, and
+// the kProfile RPC reports a stopped profiler — wire format intact, sim
+// runs byte-identical. The simulator never arms it (virtual time has no
+// CPU clock worth sampling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace subsum::obs {
+
+/// Broker thread roles, the folded stacks' root frames and the
+/// subsum_cpu_samples_total / duty-cycle label set.
+enum class ThreadRole : uint8_t {
+  kMain = 0,   // the process / controller loop
+  kAccept,     // the listener's accept loop
+  kConn,       // per-connection frame handlers
+  kWriter,     // per-connection outbound-queue writers
+  kWalk,       // BROCLI walk execution (scoped, on conn threads)
+  kFsync,      // WAL group-commit fsyncs (scoped, on conn threads)
+  kOther,      // registered without a role
+};
+inline constexpr size_t kThreadRoleCount = 7;
+
+/// Default sampling rate (kProfile kStart with hz == 0, and the
+/// `--profile-hz` flag's bare form). Prime, so the sampler cannot lock
+/// onto periodic broker work and alias it in or out of the profile.
+inline constexpr uint32_t kDefaultProfileHz = 97;
+
+/// "main", "accept", ... (stable label values).
+std::string_view to_string(ThreadRole r) noexcept;
+
+/// Parses folded-stack text into (stack, count) pairs, one per line;
+/// malformed lines are skipped. Shared by tests and tools; available in
+/// every build.
+std::vector<std::pair<std::string, uint64_t>> parse_folded(std::string_view text);
+
+#ifndef SUBSUM_NO_TELEMETRY
+
+class Profiler {
+ public:
+  /// Frames retained per sample (leaf + callers). Deeper stacks truncate.
+  static constexpr size_t kMaxFrames = 32;
+  /// Default sample-ring capacity (samples). At 97 Hz across a handful of
+  /// busy threads this holds tens of seconds between drains.
+  static constexpr size_t kDefaultRingCapacity = 4096;
+
+  static Profiler& instance() noexcept;
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // --- thread registry -------------------------------------------------------
+  /// Registers the calling thread under `role` (idempotent: a second call
+  /// just updates the role). Registered threads are sampled while the
+  /// profiler runs and contribute to duty-cycle accounting; the slot is
+  /// reclaimed automatically at thread exit.
+  static void register_thread(ThreadRole role) noexcept;
+
+  /// Temporarily relabels the calling thread's samples (e.g. a conn
+  /// thread executing a BROCLI walk step or a WAL fsync).
+  class ScopedRole {
+   public:
+    explicit ScopedRole(ThreadRole r) noexcept;
+    ~ScopedRole();
+    ScopedRole(const ScopedRole&) = delete;
+    ScopedRole& operator=(const ScopedRole&) = delete;
+
+   private:
+    uint8_t prev_;
+  };
+
+  // --- sampling lifecycle ----------------------------------------------------
+  /// Arms per-thread timers at `hz` samples per CPU-second and installs
+  /// the SIGPROF handler. Returns false when hz == 0, already running, or
+  /// the platform refuses per-thread timers. Threads registered later are
+  /// armed on registration.
+  bool start(uint32_t hz) noexcept;
+  /// Disarms all timers. Samples already in the ring remain drainable.
+  void stop() noexcept;
+  [[nodiscard]] bool running() const noexcept;
+  [[nodiscard]] uint32_t hz() const noexcept;
+
+  /// Resizes the sample ring; effective at the next start() on an idle
+  /// profiler (ignored while running). 0 keeps the current capacity.
+  void set_ring_capacity(size_t samples) noexcept;
+
+  // --- data out --------------------------------------------------------------
+  /// Samples captured since process start (ring overwrites included).
+  [[nodiscard]] uint64_t samples_total() const noexcept;
+  [[nodiscard]] uint64_t samples_for(ThreadRole r) const noexcept;
+  /// Samples lost to ring overwrite before a drain could read them.
+  [[nodiscard]] uint64_t dropped_total() const noexcept;
+
+  /// Drains every undrained sample, symbolizes (cached dladdr +
+  /// demangle), and returns collapsed stacks, newest aggregation of
+  /// everything since the previous drain. Never called from a signal
+  /// context; takes the profiler mutex.
+  [[nodiscard]] std::string folded();
+
+  /// Bytes held by the sample ring (memacct kProfilerRing input).
+  [[nodiscard]] uint64_t ring_bytes() const noexcept;
+
+  // --- duty cycle ------------------------------------------------------------
+  /// Cumulative CPU seconds consumed per role: live registered threads'
+  /// CPU clocks plus totals retired at thread exit. `out` must hold
+  /// kThreadRoleCount entries. Deltas over wall time = busy cores per role.
+  void cpu_seconds(double* out) const noexcept;
+
+  /// Currently registered (live) threads.
+  [[nodiscard]] uint64_t thread_count() const noexcept;
+
+ private:
+  Profiler() = default;
+};
+
+#else  // SUBSUM_NO_TELEMETRY: the profiler compiles out entirely.
+
+class Profiler {
+ public:
+  static constexpr size_t kMaxFrames = 32;
+  static constexpr size_t kDefaultRingCapacity = 4096;
+
+  static Profiler& instance() noexcept {
+    static Profiler p;
+    return p;
+  }
+
+  static void register_thread(ThreadRole) noexcept {}
+
+  class ScopedRole {
+   public:
+    explicit ScopedRole(ThreadRole) noexcept {}
+  };
+
+  bool start(uint32_t) noexcept { return false; }
+  void stop() noexcept {}
+  [[nodiscard]] bool running() const noexcept { return false; }
+  [[nodiscard]] uint32_t hz() const noexcept { return 0; }
+  void set_ring_capacity(size_t) noexcept {}
+  [[nodiscard]] uint64_t samples_total() const noexcept { return 0; }
+  [[nodiscard]] uint64_t samples_for(ThreadRole) const noexcept { return 0; }
+  [[nodiscard]] uint64_t dropped_total() const noexcept { return 0; }
+  [[nodiscard]] std::string folded() { return {}; }
+  [[nodiscard]] uint64_t ring_bytes() const noexcept { return 0; }
+  void cpu_seconds(double* out) const noexcept {
+    for (size_t i = 0; i < kThreadRoleCount; ++i) out[i] = 0.0;
+  }
+  [[nodiscard]] uint64_t thread_count() const noexcept { return 0; }
+
+ private:
+  Profiler() = default;
+};
+
+#endif  // SUBSUM_NO_TELEMETRY
+
+}  // namespace subsum::obs

@@ -216,6 +216,7 @@ DurableState BrokerStore::open() {
   wal_ = std::make_unique<WalWriter>(dir_ + "/wal");
   if (rep.torn_tail) wal_->truncate(rep.valid_bytes);
   wal_base_records_ = rep.records.size();
+  wal_base_bytes_ = rep.valid_bytes;
   return st;
 }
 
@@ -256,6 +257,10 @@ void BrokerStore::commit() {
 
 uint64_t BrokerStore::wal_records() const noexcept {
   return wal_ ? wal_base_records_ + wal_->appended() : 0;
+}
+
+uint64_t BrokerStore::wal_bytes() const noexcept {
+  return wal_ ? wal_base_bytes_ + wal_->appended_bytes() : 0;
 }
 
 std::vector<std::byte> BrokerStore::encode_snapshot(const SnapshotInput& in) const {
@@ -306,6 +311,8 @@ void BrokerStore::write_snapshot(const SnapshotInput& in) {
   // (replay is idempotent).
   wal_->reset();
   wal_base_records_ = 0;
+  wal_base_bytes_ = 0;
+  last_snapshot_bytes_ = static_cast<uint64_t>(w.bytes().size());
   if (snapshot_us_) snapshot_us_->observe(obs::now_us() - t0);
 }
 

@@ -130,6 +130,14 @@ class BrokerStore {
   [[nodiscard]] uint64_t epoch() const noexcept { return epoch_; }
   /// WAL records since the last compaction (or open).
   [[nodiscard]] uint64_t wal_records() const noexcept;
+  /// On-disk WAL bytes since the last compaction — the replay cost a crash
+  /// would pay, and the kWalBuffers input to memory attribution.
+  [[nodiscard]] uint64_t wal_bytes() const noexcept;
+  /// Encoded size of the most recent snapshot written this run (0 before
+  /// the first compaction) — the kSnapshotBuffers attribution input.
+  [[nodiscard]] uint64_t last_snapshot_bytes() const noexcept {
+    return last_snapshot_bytes_;
+  }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
  private:
@@ -144,6 +152,8 @@ class BrokerStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t epoch_ = 0;
   uint64_t wal_base_records_ = 0;  // records already in the log at open()
+  uint64_t wal_base_bytes_ = 0;    // intact bytes in the log at open()
+  uint64_t last_snapshot_bytes_ = 0;
   obs::Histogram* fsync_us_ = nullptr;        // not owned; see set_metrics
   obs::Histogram* snapshot_us_ = nullptr;     // not owned
   obs::Histogram* stage_fsync_us_ = nullptr;  // not owned

@@ -45,6 +45,7 @@ void WalWriter::append(std::span<const std::byte> payload) {
     off += static_cast<size_t>(n);
   }
   ++appended_;
+  appended_bytes_ += buf.size();
 }
 
 void WalWriter::sync() {
@@ -55,6 +56,7 @@ void WalWriter::reset() {
   if (::ftruncate(fd_, 0) != 0) fail("ftruncate", path_);
   sync();
   appended_ = 0;
+  appended_bytes_ = 0;
 }
 
 void WalWriter::truncate(uint64_t bytes) {

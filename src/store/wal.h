@@ -60,12 +60,17 @@ class WalWriter {
   /// Records appended through this writer since open/reset.
   [[nodiscard]] uint64_t appended() const noexcept { return appended_; }
 
+  /// On-disk bytes (headers included) appended since open/reset; feeds the
+  /// kWalBuffers line of the memory-attribution registry (obs/memacct.h).
+  [[nodiscard]] uint64_t appended_bytes() const noexcept { return appended_bytes_; }
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   std::string path_;
   int fd_ = -1;
   uint64_t appended_ = 0;
+  uint64_t appended_bytes_ = 0;
 };
 
 struct WalReplay {

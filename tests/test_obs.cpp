@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/memacct.h"
 #include "obs/metrics.h"
 #include "obs/promtext.h"
 #include "obs/trace.h"
@@ -508,6 +509,98 @@ TEST(TraceId, DeterministicAndNeverZero) {
   EXPECT_NE(mint_trace_id(3, 7, 0), mint_trace_id(4, 7, 0));
   EXPECT_NE(mint_trace_id(3, 7, 0), mint_trace_id(3, 7, 1));
   EXPECT_NE(mint_trace_id(0, 0, 0), 0u);  // 0 is reserved for "untraced"
+}
+
+// --- per-component memory accounting (obs/memacct.h) ------------------------
+
+TEST(MemAccount, LedgerArithmeticWorksWithoutARegistry) {
+  // The ledger is policy input (governor ladder), so it must work unbound
+  // and in BOTH builds — no SKIP here.
+  MemAccount acct;
+  acct.set(MemComponent::kIndexArenas, 1000);
+  acct.add(MemComponent::kIndexArenas, 24);
+  acct.add(MemComponent::kIndexArenas, -24);
+  acct.set(MemComponent::kOutboundQueues, 500);
+  EXPECT_EQ(acct.get(MemComponent::kIndexArenas), 1000u);
+  EXPECT_EQ(acct.get(MemComponent::kOutboundQueues), 500u);
+  EXPECT_EQ(acct.get(MemComponent::kWalBuffers), 0u);
+  EXPECT_EQ(acct.total(), 1500u);
+}
+
+TEST(MemAccount, GovernorExternalBytesIsGrowthComponentsOnly) {
+  MemAccount acct;
+  // Growth components: counted.
+  acct.set(MemComponent::kIndexArenas, 1);
+  acct.set(MemComponent::kHeldSummary, 2);
+  acct.set(MemComponent::kShadowSummaries, 4);
+  acct.set(MemComponent::kWalBuffers, 8);
+  acct.set(MemComponent::kSnapshotBuffers, 16);
+  // Governor-streamed queues: excluded (already in usage(); counting them
+  // here would double-bill the ladder).
+  acct.set(MemComponent::kOutboundQueues, 1u << 20);
+  acct.set(MemComponent::kRedeliveryQueue, 1u << 20);
+  // Fixed-capacity rings: excluded (config-sized baseline, not load).
+  acct.set(MemComponent::kTraceRing, 1u << 20);
+  acct.set(MemComponent::kFlightRing, 1u << 20);
+  acct.set(MemComponent::kExemplarSlots, 1u << 20);
+  acct.set(MemComponent::kProfilerRing, 1u << 20);
+  EXPECT_EQ(acct.governor_external_bytes(), 31u);
+}
+
+TEST(MemAccount, ComponentLabelValuesAreStable) {
+  EXPECT_EQ(to_string(MemComponent::kIndexArenas), "index_arenas");
+  EXPECT_EQ(to_string(MemComponent::kHeldSummary), "held_summary");
+  EXPECT_EQ(to_string(MemComponent::kShadowSummaries), "shadow_summaries");
+  EXPECT_EQ(to_string(MemComponent::kWalBuffers), "wal_buffers");
+  EXPECT_EQ(to_string(MemComponent::kSnapshotBuffers), "snapshot_buffers");
+  EXPECT_EQ(to_string(MemComponent::kOutboundQueues), "outbound_queues");
+  EXPECT_EQ(to_string(MemComponent::kRedeliveryQueue), "redelivery_queue");
+  EXPECT_EQ(to_string(MemComponent::kTraceRing), "trace_ring");
+  EXPECT_EQ(to_string(MemComponent::kFlightRing), "flight_ring");
+  EXPECT_EQ(to_string(MemComponent::kExemplarSlots), "exemplar_slots");
+  EXPECT_EQ(to_string(MemComponent::kProfilerRing), "profiler_ring");
+}
+
+TEST(MemAccount, MirrorsIntoSubsumMemBytesAndRoundTripsThroughPromtext) {
+  SKIP_WITHOUT_TELEMETRY();
+  MetricsRegistry reg;
+  MemAccount acct;
+  acct.set(MemComponent::kWalBuffers, 7);  // set before bind: bind publishes it
+  acct.bind_metrics(reg);
+  acct.set(MemComponent::kIndexArenas, 123456);
+  acct.add(MemComponent::kIndexArenas, 44);
+
+  const auto samples = parse_prometheus_text(reg.prometheus_text());
+  uint64_t found = 0;
+  for (const auto& s : samples) {
+    if (s.name != "subsum_mem_bytes") continue;
+    const auto* comp = s.label("component");
+    ASSERT_NE(comp, nullptr);
+    if (*comp == "index_arenas") {
+      EXPECT_EQ(s.value, 123500.0);
+      ++found;
+    } else if (*comp == "wal_buffers") {
+      EXPECT_EQ(s.value, 7.0);
+      ++found;
+    }
+  }
+  // Every component registers at bind time, the touched ones carry their
+  // ledger values — the scrape a dashboard actually sees.
+  EXPECT_EQ(found, 2u);
+  uint64_t series = 0;
+  for (const auto& s : samples) {
+    if (s.name == "subsum_mem_bytes") ++series;
+  }
+  EXPECT_EQ(series, kMemComponentCount);
+}
+
+TEST(ProcessStats, ProcReadIsSaneOrCleanlyAbsent) {
+  const ProcessStats ps = read_process_stats();
+  if (!ps.ok) GTEST_SKIP() << "no readable /proc on this platform";
+  EXPECT_GT(ps.rss_bytes, 0u);
+  EXPECT_GE(ps.threads, 1u);
+  EXPECT_GT(ps.open_fds, 0u);
+  EXPECT_GE(ps.utime_sec + ps.stime_sec, 0.0);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "net/cluster.h"
 #include "net/fault_injector.h"
 #include "net/governor.h"
+#include "obs/memacct.h"
 #include "obs/metrics.h"
 #include "overlay/topologies.h"
 #include "util/backoff.h"
@@ -482,6 +483,80 @@ TEST(FaultInjectorThrottle, StallWindowPausesForwardingThenRecovers) {
   inj.stop();
   srv.close();
   echo.join();
+}
+
+// --- memory-accounting-driven degradation (obs/memacct.h feed) ---------------
+
+TEST(Governor, ExternalBytesDriveTheLadderLikeQueueUsage) {
+  GovernorConfig cfg;
+  cfg.memory_budget_bytes = 1000;
+  obs::MetricsRegistry m;
+  Governor g(cfg, /*peers=*/0, m);
+
+  // Pushed component accounting climbs the same rungs as streamed queue
+  // usage — deterministic injected readings, no broker needed.
+  EXPECT_EQ(g.rung(), 0);
+  g.set_external_bytes(500);
+  EXPECT_EQ(g.rung(), 1);
+  g.set_external_bytes(650);
+  EXPECT_EQ(g.rung(), 2);
+  g.set_external_bytes(800);
+  EXPECT_EQ(g.rung(), 3);
+  g.set_external_bytes(950);
+  EXPECT_EQ(g.rung(), 4);
+  EXPECT_FALSE(g.admit_publish().ok);
+
+  // The ladder input is the SUM: queue usage and external accounting
+  // combine, and each re-push is absolute (no accumulation).
+  g.set_external_bytes(400);
+  EXPECT_EQ(g.rung(), 0);
+  g.add_usage(100);
+  EXPECT_EQ(g.ladder_bytes(), 500u);
+  EXPECT_EQ(g.rung(), 1);
+  g.sub_usage(100);
+  g.set_external_bytes(0);
+  EXPECT_EQ(g.rung(), 0);
+  EXPECT_TRUE(g.admit_publish().ok);
+}
+
+TEST(Governor, BrokerMemoryAccountingFeedsTheRung) {
+  // End to end: a broker with a deliberately tiny memory budget grows its
+  // held summary + frozen index past it; refresh_memory_accounting() must
+  // push the summed component bytes into the governor and move the rung.
+  const Schema s = workload::stock_schema();
+  Cluster cluster(s, overlay::Graph(1), core::GeneralizePolicy::kSafe, {}, {},
+                  [](BrokerConfig& cfg) {
+                    cfg.governor.memory_budget_bytes = 4u << 10;  // 4KB
+                  });
+  auto& node = cluster.node(0);
+
+  node.refresh_memory_accounting();
+  const uint64_t baseline = node.mem_account().governor_external_bytes();
+  EXPECT_EQ(node.governor().external_bytes(), baseline);
+
+  // A few hundred distinct subscriptions: the held summary's wire image
+  // and the frozen index dwarf the 4KB budget.
+  auto client = cluster.connect(0);
+  for (int i = 0; i < 300; ++i) {
+    client->subscribe(SubscriptionBuilder(s)
+                          .where("price", Op::kGt, static_cast<double>(i))
+                          .where("volume", Op::kLt, int64_t{1000 + i})
+                          .build());
+  }
+  cluster.run_propagation_period();
+
+  node.refresh_memory_accounting();
+  const auto& acct = node.mem_account();
+  const uint64_t external = acct.governor_external_bytes();
+  EXPECT_GT(external, baseline);
+  EXPECT_GT(external, 4096u);
+  // The governor sees exactly the account's summed growth components...
+  EXPECT_EQ(node.governor().external_bytes(), external);
+  EXPECT_GE(node.governor().ladder_bytes(), external);
+  // ...and the ladder reacts to it: 4KB budget, tens of KB of summary.
+  EXPECT_EQ(node.governor().rung(), 4);
+  // The attribution itself is live: summary bytes are the big owner here.
+  EXPECT_GT(acct.get(obs::MemComponent::kHeldSummary), 0u);
 }
 
 }  // namespace

@@ -25,6 +25,14 @@ Usage:
     --tol 'ablations:forward.*=0.15'    (metric keys are NAME:KEY)
 The last matching --tol wins.
 
+The profiler-overhead gate (BENCH_profile.json, written by bench_profile)
+is wall-clock and is NOT in the default name set: CI runs it as a separate
+invocation whose band is absolute percentage points around a 0.0 baseline —
+    check_bench.py --baseline-dir . --fresh-dir build \\
+        --names profile --abs-tol 5.0 --tol 'profile:attributed_pct=0.10'
+i.e. sampling at 97 Hz may cost at most 5% of sustained match throughput,
+and ≥85% of captured samples must attribute to named thread roles.
+
 Exit status: 0 all gates pass, 1 any metric out of band or file/metric
 missing, 2 bad invocation.
 """

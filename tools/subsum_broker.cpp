@@ -52,7 +52,10 @@ constexpr char kUsage[] =
     "  [--log-rate N]             max log lines/sec before rate limiting (default 200)\n"
     "  [--flight-capacity N]      flight-recorder ring size (default 1024)\n"
     "  [--flight-dump FILE]       dump path for stop/fatal-signal/kDump\n"
-    "                             (default <data-dir>/flight.bin when durable)\n";
+    "                             (default <data-dir>/flight.bin when durable)\n"
+    "  [--profile-hz N]           arm the sampling CPU profiler at N Hz from\n"
+    "                             startup (default off; kProfile can arm it later)\n"
+    "  [--profile-ring N]         profiler sample-ring capacity (default 4096)\n";
 
 /// Governor knobs, each defaulting to the GovernorConfig default.
 subsum::net::GovernorConfig governor_from_args(const subsum::tools::Args& args) {
@@ -126,6 +129,8 @@ int main(int argc, char** argv) {
     cfg.log_sink = log_file;  // outlives the node: closed at process exit
   }
   cfg.log_max_lines_per_sec = args.flag_u64("log-rate", cfg.log_max_lines_per_sec);
+  cfg.profile_hz = static_cast<uint32_t>(args.flag_u64("profile-hz", cfg.profile_hz));
+  cfg.profile_ring_capacity = args.flag_u64("profile-ring", cfg.profile_ring_capacity);
 
   try {
     net::BrokerNode node(std::move(cfg));

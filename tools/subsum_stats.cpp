@@ -5,18 +5,26 @@
 //   subsum_stats --port 7003 --trace all       # every retained span, JSONL
 //   subsum_stats --port 7003 --trace 9f3a...   # spans of one trace id (hex)
 //                [--max-spans N]               # newest N spans only
+//   subsum_stats --port 7003 --profile         # sample CPU for 5s, print
+//                [--profile-hz N]              #   collapsed/folded stacks
+//                [--profile-seconds S]         #   (flamegraph.pl input)
 //
 // Metrics come back in Prometheus text exposition format 0.0.4 (kStats),
 // ready for a scraper or grep; traces come back as JSON Lines (kTrace),
-// one span per line. Neither RPC needs the deployment's schema, so this
-// tool works against any subsum broker, version 3 or later.
+// one span per line. --profile drives the broker's sampling profiler over
+// kProfile (start -> wait -> fetch -> stop) and prints folded stacks on
+// stdout — `subsum_stats --port P --profile | flamegraph.pl > cpu.svg` is
+// the whole workflow. None of these RPCs need the deployment's schema, so
+// this tool works against any subsum broker, version 3 or later.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tool_args.h"
 
@@ -24,7 +32,8 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: subsum_stats --port P | --ports P0,P1,...\n"
-    "                    [--trace all|HEXID] [--max-spans N]\n";
+    "                    [--trace all|HEXID] [--max-spans N]\n"
+    "                    [--profile [--profile-hz N] [--profile-seconds S]]\n";
 
 using namespace subsum;
 using namespace std::chrono_literals;
@@ -59,10 +68,40 @@ int fetch_trace(uint16_t port, uint64_t trace, uint32_t max_spans) {
   return 0;
 }
 
+net::ProfileReplyMsg profile_rpc(uint16_t port, net::ProfileRequestMsg::Action action,
+                                 uint32_t hz) {
+  net::ProfileRequestMsg req;
+  req.action = action;
+  req.hz = hz;
+  const net::Frame f =
+      rpc(port, net::MsgKind::kProfile, net::encode(req), net::MsgKind::kProfileAck);
+  return net::decode_profile_reply(f.payload);
+}
+
+int run_profile(uint16_t port, uint32_t hz, uint32_t seconds) {
+  const auto started = profile_rpc(port, net::ProfileRequestMsg::kStart, hz);
+  if (!started.running) {
+    // A NO_TELEMETRY broker (or one that cannot arm per-thread timers)
+    // reports a stopped profiler; say so instead of sampling nothing.
+    std::cerr << "port " << port << ": broker refused to start the profiler "
+              << "(telemetry compiled out, or per-thread CPU timers unavailable)\n";
+    return 1;
+  }
+  std::cerr << "sampling port " << port << " at " << started.hz << " Hz for "
+            << seconds << "s...\n";
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  const auto fetched = profile_rpc(port, net::ProfileRequestMsg::kFetch, 0);
+  (void)profile_rpc(port, net::ProfileRequestMsg::kStop, 0);
+  std::cout << fetched.folded;
+  std::cerr << fetched.samples << " samples total, " << fetched.dropped
+            << " dropped\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const tools::Args args(argc, argv);
+  const tools::Args args(argc, argv, {"profile"});
 
   std::vector<uint16_t> ports = args.flag_ports("ports");
   if (const auto p = args.flag("port")) {
@@ -75,6 +114,11 @@ int main(int argc, char** argv) {
 
   const auto trace_arg = args.flag("trace");
   const auto max_spans = static_cast<uint32_t>(args.flag_u64("max-spans", 0));
+  const bool profile = args.flag_bool("profile");
+  const auto profile_hz =
+      static_cast<uint32_t>(args.flag_u64("profile-hz", subsum::obs::kDefaultProfileHz));
+  const auto profile_seconds =
+      static_cast<uint32_t>(args.flag_u64("profile-seconds", 5));
 
   // A down broker must not abort the sweep: scrape everything reachable,
   // name each failed port, and fail the exit code only when NO broker
@@ -82,7 +126,9 @@ int main(int argc, char** argv) {
   size_t failed = 0;
   for (size_t i = 0; i < ports.size(); ++i) {
     try {
-      if (trace_arg) {
+      if (profile) {
+        if (run_profile(ports[i], profile_hz, profile_seconds) != 0) ++failed;
+      } else if (trace_arg) {
         const uint64_t id =
             *trace_arg == "all" ? 0 : std::strtoull(trace_arg->c_str(), nullptr, 16);
         fetch_trace(ports[i], id, max_spans);

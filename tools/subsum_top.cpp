@@ -104,6 +104,16 @@ struct BrokerRow {
   size_t shard_count = 0;
   double shard_visits = 0;
   double shard_imbalance = 0;
+  // Resource attribution (obs/memacct.h, obs/profiler.h): process RSS,
+  // busy cores (sum of per-role duty cycles), the component ledger's total
+  // and its largest line, and the governor's memory budget for the fleet
+  // hog check.
+  double rss_bytes = 0;
+  double cpu_cores = 0;
+  double mem_total = 0;
+  std::string mem_top_component;
+  double mem_top_bytes = 0;
+  double mem_budget = 0;
 };
 
 double find_value(const std::vector<obs::PromSample>& samples, std::string_view name) {
@@ -149,8 +159,18 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
   r.slow_disconnects = find_value(samples, "subsum_slow_consumer_disconnects_total");
   r.rejected_publishes = find_value(samples, "subsum_governor_rejected_publishes_total");
   r.trace_drops = find_value(samples, "subsum_trace_spans_dropped_total");
+  r.rss_bytes = find_value(samples, "subsum_process_rss_bytes");
+  r.mem_budget = find_value(samples, "subsum_memory_budget_bytes");
   double hottest = 0;
   for (const auto& s : samples) {
+    if (s.name == "subsum_thread_duty_cycle") r.cpu_cores += s.value;
+    if (s.name == "subsum_mem_bytes") {
+      r.mem_total += s.value;
+      if (s.value > r.mem_top_bytes) {
+        r.mem_top_bytes = s.value;
+        if (const auto* c = s.label("component")) r.mem_top_component = *c;
+      }
+    }
     if (s.name == "subsum_shed_total") {
       r.sheds += s.value;
       if (const auto* cls = s.label("class"); cls && *cls == "control") {
@@ -170,22 +190,30 @@ BrokerRow parse_row(uint16_t port, const std::string& text) {
 
 void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   std::printf("subsum_top  tick %zu\n", tick);
-  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s %-4s %-8s %-6s %-6s %-6s\n",
+  std::printf("%-6s %-5s %-8s %-6s %-7s %-6s %-6s %-9s %-9s %-7s %-7s %-8s %-7s %-9s %-6s %-6s %-6s %-6s %-6s %-5s %-4s %-8s %-6s %-6s %-6s %-5s %-6s %-12s\n",
               "port", "up", "version", "epoch", "subs", "leases", "expird", "publishes",
               "visits", "fwd", "deliver", "reselect", "fp_ids", "precision", "drift",
               "shards", "sh_imb", "dsend", "fsend", "sync", "rung", "qbytes", "shed",
-              "slowdc", "trdrop");
+              "slowdc", "trdrop", "cpu%", "rssMB", "memtop");
   for (const auto& r : rows) {
     if (!r.up) {
       std::printf("%-6u %-5s %s\n", r.port, "down", "-");
       continue;
     }
-    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f %-4.0f %-8.0f %-6.0f %-6.0f %-6.0f\n",
+    // memtop names the ledger's largest component: "where did this broker's
+    // memory go" without leaving the table.
+    const std::string memtop =
+        r.mem_top_component.empty()
+            ? "-"
+            : r.mem_top_component + "(" +
+                  std::to_string(static_cast<long long>(r.mem_top_bytes / 1024.0)) + "K)";
+    std::printf("%-6u %-5s %-8s %-6.0f %-7.0f %-6.0f %-6.0f %-9.0f %-9.0f %-7.0f %-7.0f %-8.0f %-7.0f %-9.4f %-6.3f %-6zu %-6.2f %-6.0f %-6.0f %-5.0f %-4.0f %-8.0f %-6.0f %-6.0f %-6.0f %-5.0f %-6.1f %-12s\n",
                 r.port, "up", r.version.c_str(), r.epoch, r.local_subs, r.active_leases,
                 r.lease_expired, r.publishes, r.walk_visits, r.walk_forward, r.walk_deliver,
                 r.walk_reselects, r.fp_ids, r.precision, r.drift, r.shard_count,
                 r.shard_imbalance, r.delta_sends, r.full_sends, r.sync_pulls, r.health_rung,
-                r.queue_bytes, r.sheds, r.slow_disconnects, r.trace_drops);
+                r.queue_bytes, r.sheds, r.slow_disconnects, r.trace_drops,
+                r.cpu_cores * 100.0, r.rss_bytes / (1024.0 * 1024.0), memtop.c_str());
   }
 
   std::vector<const BrokerRow*> live;
@@ -255,6 +283,19 @@ void render(const std::vector<BrokerRow>& rows, size_t top_k, size_t tick) {
   print_top("fp_ids", [](const BrokerRow& r) { return r.fp_ids; });
   print_top("walk visits", [](const BrokerRow& r) { return r.walk_visits; });
   print_top("shard imbalance", [](const BrokerRow& r) { return r.shard_imbalance; });
+
+  // Memory-budget watch: name every broker whose accounted components sit
+  // above 80% of its governor budget — the ladder is one growth spurt away.
+  bool header = false;
+  for (const auto* r : live) {
+    if (r->mem_budget <= 0 || r->mem_total < 0.8 * r->mem_budget) continue;
+    if (!header) {
+      std::printf("fleet: over 80%% of memory budget:");
+      header = true;
+    }
+    std::printf(" %u(%.0f%%)", r->port, 100.0 * r->mem_total / r->mem_budget);
+  }
+  if (header) std::printf("\n");
 }
 
 void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t tick) {
@@ -289,7 +330,13 @@ void append_jsonl(std::ostream& os, const std::vector<BrokerRow>& rows, size_t t
          << ",\"trace_spans_dropped\":" << r.trace_drops
          << ",\"match_shards\":" << r.shard_count
          << ",\"shard_visits\":" << r.shard_visits
-         << ",\"shard_imbalance\":" << r.shard_imbalance;
+         << ",\"shard_imbalance\":" << r.shard_imbalance
+         << ",\"rss_bytes\":" << r.rss_bytes
+         << ",\"cpu_cores\":" << r.cpu_cores
+         << ",\"mem_total_bytes\":" << r.mem_total
+         << ",\"mem_top_component\":\"" << r.mem_top_component << "\""
+         << ",\"mem_top_bytes\":" << r.mem_top_bytes
+         << ",\"mem_budget_bytes\":" << r.mem_budget;
     }
     os << "}";
   }
